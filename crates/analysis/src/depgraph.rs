@@ -1,0 +1,359 @@
+//! Block-level dependence information.
+//!
+//! For a single basic block this computes, per instruction, its memory
+//! access summary and its intra-block SSA dependences, plus the pairwise
+//! "must keep order" conflicts between memory operations. This is the
+//! foundation of the loop-rolling scheduling analysis (§IV-D).
+
+use std::collections::HashMap;
+
+use rolag_ir::{BlockId, Effects, Function, InstExtra, InstId, Module, Opcode, ValueDef, ValueId};
+
+use crate::alias::may_alias;
+
+/// Memory behaviour of one instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemAccess {
+    /// Reads memory.
+    pub reads: bool,
+    /// Writes memory.
+    pub writes: bool,
+    /// Accessed location `(pointer, size)`; `None` means "unknown /
+    /// the whole world" (e.g. an external call).
+    pub loc: Option<(ValueId, u64)>,
+}
+
+/// Summarizes how `inst` touches memory (`None` = does not touch memory).
+pub fn mem_access(module: &Module, func: &Function, inst: InstId) -> Option<MemAccess> {
+    let data = func.inst(inst);
+    match data.opcode {
+        Opcode::Load => Some(MemAccess {
+            reads: true,
+            writes: false,
+            loc: Some((data.operands[0], module.types.size_of(data.ty))),
+        }),
+        Opcode::Store => {
+            let vty = func.value_ty(data.operands[0], &module.types);
+            Some(MemAccess {
+                reads: false,
+                writes: true,
+                loc: Some((data.operands[1], module.types.size_of(vty))),
+            })
+        }
+        Opcode::Call => {
+            let InstExtra::Call { callee } = &data.extra else {
+                return None;
+            };
+            match module.func(*callee).effects {
+                Effects::ReadNone => None,
+                Effects::ReadOnly => Some(MemAccess {
+                    reads: true,
+                    writes: false,
+                    loc: None,
+                }),
+                Effects::ReadWrite => Some(MemAccess {
+                    reads: true,
+                    writes: true,
+                    loc: None,
+                }),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Do `a` and `b` conflict (at least one writes, and their footprints may
+/// overlap)? Conflicting pairs must retain their program order.
+pub fn conflicts(module: &Module, func: &Function, a: InstId, b: InstId) -> bool {
+    let (Some(ma), Some(mb)) = (mem_access(module, func, a), mem_access(module, func, b)) else {
+        return false;
+    };
+    if !(ma.writes || mb.writes) {
+        return false;
+    }
+    match (ma.loc, mb.loc) {
+        (Some((pa, sa)), Some((pb, sb))) => may_alias(module, func, pa, sa, pb, sb),
+        _ => true, // unknown footprint conflicts with everything
+    }
+}
+
+/// Compact bit set over instruction positions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PosSet {
+    words: Vec<u64>,
+}
+
+impl PosSet {
+    /// Empty set sized for `n` positions.
+    pub fn new(n: usize) -> Self {
+        PosSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+    /// Inserts position `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+    /// In-place union; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &PosSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let next = *a | *b;
+            if next != *a {
+                *a = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+    /// Iterates set positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |b| {
+                if bits >> b & 1 == 1 {
+                    Some(w * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+/// Dependence information for one basic block.
+#[derive(Debug, Clone)]
+pub struct BlockDeps {
+    /// Instructions in block order.
+    pub insts: Vec<InstId>,
+    pos: HashMap<InstId, usize>,
+    /// `deps[i]` = positions that instruction `i` transitively depends on
+    /// (SSA operands within the block, closed transitively).
+    deps: Vec<PosSet>,
+    /// Conflicting memory-op position pairs `(earlier, later)`.
+    mem_conflicts: Vec<(usize, usize)>,
+}
+
+impl BlockDeps {
+    /// Computes dependences for `block` of `func`.
+    pub fn compute(module: &Module, func: &Function, block: BlockId) -> Self {
+        let insts: Vec<InstId> = func.block(block).insts.clone();
+        let n = insts.len();
+        let mut pos = HashMap::with_capacity(n);
+        for (i, &inst) in insts.iter().enumerate() {
+            pos.insert(inst, i);
+        }
+        // Map result value -> position for intra-block defs.
+        let mut def_pos: HashMap<ValueId, usize> = HashMap::with_capacity(n);
+        for (i, &inst) in insts.iter().enumerate() {
+            def_pos.insert(func.inst_result(inst), i);
+        }
+        let mut deps: Vec<PosSet> = Vec::with_capacity(n);
+        for (i, &inst) in insts.iter().enumerate() {
+            let mut set = PosSet::new(n);
+            for &op in &func.inst(inst).operands {
+                if let ValueDef::Inst(_) = func.value(op) {
+                    if let Some(&p) = def_pos.get(&op) {
+                        if p < i {
+                            set.insert(p);
+                            // Transitive closure: defs are processed in
+                            // order, so deps[p] is already complete.
+                            let prior = deps[p].clone();
+                            set.union_with(&prior);
+                        }
+                    }
+                }
+            }
+            deps.push(set);
+        }
+        let mut mem_conflicts = Vec::new();
+        let mem_positions: Vec<usize> = (0..n)
+            .filter(|&i| mem_access(module, func, insts[i]).is_some())
+            .collect();
+        for (k, &i) in mem_positions.iter().enumerate() {
+            for &j in &mem_positions[k + 1..] {
+                if conflicts(module, func, insts[i], insts[j]) {
+                    mem_conflicts.push((i, j));
+                }
+            }
+        }
+        BlockDeps {
+            insts,
+            pos,
+            deps,
+            mem_conflicts,
+        }
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the block is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Position of `inst` within the block.
+    pub fn position(&self, inst: InstId) -> Option<usize> {
+        self.pos.get(&inst).copied()
+    }
+
+    /// Does the instruction at `later` transitively depend (via SSA) on the
+    /// instruction at `earlier`?
+    pub fn depends_on(&self, later: usize, earlier: usize) -> bool {
+        self.deps[later].contains(earlier)
+    }
+
+    /// All `(earlier, later)` conflicting memory-op position pairs.
+    pub fn mem_conflicts(&self) -> &[(usize, usize)] {
+        &self.mem_conflicts
+    }
+
+    /// The transitive SSA dependence set of position `i`.
+    pub fn dep_set(&self, i: usize) -> &PosSet {
+        &self.deps[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    fn deps_of(text: &str) -> (Module, rolag_ir::FuncId, BlockDeps) {
+        let m = parse_module(text).unwrap();
+        let fid = m.func_by_name("f").unwrap();
+        let func = m.func(fid);
+        let d = BlockDeps::compute(&m, func, func.entry_block());
+        (m, fid, d)
+    }
+
+    #[test]
+    fn transitive_ssa_deps() {
+        let (_m, _f, d) = deps_of(
+            r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  %1 = add i32 %p0, i32 1
+  %2 = mul i32 %1, i32 2
+  %3 = sub i32 %2, i32 3
+  %4 = add i32 %p0, i32 9
+  ret %3
+}
+"#,
+        );
+        assert!(d.depends_on(2, 0), "sub depends on add transitively");
+        assert!(d.depends_on(2, 1));
+        assert!(!d.depends_on(3, 0), "independent add has no deps");
+        assert!(d.depends_on(4, 2), "ret depends on sub");
+    }
+
+    #[test]
+    fn conflicting_stores_to_same_location() {
+        let (_m, _f, d) = deps_of(
+            r#"
+module "t"
+global @g : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %p = gep i32, @g, i32 0
+  store i32 1, %p
+  store i32 2, %p
+  ret
+}
+"#,
+        );
+        assert_eq!(d.mem_conflicts(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn disjoint_stores_do_not_conflict() {
+        let (_m, _f, d) = deps_of(
+            r#"
+module "t"
+global @g : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %p0 = gep i32, @g, i32 0
+  %p1 = gep i32, @g, i32 1
+  store i32 1, %p0
+  store i32 2, %p1
+  ret
+}
+"#,
+        );
+        assert!(d.mem_conflicts().is_empty());
+    }
+
+    #[test]
+    fn loads_conflict_with_overlapping_stores_only() {
+        let (_m, _f, d) = deps_of(
+            r#"
+module "t"
+global @g : [4 x i32] = zero
+global @h : [4 x i32] = zero
+func @f() -> i32 {
+entry:
+  %p0 = gep i32, @g, i32 2
+  %q = gep i32, @h, i32 2
+  store i32 1, %p0
+  %v = load i32, %p0
+  %w = load i32, %q
+  %s = add i32 %v, %w
+  ret %s
+}
+"#,
+        );
+        // store@2 conflicts with load@3 (same loc) but not load@4 (other
+        // global); the two loads never conflict.
+        assert_eq!(d.mem_conflicts(), &[(2, 3)]);
+    }
+
+    #[test]
+    fn external_calls_conflict_with_everything() {
+        let (_m, _f, d) = deps_of(
+            r#"
+module "t"
+declare @ext() -> void readwrite
+declare @pure(i32 %p0) -> i32 readnone
+global @g : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %p = gep i32, @g, i32 0
+  store i32 1, %p
+  call void @ext()
+  %v = call i32 @pure(i32 5)
+  store %v, %p
+  ret
+}
+"#,
+        );
+        // store@1 x call@2, call@2 x store@4, store@1 x store@4.
+        let mut pairs = d.mem_conflicts().to_vec();
+        pairs.sort();
+        assert_eq!(pairs, vec![(1, 2), (1, 4), (2, 4)]);
+    }
+
+    #[test]
+    fn pos_set_basics() {
+        let mut s = PosSet::new(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, vec![0, 64, 129]);
+        let mut t = PosSet::new(130);
+        t.insert(5);
+        assert!(t.union_with(&s));
+        assert!(!t.union_with(&s));
+        assert!(t.contains(0) && t.contains(5));
+    }
+}

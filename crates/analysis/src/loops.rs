@@ -1,0 +1,382 @@
+//! Natural-loop detection and basic induction variables.
+
+use std::collections::HashSet;
+
+use rolag_ir::{
+    BlockId, Function, InstExtra, InstId, IntPredicate, Module, Opcode, ValueDef, ValueId,
+};
+
+use crate::dom::DomTree;
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Source of the back edge.
+    pub latch: BlockId,
+    /// All blocks in the loop body (header included).
+    pub blocks: Vec<BlockId>,
+}
+
+impl Loop {
+    /// True for single-block loops (`header == latch`, body of one block) —
+    /// the only shape LLVM's rerolling pass considers (§II).
+    pub fn is_single_block(&self) -> bool {
+        self.header == self.latch && self.blocks.len() == 1
+    }
+}
+
+/// Finds all natural loops of `func`.
+pub fn find_loops(func: &Function, dom: &DomTree) -> Vec<Loop> {
+    let mut loops = Vec::new();
+    for b in func.block_ids() {
+        if !dom.is_reachable(b) {
+            continue;
+        }
+        for s in func.successors(b) {
+            if dom.dominates(s, b) {
+                // Back edge b -> s.
+                let mut blocks: HashSet<BlockId> = HashSet::new();
+                blocks.insert(s);
+                let mut work = vec![b];
+                while let Some(x) = work.pop() {
+                    if !blocks.insert(x) {
+                        continue;
+                    }
+                    for &p in &func.predecessors()[x.index()] {
+                        if dom.is_reachable(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+                let mut blocks: Vec<BlockId> = blocks.into_iter().collect();
+                blocks.sort();
+                loops.push(Loop {
+                    header: s,
+                    latch: b,
+                    blocks,
+                });
+            }
+        }
+    }
+    loops
+}
+
+/// A basic induction variable of a single-block loop: a phi incremented by a
+/// loop-invariant constant each iteration (§II).
+#[derive(Debug, Clone)]
+pub struct IndVar {
+    /// The phi instruction.
+    pub phi: InstId,
+    /// Value of the phi (for operand rewriting).
+    pub phi_value: ValueId,
+    /// Initial value (from outside the loop).
+    pub init: ValueId,
+    /// The increment instruction (`add phi, step`).
+    pub step_inst: InstId,
+    /// Constant step per iteration.
+    pub step: i64,
+}
+
+/// Finds basic induction variables of a single-block loop.
+pub fn find_induction_vars(module: &Module, func: &Function, lp: &Loop) -> Vec<IndVar> {
+    let mut ivs = Vec::new();
+    if !lp.is_single_block() {
+        return ivs;
+    }
+    let header = lp.header;
+    for &i in &func.block(header).insts {
+        let data = func.inst(i);
+        if data.opcode != Opcode::Phi {
+            break; // phis lead the block
+        }
+        let InstExtra::Phi { incoming } = &data.extra else {
+            continue;
+        };
+        if data.operands.len() != 2 {
+            continue;
+        }
+        // One incoming from the latch (the loop itself), one from outside.
+        let (loop_arm, init_arm) = if incoming[0] == lp.latch {
+            (0, 1)
+        } else if incoming[1] == lp.latch {
+            (1, 0)
+        } else {
+            continue;
+        };
+        let recur = data.operands[loop_arm];
+        let init = data.operands[init_arm];
+        let Some(step_inst) = func.value(recur).as_inst() else {
+            continue;
+        };
+        let step_data = func.inst(step_inst);
+        if step_data.block != header {
+            continue;
+        }
+        let phi_value = func.inst_result(i);
+        let step = match step_data.opcode {
+            Opcode::Add => {
+                if step_data.operands[0] == phi_value {
+                    const_int(module, func, step_data.operands[1])
+                } else if step_data.operands[1] == phi_value {
+                    const_int(module, func, step_data.operands[0])
+                } else {
+                    None
+                }
+            }
+            Opcode::Sub if step_data.operands[0] == phi_value => {
+                const_int(module, func, step_data.operands[1]).map(|c| -c)
+            }
+            _ => None,
+        };
+        let Some(step) = step else { continue };
+        if step == 0 {
+            continue;
+        }
+        ivs.push(IndVar {
+            phi: i,
+            phi_value,
+            init,
+            step_inst,
+            step,
+        });
+    }
+    ivs
+}
+
+fn const_int(_module: &Module, func: &Function, v: ValueId) -> Option<i64> {
+    match func.value(v) {
+        ValueDef::ConstInt { value, .. } => Some(*value),
+        _ => None,
+    }
+}
+
+/// Trip-count information for a single-block counted loop:
+/// `for (iv = init; iv <cond> bound; iv += step)`.
+#[derive(Debug, Clone)]
+pub struct TripCount {
+    /// The controlling induction variable.
+    pub iv: IndVar,
+    /// Loop bound operand of the exit compare.
+    pub bound: ValueId,
+    /// The compare instruction.
+    pub cmp: InstId,
+    /// Compare predicate.
+    pub pred: IntPredicate,
+    /// `true` when the compare tests the *next* value (`iv + step`), as in
+    /// the canonical rotated loop; `false` when it tests the phi itself.
+    pub tests_next: bool,
+    /// Statically known trip count, when `init` and `bound` are constants.
+    pub known_trips: Option<u64>,
+}
+
+/// Analyzes a single-block loop's exit condition.
+pub fn trip_count(module: &Module, func: &Function, lp: &Loop) -> Option<TripCount> {
+    if !lp.is_single_block() {
+        return None;
+    }
+    let header = lp.header;
+    let term = func.terminator(header)?;
+    let tdata = func.inst(term);
+    if tdata.opcode != Opcode::CondBr {
+        return None;
+    }
+    let cmp = func.value(tdata.operands[0]).as_inst()?;
+    let cdata = func.inst(cmp);
+    if cdata.opcode != Opcode::Icmp {
+        return None;
+    }
+    let InstExtra::Icmp(pred) = cdata.extra else {
+        return None;
+    };
+    // The "continue" edge must go back to the header.
+    let InstExtra::CondBr { then_dest, .. } = tdata.extra else {
+        return None;
+    };
+    let continue_on_true = then_dest == header;
+    if !continue_on_true {
+        // Normalize: we only handle loops that continue on true.
+        return None;
+    }
+    for iv in find_induction_vars(module, func, lp) {
+        let next = func.inst_result(iv.step_inst);
+        let (lhs, rhs) = (cdata.operands[0], cdata.operands[1]);
+        let (tests_next, bound) = if lhs == next {
+            (true, rhs)
+        } else if lhs == iv.phi_value {
+            (false, rhs)
+        } else {
+            continue;
+        };
+        let known_trips = match (
+            const_int(module, func, iv.init),
+            const_int(module, func, bound),
+        ) {
+            (Some(init), Some(b)) => compute_trips(init, b, iv.step, pred, tests_next),
+            _ => None,
+        };
+        return Some(TripCount {
+            iv,
+            bound,
+            cmp,
+            pred,
+            tests_next,
+            known_trips,
+        });
+    }
+    None
+}
+
+fn compute_trips(
+    init: i64,
+    bound: i64,
+    step: i64,
+    pred: IntPredicate,
+    tests_next: bool,
+) -> Option<u64> {
+    // Simulate; loops here are small and bounded in the suites.
+    let mut iv = init;
+    let mut trips: u64 = 0;
+    loop {
+        trips += 1;
+        if trips > 1 << 24 {
+            return None;
+        }
+        let next = iv.checked_add(step)?;
+        let probe = if tests_next { next } else { iv };
+        let cont = match pred {
+            IntPredicate::Slt => probe < bound,
+            IntPredicate::Sle => probe <= bound,
+            IntPredicate::Sgt => probe > bound,
+            IntPredicate::Sge => probe >= bound,
+            IntPredicate::Ne => probe != bound,
+            IntPredicate::Ult => (probe as u64) < bound as u64,
+            IntPredicate::Ule => (probe as u64) <= bound as u64,
+            IntPredicate::Ugt => (probe as u64) > bound as u64,
+            IntPredicate::Uge => (probe as u64) >= bound as u64,
+            IntPredicate::Eq => probe == bound,
+        };
+        if !cont {
+            return Some(trips);
+        }
+        iv = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    const LOOP: &str = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  br header
+header:
+  %1 = phi i32 [ i32 0, entry ], [ %2, header ]
+  %2 = add i32 %1, i32 3
+  %3 = icmp slt %2, i32 30
+  condbr %3, header, exit
+exit:
+  ret %2
+}
+"#;
+
+    #[test]
+    fn finds_single_block_loop() {
+        let m = parse_module(LOOP).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let dom = DomTree::compute(f);
+        let loops = find_loops(f, &dom);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].is_single_block());
+        assert_eq!(loops[0].header, f.block_by_name("header").unwrap());
+    }
+
+    #[test]
+    fn finds_induction_variable() {
+        let m = parse_module(LOOP).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let dom = DomTree::compute(f);
+        let loops = find_loops(f, &dom);
+        let ivs = find_induction_vars(&m, f, &loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, 3);
+    }
+
+    #[test]
+    fn trip_count_of_canonical_loop() {
+        let m = parse_module(LOOP).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let dom = DomTree::compute(f);
+        let loops = find_loops(f, &dom);
+        let tc = trip_count(&m, f, &loops[0]).unwrap();
+        assert!(tc.tests_next);
+        // iv: 0,3,6,...,27 -> 10 iterations (next hits 30 at iv=27).
+        assert_eq!(tc.known_trips, Some(10));
+    }
+
+    #[test]
+    fn multi_block_loop_detected_but_not_single() {
+        let text = r#"
+module "t"
+func @f(i32 %p0) -> void {
+entry:
+  br header
+header:
+  %1 = phi i32 [ i32 0, entry ], [ %2, latch ]
+  %c = icmp slt %1, i32 5
+  condbr %c, body, exit
+body:
+  br latch
+latch:
+  %2 = add i32 %1, i32 1
+  br header
+exit:
+  ret
+}
+"#;
+        let m = parse_module(text).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let dom = DomTree::compute(f);
+        let loops = find_loops(f, &dom);
+        assert_eq!(loops.len(), 1);
+        assert!(!loops[0].is_single_block());
+        assert_eq!(loops[0].blocks.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_are_both_found() {
+        let text = r#"
+module "t"
+func @f() -> void {
+entry:
+  br outer
+outer:
+  %1 = phi i32 [ i32 0, entry ], [ %4, outer_latch ]
+  br inner
+inner:
+  %2 = phi i32 [ i32 0, outer ], [ %3, inner ]
+  %3 = add i32 %2, i32 1
+  %c1 = icmp slt %3, i32 4
+  condbr %c1, inner, outer_latch
+outer_latch:
+  %4 = add i32 %1, i32 1
+  %c2 = icmp slt %4, i32 4
+  condbr %c2, outer, exit
+exit:
+  ret
+}
+"#;
+        let m = parse_module(text).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let dom = DomTree::compute(f);
+        let loops = find_loops(f, &dom);
+        assert_eq!(loops.len(), 2);
+        let single: Vec<_> = loops.iter().filter(|l| l.is_single_block()).collect();
+        assert_eq!(single.len(), 1);
+        assert_eq!(single[0].header, f.block_by_name("inner").unwrap());
+    }
+}

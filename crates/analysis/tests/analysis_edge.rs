@@ -1,0 +1,207 @@
+//! Additional analysis-crate tests: dominators on irregular CFGs, loop
+//! detection corners, alias analysis through chains, and dependence-graph
+//! behaviour with mixed effects.
+
+use rolag_analysis::alias::{resolve_pointer, BaseObject};
+use rolag_analysis::cost::{function_size_estimate, TargetKind, Thumb2SizeModel, X86SizeModel};
+use rolag_analysis::depgraph::BlockDeps;
+use rolag_analysis::dom::DomTree;
+use rolag_analysis::loops::{find_loops, trip_count};
+use rolag_ir::parser::parse_module;
+use rolag_ir::{Module, Opcode};
+
+fn module(text: &str) -> Module {
+    parse_module(text).unwrap()
+}
+
+#[test]
+fn dominators_handle_unreachable_blocks() {
+    let m = module(
+        r#"
+module "t"
+func @f() -> void {
+entry:
+  br reach
+orphan:
+  br reach
+reach:
+  ret
+}
+"#,
+    );
+    let f = m.func(m.func_by_name("f").unwrap());
+    let dom = DomTree::compute(f);
+    let entry = f.block_by_name("entry").unwrap();
+    let orphan = f.block_by_name("orphan").unwrap();
+    let reach = f.block_by_name("reach").unwrap();
+    assert!(dom.is_reachable(reach));
+    assert!(!dom.is_reachable(orphan));
+    assert!(dom.dominates(entry, reach));
+    assert!(
+        !dom.dominates(orphan, reach),
+        "unreachable preds are ignored"
+    );
+}
+
+#[test]
+fn irreducible_like_diamond_with_loop() {
+    // A loop whose header has two entering edges through a diamond.
+    let m = module(
+        r#"
+module "t"
+func @f(i1 %p0) -> void {
+entry:
+  condbr %p0, left, right
+left:
+  br header
+right:
+  br header
+header:
+  %1 = phi i64 [ i64 0, left ], [ i64 4, right ], [ %2, header ]
+  %2 = add i64 %1, i64 1
+  %3 = icmp slt %2, i64 16
+  condbr %3, header, exit
+exit:
+  ret
+}
+"#,
+    );
+    let f = m.func(m.func_by_name("f").unwrap());
+    let dom = DomTree::compute(f);
+    let loops = find_loops(f, &dom);
+    assert_eq!(loops.len(), 1);
+    assert!(loops[0].is_single_block());
+    // Trip count requires a constant init: with two distinct entries it
+    // must refuse.
+    assert!(trip_count(&m, f, &loops[0])
+        .map(|tc| tc.known_trips)
+        .flatten()
+        .is_none());
+}
+
+#[test]
+fn trip_count_handles_non_canonical_predicates() {
+    // Continue-on-false loops (condbr exit-first) are not canonical; the
+    // analysis refuses rather than guessing.
+    let m = module(
+        r#"
+module "t"
+func @f() -> void {
+entry:
+  br loop
+loop:
+  %1 = phi i64 [ i64 0, entry ], [ %2, loop ]
+  %2 = add i64 %1, i64 1
+  %3 = icmp sge %2, i64 8
+  condbr %3, exit, loop
+exit:
+  ret
+}
+"#,
+    );
+    let f = m.func(m.func_by_name("f").unwrap());
+    let dom = DomTree::compute(f);
+    let loops = find_loops(f, &dom);
+    assert_eq!(loops.len(), 1);
+    assert!(trip_count(&m, f, &loops[0]).is_none());
+}
+
+#[test]
+fn alias_through_gep_chains_and_bitcasts() {
+    let m = module(
+        r#"
+module "t"
+global @g : [16 x i64] = zero
+func @f() -> void {
+entry:
+  %a = gep i64, @g, i64 2
+  %b = gep i64, %a, i64 3
+  %c = bitcast ptr %b
+  store i64 1, %c
+  ret
+}
+"#,
+    );
+    let f = m.func(m.func_by_name("f").unwrap());
+    let store = f
+        .live_insts()
+        .find(|&i| f.inst(i).opcode == Opcode::Store)
+        .unwrap();
+    let info = resolve_pointer(&m, f, f.inst(store).operands[1]);
+    assert!(matches!(info.base, BaseObject::Global(_)));
+    assert_eq!(info.offset, Some(40), "2*8 + 3*8 through the chain");
+}
+
+#[test]
+fn readonly_calls_conflict_with_stores_not_loads() {
+    let m = module(
+        r#"
+module "t"
+declare @peek() -> i32 readonly
+global @g : [4 x i32] = zero
+func @f() -> i32 {
+entry:
+  %v1 = load i32, @g
+  %c1 = call i32 @peek()
+  store i32 5, @g
+  %c2 = call i32 @peek()
+  %s1 = add i32 %v1, %c1
+  %s2 = add i32 %s1, %c2
+  ret %s2
+}
+"#,
+    );
+    let f = m.func(m.func_by_name("f").unwrap());
+    let deps = BlockDeps::compute(&m, f, f.entry_block());
+    let pairs = deps.mem_conflicts().to_vec();
+    // positions: 0 load, 1 call, 2 store, 3 call. Conflicts: store with
+    // everything (0,2) (1,2) (2,3); readonly calls never conflict with the
+    // load or each other.
+    let mut sorted = pairs.clone();
+    sorted.sort();
+    assert_eq!(sorted, vec![(0, 2), (1, 2), (2, 3)]);
+}
+
+#[test]
+fn size_models_rank_programs_consistently() {
+    // The two targets disagree on absolute bytes but agree that more code
+    // is more bytes.
+    let small = module("module \"s\"\nfunc @f() -> void {\nentry:\n  ret\n}\n");
+    let mut big_text = String::from(
+        "module \"b\"\nglobal @g : [64 x i32] = zero\nfunc @f(i32 %p0) -> void {\nentry:\n",
+    );
+    for i in 0..24 {
+        big_text.push_str(&format!("  %q{i} = gep i32, @g, i64 {i}\n"));
+        big_text.push_str(&format!("  store %p0, %q{i}\n"));
+    }
+    big_text.push_str("  ret\n}\n");
+    let big = module(&big_text);
+    for target in [TargetKind::X86_64, TargetKind::Thumb2] {
+        let fs = small.func(small.func_by_name("f").unwrap());
+        let fb = big.func(big.func_by_name("f").unwrap());
+        assert!(target.function_estimate(&big, fb) > target.function_estimate(&small, fs));
+    }
+    // Thumb is denser on the same big function.
+    let fb = big.func(big.func_by_name("f").unwrap());
+    assert!(
+        function_size_estimate(&Thumb2SizeModel, &big, fb)
+            < function_size_estimate(&X86SizeModel, &big, fb)
+    );
+}
+
+#[test]
+fn depgraph_positions_and_transitivity_across_long_chains() {
+    let mut text = String::from("module \"t\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n");
+    text.push_str("  %v0 = add i32 %p0, i32 1\n");
+    for i in 1..64 {
+        text.push_str(&format!("  %v{i} = add i32 %v{}, i32 1\n", i - 1));
+    }
+    text.push_str("  ret %v63\n}\n");
+    let m = module(&text);
+    let f = m.func(m.func_by_name("f").unwrap());
+    let deps = BlockDeps::compute(&m, f, f.entry_block());
+    // ret (position 64) transitively depends on position 0.
+    assert!(deps.depends_on(64, 0));
+    assert!(deps.depends_on(63, 31));
+    assert!(!deps.depends_on(31, 63));
+}

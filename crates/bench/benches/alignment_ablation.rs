@@ -1,0 +1,82 @@
+//! Ablation of RoLAG's design choices (the special nodes of §IV-C): pass
+//! runtime and applicability with each feature class toggled off. This is
+//! the compile-time companion to Fig. 19's quality ablation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rolag::{roll_module, RolagOptions};
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+fn inputs(n: usize) -> Vec<rolag_ir::Module> {
+    all_kernels()
+        .iter()
+        .take(n)
+        .map(|spec| {
+            let mut m = build_kernel_module(spec);
+            unroll_module(&mut m, 8);
+            cse_module(&mut m);
+            cleanup_module(&mut m);
+            m
+        })
+        .collect()
+}
+
+fn variants() -> Vec<(&'static str, RolagOptions)> {
+    let base = RolagOptions::default();
+    vec![
+        ("full", base.clone()),
+        ("no-special", RolagOptions::no_special_nodes()),
+        (
+            "no-sequences",
+            RolagOptions {
+                enable_sequences: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-gep-neutral",
+            RolagOptions {
+                enable_gep_neutral: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-reductions",
+            RolagOptions {
+                enable_reductions: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-joint",
+            RolagOptions {
+                enable_joint: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let modules = inputs(16);
+    let mut group = c.benchmark_group("alignment_ablation");
+    group.sample_size(10);
+    for (label, opts) in variants() {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || modules.clone(),
+                |mut ms| {
+                    for m in &mut ms {
+                        roll_module(m, &opts);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Compile-time cost of the two rolling passes over representative inputs:
+//! how long RoLAG and the LLVM-style baseline take per function.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rolag::{roll_module, RolagOptions};
+use rolag_reroll::reroll_module;
+use rolag_suites::angha::{generate, AnghaConfig};
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+fn tsvc_inputs(n: usize) -> Vec<rolag_ir::Module> {
+    all_kernels()
+        .iter()
+        .take(n)
+        .map(|spec| {
+            let mut m = build_kernel_module(spec);
+            unroll_module(&mut m, 8);
+            cse_module(&mut m);
+            cleanup_module(&mut m);
+            m
+        })
+        .collect()
+}
+
+fn bench_rolling(c: &mut Criterion) {
+    let tsvc = tsvc_inputs(24);
+    let mut group = c.benchmark_group("rolling_passes");
+    group.sample_size(10);
+
+    group.bench_function("rolag_tsvc24", |b| {
+        b.iter_batched(
+            || tsvc.clone(),
+            |mut modules| {
+                let opts = RolagOptions::default();
+                for m in &mut modules {
+                    roll_module(m, &opts);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("llvm_reroll_tsvc24", |b| {
+        b.iter_batched(
+            || tsvc.clone(),
+            |mut modules| {
+                for m in &mut modules {
+                    reroll_module(m);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let corpus: Vec<rolag_ir::Module> = generate(&AnghaConfig {
+        seed: 3,
+        functions: 48,
+    })
+    .entries
+    .into_iter()
+    .map(|(_, _, m)| m)
+    .collect();
+
+    group.bench_function("rolag_angha48", |b| {
+        b.iter_batched(
+            || corpus.clone(),
+            |mut modules| {
+                let opts = RolagOptions::default();
+                for m in &mut modules {
+                    roll_module(m, &opts);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_rolling);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 16 — breakdown of node kinds used in profitable alignment graphs
+//! across the AnghaBench-like corpus.
+//!
+//! Paper reference: matching nodes dominate, followed by identical values,
+//! with every special node kind contributing.
+//!
+//! Usage: `cargo run --release -p rolag-bench --bin fig16 [--functions N]`
+
+use rolag::{NodeKindCounts, RolagOptions};
+use rolag_bench::angha_eval::evaluate_angha;
+use rolag_bench::report::{arg_value, bar, write_csv};
+use rolag_suites::angha::AnghaConfig;
+
+fn main() {
+    let mut config = AnghaConfig::default();
+    if let Some(n) = arg_value("--functions").and_then(|v| v.parse().ok()) {
+        config.functions = n;
+    }
+    let rows = evaluate_angha(&config, &RolagOptions::default());
+
+    let mut total = NodeKindCounts::default();
+    for r in &rows {
+        total += r.nodes;
+    }
+
+    println!("Fig. 16 — node kinds in profitable alignment graphs (AnghaBench)");
+    println!("{:-<70}", "");
+    let max = total.rows().iter().map(|&(_, c)| c).max().unwrap_or(1) as f64;
+    for (label, count) in total.rows() {
+        println!("{label:<14} {count:>8}  |{}", bar(count as f64, max, 44));
+    }
+    println!("{:-<70}", "");
+    println!("total nodes: {}", total.total());
+
+    let csv_rows: Vec<String> = total
+        .rows()
+        .iter()
+        .map(|(l, c)| format!("{l},{c}"))
+        .collect();
+    match write_csv("fig16-angha-nodes", "kind,count", &csv_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

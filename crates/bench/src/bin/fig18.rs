@@ -1,0 +1,45 @@
+//! Fig. 18 — TSVC reduction curves: the oracle (the original rolled source,
+//! before the forced ×8 unroll) vs RoLAG.
+//!
+//! Paper reference: oracle mean 55.5% vs RoLAG 23.4% — rerolling recovers a
+//! large share of the unrolling bloat but headroom remains.
+//!
+//! Usage: `cargo run --release -p rolag-bench --bin fig18`
+
+use rolag::RolagOptions;
+use rolag_bench::report::{sorted_desc, write_csv};
+use rolag_bench::tsvc_eval::{evaluate_tsvc, summarize};
+
+fn main() {
+    let rows = evaluate_tsvc(&RolagOptions::default(), false);
+    let summary = summarize(&rows);
+
+    let oracle: Vec<f64> = sorted_desc(
+        &rows
+            .iter()
+            .map(|r| r.oracle_reduction())
+            .collect::<Vec<_>>(),
+    );
+    let rolag: Vec<f64> =
+        sorted_desc(&rows.iter().map(|r| r.rolag_reduction()).collect::<Vec<_>>());
+
+    println!("Fig. 18 — oracle vs RoLAG reduction across the TSVC suite");
+    println!("{:-<70}", "");
+    println!("{:>6} {:>10} {:>10}", "rank", "oracle%", "rolag%");
+    for i in (0..rows.len()).step_by(10) {
+        println!("{:>6} {:>10.2} {:>10.2}", i, oracle[i], rolag[i]);
+    }
+    println!("{:-<70}", "");
+    println!(
+        "means across all {} kernels: oracle {:.2}%  RoLAG {:.2}%   (paper: 55.5% / 23.4%)",
+        summary.kernels, summary.oracle_mean, summary.rolag_mean
+    );
+
+    let csv_rows: Vec<String> = (0..rows.len())
+        .map(|i| format!("{i},{:.4},{:.4}", oracle[i], rolag[i]))
+        .collect();
+    match write_csv("fig18-tsvc-curve", "rank,oracle_pct,rolag_pct", &csv_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

@@ -1,0 +1,55 @@
+//! §V-D — performance overhead of loop rolling on TSVC, measured as the
+//! ratio of dynamic instruction counts before/after RoLAG.
+//!
+//! Paper reference: an average slowdown of ×0.8 (rolled code re-executes
+//! loop control per iteration, and TSVC was designed to reward unrolling).
+//!
+//! Usage: `cargo run --release -p rolag-bench --bin perf_overhead`
+
+use rolag::RolagOptions;
+use rolag_bench::report::write_csv;
+use rolag_bench::tsvc_eval::evaluate_tsvc;
+
+fn main() {
+    let rows = evaluate_tsvc(&RolagOptions::default(), true);
+
+    println!("§V-D — dynamic-instruction overhead of RoLAG on TSVC");
+    println!("{:-<64}", "");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "kernel", "steps before", "steps after", "rel perf"
+    );
+    let mut ratios = Vec::new();
+    let mut csv_rows = Vec::new();
+    for r in rows
+        .iter()
+        .filter(|r| r.rolag_rolled > 0 && r.steps_base > 0)
+    {
+        let rel = r.relative_performance();
+        ratios.push(rel);
+        println!(
+            "{:<10} {:>12} {:>12} {:>10.3}",
+            r.name, r.steps_base, r.steps_rolag, rel
+        );
+        csv_rows.push(format!(
+            "{},{},{},{:.4}",
+            r.name, r.steps_base, r.steps_rolag, rel
+        ));
+    }
+    println!("{:-<64}", "");
+    let mean = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    println!("average relative performance of rolled kernels: x{mean:.3}  (paper: x0.8)");
+
+    match write_csv(
+        "perf-overhead",
+        "kernel,steps_before,steps_after,relative_performance",
+        &csv_rows,
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+}

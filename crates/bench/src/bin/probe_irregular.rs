@@ -1,0 +1,39 @@
+//! Diagnostic: sweeps the lane count of an irregular-constant store run
+//! and prints the measured size delta after RoLAG. Lane counts 10..18
+//! commit under the estimate but measure negative — the profitability
+//! false-positive zone reproduced from §V-A.
+//!
+//! Usage: `cargo run --release -p rolag-bench --bin probe_irregular`
+use rolag::{roll_module, RolagOptions};
+use rolag_lower::measure_module;
+fn main() {
+    for n in 6..=24 {
+        let mut text = format!(
+            "module \"p\"\nglobal @a : [{} x i32] = zero\nfunc @f() -> void {{\nentry:\n",
+            n
+        );
+        // irregular constants (no progression)
+        let consts = [
+            37, -11, 93, 5, -72, 44, 18, -6, 81, 29, -54, 7, 63, -38, 92, 13, -27, 58, 3, -88, 41,
+            76, -19, 66,
+        ];
+        #[allow(clippy::needless_range_loop)]
+        for k in 0..n {
+            text.push_str(&format!(
+                "  %g{k} = gep i32, @a, i64 {k}\n  store i32 {}, %g{k}\n",
+                consts[k]
+            ));
+        }
+        text.push_str("  ret\n}\n");
+        let m = rolag_ir::parser::parse_module(&text).unwrap();
+        let base = measure_module(&m).code_footprint();
+        let mut r = m.clone();
+        let st = roll_module(&mut r, &RolagOptions::default());
+        let after = measure_module(&r).code_footprint();
+        println!(
+            "n={n:2} rolled={} base={base} after={after} delta={}",
+            st.rolled,
+            base as i64 - after as i64
+        );
+    }
+}

@@ -1,0 +1,20 @@
+//! # rolag-bench
+//!
+//! The evaluation harness: drivers that regenerate every table and figure
+//! of "Loop Rolling for Code Size Reduction" (CGO 2022) over the project's
+//! synthetic substrates, plus reporting helpers.
+//!
+//! Binaries (one per experiment):
+//!
+//! * `table1` — MiBench/SPEC full-program reductions (Table I);
+//! * `fig15`/`fig16` — AnghaBench reduction curve and node breakdown;
+//! * `fig17`/`fig18`/`fig19` — TSVC bars, oracle curve, node breakdown;
+//! * `perf_overhead` — §V-D dynamic-instruction overhead.
+
+#![warn(missing_docs)]
+
+pub mod angha_eval;
+pub mod parallel;
+pub mod report;
+pub mod table1_eval;
+pub mod tsvc_eval;

@@ -1,0 +1,198 @@
+//! TSVC evaluation driver (§V-C, Figs. 17–19, and the §V-D performance
+//! overhead experiment).
+//!
+//! Pipeline per kernel: build the rolled oracle → force-unroll ×8 and clean
+//! up (the evaluated input, as in the paper) → apply LLVM-style rerolling
+//! and RoLAG independently → measure object sizes and dynamic instruction
+//! counts.
+
+use rolag::{roll_module, NodeKindCounts, RolagOptions};
+use rolag_ir::interp::Interpreter;
+use rolag_ir::Module;
+use rolag_lower::measure_module;
+use rolag_reroll::reroll_module;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module, KernelSpec};
+use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
+
+/// The paper's unroll factor for TSVC (§V-C).
+pub const UNROLL_FACTOR: u32 = 8;
+
+/// Per-kernel evaluation result.
+#[derive(Debug, Clone)]
+pub struct TsvcRow {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Multi-basic-block kernel (unsupported by both techniques).
+    pub multi_block: bool,
+    /// Whether the unroller applied (single-block kernels only).
+    pub unrolled: bool,
+    /// Size of the evaluated (unrolled) input: text + rodata bytes.
+    pub base: u64,
+    /// Size of the original rolled kernel — the oracle of Fig. 18.
+    pub oracle: u64,
+    /// Size after LLVM-style rerolling.
+    pub llvm: u64,
+    /// Size after RoLAG.
+    pub rolag: u64,
+    /// Loops LLVM's technique rerolled.
+    pub llvm_rerolled: u64,
+    /// Loops RoLAG rolled.
+    pub rolag_rolled: u64,
+    /// Node kinds of RoLAG's profitable graphs.
+    pub nodes: NodeKindCounts,
+    /// Dynamic instruction count of the evaluated input.
+    pub steps_base: u64,
+    /// Dynamic instruction count after RoLAG.
+    pub steps_rolag: u64,
+}
+
+impl TsvcRow {
+    /// Percentage reduction for a variant (`base -> after`).
+    pub fn reduction(&self, after: u64) -> f64 {
+        if self.base == 0 {
+            return 0.0;
+        }
+        100.0 * (self.base as f64 - after as f64) / self.base as f64
+    }
+
+    /// LLVM-rerolling reduction %.
+    pub fn llvm_reduction(&self) -> f64 {
+        self.reduction(self.llvm)
+    }
+    /// RoLAG reduction %.
+    pub fn rolag_reduction(&self) -> f64 {
+        self.reduction(self.rolag)
+    }
+    /// Oracle reduction %.
+    pub fn oracle_reduction(&self) -> f64 {
+        self.reduction(self.oracle)
+    }
+    /// Relative performance of the rolled code (1.0 = unchanged; the paper
+    /// reports an average of ×0.8, i.e. rolled code is slower).
+    pub fn relative_performance(&self) -> f64 {
+        if self.steps_rolag == 0 {
+            return 1.0;
+        }
+        self.steps_base as f64 / self.steps_rolag as f64
+    }
+}
+
+fn footprint(m: &Module) -> u64 {
+    measure_module(m).code_footprint()
+}
+
+fn dynamic_steps(m: &Module, entry: &str) -> u64 {
+    let mut i = Interpreter::new(m).with_max_steps(10_000_000);
+    match i.run(entry, &[]) {
+        Ok(out) => out.steps,
+        Err(_) => 0,
+    }
+}
+
+/// Evaluates one kernel (optionally flattening RoLAG's nested loops, the
+/// §V-C improvement).
+pub fn evaluate_kernel_with(
+    spec: &KernelSpec,
+    opts: &RolagOptions,
+    with_perf: bool,
+    flatten: bool,
+) -> TsvcRow {
+    let rolled = build_kernel_module(spec);
+    let oracle = footprint(&rolled);
+
+    let mut base_m = rolled.clone();
+    let outcomes = unroll_module(&mut base_m, UNROLL_FACTOR);
+    // The surrounding -Os pipeline: CSE + fold + DCE, as in the paper's
+    // setup where post-unroll optimizations disturb the unrolled pattern.
+    cse_module(&mut base_m);
+    cleanup_module(&mut base_m);
+    let unrolled = outcomes
+        .iter()
+        .any(|o| matches!(o, rolag_transforms::UnrollOutcome::Unrolled { .. }));
+    let base = footprint(&base_m);
+
+    let mut llvm_m = base_m.clone();
+    let llvm_stats = reroll_module(&mut llvm_m);
+    cleanup_module(&mut llvm_m);
+    let llvm = footprint(&llvm_m);
+
+    let mut rolag_m = base_m.clone();
+    let rolag_stats = roll_module(&mut rolag_m, opts);
+    if flatten {
+        flatten_module(&mut rolag_m);
+    }
+    cleanup_module(&mut rolag_m);
+    let rolag = footprint(&rolag_m);
+
+    let (steps_base, steps_rolag) = if with_perf {
+        (
+            dynamic_steps(&base_m, spec.name),
+            dynamic_steps(&rolag_m, spec.name),
+        )
+    } else {
+        (0, 0)
+    };
+
+    TsvcRow {
+        name: spec.name,
+        multi_block: spec.multi_block,
+        unrolled,
+        base,
+        oracle,
+        llvm,
+        rolag,
+        llvm_rerolled: llvm_stats.rerolled,
+        rolag_rolled: rolag_stats.rolled,
+        nodes: rolag_stats.nodes,
+        steps_base,
+        steps_rolag,
+    }
+}
+
+/// Evaluates one kernel with the paper's configuration (no flattening).
+pub fn evaluate_kernel(spec: &KernelSpec, opts: &RolagOptions, with_perf: bool) -> TsvcRow {
+    evaluate_kernel_with(spec, opts, with_perf, false)
+}
+
+/// Evaluates the whole suite (in parallel across kernels).
+pub fn evaluate_tsvc(opts: &RolagOptions, with_perf: bool) -> Vec<TsvcRow> {
+    crate::parallel::par_map(all_kernels(), |spec| evaluate_kernel(spec, opts, with_perf))
+}
+
+/// Evaluates the whole suite with the loop-flattening post-pass (§V-C's
+/// suggested improvement).
+pub fn evaluate_tsvc_flattened(opts: &RolagOptions, with_perf: bool) -> Vec<TsvcRow> {
+    crate::parallel::par_map(all_kernels(), |spec| {
+        evaluate_kernel_with(spec, opts, with_perf, true)
+    })
+}
+
+/// Suite-level aggregates matching the numbers quoted in §V-C.
+#[derive(Debug, Clone, Copy)]
+pub struct TsvcSummary {
+    /// Kernels in the suite.
+    pub kernels: usize,
+    /// Kernels where LLVM's rerolling applied.
+    pub llvm_applied: usize,
+    /// Kernels where RoLAG profitably rolled at least one loop.
+    pub rolag_applied: usize,
+    /// Mean LLVM reduction % across all kernels.
+    pub llvm_mean: f64,
+    /// Mean RoLAG reduction % across all kernels.
+    pub rolag_mean: f64,
+    /// Mean oracle reduction % across all kernels.
+    pub oracle_mean: f64,
+}
+
+/// Computes suite aggregates.
+pub fn summarize(rows: &[TsvcRow]) -> TsvcSummary {
+    let n = rows.len().max(1) as f64;
+    TsvcSummary {
+        kernels: rows.len(),
+        llvm_applied: rows.iter().filter(|r| r.llvm_rerolled > 0).count(),
+        rolag_applied: rows.iter().filter(|r| r.rolag_rolled > 0).count(),
+        llvm_mean: rows.iter().map(|r| r.llvm_reduction()).sum::<f64>() / n,
+        rolag_mean: rows.iter().map(|r| r.rolag_reduction()).sum::<f64>() / n,
+        oracle_mean: rows.iter().map(|r| r.oracle_reduction()).sum::<f64>() / n,
+    }
+}

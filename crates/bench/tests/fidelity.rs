@@ -1,0 +1,119 @@
+//! Fidelity checks against specific observations in the paper's §V-C:
+//! which kernel families each technique can and cannot handle.
+
+use rolag::RolagOptions;
+use rolag_bench::tsvc_eval::{evaluate_kernel, summarize, TsvcRow};
+use rolag_suites::tsvc::all_kernels;
+
+fn eval(name: &str) -> TsvcRow {
+    let spec = all_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .unwrap_or_else(|| panic!("kernel {name} missing"));
+    evaluate_kernel(&spec, &RolagOptions::default(), false)
+}
+
+/// "LLVM's loop rerolling is only able to handle loops performing simple
+/// array operations, such as array initialization and element-wise
+/// addition, loops with reduction trees, and some loops with indirect
+/// memory access."
+#[test]
+fn baseline_handles_the_simple_families() {
+    for name in ["va", "vpv", "vtv", "s000", "vsumr", "vag", "vas"] {
+        let row = eval(name);
+        assert!(
+            row.llvm_rerolled > 0,
+            "{name}: the baseline should reroll this simple kernel"
+        );
+        assert!(row.rolag_rolled > 0, "{name}: RoLAG should roll it as well");
+        // "LLVM tends to have a slightly better result as it reuses the
+        // same loop for rerolling while RoLAG currently creates a new
+        // inner loop."
+        assert!(
+            row.llvm <= row.rolag,
+            "{name}: baseline {} should be <= RoLAG {}",
+            row.llvm,
+            row.rolag
+        );
+    }
+}
+
+/// Multi-statement bodies defeat the baseline but not RoLAG.
+#[test]
+fn multi_statement_bodies_are_rolag_only() {
+    let mut rolag_only = 0;
+    for name in ["s1244", "s451", "s2233", "s3251", "s1213"] {
+        let row = eval(name);
+        assert_eq!(
+            row.llvm_rerolled, 0,
+            "{name}: the baseline cannot handle multi-store bodies"
+        );
+        if row.rolag_rolled > 0 {
+            rolag_only += 1;
+        }
+    }
+    assert!(
+        rolag_only >= 3,
+        "RoLAG should profitably roll most multi-statement kernels"
+    );
+}
+
+/// "The most prominent of them are the 26 loops with multiple basic
+/// blocks" — conditional kernels defeat both techniques (Fig. 20a).
+#[test]
+fn conditional_kernels_defeat_both() {
+    for name in ["s271", "s3113", "s161", "vif", "s441"] {
+        let row = eval(name);
+        assert!(row.multi_block, "{name} is a multi-block kernel");
+        assert_eq!(row.llvm_rerolled, 0, "{name}: baseline cannot apply");
+        assert_eq!(row.rolag_rolled, 0, "{name}: RoLAG cannot apply either");
+        assert_eq!(
+            row.base, row.oracle,
+            "{name}: the unroller skipped it, so input == oracle"
+        );
+    }
+}
+
+/// Min/max reductions (Fig. 20b) are unsupported by the *paper's* RoLAG
+/// configuration but roll with the future-work extension.
+#[test]
+fn minmax_requires_the_extension() {
+    let spec = all_kernels()
+        .into_iter()
+        .find(|k| k.name == "s314")
+        .unwrap();
+    let default_row = evaluate_kernel(&spec, &RolagOptions::default(), false);
+    assert_eq!(default_row.rolag_rolled, 0, "paper config cannot roll s314");
+    let ext_row = evaluate_kernel(&spec, &RolagOptions::with_extensions(), false);
+    assert!(
+        ext_row.rolag_rolled > 0,
+        "the select-chain extension rolls s314"
+    );
+}
+
+/// Headline shape of Fig. 17 in one assertion set.
+#[test]
+fn fig17_headline_shape_holds() {
+    let rows: Vec<TsvcRow> = all_kernels()
+        .iter()
+        .map(|s| evaluate_kernel(s, &RolagOptions::default(), false))
+        .collect();
+    let summary = summarize(&rows);
+    assert_eq!(summary.kernels, 151);
+    assert!(
+        summary.rolag_applied > summary.llvm_applied,
+        "RoLAG applies to more kernels ({} vs {})",
+        summary.rolag_applied,
+        summary.llvm_applied
+    );
+    assert!(
+        summary.rolag_mean > summary.llvm_mean,
+        "RoLAG's mean reduction is higher"
+    );
+    assert!(
+        summary.oracle_mean > summary.rolag_mean,
+        "the oracle keeps headroom over RoLAG"
+    );
+    // Within the paper's ballpark: RoLAG applies to 70..95 of 151.
+    assert!((70..=95).contains(&summary.rolag_applied));
+}

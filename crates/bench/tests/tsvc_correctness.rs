@@ -1,0 +1,85 @@
+//! The project's strongest end-to-end guarantee: for every TSVC kernel,
+//! every stage of the evaluation pipeline (unroll ×8, CSE, cleanup, LLVM
+//! rerolling, RoLAG) preserves observable behaviour — same return value,
+//! same external-call trace, same final global memory — and every
+//! intermediate module passes the verifier.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::verify::verify_module;
+use rolag_reroll::reroll_module;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+#[test]
+fn every_kernel_pipeline_stage_is_behaviour_preserving() {
+    let mut failures: Vec<String> = Vec::new();
+    for spec in all_kernels() {
+        let rolled = build_kernel_module(&spec);
+
+        let mut base = rolled.clone();
+        unroll_module(&mut base, 8);
+        cse_module(&mut base);
+        cleanup_module(&mut base);
+        if let Err(e) = verify_module(&base) {
+            failures.push(format!("{}: unrolled does not verify: {e:?}", spec.name));
+            continue;
+        }
+        if let Err(msg) = check_equivalence(&rolled, &base, spec.name, &[]) {
+            failures.push(format!(
+                "{}: unroll+cse changed behaviour: {msg}",
+                spec.name
+            ));
+            continue;
+        }
+
+        let mut llvm = base.clone();
+        reroll_module(&mut llvm);
+        cleanup_module(&mut llvm);
+        if let Err(e) = verify_module(&llvm) {
+            failures.push(format!("{}: rerolled does not verify: {e:?}", spec.name));
+            continue;
+        }
+        if let Err(msg) = check_equivalence(&base, &llvm, spec.name, &[]) {
+            failures.push(format!("{}: rerolling changed behaviour: {msg}", spec.name));
+            continue;
+        }
+
+        let mut rolag_m = base.clone();
+        roll_module(&mut rolag_m, &RolagOptions::default());
+        cleanup_module(&mut rolag_m);
+        if let Err(e) = verify_module(&rolag_m) {
+            failures.push(format!("{}: rolled does not verify: {e:?}", spec.name));
+            continue;
+        }
+        if let Err(msg) = check_equivalence(&base, &rolag_m, spec.name, &[]) {
+            failures.push(format!("{}: RoLAG changed behaviour: {msg}", spec.name));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} kernels failed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn ablation_options_also_preserve_behaviour() {
+    // The no-special-nodes configuration must be just as sound.
+    let opts = RolagOptions::no_special_nodes();
+    let mut failures: Vec<String> = Vec::new();
+    for spec in all_kernels().into_iter().take(40) {
+        let rolled = build_kernel_module(&spec);
+        let mut base = rolled.clone();
+        unroll_module(&mut base, 8);
+        cse_module(&mut base);
+        cleanup_module(&mut base);
+        let mut m = base.clone();
+        roll_module(&mut m, &opts);
+        if let Err(msg) = check_equivalence(&base, &m, spec.name, &[]) {
+            failures.push(format!("{}: {msg}", spec.name));
+        }
+    }
+    assert!(failures.is_empty(), "{failures:?}");
+}

@@ -1,0 +1,238 @@
+//! Dead code elimination.
+//!
+//! Removes live-range-dead instructions (no uses, no side effects) and
+//! unreachable blocks. Used as a cleanup after loop rolling and constant
+//! folding.
+
+use std::collections::HashSet;
+
+use crate::block::BlockId;
+use crate::function::{Effects, Function};
+use crate::inst::{InstExtra, Opcode};
+use crate::module::Module;
+use crate::value::FuncId;
+
+/// Whether an instruction must be kept even when its result is unused.
+fn is_root(
+    func: &Function,
+    inst: crate::inst::InstId,
+    callee_effects: &dyn Fn(FuncId) -> Effects,
+) -> bool {
+    let data = func.inst(inst);
+    match data.opcode {
+        Opcode::Store | Opcode::Ret | Opcode::Br | Opcode::CondBr | Opcode::Unreachable => true,
+        Opcode::Call => match &data.extra {
+            InstExtra::Call { callee } => callee_effects(*callee) != Effects::ReadNone,
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+/// Removes dead instructions from one function, resolving call effects
+/// through `callee_effects`. Returns how many were removed.
+pub fn run_dce_with(
+    func: &mut Function,
+    void_ty: crate::types::TypeId,
+    callee_effects: &dyn Fn(FuncId) -> Effects,
+) -> usize {
+    let mut removed_total = 0;
+    loop {
+        let uses = func.compute_uses();
+        let dead: Vec<_> = func
+            .live_insts()
+            .filter(|&i| !is_root(func, i, callee_effects) && uses.count(func.inst_result(i)) == 0)
+            .collect();
+        if dead.is_empty() {
+            break;
+        }
+        for i in &dead {
+            func.remove_inst(*i);
+        }
+        removed_total += dead.len();
+    }
+    removed_total + remove_unreachable_blocks(func, void_ty)
+}
+
+/// Removes dead instructions from one function. Returns how many were
+/// removed.
+pub fn run_dce_on(module: &Module, func: &mut Function) -> usize {
+    run_dce_with(func, module.types.void(), &|callee| {
+        module.func(callee).effects
+    })
+}
+
+/// Removes blocks unreachable from the entry (sealing their ids with
+/// `unreachable`). Returns how many instructions were dropped.
+pub fn remove_unreachable_blocks(func: &mut Function, void_ty: crate::types::TypeId) -> usize {
+    if func.num_blocks() == 0 {
+        return 0;
+    }
+    let mut reachable: HashSet<BlockId> = HashSet::new();
+    let mut work = vec![func.entry_block()];
+    while let Some(b) = work.pop() {
+        if !reachable.insert(b) {
+            continue;
+        }
+        for s in func.successors(b) {
+            work.push(s);
+        }
+    }
+    let mut dropped = 0;
+    let unreachable: Vec<BlockId> = func
+        .block_ids()
+        .filter(|b| !reachable.contains(b))
+        .collect();
+    for b in unreachable {
+        let insts: Vec<_> = func.block(b).insts.clone();
+        for i in insts {
+            func.remove_inst(i);
+            dropped += 1;
+        }
+        // Keep the block well formed: it still exists (ids are stable) but
+        // is sealed off with `unreachable`, contributing no code or edges.
+        let (seal, _) = func.create_inst(crate::inst::InstData {
+            opcode: Opcode::Unreachable,
+            ty: void_ty,
+            operands: Vec::new(),
+            block: b,
+            extra: InstExtra::None,
+        });
+        func.append_inst(b, seal);
+        // Remove phi incomings that referenced the dead block.
+        let live_blocks: Vec<BlockId> = func.block_ids().collect();
+        for live_b in live_blocks {
+            let phis: Vec<_> = func.block(live_b).insts.clone();
+            for i in phis {
+                let data = func.inst_mut(i);
+                if data.opcode != Opcode::Phi {
+                    continue;
+                }
+                if let InstExtra::Phi { incoming } = &mut data.extra {
+                    let mut keep_ops = Vec::new();
+                    let mut keep_in = Vec::new();
+                    for (k, &inb) in incoming.iter().enumerate() {
+                        if inb != b {
+                            keep_in.push(inb);
+                            keep_ops.push(data.operands[k]);
+                        }
+                    }
+                    *incoming = keep_in;
+                    data.operands = keep_ops;
+                }
+            }
+        }
+    }
+    dropped
+}
+
+/// Runs DCE over every definition in the module. Returns the number of
+/// instructions removed.
+pub fn run_dce(module: &mut Module) -> usize {
+    let ids: Vec<FuncId> = module.func_ids().collect();
+    let mut removed = 0;
+    for id in ids {
+        if module.func(id).is_declaration {
+            continue;
+        }
+        // Clone-free split: take the function out, run against the module,
+        // and put it back.
+        let mut func = module.func(id).clone();
+        removed += run_dce_on(module, &mut func);
+        module.replace_func(id, func);
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+
+    #[test]
+    fn removes_unused_pure_instructions() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], i32t);
+        let a = fb.param(0);
+        fb.block("entry");
+        fb.ins(|b| {
+            let one = b.i32_const(1);
+            let _dead = b.add(a, one);
+            let _dead2 = b.mul(a, a);
+            b.ret(Some(a));
+        });
+        let id = fb.finish();
+        let removed = run_dce(&mut m);
+        assert_eq!(removed, 2);
+        assert_eq!(m.func(id).num_live_insts(), 1);
+    }
+
+    #[test]
+    fn keeps_stores_and_effectful_calls() {
+        let mut m = Module::new("t");
+        let ptr = m.types.ptr();
+        let void = m.types.void();
+        m.declare_func("effect", vec![], void, Effects::ReadWrite);
+        m.declare_func("pure", vec![], m.types.i32(), Effects::ReadNone);
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![ptr], void);
+        let p = fb.param(0);
+        fb.block("entry");
+        let (eff, eff_ty) = fb.callee("effect");
+        let (pure_fn, pure_ty) = fb.callee("pure");
+        fb.ins(|b| {
+            let x = b.i32_const(3);
+            b.store(x, p);
+            b.call(eff, eff_ty, &[]);
+            b.call(pure_fn, pure_ty, &[]); // dead: readnone, unused
+            b.ret(None);
+        });
+        let id = fb.finish();
+        let removed = run_dce(&mut m);
+        assert_eq!(removed, 1);
+        assert_eq!(m.func(id).num_live_insts(), 3);
+    }
+
+    #[test]
+    fn chains_of_dead_code_collapse() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], i32t);
+        let a = fb.param(0);
+        fb.block("entry");
+        fb.ins(|b| {
+            let x = b.add(a, a);
+            let y = b.mul(x, x);
+            let _z = b.sub(y, a);
+            b.ret(Some(a));
+        });
+        let id = fb.finish();
+        run_dce(&mut m);
+        assert_eq!(m.func(id).num_live_insts(), 1);
+    }
+
+    #[test]
+    fn drops_unreachable_blocks_and_patches_phis() {
+        let text = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  br join
+dead:
+  %1 = add i32 %p0, i32 5
+  br join
+join:
+  %2 = phi i32 [ %p0, entry ], [ %1, dead ]
+  ret %2
+}
+"#;
+        let mut m = crate::parser::parse_module(text).unwrap();
+        run_dce(&mut m);
+        let f = m.func(m.func_by_name("f").unwrap());
+        // dead block emptied; phi has one incoming now.
+        let join = f.block_by_name("join").unwrap();
+        let phi = f.block(join).insts[0];
+        assert_eq!(f.inst(phi).operands.len(), 1);
+        assert!(crate::verify::verify_module(&m).is_ok());
+    }
+}

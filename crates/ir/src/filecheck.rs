@@ -1,0 +1,241 @@
+//! A miniature FileCheck-style matcher for golden tests over printed IR.
+//!
+//! Directives (one per line of the check script):
+//!
+//! * `CHECK: <substr>` — some line at or after the current position
+//!   contains `<substr>`;
+//! * `CHECK-NEXT: <substr>` — the immediately following line contains it;
+//! * `CHECK-NOT: <substr>` — no line between the previous match and the
+//!   next positive match (or the end) contains it;
+//! * `CHECK-COUNT-<n>: <substr>` — exactly `n` lines of the *whole input*
+//!   contain it (position does not advance).
+//!
+//! Matching is substring-based after whitespace normalization (runs of
+//! spaces collapse), which keeps checks robust against formatting drift.
+
+/// Outcome of a check run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A `CHECK`/`CHECK-NEXT` directive found no matching line.
+    NotFound {
+        /// The directive text.
+        directive: String,
+        /// 0-based index of the line where the search started.
+        from_line: usize,
+    },
+    /// A `CHECK-NOT` pattern appeared in the forbidden region.
+    Forbidden {
+        /// The directive text.
+        directive: String,
+        /// The offending input line.
+        line: String,
+    },
+    /// A `CHECK-COUNT-n` directive counted a different number.
+    WrongCount {
+        /// The directive text.
+        directive: String,
+        /// Expected occurrences.
+        expected: usize,
+        /// Found occurrences.
+        found: usize,
+    },
+    /// A malformed directive in the script.
+    BadDirective(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NotFound {
+                directive,
+                from_line,
+            } => write!(f, "no match for {directive:?} after line {from_line}"),
+            CheckError::Forbidden { directive, line } => {
+                write!(f, "{directive:?} matched forbidden line {line:?}")
+            }
+            CheckError::WrongCount {
+                directive,
+                expected,
+                found,
+            } => write!(f, "{directive:?}: expected {expected}, found {found}"),
+            CheckError::BadDirective(d) => write!(f, "bad directive {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Runs `script` against `input`.
+///
+/// # Errors
+///
+/// Returns the first failed directive.
+pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
+    let lines: Vec<String> = input.lines().map(normalize).collect();
+    let mut pos = 0usize; // next line index eligible for matching
+    let mut pending_nots: Vec<String> = Vec::new();
+
+    let check_nots =
+        |nots: &[String], lines: &[String], lo: usize, hi: usize| -> Result<(), CheckError> {
+            for not in nots {
+                for line in &lines[lo..hi.min(lines.len())] {
+                    if line.contains(not.as_str()) {
+                        return Err(CheckError::Forbidden {
+                            directive: format!("CHECK-NOT: {not}"),
+                            line: line.clone(),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    for raw in script.lines() {
+        let directive = raw.trim();
+        if directive.is_empty() || directive.starts_with("//") {
+            continue;
+        }
+        if let Some(pat) = directive.strip_prefix("CHECK-NEXT:") {
+            let pat = normalize(pat);
+            check_nots(&pending_nots, &lines, pos, pos)?;
+            pending_nots.clear();
+            if pos >= lines.len() || !lines[pos].contains(pat.as_str()) {
+                return Err(CheckError::NotFound {
+                    directive: directive.to_string(),
+                    from_line: pos,
+                });
+            }
+            pos += 1;
+        } else if let Some(pat) = directive.strip_prefix("CHECK-NOT:") {
+            pending_nots.push(normalize(pat));
+        } else if let Some(rest) = directive.strip_prefix("CHECK-COUNT-") {
+            let (n, pat) = rest
+                .split_once(':')
+                .ok_or_else(|| CheckError::BadDirective(directive.to_string()))?;
+            let expected: usize = n
+                .trim()
+                .parse()
+                .map_err(|_| CheckError::BadDirective(directive.to_string()))?;
+            let pat = normalize(pat);
+            let found = lines.iter().filter(|l| l.contains(pat.as_str())).count();
+            if found != expected {
+                return Err(CheckError::WrongCount {
+                    directive: directive.to_string(),
+                    expected,
+                    found,
+                });
+            }
+        } else if let Some(pat) = directive.strip_prefix("CHECK:") {
+            let pat = normalize(pat);
+            let hit = lines[pos..]
+                .iter()
+                .position(|l| l.contains(pat.as_str()))
+                .map(|k| pos + k);
+            match hit {
+                Some(k) => {
+                    check_nots(&pending_nots, &lines, pos, k)?;
+                    pending_nots.clear();
+                    pos = k + 1;
+                }
+                None => {
+                    return Err(CheckError::NotFound {
+                        directive: directive.to_string(),
+                        from_line: pos,
+                    })
+                }
+            }
+        } else {
+            return Err(CheckError::BadDirective(directive.to_string()));
+        }
+    }
+    check_nots(&pending_nots, &lines, pos, lines.len())?;
+    Ok(())
+}
+
+/// Panicking wrapper for use in tests: prints the full input on failure.
+///
+/// # Panics
+///
+/// Panics with a diagnostic when any directive fails.
+pub fn assert_filecheck(input: &str, script: &str) {
+    if let Err(e) = filecheck(input, script) {
+        panic!("FileCheck failed: {e}\n--- input ---\n{input}\n--- script ---\n{script}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const INPUT: &str = "\
+func @f() {
+entry:
+  %1 = add i32 %p0, i32 1
+  %2 = mul i32 %1, %1
+  ret %2
+}
+";
+
+    #[test]
+    fn check_matches_in_order() {
+        filecheck(INPUT, "CHECK: func @f\nCHECK: add i32\nCHECK: ret %2").unwrap();
+        // Out of order fails.
+        assert!(matches!(
+            filecheck(INPUT, "CHECK: ret %2\nCHECK: add i32"),
+            Err(CheckError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn check_next_requires_adjacency() {
+        filecheck(INPUT, "CHECK: add i32\nCHECK-NEXT: mul i32").unwrap();
+        assert!(matches!(
+            filecheck(INPUT, "CHECK: entry:\nCHECK-NEXT: mul i32"),
+            Err(CheckError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn check_not_scans_the_gap() {
+        filecheck(INPUT, "CHECK: entry:\nCHECK-NOT: sub\nCHECK: ret").unwrap();
+        assert!(matches!(
+            filecheck(INPUT, "CHECK: entry:\nCHECK-NOT: mul\nCHECK: ret"),
+            Err(CheckError::Forbidden { .. })
+        ));
+        // A trailing CHECK-NOT scans to the end.
+        assert!(matches!(
+            filecheck(INPUT, "CHECK: entry:\nCHECK-NOT: ret"),
+            Err(CheckError::Forbidden { .. })
+        ));
+    }
+
+    #[test]
+    fn check_count_counts() {
+        filecheck(INPUT, "CHECK-COUNT-2: i32").unwrap_or_else(|e| panic!("{e}"));
+        assert!(matches!(
+            filecheck(INPUT, "CHECK-COUNT-3: add"),
+            Err(CheckError::WrongCount { found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn whitespace_is_normalized() {
+        filecheck(INPUT, "CHECK: %1   =   add").unwrap();
+    }
+
+    #[test]
+    fn bad_directives_error() {
+        assert!(matches!(
+            filecheck(INPUT, "CHEK: add"),
+            Err(CheckError::BadDirective(_))
+        ));
+        assert!(matches!(
+            filecheck(INPUT, "CHECK-COUNT-x: add"),
+            Err(CheckError::BadDirective(_))
+        ));
+    }
+}

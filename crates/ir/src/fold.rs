@@ -1,0 +1,351 @@
+//! Constant folding and algebraic simplification.
+//!
+//! [`simplify_function`] repeatedly rewrites instructions whose result is
+//! statically known (constant operands, algebraic identities) until a fixed
+//! point, replacing their uses and leaving the dead originals for
+//! [`crate::dce`] to sweep.
+
+use crate::function::Function;
+use crate::inst::{InstId, IntPredicate, Opcode};
+use crate::types::{TypeId, TypeStore};
+use crate::value::{ValueDef, ValueId};
+
+/// Result of trying to simplify one instruction.
+enum Simplified {
+    /// Replace the result with this existing or newly interned value.
+    Value(ValueId),
+    /// No simplification found.
+    None,
+}
+
+/// Truncates `v` to the bit width of `ty`, then sign-extends back to `i64`.
+pub fn normalize_int(types: &TypeStore, ty: TypeId, v: i64) -> i64 {
+    let width = types.int_width(ty).unwrap_or(64);
+    if width >= 64 {
+        return v;
+    }
+    let shift = 64 - width as u32;
+    (v << shift) >> shift
+}
+
+/// Interprets `v` as the unsigned value of the given width.
+pub fn as_unsigned(types: &TypeStore, ty: TypeId, v: i64) -> u64 {
+    let width = types.int_width(ty).unwrap_or(64);
+    if width >= 64 {
+        return v as u64;
+    }
+    (v as u64) & ((1u64 << width) - 1)
+}
+
+/// Evaluates an integer binop on constant inputs. Returns `None` for
+/// division by zero (left to trap at run time) and non-integer ops.
+pub fn eval_int_binop(
+    types: &TypeStore,
+    opcode: Opcode,
+    ty: TypeId,
+    a: i64,
+    b: i64,
+) -> Option<i64> {
+    // Constants are not guaranteed to arrive canonicalized to the type
+    // width, and truncation does not commute with division, remainder, or
+    // shifts — normalize both views first.
+    let sa = normalize_int(types, ty, a);
+    let sb = normalize_int(types, ty, b);
+    let ua = as_unsigned(types, ty, a);
+    let ub = as_unsigned(types, ty, b);
+    let width = types.int_width(ty)? as u32;
+    let shift_amt = (ub % width as u64) as u32;
+    let raw = match opcode {
+        Opcode::Add => a.wrapping_add(b),
+        Opcode::Sub => a.wrapping_sub(b),
+        Opcode::Mul => a.wrapping_mul(b),
+        Opcode::SDiv => {
+            if sb == 0 || (sa == i64::MIN && sb == -1) {
+                return None;
+            }
+            sa.wrapping_div(sb)
+        }
+        Opcode::UDiv => {
+            if ub == 0 {
+                return None;
+            }
+            (ua / ub) as i64
+        }
+        Opcode::SRem => {
+            if sb == 0 {
+                return None;
+            }
+            sa.wrapping_rem(sb)
+        }
+        Opcode::URem => {
+            if ub == 0 {
+                return None;
+            }
+            (ua % ub) as i64
+        }
+        Opcode::And => a & b,
+        Opcode::Or => a | b,
+        Opcode::Xor => a ^ b,
+        Opcode::Shl => sa.wrapping_shl(shift_amt),
+        Opcode::LShr => (ua.wrapping_shr(shift_amt)) as i64,
+        Opcode::AShr => sa.wrapping_shr(shift_amt),
+        _ => return None,
+    };
+    Some(normalize_int(types, ty, raw))
+}
+
+/// Evaluates a float binop on constant inputs.
+pub fn eval_float_binop(opcode: Opcode, a: f64, b: f64) -> Option<f64> {
+    Some(match opcode {
+        Opcode::FAdd => a + b,
+        Opcode::FSub => a - b,
+        Opcode::FMul => a * b,
+        Opcode::FDiv => a / b,
+        _ => return None,
+    })
+}
+
+/// Evaluates an integer comparison on constant inputs.
+pub fn eval_icmp(types: &TypeStore, pred: IntPredicate, ty: TypeId, a: i64, b: i64) -> bool {
+    let sa = normalize_int(types, ty, a);
+    let sb = normalize_int(types, ty, b);
+    let ua = as_unsigned(types, ty, a);
+    let ub = as_unsigned(types, ty, b);
+    match pred {
+        IntPredicate::Eq => sa == sb,
+        IntPredicate::Ne => sa != sb,
+        IntPredicate::Slt => sa < sb,
+        IntPredicate::Sle => sa <= sb,
+        IntPredicate::Sgt => sa > sb,
+        IntPredicate::Sge => sa >= sb,
+        IntPredicate::Ult => ua < ub,
+        IntPredicate::Ule => ua <= ub,
+        IntPredicate::Ugt => ua > ub,
+        IntPredicate::Uge => ua >= ub,
+    }
+}
+
+fn const_int_of(func: &Function, v: ValueId) -> Option<i64> {
+    func.value(v).as_const_int()
+}
+
+fn try_simplify(func: &mut Function, types: &mut TypeStore, inst: InstId) -> Simplified {
+    let data = func.inst(inst).clone();
+    let ty = data.ty;
+    match data.opcode {
+        op if op.is_int_binop() => {
+            let a = data.operands[0];
+            let b = data.operands[1];
+            let ca = const_int_of(func, a);
+            let cb = const_int_of(func, b);
+            if let (Some(x), Some(y)) = (ca, cb) {
+                if let Some(r) = eval_int_binop(types, op, ty, x, y) {
+                    return Simplified::Value(func.const_int(ty, r));
+                }
+            }
+            // Algebraic identities on the right operand.
+            if let Some(y) = cb {
+                match (op, y) {
+                    (Opcode::Add | Opcode::Sub | Opcode::Or | Opcode::Xor, 0)
+                    | (Opcode::Shl | Opcode::LShr | Opcode::AShr, 0)
+                    | (Opcode::Mul | Opcode::SDiv | Opcode::UDiv, 1) => {
+                        return Simplified::Value(a);
+                    }
+                    (Opcode::Mul | Opcode::And, 0) => {
+                        return Simplified::Value(func.const_int(ty, 0));
+                    }
+                    (Opcode::And, -1) => return Simplified::Value(a),
+                    _ => {}
+                }
+            }
+            // ... and the left operand for commutative ops.
+            if let Some(x) = ca {
+                match (op, x) {
+                    (Opcode::Add | Opcode::Or | Opcode::Xor, 0) => {
+                        return Simplified::Value(b);
+                    }
+                    (Opcode::Mul, 1) => return Simplified::Value(b),
+                    (Opcode::Mul | Opcode::And, 0) => {
+                        return Simplified::Value(func.const_int(ty, 0));
+                    }
+                    _ => {}
+                }
+            }
+            Simplified::None
+        }
+        Opcode::Icmp => {
+            if let (Some(x), Some(y)) = (
+                const_int_of(func, data.operands[0]),
+                const_int_of(func, data.operands[1]),
+            ) {
+                if let crate::inst::InstExtra::Icmp(pred) = data.extra {
+                    let opty = func.value_ty(data.operands[0], types);
+                    let r = eval_icmp(types, pred, opty, x, y);
+                    let i1 = types.i1();
+                    return Simplified::Value(func.const_int(i1, r as i64));
+                }
+            }
+            Simplified::None
+        }
+        Opcode::Select => {
+            if let Some(c) = const_int_of(func, data.operands[0]) {
+                let v = if c != 0 {
+                    data.operands[1]
+                } else {
+                    data.operands[2]
+                };
+                return Simplified::Value(v);
+            }
+            if data.operands[1] == data.operands[2] {
+                return Simplified::Value(data.operands[1]);
+            }
+            Simplified::None
+        }
+        Opcode::ZExt | Opcode::SExt | Opcode::Trunc => {
+            if let Some(x) = const_int_of(func, data.operands[0]) {
+                let src_ty = func.value_ty(data.operands[0], types);
+                let val = match data.opcode {
+                    Opcode::ZExt => as_unsigned(types, src_ty, x) as i64,
+                    Opcode::SExt => normalize_int(types, src_ty, x),
+                    Opcode::Trunc => normalize_int(types, ty, x),
+                    _ => unreachable!(),
+                };
+                return Simplified::Value(func.const_int(ty, normalize_int(types, ty, val)));
+            }
+            Simplified::None
+        }
+        op if op.is_float_binop() => {
+            let fa = match func.value(data.operands[0]) {
+                ValueDef::ConstFloat { bits, .. } => Some(f64::from_bits(*bits)),
+                _ => None,
+            };
+            let fb = match func.value(data.operands[1]) {
+                ValueDef::ConstFloat { bits, .. } => Some(f64::from_bits(*bits)),
+                _ => None,
+            };
+            if let (Some(x), Some(y)) = (fa, fb) {
+                if let Some(r) = eval_float_binop(op, x, y) {
+                    return Simplified::Value(func.const_float(ty, r));
+                }
+            }
+            Simplified::None
+        }
+        _ => Simplified::None,
+    }
+}
+
+/// Simplifies `func` to a fixed point. Returns the number of instructions
+/// rewritten. Dead originals remain attached; run [`crate::dce::run_dce`]
+/// afterwards to remove them.
+pub fn simplify_function(func: &mut Function, types: &mut TypeStore) -> usize {
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        let insts: Vec<InstId> = func.live_insts().collect();
+        for inst in insts {
+            if !func.is_live(inst) {
+                continue;
+            }
+            if let Simplified::Value(v) = try_simplify(func, types, inst) {
+                let old = func.inst_result(inst);
+                if old != v {
+                    func.replace_all_uses(old, v);
+                    func.remove_inst(inst);
+                    changed += 1;
+                }
+            }
+        }
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::module::Module;
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![], i32t);
+        fb.block("entry");
+        fb.ins(|b| {
+            let x = b.i32_const(6);
+            let y = b.i32_const(7);
+            let p = b.mul(x, y);
+            b.ret(Some(p));
+        });
+        let id = fb.finish();
+        let (f, types) = m.func_and_types_mut(id);
+        let n = simplify_function(f, types);
+        assert_eq!(n, 1);
+        let ret = f.live_insts().last().unwrap();
+        let v = f.inst(ret).operands[0];
+        assert_eq!(f.value(v).as_const_int(), Some(42));
+    }
+
+    #[test]
+    fn applies_identities() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], i32t);
+        let a = fb.param(0);
+        fb.block("entry");
+        fb.ins(|b| {
+            let zero = b.i32_const(0);
+            let one = b.i32_const(1);
+            let x = b.add(a, zero); // -> a
+            let y = b.mul(x, one); // -> a
+            b.ret(Some(y));
+        });
+        let id = fb.finish();
+        let (f, types) = m.func_and_types_mut(id);
+        simplify_function(f, types);
+        let ret = f.live_insts().last().unwrap();
+        assert_eq!(f.inst(ret).operands[0], a);
+    }
+
+    #[test]
+    fn wrapping_and_width_semantics() {
+        let types = TypeStore::new();
+        let i8t = types.i8();
+        assert_eq!(eval_int_binop(&types, Opcode::Add, i8t, 127, 1), Some(-128));
+        assert_eq!(eval_int_binop(&types, Opcode::LShr, i8t, -1, 1), Some(127));
+        assert_eq!(eval_int_binop(&types, Opcode::SDiv, i8t, 1, 0), None);
+    }
+
+    #[test]
+    fn icmp_signedness() {
+        let types = TypeStore::new();
+        let i8t = types.i8();
+        assert!(eval_icmp(&types, IntPredicate::Slt, i8t, -1, 0));
+        assert!(!eval_icmp(&types, IntPredicate::Ult, i8t, -1, 0));
+        assert!(eval_icmp(&types, IntPredicate::Ugt, i8t, -1, 0));
+    }
+
+    #[test]
+    fn select_folding() {
+        let mut m = Module::new("t");
+        let i32t = m.types.i32();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t, i32t], i32t);
+        let a = fb.param(0);
+        let b2 = fb.param(1);
+        fb.block("entry");
+        fb.ins(|b| {
+            let t = b.iconst(b.types.i1(), 1);
+            let s = b.select(t, a, b2);
+            b.ret(Some(s));
+        });
+        let id = fb.finish();
+        let (f, types) = m.func_and_types_mut(id);
+        simplify_function(f, types);
+        let ret = f.live_insts().last().unwrap();
+        assert_eq!(f.inst(ret).operands[0], a);
+    }
+}

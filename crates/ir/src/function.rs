@@ -1,0 +1,539 @@
+//! Functions: arenas of values, instructions, and blocks.
+
+use std::collections::HashMap;
+
+use crate::block::{BlockData, BlockId};
+use crate::inst::{InstData, InstId, Opcode};
+use crate::types::{TypeId, TypeStore};
+use crate::value::{ConstKey, FuncId, GlobalId, ValueDef, ValueId};
+
+/// Memory-effect annotation, used for call reordering decisions.
+///
+/// Definitions default to [`Effects::ReadWrite`]; declarations carry the
+/// annotation explicitly, like LLVM's `readnone`/`readonly` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Effects {
+    /// Neither reads nor writes memory; a pure function of its arguments.
+    ReadNone,
+    /// May read but not write memory.
+    ReadOnly,
+    /// May read and write memory (the conservative default).
+    #[default]
+    ReadWrite,
+}
+
+impl Effects {
+    /// Printer mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Effects::ReadNone => "readnone",
+            Effects::ReadOnly => "readonly",
+            Effects::ReadWrite => "readwrite",
+        }
+    }
+
+    /// Parses a mnemonic.
+    pub fn from_mnemonic(name: &str) -> Option<Self> {
+        Some(match name {
+            "readnone" => Effects::ReadNone,
+            "readonly" => Effects::ReadOnly,
+            "readwrite" => Effects::ReadWrite,
+            _ => return None,
+        })
+    }
+}
+
+/// A function definition or declaration.
+///
+/// All values, instructions, and blocks of the function live in arenas owned
+/// by the function and are referred to by ids, so cloning a function (for
+/// speculative transformation) is a plain deep copy.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Symbol name, unique within the module.
+    pub name: String,
+    param_tys: Vec<TypeId>,
+    /// Return type.
+    pub ret_ty: TypeId,
+    /// True if this function has no body.
+    pub is_declaration: bool,
+    /// Memory-effect annotation (meaningful mostly for declarations).
+    pub effects: Effects,
+    values: Vec<ValueDef>,
+    insts: Vec<InstData>,
+    inst_results: Vec<ValueId>,
+    live: Vec<bool>,
+    blocks: Vec<BlockData>,
+    params: Vec<ValueId>,
+    const_map: HashMap<ConstKey, ValueId>,
+}
+
+impl Function {
+    /// Creates an empty function *definition* with the given signature.
+    /// Parameters are materialized as values immediately.
+    pub fn new(name: impl Into<String>, param_tys: Vec<TypeId>, ret_ty: TypeId) -> Self {
+        let mut f = Function {
+            name: name.into(),
+            param_tys: param_tys.clone(),
+            ret_ty,
+            is_declaration: false,
+            effects: Effects::ReadWrite,
+            values: Vec::new(),
+            insts: Vec::new(),
+            inst_results: Vec::new(),
+            live: Vec::new(),
+            blocks: Vec::new(),
+            params: Vec::new(),
+            const_map: HashMap::new(),
+        };
+        for (i, &ty) in param_tys.iter().enumerate() {
+            let v = f.push_value(ValueDef::Param {
+                index: i as u32,
+                ty,
+            });
+            f.params.push(v);
+        }
+        f
+    }
+
+    /// Creates a function *declaration* (no body) with the given effects.
+    pub fn declare(
+        name: impl Into<String>,
+        param_tys: Vec<TypeId>,
+        ret_ty: TypeId,
+        effects: Effects,
+    ) -> Self {
+        let mut f = Function::new(name, param_tys, ret_ty);
+        f.is_declaration = true;
+        f.effects = effects;
+        f
+    }
+
+    /// Parameter types.
+    pub fn param_tys(&self) -> &[TypeId] {
+        &self.param_tys
+    }
+
+    /// Parameter values, in order.
+    pub fn params(&self) -> &[ValueId] {
+        &self.params
+    }
+
+    /// The `index`-th parameter value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn param(&self, index: usize) -> ValueId {
+        self.params[index]
+    }
+
+    fn push_value(&mut self, def: ValueDef) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(def);
+        id
+    }
+
+    /// Definition of value `v`.
+    pub fn value(&self, v: ValueId) -> &ValueDef {
+        &self.values[v.index()]
+    }
+
+    /// Number of value slots (including interned constants).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of instruction slots (including dead ones).
+    pub fn num_insts(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Data of instruction `i`.
+    pub fn inst(&self, i: InstId) -> &InstData {
+        &self.insts[i.index()]
+    }
+
+    /// Mutable data of instruction `i`.
+    pub fn inst_mut(&mut self, i: InstId) -> &mut InstData {
+        &mut self.insts[i.index()]
+    }
+
+    /// The SSA value produced by instruction `i`.
+    pub fn inst_result(&self, i: InstId) -> ValueId {
+        self.inst_results[i.index()]
+    }
+
+    /// Whether instruction `i` is still attached to a block.
+    pub fn is_live(&self, i: InstId) -> bool {
+        self.live[i.index()]
+    }
+
+    /// Interns an integer constant.
+    pub fn const_int(&mut self, ty: TypeId, value: i64) -> ValueId {
+        let key = ConstKey::Int(ty, value);
+        if let Some(&v) = self.const_map.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueDef::ConstInt { ty, value });
+        self.const_map.insert(key, v);
+        v
+    }
+
+    /// Interns a floating-point constant (stored as `f64` bits).
+    pub fn const_float(&mut self, ty: TypeId, value: f64) -> ValueId {
+        let bits = value.to_bits();
+        let key = ConstKey::Float(ty, bits);
+        if let Some(&v) = self.const_map.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueDef::ConstFloat { ty, bits });
+        self.const_map.insert(key, v);
+        v
+    }
+
+    /// Interns the address of a module global.
+    pub fn global_addr(&mut self, g: GlobalId) -> ValueId {
+        let key = ConstKey::Global(g);
+        if let Some(&v) = self.const_map.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueDef::GlobalAddr(g));
+        self.const_map.insert(key, v);
+        v
+    }
+
+    /// Interns the address of a module function.
+    pub fn func_addr(&mut self, f: FuncId) -> ValueId {
+        let key = ConstKey::Func(f);
+        if let Some(&v) = self.const_map.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueDef::FuncAddr(f));
+        self.const_map.insert(key, v);
+        v
+    }
+
+    /// Interns an `undef` of the given type.
+    pub fn undef(&mut self, ty: TypeId) -> ValueId {
+        let key = ConstKey::Undef(ty);
+        if let Some(&v) = self.const_map.get(&key) {
+            return v;
+        }
+        let v = self.push_value(ValueDef::Undef(ty));
+        self.const_map.insert(key, v);
+        v
+    }
+
+    /// The type of a value.
+    pub fn value_ty(&self, v: ValueId, types: &TypeStore) -> TypeId {
+        match self.value(v) {
+            ValueDef::Inst(i) => self.inst(*i).ty,
+            ValueDef::Param { ty, .. } => *ty,
+            ValueDef::ConstInt { ty, .. } => *ty,
+            ValueDef::ConstFloat { ty, .. } => *ty,
+            ValueDef::GlobalAddr(_) | ValueDef::FuncAddr(_) => types.ptr(),
+            ValueDef::Undef(ty) => *ty,
+        }
+    }
+
+    /// Appends a new empty block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BlockData::new(name));
+        id
+    }
+
+    /// Block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Data of block `b`.
+    pub fn block(&self, b: BlockId) -> &BlockData {
+        &self.blocks[b.index()]
+    }
+
+    /// Mutable data of block `b`.
+    pub fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        &mut self.blocks[b.index()]
+    }
+
+    /// The entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks (e.g. a declaration).
+    pub fn entry_block(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        BlockId(0)
+    }
+
+    /// Finds a block by label.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Creates a detached instruction and its result value. The caller must
+    /// attach it to a block with [`Function::append_inst`] or
+    /// [`Function::insert_inst`].
+    pub fn create_inst(&mut self, data: InstData) -> (InstId, ValueId) {
+        let id = InstId(self.insts.len() as u32);
+        self.insts.push(data);
+        self.live.push(false);
+        let v = self.push_value(ValueDef::Inst(id));
+        self.inst_results.push(v);
+        (id, v)
+    }
+
+    /// Appends an instruction to the end of `block`.
+    pub fn append_inst(&mut self, block: BlockId, inst: InstId) {
+        self.insts[inst.index()].block = block;
+        self.live[inst.index()] = true;
+        self.blocks[block.index()].insts.push(inst);
+    }
+
+    /// Inserts an instruction at position `pos` inside `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is past the end of the block.
+    pub fn insert_inst(&mut self, block: BlockId, pos: usize, inst: InstId) {
+        self.insts[inst.index()].block = block;
+        self.live[inst.index()] = true;
+        self.blocks[block.index()].insts.insert(pos, inst);
+    }
+
+    /// Detaches an instruction from its block. Its value slot remains but
+    /// must no longer be referenced by live instructions.
+    pub fn remove_inst(&mut self, inst: InstId) {
+        if !self.live[inst.index()] {
+            return;
+        }
+        let block = self.insts[inst.index()].block;
+        let list = &mut self.blocks[block.index()].insts;
+        if let Some(pos) = list.iter().position(|&i| i == inst) {
+            list.remove(pos);
+        }
+        self.live[inst.index()] = false;
+    }
+
+    /// Position of `inst` within its block, or `None` if detached.
+    pub fn position_in_block(&self, inst: InstId) -> Option<usize> {
+        if !self.live[inst.index()] {
+            return None;
+        }
+        let block = self.insts[inst.index()].block;
+        self.blocks[block.index()]
+            .insts
+            .iter()
+            .position(|&i| i == inst)
+    }
+
+    /// Replaces every use of `old` with `new` across all live instructions.
+    pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        for (idx, inst) in self.insts.iter_mut().enumerate() {
+            if !self.live[idx] {
+                continue;
+            }
+            for op in inst.operands.iter_mut() {
+                if *op == old {
+                    *op = new;
+                }
+            }
+        }
+    }
+
+    /// Computes the def-use map: for every value, the list of
+    /// `(user instruction, operand index)` pairs among live instructions.
+    pub fn compute_uses(&self) -> UseMap {
+        let mut uses: Vec<Vec<(InstId, usize)>> = vec![Vec::new(); self.values.len()];
+        for b in self.block_ids() {
+            for &i in &self.block(b).insts {
+                for (op_idx, &op) in self.inst(i).operands.iter().enumerate() {
+                    uses[op.index()].push((i, op_idx));
+                }
+            }
+        }
+        UseMap { uses }
+    }
+
+    /// Iterates over all live instructions in layout order.
+    pub fn live_insts(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.block_ids()
+            .flat_map(move |b| self.block(b).insts.iter().copied())
+    }
+
+    /// The terminator of `block`, if the block is non-empty and ends with one.
+    pub fn terminator(&self, block: BlockId) -> Option<InstId> {
+        let last = self.block(block).last_inst()?;
+        if self.inst(last).opcode.is_terminator() {
+            Some(last)
+        } else {
+            None
+        }
+    }
+
+    /// CFG successors of `block`.
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        match self.terminator(block) {
+            Some(t) => self.inst(t).successors(),
+            None => Vec::new(),
+        }
+    }
+
+    /// CFG predecessor map for all blocks.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Total number of live instructions.
+    pub fn num_live_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// True if `v` is a phi instruction result.
+    pub fn is_phi(&self, v: ValueId) -> bool {
+        match self.value(v) {
+            ValueDef::Inst(i) => self.inst(*i).opcode == Opcode::Phi,
+            _ => false,
+        }
+    }
+}
+
+/// Def-use information computed by [`Function::compute_uses`].
+#[derive(Debug, Clone)]
+pub struct UseMap {
+    uses: Vec<Vec<(InstId, usize)>>,
+}
+
+impl UseMap {
+    /// Users of value `v` as `(instruction, operand index)` pairs.
+    pub fn of(&self, v: ValueId) -> &[(InstId, usize)] {
+        &self.uses[v.index()]
+    }
+
+    /// Number of uses of `v`.
+    pub fn count(&self, v: ValueId) -> usize {
+        self.uses[v.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TypeStore;
+
+    fn sample() -> (TypeStore, Function) {
+        let types = TypeStore::new();
+        let f = Function::new("f", vec![types.i32(), types.i32()], types.i32());
+        (types, f)
+    }
+
+    #[test]
+    fn params_are_materialized() {
+        let (types, f) = sample();
+        assert_eq!(f.params().len(), 2);
+        assert_eq!(f.value_ty(f.param(0), &types), types.i32());
+    }
+
+    #[test]
+    fn constant_interning() {
+        let (types, mut f) = sample();
+        let a = f.const_int(types.i32(), 7);
+        let b = f.const_int(types.i32(), 7);
+        let c = f.const_int(types.i64(), 7);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let x = f.const_float(types.double(), 1.5);
+        let y = f.const_float(types.double(), 1.5);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn inst_lifecycle() {
+        let (types, mut f) = sample();
+        let bb = f.add_block("entry");
+        let a = f.param(0);
+        let b = f.param(1);
+        let (i, v) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![a, b],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        assert!(!f.is_live(i));
+        f.append_inst(bb, i);
+        assert!(f.is_live(i));
+        assert_eq!(f.position_in_block(i), Some(0));
+        assert_eq!(f.inst_result(i), v);
+        assert_eq!(f.value_ty(v, &types), types.i32());
+
+        f.remove_inst(i);
+        assert!(!f.is_live(i));
+        assert_eq!(f.block(bb).insts.len(), 0);
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_operands() {
+        let (types, mut f) = sample();
+        let bb = f.add_block("entry");
+        let a = f.param(0);
+        let b = f.param(1);
+        let (i, v1) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![a, b],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(bb, i);
+        let c = f.const_int(types.i32(), 3);
+        f.replace_all_uses(a, c);
+        assert_eq!(f.inst(i).operands[0], c);
+        assert_eq!(f.inst(i).operands[1], b);
+        let _ = v1;
+    }
+
+    #[test]
+    fn use_map_counts() {
+        let (types, mut f) = sample();
+        let bb = f.add_block("entry");
+        let a = f.param(0);
+        let (i1, v1) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![a, a],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(bb, i1);
+        let (i2, _) = f.create_inst(InstData {
+            opcode: Opcode::Mul,
+            ty: types.i32(),
+            operands: vec![v1, a],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(bb, i2);
+        let uses = f.compute_uses();
+        assert_eq!(uses.count(a), 3);
+        assert_eq!(uses.count(v1), 1);
+        assert_eq!(uses.of(v1)[0].0, i2);
+    }
+}

@@ -1,0 +1,233 @@
+//! Flat byte-addressable memory for the interpreter.
+//!
+//! Addresses are `u64` offsets into a single linear space. Address 0 and the
+//! first [`Memory::NULL_GUARD`] bytes are reserved so null/near-null
+//! dereferences fault.
+
+use crate::types::{TypeId, TypeKind, TypeStore};
+
+use super::{ExecError, IValue};
+
+/// Linear memory with bump allocation.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Reserved low region; accesses below this address fault.
+    pub const NULL_GUARD: u64 = 64;
+
+    /// Creates a memory with just the null guard mapped.
+    pub fn new() -> Self {
+        Memory {
+            bytes: vec![0; Self::NULL_GUARD as usize],
+        }
+    }
+
+    /// Current size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Allocates `size` bytes aligned to `align`, zero-initialized.
+    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+        let align = align.max(1);
+        let base = (self.bytes.len() as u64 + align - 1) & !(align - 1);
+        self.bytes.resize((base + size) as usize, 0);
+        base
+    }
+
+    fn check(&self, addr: u64, size: u64) -> Result<(), ExecError> {
+        if addr < Self::NULL_GUARD {
+            return Err(ExecError::NullAccess { addr });
+        }
+        if addr.checked_add(size).is_none_or(|end| end > self.size()) {
+            return Err(ExecError::OutOfBounds { addr, size });
+        }
+        Ok(())
+    }
+
+    /// Reads `size` raw bytes.
+    pub fn read_bytes(&self, addr: u64, size: u64) -> Result<&[u8], ExecError> {
+        self.check(addr, size)?;
+        Ok(&self.bytes[addr as usize..(addr + size) as usize])
+    }
+
+    /// Writes raw bytes.
+    pub fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), ExecError> {
+        self.check(addr, data.len() as u64)?;
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_uint(&self, addr: u64, size: u64) -> Result<u64, ExecError> {
+        let bytes = self.read_bytes(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    fn write_uint(&mut self, addr: u64, size: u64, value: u64) -> Result<(), ExecError> {
+        let bytes = value.to_le_bytes();
+        self.write_bytes(addr, &bytes[..size as usize])
+    }
+
+    /// Loads a typed value.
+    pub fn load(&self, types: &TypeStore, ty: TypeId, addr: u64) -> Result<IValue, ExecError> {
+        match types.kind(ty) {
+            TypeKind::Int(width) => {
+                let size = types.size_of(ty).min(8);
+                let raw = self.read_uint(addr, size)?;
+                // Sign-extend from the stored width.
+                let w = (*width).min(64) as u32;
+                let val = if w >= 64 {
+                    raw as i64
+                } else {
+                    ((raw << (64 - w)) as i64) >> (64 - w)
+                };
+                Ok(IValue::Int(val))
+            }
+            TypeKind::Float => {
+                let raw = self.read_uint(addr, 4)? as u32;
+                Ok(IValue::Float(f32::from_bits(raw) as f64))
+            }
+            TypeKind::Double => {
+                let raw = self.read_uint(addr, 8)?;
+                Ok(IValue::Float(f64::from_bits(raw)))
+            }
+            TypeKind::Ptr => {
+                let raw = self.read_uint(addr, 8)?;
+                Ok(IValue::Ptr(raw))
+            }
+            other => Err(ExecError::Unsupported(format!(
+                "load of aggregate type {other:?}"
+            ))),
+        }
+    }
+
+    /// Stores a typed value.
+    pub fn store(
+        &mut self,
+        types: &TypeStore,
+        ty: TypeId,
+        addr: u64,
+        value: IValue,
+    ) -> Result<(), ExecError> {
+        match (types.kind(ty), value) {
+            (TypeKind::Int(width), IValue::Int(v)) => {
+                let size = types.size_of(ty).min(8);
+                let w = (*width).min(64) as u32;
+                let masked = if w >= 64 {
+                    v as u64
+                } else {
+                    (v as u64) & ((1u64 << w) - 1)
+                };
+                self.write_uint(addr, size, masked)
+            }
+            (TypeKind::Float, IValue::Float(v)) => {
+                self.write_uint(addr, 4, (v as f32).to_bits() as u64)
+            }
+            (TypeKind::Double, IValue::Float(v)) => self.write_uint(addr, 8, v.to_bits()),
+            (TypeKind::Ptr, IValue::Ptr(p)) => self.write_uint(addr, 8, p),
+            // Tolerate int/ptr punning, as C-derived code does.
+            (TypeKind::Ptr, IValue::Int(v)) => self.write_uint(addr, 8, v as u64),
+            (TypeKind::Int(_), IValue::Ptr(p)) => {
+                let size = types.size_of(ty).min(8);
+                self.write_uint(addr, size, p)
+            }
+            (kind, value) => Err(ExecError::Unsupported(format!(
+                "store of {value:?} to {kind:?}"
+            ))),
+        }
+    }
+
+    /// Hash of the entire memory contents (for equivalence checks).
+    pub fn content_hash(&self) -> u64 {
+        // FNV-1a, deterministic and dependency-free.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in &self.bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut m = Memory::new();
+        m.alloc(3, 1);
+        let a = m.alloc(8, 8);
+        assert_eq!(a % 8, 0);
+        assert!(a >= Memory::NULL_GUARD);
+    }
+
+    #[test]
+    fn null_and_oob_fault() {
+        let m = Memory::new();
+        assert!(matches!(
+            m.read_bytes(0, 1),
+            Err(ExecError::NullAccess { .. })
+        ));
+        assert!(matches!(
+            m.read_bytes(1 << 40, 1),
+            Err(ExecError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let types = TypeStore::new();
+        let mut m = Memory::new();
+        let a = m.alloc(32, 8);
+
+        m.store(&types, types.i32(), a, IValue::Int(-5)).unwrap();
+        assert_eq!(m.load(&types, types.i32(), a).unwrap(), IValue::Int(-5));
+
+        m.store(&types, types.i8(), a + 4, IValue::Int(200))
+            .unwrap();
+        // 200 wraps to -56 as a signed i8.
+        assert_eq!(m.load(&types, types.i8(), a + 4).unwrap(), IValue::Int(-56));
+
+        m.store(&types, types.double(), a + 8, IValue::Float(1.25))
+            .unwrap();
+        assert_eq!(
+            m.load(&types, types.double(), a + 8).unwrap(),
+            IValue::Float(1.25)
+        );
+
+        m.store(&types, types.float(), a + 16, IValue::Float(0.5))
+            .unwrap();
+        assert_eq!(
+            m.load(&types, types.float(), a + 16).unwrap(),
+            IValue::Float(0.5)
+        );
+
+        m.store(&types, types.ptr(), a + 24, IValue::Ptr(0x1234))
+            .unwrap();
+        assert_eq!(
+            m.load(&types, types.ptr(), a + 24).unwrap(),
+            IValue::Ptr(0x1234)
+        );
+    }
+
+    #[test]
+    fn content_hash_changes_with_content() {
+        let mut m = Memory::new();
+        let a = m.alloc(8, 8);
+        let h0 = m.content_hash();
+        m.write_bytes(a, &[1]).unwrap();
+        assert_ne!(h0, m.content_hash());
+    }
+}

@@ -1,0 +1,397 @@
+//! Tokenizer for the textual IR format.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier (keywords, opcodes, labels, type names).
+    Ident(String),
+    /// `%name` local value reference.
+    Local(String),
+    /// `@name` global/function reference.
+    Global(String),
+    /// Integer literal (possibly negative).
+    Int(i64),
+    /// Floating-point literal (contains `.`, `e`, `inf`, or `nan`).
+    Float(f64),
+    /// Double-quoted string.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// End of line (statement separator).
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Local(s) => write!(f, "%{s}"),
+            Token::Global(s) => write!(f, "@{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Eq => write!(f, "="),
+            Token::Arrow => write!(f, "->"),
+            Token::Newline => write!(f, "<newline>"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Lexer error (unexpected character or malformed literal).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == '.'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '.'
+}
+
+/// Tokenizes `input`. Consecutive newlines collapse into one
+/// [`Token::Newline`]; `//` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    let mut line: u32 = 1;
+    let push = |t: Token, line: u32, tokens: &mut Vec<Spanned>| {
+        if t == Token::Newline
+            && matches!(
+                tokens.last(),
+                None | Some(Spanned {
+                    token: Token::Newline,
+                    ..
+                })
+            )
+        {
+            return;
+        }
+        tokens.push(Spanned { token: t, line });
+    };
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                push(Token::Newline, line, &mut tokens);
+                line += 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                } else {
+                    return Err(LexError {
+                        message: "unexpected '/'".into(),
+                        line,
+                    });
+                }
+            }
+            '(' => {
+                chars.next();
+                push(Token::LParen, line, &mut tokens);
+            }
+            ')' => {
+                chars.next();
+                push(Token::RParen, line, &mut tokens);
+            }
+            '{' => {
+                chars.next();
+                push(Token::LBrace, line, &mut tokens);
+            }
+            '}' => {
+                chars.next();
+                push(Token::RBrace, line, &mut tokens);
+            }
+            '[' => {
+                chars.next();
+                push(Token::LBracket, line, &mut tokens);
+            }
+            ']' => {
+                chars.next();
+                push(Token::RBracket, line, &mut tokens);
+            }
+            ',' => {
+                chars.next();
+                push(Token::Comma, line, &mut tokens);
+            }
+            ':' => {
+                chars.next();
+                push(Token::Colon, line, &mut tokens);
+            }
+            '=' => {
+                chars.next();
+                push(Token::Eq, line, &mut tokens);
+            }
+            '-' => {
+                chars.next();
+                if chars.peek() == Some(&'>') {
+                    chars.next();
+                    push(Token::Arrow, line, &mut tokens);
+                } else {
+                    // Negative number.
+                    let num = lex_number(&mut chars, true, line)?;
+                    push(num, line, &mut tokens);
+                }
+            }
+            '%' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_ident_continue(c2) {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(LexError {
+                        message: "empty local name after '%'".into(),
+                        line,
+                    });
+                }
+                push(Token::Local(name), line, &mut tokens);
+            }
+            '@' => {
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_ident_continue(c2) {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(LexError {
+                        message: "empty global name after '@'".into(),
+                        line,
+                    });
+                }
+                push(Token::Global(name), line, &mut tokens);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(LexError {
+                                message: "unterminated string".into(),
+                                line,
+                            })
+                        }
+                        Some(c2) => s.push(c2),
+                    }
+                }
+                push(Token::Str(s), line, &mut tokens);
+            }
+            c if c.is_ascii_digit() => {
+                let num = lex_number(&mut chars, false, line)?;
+                push(num, line, &mut tokens);
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&c2) = chars.peek() {
+                    if is_ident_continue(c2) {
+                        name.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push(Token::Ident(name), line, &mut tokens);
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    tokens.push(Spanned {
+        token: Token::Eof,
+        line,
+    });
+    Ok(tokens)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    negative: bool,
+    line: u32,
+) -> Result<Token, LexError> {
+    let mut text = String::new();
+    if negative {
+        text.push('-');
+    }
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            text.push(c);
+            chars.next();
+        } else if c == '.' || c == 'e' || c == 'E' {
+            is_float = true;
+            text.push(c);
+            chars.next();
+            if (c == 'e' || c == 'E') && (chars.peek() == Some(&'-') || chars.peek() == Some(&'+'))
+            {
+                text.push(chars.next().unwrap());
+            }
+        } else {
+            break;
+        }
+    }
+    if is_float {
+        text.parse::<f64>().map(Token::Float).map_err(|_| LexError {
+            message: format!("bad float literal {text:?}"),
+            line,
+        })
+    } else {
+        text.parse::<i64>().map(Token::Int).map_err(|_| LexError {
+            message: format!("bad int literal {text:?}"),
+            line,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("%5 = add i32 %p0, i32 -1"),
+            vec![
+                Token::Local("5".into()),
+                Token::Eq,
+                Token::Ident("add".into()),
+                Token::Ident("i32".into()),
+                Token::Local("p0".into()),
+                Token::Comma,
+                Token::Ident("i32".into()),
+                Token::Int(-1),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn floats_and_strings() {
+        assert_eq!(
+            toks("double 1.5 \"hi\" 2e3"),
+            vec![
+                Token::Ident("double".into()),
+                Token::Float(1.5),
+                Token::Str("hi".into()),
+                Token::Float(2000.0),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn newlines_collapse_and_comments_skip() {
+        assert_eq!(
+            toks("a // comment\n\n\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_negative() {
+        assert_eq!(
+            toks("-> -42"),
+            vec![Token::Arrow, Token::Int(-42), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(lex("$").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let spanned = lex("a\nb\nc").unwrap();
+        let lines: Vec<u32> = spanned.iter().map(|s| s.line).collect();
+        // a, newline, b, newline, c, eof
+        assert_eq!(lines, vec![1, 1, 2, 2, 3, 3]);
+    }
+}

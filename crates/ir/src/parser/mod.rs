@@ -1,0 +1,849 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! Parsing is done in two passes: the first pass builds lightweight ASTs for
+//! all items (registering every function name up front so calls may refer to
+//! functions defined later in the file); the second pass materializes
+//! instructions and resolves operands.
+
+mod lexer;
+
+pub use lexer::{lex, LexError, Token};
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::block::BlockId;
+use crate::function::{Effects, Function};
+use crate::inst::{FloatPredicate, InstData, InstExtra, IntPredicate, Opcode};
+use crate::module::{GlobalData, GlobalInit, Module};
+use crate::types::TypeId;
+use crate::value::ValueId;
+
+use lexer::Spanned;
+
+/// Error produced when parsing IR text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Parses a complete module from IR text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input or
+/// unresolved references.
+pub fn parse_module(input: &str) -> Result<Module> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.parse_module()
+}
+
+#[derive(Debug, Clone)]
+enum OperandAst {
+    Local(String),
+    CInt(TypeId, i64),
+    CFloat(TypeId, f64),
+    Ref(String),
+    Undef(TypeId),
+}
+
+#[derive(Debug, Clone)]
+struct InstAst {
+    line: u32,
+    result: Option<String>,
+    opcode: Opcode,
+    ty: Option<TypeId>,
+    ipred: Option<IntPredicate>,
+    fpred: Option<FloatPredicate>,
+    elem_ty: Option<TypeId>,
+    callee: Option<String>,
+    labels: Vec<String>,
+    operands: Vec<OperandAst>,
+}
+
+#[derive(Debug, Clone)]
+struct FuncAst {
+    name: String,
+    param_tys: Vec<TypeId>,
+    param_names: Vec<String>,
+    ret_ty: TypeId,
+    is_decl: bool,
+    effects: Effects,
+    blocks: Vec<(String, Vec<InstAst>)>,
+    line: u32,
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<()> {
+        if self.peek() == want {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {want}, found {}", self.peek()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn expect_global(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Global(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected @name, found {other}")),
+        }
+    }
+
+    fn expect_local(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Local(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected %name, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.next();
+                Ok(v)
+            }
+            other => self.err(format!("expected integer, found {other}")),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while matches!(self.peek(), Token::Newline) {
+            self.next();
+        }
+    }
+
+    fn expect_end_of_stmt(&mut self) -> Result<()> {
+        match self.peek() {
+            Token::Newline => {
+                self.next();
+                Ok(())
+            }
+            Token::Eof | Token::RBrace => Ok(()),
+            other => self.err(format!("expected end of line, found {other}")),
+        }
+    }
+
+    fn at_type_start(&self) -> bool {
+        match self.peek() {
+            Token::LBracket | Token::LBrace => true,
+            Token::Ident(s) => {
+                matches!(s.as_str(), "void" | "ptr" | "float" | "double")
+                    || (s.starts_with('i')
+                        && s[1..].chars().all(|c| c.is_ascii_digit())
+                        && s.len() > 1)
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_type(&mut self, module: &mut Module) -> Result<TypeId> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.next();
+                match s.as_str() {
+                    "void" => Ok(module.types.void()),
+                    "ptr" => Ok(module.types.ptr()),
+                    "float" => Ok(module.types.float()),
+                    "double" => Ok(module.types.double()),
+                    _ if s.starts_with('i') => {
+                        let width: u16 = s[1..].parse().map_err(|_| ParseError {
+                            message: format!("bad type name {s}"),
+                            line: self.line(),
+                        })?;
+                        if !(1..=128).contains(&width) {
+                            return self.err(format!("invalid integer width {width}"));
+                        }
+                        Ok(module.types.int(width))
+                    }
+                    _ => self.err(format!("unknown type {s}")),
+                }
+            }
+            Token::LBracket => {
+                self.next();
+                let len = self.expect_int()?;
+                if len < 0 {
+                    return self.err("negative array length");
+                }
+                let x = self.expect_ident()?;
+                if x != "x" {
+                    return self.err(format!("expected 'x' in array type, found {x}"));
+                }
+                let elem = self.parse_type(module)?;
+                self.expect(&Token::RBracket)?;
+                Ok(module.types.array(elem, len as u64))
+            }
+            Token::LBrace => {
+                self.next();
+                let mut fields = Vec::new();
+                loop {
+                    fields.push(self.parse_type(module)?);
+                    if matches!(self.peek(), Token::Comma) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBrace)?;
+                Ok(module.types.struct_(fields))
+            }
+            other => self.err(format!("expected type, found {other}")),
+        }
+    }
+
+    fn parse_operand(&mut self, module: &mut Module) -> Result<OperandAst> {
+        match self.peek().clone() {
+            Token::Local(name) => {
+                self.next();
+                Ok(OperandAst::Local(name))
+            }
+            Token::Global(name) => {
+                self.next();
+                Ok(OperandAst::Ref(name))
+            }
+            _ if self.at_type_start() => {
+                let ty = self.parse_type(module)?;
+                match self.peek().clone() {
+                    Token::Int(v) => {
+                        self.next();
+                        if module.types.is_float(ty) {
+                            Ok(OperandAst::CFloat(ty, v as f64))
+                        } else {
+                            Ok(OperandAst::CInt(ty, v))
+                        }
+                    }
+                    Token::Float(v) => {
+                        self.next();
+                        Ok(OperandAst::CFloat(ty, v))
+                    }
+                    Token::Ident(s) if s == "undef" => {
+                        self.next();
+                        Ok(OperandAst::Undef(ty))
+                    }
+                    other => self.err(format!("expected constant after type, found {other}")),
+                }
+            }
+            other => self.err(format!("expected operand, found {other}")),
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<Module> {
+        self.skip_newlines();
+        self.expect(&Token::Ident("module".into()))?;
+        let name = match self.next() {
+            Token::Str(s) => s,
+            other => return self.err(format!("expected module name string, found {other}")),
+        };
+        let mut module = Module::new(name);
+        self.expect_end_of_stmt()?;
+
+        let mut funcs: Vec<FuncAst> = Vec::new();
+        loop {
+            self.skip_newlines();
+            match self.peek().clone() {
+                Token::Eof => break,
+                Token::Ident(kw) if kw == "global" || kw == "const" => {
+                    self.next();
+                    self.parse_global(&mut module, kw == "const")?;
+                }
+                Token::Ident(kw) if kw == "declare" => {
+                    self.next();
+                    funcs.push(self.parse_func_header(&mut module, true)?);
+                }
+                Token::Ident(kw) if kw == "func" => {
+                    self.next();
+                    let mut ast = self.parse_func_header(&mut module, false)?;
+                    self.parse_func_body(&mut module, &mut ast)?;
+                    funcs.push(ast);
+                }
+                other => return self.err(format!("expected top-level item, found {other}")),
+            }
+        }
+
+        // Register every function name first so calls can refer forwards.
+        let mut ids = Vec::new();
+        for ast in &funcs {
+            let decl = Function::declare(
+                ast.name.clone(),
+                ast.param_tys.clone(),
+                ast.ret_ty,
+                ast.effects,
+            );
+            ids.push(module.add_func(decl));
+        }
+        for (ast, id) in funcs.iter().zip(&ids) {
+            if !ast.is_decl {
+                let func = build_function(&mut module, ast)?;
+                module.replace_func(*id, func);
+            }
+        }
+        Ok(module)
+    }
+
+    fn parse_global(&mut self, module: &mut Module, is_const: bool) -> Result<()> {
+        let name = self.expect_global()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.parse_type(module)?;
+        self.expect(&Token::Eq)?;
+        let kw = self.expect_ident()?;
+        let init = match kw.as_str() {
+            "zero" => GlobalInit::Zero,
+            "ints" => {
+                let elem_ty = self.parse_type(module)?;
+                self.expect(&Token::LBracket)?;
+                let mut values = Vec::new();
+                if !matches!(self.peek(), Token::RBracket) {
+                    loop {
+                        values.push(self.expect_int()?);
+                        if matches!(self.peek(), Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                GlobalInit::Ints { elem_ty, values }
+            }
+            "bytes" => {
+                self.expect(&Token::LBracket)?;
+                let mut values = Vec::new();
+                if !matches!(self.peek(), Token::RBracket) {
+                    loop {
+                        let v = self.expect_int()?;
+                        if !(0..=255).contains(&v) {
+                            return self.err(format!("byte out of range: {v}"));
+                        }
+                        values.push(v as u8);
+                        if matches!(self.peek(), Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+                GlobalInit::Bytes(values)
+            }
+            other => return self.err(format!("unknown global initializer {other}")),
+        };
+        module.add_global(GlobalData {
+            name,
+            ty,
+            init,
+            is_const,
+        });
+        self.expect_end_of_stmt()?;
+        Ok(())
+    }
+
+    fn parse_func_header(&mut self, module: &mut Module, is_decl: bool) -> Result<FuncAst> {
+        let line = self.line();
+        let name = self.expect_global()?;
+        self.expect(&Token::LParen)?;
+        let mut param_tys = Vec::new();
+        let mut param_names = Vec::new();
+        if !matches!(self.peek(), Token::RParen) {
+            loop {
+                let ty = self.parse_type(module)?;
+                let pname = self.expect_local()?;
+                param_tys.push(ty);
+                param_names.push(pname);
+                if matches!(self.peek(), Token::Comma) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Arrow)?;
+        let ret_ty = self.parse_type(module)?;
+        let mut effects = Effects::ReadWrite;
+        if is_decl {
+            if let Token::Ident(s) = self.peek().clone() {
+                if let Some(e) = Effects::from_mnemonic(&s) {
+                    self.next();
+                    effects = e;
+                }
+            }
+            self.expect_end_of_stmt()?;
+        }
+        Ok(FuncAst {
+            name,
+            param_tys,
+            param_names,
+            ret_ty,
+            is_decl,
+            effects,
+            blocks: Vec::new(),
+            line,
+        })
+    }
+
+    fn parse_func_body(&mut self, module: &mut Module, ast: &mut FuncAst) -> Result<()> {
+        self.expect(&Token::LBrace)?;
+        self.skip_newlines();
+        loop {
+            self.skip_newlines();
+            if matches!(self.peek(), Token::RBrace) {
+                self.next();
+                self.expect_end_of_stmt()?;
+                break;
+            }
+            // Block label.
+            let label = self.expect_ident()?;
+            self.expect(&Token::Colon)?;
+            self.expect_end_of_stmt()?;
+            let mut insts = Vec::new();
+            loop {
+                self.skip_newlines();
+                // Lookahead: a label is `ident ':'`; `}` ends the body.
+                if matches!(self.peek(), Token::RBrace) {
+                    break;
+                }
+                if let Token::Ident(_) = self.peek() {
+                    if matches!(self.tokens[self.pos + 1].token, Token::Colon) {
+                        break;
+                    }
+                }
+                insts.push(self.parse_inst(module)?);
+            }
+            ast.blocks.push((label, insts));
+        }
+        Ok(())
+    }
+
+    fn parse_inst(&mut self, module: &mut Module) -> Result<InstAst> {
+        let line = self.line();
+        let mut result = None;
+        if let Token::Local(name) = self.peek().clone() {
+            self.next();
+            self.expect(&Token::Eq)?;
+            result = Some(name);
+        }
+        let mnemonic = self.expect_ident()?;
+        let opcode = Opcode::from_mnemonic(&mnemonic).ok_or_else(|| ParseError {
+            message: format!("unknown opcode {mnemonic}"),
+            line,
+        })?;
+        let mut ast = InstAst {
+            line,
+            result,
+            opcode,
+            ty: None,
+            ipred: None,
+            fpred: None,
+            elem_ty: None,
+            callee: None,
+            labels: Vec::new(),
+            operands: Vec::new(),
+        };
+        match opcode {
+            op if op.is_binop() => {
+                ast.ty = Some(self.parse_type(module)?);
+                ast.operands.push(self.parse_operand(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Icmp => {
+                let p = self.expect_ident()?;
+                ast.ipred = Some(IntPredicate::from_mnemonic(&p).ok_or_else(|| ParseError {
+                    message: format!("unknown icmp predicate {p}"),
+                    line,
+                })?);
+                ast.operands.push(self.parse_operand(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Fcmp => {
+                let p = self.expect_ident()?;
+                ast.fpred = Some(FloatPredicate::from_mnemonic(&p).ok_or_else(|| ParseError {
+                    message: format!("unknown fcmp predicate {p}"),
+                    line,
+                })?);
+                ast.operands.push(self.parse_operand(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Select => {
+                ast.ty = Some(self.parse_type(module)?);
+                for i in 0..3 {
+                    if i > 0 {
+                        self.expect(&Token::Comma)?;
+                    }
+                    ast.operands.push(self.parse_operand(module)?);
+                }
+            }
+            op if op.is_cast() => {
+                ast.ty = Some(self.parse_type(module)?);
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Alloca => {
+                ast.elem_ty = Some(self.parse_type(module)?);
+                if matches!(self.peek(), Token::Comma) {
+                    self.next();
+                    ast.operands.push(self.parse_operand(module)?);
+                }
+            }
+            Opcode::Load => {
+                ast.ty = Some(self.parse_type(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Store => {
+                ast.operands.push(self.parse_operand(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+            }
+            Opcode::Gep => {
+                ast.elem_ty = Some(self.parse_type(module)?);
+                self.expect(&Token::Comma)?;
+                ast.operands.push(self.parse_operand(module)?);
+                while matches!(self.peek(), Token::Comma) {
+                    self.next();
+                    ast.operands.push(self.parse_operand(module)?);
+                }
+            }
+            Opcode::Call => {
+                ast.ty = Some(self.parse_type(module)?);
+                ast.callee = Some(self.expect_global()?);
+                self.expect(&Token::LParen)?;
+                if !matches!(self.peek(), Token::RParen) {
+                    loop {
+                        ast.operands.push(self.parse_operand(module)?);
+                        if matches!(self.peek(), Token::Comma) {
+                            self.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            Opcode::Phi => {
+                ast.ty = Some(self.parse_type(module)?);
+                loop {
+                    self.expect(&Token::LBracket)?;
+                    ast.operands.push(self.parse_operand(module)?);
+                    self.expect(&Token::Comma)?;
+                    ast.labels.push(self.expect_ident()?);
+                    self.expect(&Token::RBracket)?;
+                    if matches!(self.peek(), Token::Comma) {
+                        self.next();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            Opcode::Br => {
+                ast.labels.push(self.expect_ident()?);
+            }
+            Opcode::CondBr => {
+                ast.operands.push(self.parse_operand(module)?);
+                self.expect(&Token::Comma)?;
+                ast.labels.push(self.expect_ident()?);
+                self.expect(&Token::Comma)?;
+                ast.labels.push(self.expect_ident()?);
+            }
+            Opcode::Ret => {
+                if !matches!(self.peek(), Token::Newline | Token::Eof | Token::RBrace) {
+                    ast.operands.push(self.parse_operand(module)?);
+                }
+            }
+            Opcode::Unreachable => {}
+            other => {
+                return self.err(format!("cannot parse opcode {other:?}"));
+            }
+        }
+        self.expect_end_of_stmt()?;
+        Ok(ast)
+    }
+}
+
+fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
+    let mut func = Function::new(ast.name.clone(), ast.param_tys.clone(), ast.ret_ty);
+    let mut locals: HashMap<String, ValueId> = HashMap::new();
+    for (i, pname) in ast.param_names.iter().enumerate() {
+        locals.insert(pname.clone(), func.param(i));
+    }
+    let mut block_map: HashMap<String, BlockId> = HashMap::new();
+    for (label, _) in &ast.blocks {
+        if block_map.contains_key(label) {
+            return Err(ParseError {
+                message: format!("duplicate block label {label}"),
+                line: ast.line,
+            });
+        }
+        let b = func.add_block(label.clone());
+        block_map.insert(label.clone(), b);
+    }
+    let lookup_block = |name: &str, line: u32| -> Result<BlockId> {
+        block_map.get(name).copied().ok_or_else(|| ParseError {
+            message: format!("unknown block label {name}"),
+            line,
+        })
+    };
+
+    // First sweep: create instructions (with empty operand lists) so that
+    // forward value references (e.g. phis) resolve.
+    let mut created: Vec<(crate::inst::InstId, usize)> = Vec::new(); // (inst, ast index)
+    let mut flat_asts: Vec<&InstAst> = Vec::new();
+    for (label, insts) in &ast.blocks {
+        let bb = block_map[label];
+        for inst_ast in insts {
+            let extra = match inst_ast.opcode {
+                Opcode::Icmp => InstExtra::Icmp(inst_ast.ipred.unwrap()),
+                Opcode::Fcmp => InstExtra::Fcmp(inst_ast.fpred.unwrap()),
+                Opcode::Gep => InstExtra::Gep {
+                    elem_ty: inst_ast.elem_ty.unwrap(),
+                },
+                Opcode::Alloca => InstExtra::Alloca {
+                    elem_ty: inst_ast.elem_ty.unwrap(),
+                },
+                Opcode::Call => {
+                    let callee_name = inst_ast.callee.as_ref().unwrap();
+                    let callee = module.func_by_name(callee_name).ok_or_else(|| ParseError {
+                        message: format!("unknown callee @{callee_name}"),
+                        line: inst_ast.line,
+                    })?;
+                    InstExtra::Call { callee }
+                }
+                Opcode::Phi => {
+                    let mut incoming = Vec::new();
+                    for l in &inst_ast.labels {
+                        incoming.push(lookup_block(l, inst_ast.line)?);
+                    }
+                    InstExtra::Phi { incoming }
+                }
+                Opcode::Br => InstExtra::Br {
+                    dest: lookup_block(&inst_ast.labels[0], inst_ast.line)?,
+                },
+                Opcode::CondBr => InstExtra::CondBr {
+                    then_dest: lookup_block(&inst_ast.labels[0], inst_ast.line)?,
+                    else_dest: lookup_block(&inst_ast.labels[1], inst_ast.line)?,
+                },
+                _ => InstExtra::None,
+            };
+            let ty = match inst_ast.opcode {
+                Opcode::Icmp | Opcode::Fcmp => module.types.i1(),
+                Opcode::Gep | Opcode::Alloca => module.types.ptr(),
+                Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret | Opcode::Unreachable => {
+                    module.types.void()
+                }
+                _ => inst_ast.ty.ok_or_else(|| ParseError {
+                    message: "missing result type".into(),
+                    line: inst_ast.line,
+                })?,
+            };
+            let (inst, value) = func.create_inst(InstData {
+                opcode: inst_ast.opcode,
+                ty,
+                operands: Vec::new(),
+                block: bb,
+                extra,
+            });
+            func.append_inst(bb, inst);
+            if let Some(name) = &inst_ast.result {
+                if locals.insert(name.clone(), value).is_some() {
+                    return Err(ParseError {
+                        message: format!("value %{name} defined twice"),
+                        line: inst_ast.line,
+                    });
+                }
+            }
+            created.push((inst, flat_asts.len()));
+            flat_asts.push(inst_ast);
+        }
+    }
+
+    // Second sweep: resolve operands.
+    for (inst, ast_idx) in created {
+        let inst_ast = flat_asts[ast_idx];
+        let mut operands = Vec::with_capacity(inst_ast.operands.len());
+        for op in &inst_ast.operands {
+            let v = match op {
+                OperandAst::Local(name) => *locals.get(name).ok_or_else(|| ParseError {
+                    message: format!("unknown value %{name}"),
+                    line: inst_ast.line,
+                })?,
+                OperandAst::CInt(ty, v) => func.const_int(*ty, *v),
+                OperandAst::CFloat(ty, v) => func.const_float(*ty, *v),
+                OperandAst::Ref(name) => {
+                    if let Some(g) = module.global_by_name(name) {
+                        func.global_addr(g)
+                    } else if let Some(f) = module.func_by_name(name) {
+                        func.func_addr(f)
+                    } else {
+                        return Err(ParseError {
+                            message: format!("unknown reference @{name}"),
+                            line: inst_ast.line,
+                        });
+                    }
+                }
+                OperandAst::Undef(ty) => func.undef(*ty),
+            };
+            operands.push(v);
+        }
+        func.inst_mut(inst).operands = operands;
+    }
+    Ok(func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+module "demo"
+const @tab : [3 x i32] = ints i32 [1, 2, 3]
+declare @ext(ptr %p0) -> void readwrite
+
+func @f(i32 %p0, ptr %p1) -> i32 {
+entry:
+  %2 = add i32 %p0, i32 1
+  %3 = gep i32, %p1, %2
+  store %2, %3
+  call void @ext(%p1)
+  %4 = icmp slt %2, %p0
+  condbr %4, then, exit
+then:
+  br exit
+exit:
+  %5 = phi i32 [ %2, entry ], [ i32 0, then ]
+  ret %5
+}
+"#;
+
+    #[test]
+    fn parse_and_reprint_round_trip() {
+        let m = parse_module(SAMPLE).expect("parse failed");
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).expect("re-parse failed");
+        let printed2 = print_module(&m2);
+        assert_eq!(printed, printed2, "printing must be a fixed point");
+    }
+
+    #[test]
+    fn parse_resolves_globals_and_calls() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert!(m.global_by_name("tab").is_some());
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.num_live_insts(), 9);
+    }
+
+    #[test]
+    fn forward_call_references_work() {
+        let text = r#"
+module "fwd"
+func @a() -> void {
+entry:
+  call void @b()
+  ret
+}
+func @b() -> void {
+entry:
+  ret
+}
+"#;
+        let m = parse_module(text).unwrap();
+        assert_eq!(m.num_funcs(), 2);
+    }
+
+    #[test]
+    fn unknown_value_is_an_error() {
+        let text = "module \"e\"\nfunc @f() -> void {\nentry:\n  ret %nope\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("unknown value"));
+    }
+
+    #[test]
+    fn unknown_opcode_is_an_error() {
+        let text = "module \"e\"\nfunc @f() -> void {\nentry:\n  frobnicate\n}\n";
+        assert!(parse_module(text).is_err());
+    }
+
+    #[test]
+    fn duplicate_definition_is_an_error() {
+        let text = "module \"e\"\nfunc @f(i32 %p0) -> void {\nentry:\n  %1 = add i32 %p0, i32 1\n  %1 = add i32 %p0, i32 2\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn struct_and_float_types_parse() {
+        let text = "module \"t\"\nglobal @s : { i32, [2 x double] } = zero\n";
+        let m = parse_module(text).unwrap();
+        let g = m.global(m.global_by_name("s").unwrap());
+        assert_eq!(m.types.size_of(g.ty), 24);
+    }
+}

@@ -1,0 +1,342 @@
+//! Textual IR printer.
+//!
+//! The format round-trips through the parser in [`crate::parser`]. Example:
+//!
+//! ```text
+//! module "demo"
+//!
+//! global @tab : [3 x i32] = ints i32 [1, 2, 3]
+//! declare @ext(ptr) -> void readwrite
+//!
+//! func @f(i32 %p0, ptr %p1) -> i32 {
+//! entry:
+//!   %2 = add i32 %p0, i32 1
+//!   store %2, %p1
+//!   ret %2
+//! }
+//! ```
+//!
+//! Instruction results are numbered sequentially per function (parameters
+//! first), so printing is stable across parse/print round trips.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::function::Function;
+use crate::inst::{InstExtra, InstId, Opcode};
+use crate::module::{GlobalInit, Module};
+use crate::value::{ValueDef, ValueId};
+
+/// Prints a whole module as parseable IR text.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"{}\"", module.name);
+    for g in module.global_ids() {
+        let data = module.global(g);
+        let kind = if data.is_const { "const" } else { "global" };
+        let init = match &data.init {
+            GlobalInit::Zero => "zero".to_string(),
+            GlobalInit::Ints { elem_ty, values } => {
+                let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                format!(
+                    "ints {} [{}]",
+                    module.types.display(*elem_ty),
+                    vals.join(", ")
+                )
+            }
+            GlobalInit::Bytes(bytes) => {
+                let vals: Vec<String> = bytes.iter().map(|b| b.to_string()).collect();
+                format!("bytes [{}]", vals.join(", "))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{kind} @{} : {} = {init}",
+            data.name,
+            module.types.display(data.ty)
+        );
+    }
+    for f in module.func_ids() {
+        out.push('\n');
+        out.push_str(&print_function(module, module.func(f)));
+    }
+    out
+}
+
+/// Prints one function (or declaration) as parseable IR text.
+pub fn print_function(module: &Module, func: &Function) -> String {
+    let types = &module.types;
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .param_tys()
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| format!("{} %p{}", types.display(ty), i))
+        .collect();
+    if func.is_declaration {
+        let _ = writeln!(
+            out,
+            "declare @{}({}) -> {} {}",
+            func.name,
+            params.join(", "),
+            types.display(func.ret_ty),
+            func.effects.mnemonic()
+        );
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "func @{}({}) -> {} {{",
+        func.name,
+        params.join(", "),
+        types.display(func.ret_ty)
+    );
+
+    // Sequential numbering: parameters take 0..n, instruction results follow.
+    let mut names: HashMap<ValueId, String> = HashMap::new();
+    for (i, &p) in func.params().iter().enumerate() {
+        names.insert(p, format!("%p{i}"));
+    }
+    let mut next = func.params().len();
+    for b in func.block_ids() {
+        for &i in &func.block(b).insts {
+            let ty = func.inst(i).ty;
+            if !matches!(types.kind(ty), crate::types::TypeKind::Void) {
+                names.insert(func.inst_result(i), format!("%{next}"));
+                next += 1;
+            }
+        }
+    }
+
+    for b in func.block_ids() {
+        let _ = writeln!(out, "{}:", func.block(b).name);
+        for &i in &func.block(b).insts {
+            let _ = writeln!(out, "  {}", print_inst(module, func, i, &names));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn operand(
+    module: &Module,
+    func: &Function,
+    v: ValueId,
+    names: &HashMap<ValueId, String>,
+) -> String {
+    match func.value(v) {
+        ValueDef::Inst(_) | ValueDef::Param { .. } => names
+            .get(&v)
+            .cloned()
+            .unwrap_or_else(|| format!("%?{}", v.index())),
+        ValueDef::ConstInt { ty, value } => {
+            format!("{} {}", module.types.display(*ty), value)
+        }
+        ValueDef::ConstFloat { ty, bits } => {
+            let value = f64::from_bits(*bits);
+            // `{:?}` keeps a trailing `.0` so the parser can tell floats
+            // from ints.
+            format!("{} {:?}", module.types.display(*ty), value)
+        }
+        ValueDef::GlobalAddr(g) => format!("@{}", module.global(*g).name),
+        ValueDef::FuncAddr(f) => format!("@{}", module.func(*f).name),
+        ValueDef::Undef(ty) => format!("{} undef", module.types.display(*ty)),
+    }
+}
+
+/// Prints a single instruction (without trailing newline).
+pub fn print_inst(
+    module: &Module,
+    func: &Function,
+    inst: InstId,
+    names: &HashMap<ValueId, String>,
+) -> String {
+    let types = &module.types;
+    let data = func.inst(inst);
+    let op = |v: ValueId| operand(module, func, v, names);
+    let result = names.get(&func.inst_result(inst));
+    let prefix = match result {
+        Some(name) => format!("{name} = "),
+        None => String::new(),
+    };
+    let body = match (&data.opcode, &data.extra) {
+        (Opcode::Icmp, InstExtra::Icmp(p)) => format!(
+            "icmp {} {}, {}",
+            p.mnemonic(),
+            op(data.operands[0]),
+            op(data.operands[1])
+        ),
+        (Opcode::Fcmp, InstExtra::Fcmp(p)) => format!(
+            "fcmp {} {}, {}",
+            p.mnemonic(),
+            op(data.operands[0]),
+            op(data.operands[1])
+        ),
+        (Opcode::Gep, InstExtra::Gep { elem_ty }) => {
+            let idx: Vec<String> = data.operands[1..].iter().map(|&v| op(v)).collect();
+            format!(
+                "gep {}, {}, {}",
+                types.display(*elem_ty),
+                op(data.operands[0]),
+                idx.join(", ")
+            )
+        }
+        (Opcode::Call, InstExtra::Call { callee }) => {
+            let args: Vec<String> = data.operands.iter().map(|&v| op(v)).collect();
+            format!(
+                "call {} @{}({})",
+                types.display(data.ty),
+                module.func(*callee).name,
+                args.join(", ")
+            )
+        }
+        (Opcode::Phi, InstExtra::Phi { incoming }) => {
+            let arms: Vec<String> = data
+                .operands
+                .iter()
+                .zip(incoming)
+                .map(|(&v, &b)| format!("[ {}, {} ]", op(v), func.block(b).name))
+                .collect();
+            format!("phi {} {}", types.display(data.ty), arms.join(", "))
+        }
+        (Opcode::Br, InstExtra::Br { dest }) => {
+            format!("br {}", func.block(*dest).name)
+        }
+        (
+            Opcode::CondBr,
+            InstExtra::CondBr {
+                then_dest,
+                else_dest,
+            },
+        ) => format!(
+            "condbr {}, {}, {}",
+            op(data.operands[0]),
+            func.block(*then_dest).name,
+            func.block(*else_dest).name
+        ),
+        (Opcode::Alloca, InstExtra::Alloca { elem_ty }) => {
+            if data.operands.is_empty() {
+                format!("alloca {}", types.display(*elem_ty))
+            } else {
+                format!(
+                    "alloca {}, {}",
+                    types.display(*elem_ty),
+                    op(data.operands[0])
+                )
+            }
+        }
+        (Opcode::Load, _) => format!("load {}, {}", types.display(data.ty), op(data.operands[0])),
+        (Opcode::Store, _) => format!("store {}, {}", op(data.operands[0]), op(data.operands[1])),
+        (Opcode::Select, _) => format!(
+            "select {} {}, {}, {}",
+            types.display(data.ty),
+            op(data.operands[0]),
+            op(data.operands[1]),
+            op(data.operands[2])
+        ),
+        (Opcode::Ret, _) => {
+            if data.operands.is_empty() {
+                "ret".to_string()
+            } else {
+                format!("ret {}", op(data.operands[0]))
+            }
+        }
+        (Opcode::Unreachable, _) => "unreachable".to_string(),
+        (opcode, _) if opcode.is_cast() => format!(
+            "{} {} {}",
+            opcode.mnemonic(),
+            types.display(data.ty),
+            op(data.operands[0])
+        ),
+        (opcode, _) if opcode.is_binop() => format!(
+            "{} {} {}, {}",
+            opcode.mnemonic(),
+            types.display(data.ty),
+            op(data.operands[0]),
+            op(data.operands[1])
+        ),
+        (opcode, extra) => panic!("cannot print {opcode:?} with extra {extra:?}"),
+    };
+    format!("{prefix}{body}")
+}
+
+/// Convenience: prints a function with fresh numbering (for debugging).
+pub fn dump_function(module: &Module, func: &Function) -> String {
+    print_function(module, func)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::function::Effects;
+    use crate::inst::IntPredicate;
+
+    #[test]
+    fn print_simple_module() {
+        let mut m = Module::new("demo");
+        let i32t = m.types.i32();
+        let ptr = m.types.ptr();
+        let void = m.types.void();
+        m.declare_func("ext", vec![ptr], void, Effects::ReadWrite);
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t, ptr], i32t);
+        let a = fb.param(0);
+        let p = fb.param(1);
+        fb.block("entry");
+        let (ext, ext_ret) = fb.callee("ext");
+        fb.ins(|b| {
+            let one = b.i32_const(1);
+            let s = b.add(a, one);
+            let g = b.gep(b.types.i32(), p, &[s]);
+            b.store(s, g);
+            b.call(ext, ext_ret, &[p]);
+            let c = b.icmp(IntPredicate::Slt, s, a);
+            let sel = b.select(c, s, a);
+            b.ret(Some(sel));
+        });
+        fb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("module \"demo\""));
+        assert!(text.contains("declare @ext(ptr %p0) -> void readwrite"));
+        assert!(text.contains("%2 = add i32 %p0, i32 1"));
+        assert!(text.contains("%3 = gep i32, %p1, %2"));
+        assert!(text.contains("store %2, %3"));
+        assert!(text.contains("call void @ext(%p1)"));
+        assert!(text.contains("%4 = icmp slt %2, %p0"));
+        assert!(text.contains("%5 = select i32 %4, %2, %p0"));
+        assert!(text.contains("ret %5"));
+    }
+
+    #[test]
+    fn print_globals() {
+        let mut m = Module::new("g");
+        let arr = m.types.array(m.types.i32(), 3);
+        m.add_global(crate::module::GlobalData {
+            name: "tab".into(),
+            ty: arr,
+            init: GlobalInit::Ints {
+                elem_ty: m.types.i32(),
+                values: vec![1, 2, 3],
+            },
+            is_const: true,
+        });
+        let text = print_module(&m);
+        assert!(text.contains("const @tab : [3 x i32] = ints i32 [1, 2, 3]"));
+    }
+
+    #[test]
+    fn print_float_constants_distinctly() {
+        let mut m = Module::new("f");
+        let d = m.types.double();
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![], d);
+        fb.block("entry");
+        fb.ins(|b| {
+            let c = b.fconst(b.types.double(), 2.0);
+            let x = b.fadd(c, c);
+            b.ret(Some(x));
+        });
+        fb.finish();
+        let text = print_module(&m);
+        assert!(text.contains("fadd double double 2.0, double 2.0"));
+    }
+}

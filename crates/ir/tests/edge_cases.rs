@@ -1,0 +1,212 @@
+//! Edge-case tests for the IR substrate: parser/printer corners, interpreter
+//! faults and casts, and regressions for bugs found during development.
+
+use rolag_ir::interp::{ExecError, IValue, Interpreter};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+
+fn run(text: &str, entry: &str, args: &[IValue]) -> Result<IValue, ExecError> {
+    let m = parse_module(text).unwrap();
+    let mut i = Interpreter::new(&m);
+    i.run(entry, args).map(|o| o.ret)
+}
+
+#[test]
+fn bytes_globals_round_trip() {
+    let text = "module \"b\"\nglobal @raw : [4 x i8] = bytes [222, 173, 190, 239]\n";
+    let m = parse_module(text).unwrap();
+    let printed = print_module(&m);
+    assert!(printed.contains("bytes [222, 173, 190, 239]"));
+    let m2 = parse_module(&printed).unwrap();
+    assert_eq!(print_module(&m2), printed);
+
+    // The interpreter sees the raw bytes.
+    let text2 = format!(
+        "{text}func @f() -> i32 {{\nentry:\n  %p = gep i8, @raw, i64 1\n  %v = load i8, %p\n  %w = zext i32 %v\n  ret %w\n}}\n"
+    );
+    assert_eq!(run(&text2, "f", &[]), Ok(IValue::Int(173)));
+}
+
+#[test]
+fn undef_operands_round_trip() {
+    let text =
+        "module \"u\"\nfunc @f() -> i32 {\nentry:\n  %1 = add i32 i32 undef, i32 1\n  ret %1\n}\n";
+    let m = parse_module(text).unwrap();
+    let printed = print_module(&m);
+    assert!(printed.contains("i32 undef"));
+    // Undef evaluates as 0 in the interpreter (a fixed, deterministic choice).
+    assert_eq!(run(text, "f", &[]), Ok(IValue::Int(1)));
+}
+
+#[test]
+fn effects_annotations_round_trip() {
+    for eff in ["readnone", "readonly", "readwrite"] {
+        let text = format!("module \"e\"\ndeclare @x(i32 %p0) -> i32 {eff}\n");
+        let m = parse_module(&text).unwrap();
+        assert!(print_module(&m).contains(eff));
+    }
+}
+
+#[test]
+fn division_by_zero_faults() {
+    let text = "module \"d\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n  %1 = sdiv i32 i32 7, %p0\n  ret %1\n}\n";
+    assert_eq!(run(text, "f", &[IValue::Int(0)]), Err(ExecError::DivByZero));
+    assert_eq!(run(text, "f", &[IValue::Int(2)]), Ok(IValue::Int(3)));
+}
+
+#[test]
+fn shift_amounts_mask_to_width() {
+    // Shifting an i32 by 33 behaves like shifting by 1 (x86 semantics).
+    let text = "module \"s\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n  %1 = shl i32 %p0, i32 33\n  ret %1\n}\n";
+    assert_eq!(run(text, "f", &[IValue::Int(5)]), Ok(IValue::Int(10)));
+}
+
+#[test]
+fn sext_zext_trunc_chain() {
+    let text = r#"
+module "c"
+func @f(i8 %p0) -> i64 {
+entry:
+  %z = zext i32 %p0
+  %s = sext i64 %p0
+  %zz = zext i64 %z
+  %sum = add i64 %s, %zz
+  ret %sum
+}
+"#;
+    // p0 = -1 (i8): sext -> -1, zext(i32) -> 255 -> zext(i64) 255.
+    assert_eq!(run(text, "f", &[IValue::Int(-1)]), Ok(IValue::Int(254)));
+}
+
+#[test]
+fn float_rounds_through_f32() {
+    let text = r#"
+module "f"
+func @f() -> i1 {
+entry:
+  %a = fadd float float 0.1, float 0.2
+  %b = fadd double double 0.1, double 0.2
+  %aw = fpext double %a
+  %c = fcmp oeq %aw, %b
+  ret %c
+}
+"#;
+    // 0.1f + 0.2f != 0.1 + 0.2 exactly.
+    assert_eq!(run(text, "f", &[]), Ok(IValue::Int(0)));
+}
+
+#[test]
+fn negative_gep_indices_work() {
+    let text = r#"
+module "g"
+global @a : [8 x i32] = ints i32 [10, 20, 30, 40, 50, 60, 70, 80]
+func @f() -> i32 {
+entry:
+  %end = gep i32, @a, i64 7
+  %p = gep i32, %end, i64 -2
+  %v = load i32, %p
+  ret %v
+}
+"#;
+    assert_eq!(run(text, "f", &[]), Ok(IValue::Int(60)));
+}
+
+#[test]
+fn out_of_bounds_faults_cleanly() {
+    let text = r#"
+module "o"
+global @a : [2 x i32] = zero
+func @f() -> i32 {
+entry:
+  %p = gep i32, @a, i64 1000000
+  %v = load i32, %p
+  ret %v
+}
+"#;
+    assert!(matches!(
+        run(text, "f", &[]),
+        Err(ExecError::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn recursive_internal_calls() {
+    let text = r#"
+module "r"
+func @fact(i64 %p0) -> i64 {
+entry:
+  %c = icmp sle %p0, i64 1
+  condbr %c, base, rec
+base:
+  ret i64 1
+rec:
+  %n1 = sub i64 %p0, i64 1
+  %f = call i64 @fact(%n1)
+  %r = mul i64 %p0, %f
+  ret %r
+}
+"#;
+    assert_eq!(
+        run(text, "fact", &[IValue::Int(10)]),
+        Ok(IValue::Int(3628800))
+    );
+}
+
+// --- regressions for bugs found during development ------------------------
+
+/// The constant folder used to evaluate division/remainder/shift on the raw
+/// 64-bit payload of narrow constants, disagreeing with the interpreter
+/// (found by `proptest_ir::folder_matches_interpreter_on_binops`).
+#[test]
+fn regression_fold_normalizes_narrow_constants() {
+    use rolag_ir::fold::eval_int_binop;
+    use rolag_ir::{Opcode, TypeStore};
+    let types = TypeStore::new();
+    let i8t = types.i8();
+    // 300 as an i8 is 44; 300 % 7 would be 6, but 44 % 7 = 2.
+    assert_eq!(eval_int_binop(&types, Opcode::SRem, i8t, 300, 7), Some(2));
+    // i64::MIN / -1 overflows: refuse to fold.
+    let i64t = types.i64();
+    assert_eq!(
+        eval_int_binop(&types, Opcode::SDiv, i64t, i64::MIN, -1),
+        None
+    );
+}
+
+/// `check_equivalence` must ignore constant data that only the transformed
+/// module has (rolled modules gain rodata arrays).
+#[test]
+fn regression_equivalence_ignores_new_rodata() {
+    let a = parse_module(
+        "module \"a\"\nglobal @g : [2 x i32] = zero\nfunc @f() -> void {\nentry:\n  store i32 1, @g\n  ret\n}\n",
+    )
+    .unwrap();
+    let b = parse_module(
+        "module \"a\"\nglobal @g : [2 x i32] = zero\nconst @extra : [4 x i32] = ints i32 [9,8,7,6]\nfunc @f() -> void {\nentry:\n  store i32 1, @g\n  ret\n}\n",
+    )
+    .unwrap();
+    rolag_ir::interp::check_equivalence(&a, &b, "f", &[]).expect("extra rodata is fine");
+}
+
+/// Unreachable blocks are sealed with `unreachable` rather than left empty,
+/// so DCE output always verifies.
+#[test]
+fn regression_dce_seals_unreachable_blocks() {
+    let text = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  br join
+orphan:
+  %1 = add i32 %p0, i32 5
+  br join
+join:
+  %2 = phi i32 [ %p0, entry ], [ %1, orphan ]
+  ret %2
+}
+"#;
+    let mut m = parse_module(text).unwrap();
+    rolag_ir::dce::run_dce(&mut m);
+    verify_module(&m).expect("sealed module verifies");
+}

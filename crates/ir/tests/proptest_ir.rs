@@ -1,0 +1,243 @@
+//! Property-based tests of the IR substrate itself:
+//!
+//! * printing then parsing any generated module is a fixed point;
+//! * the constant folder agrees with the interpreter on every binop;
+//! * DCE and simplification never change observable behaviour.
+
+use proptest::prelude::*;
+
+use rolag_ir::builder::FuncBuilder;
+use rolag_ir::fold::{eval_icmp, eval_int_binop};
+use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::{IntPredicate, Module, Opcode};
+
+fn int_binops() -> Vec<Opcode> {
+    vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::SDiv,
+        Opcode::UDiv,
+        Opcode::SRem,
+        Opcode::URem,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::LShr,
+        Opcode::AShr,
+    ]
+}
+
+fn predicates() -> Vec<IntPredicate> {
+    vec![
+        IntPredicate::Eq,
+        IntPredicate::Ne,
+        IntPredicate::Slt,
+        IntPredicate::Sle,
+        IntPredicate::Sgt,
+        IntPredicate::Sge,
+        IntPredicate::Ult,
+        IntPredicate::Ule,
+        IntPredicate::Ugt,
+        IntPredicate::Uge,
+    ]
+}
+
+/// Builds `fn f(a, b) -> opcode(a, b)` over the given integer width.
+fn binop_module(opcode: Opcode, width: u16) -> Module {
+    let mut m = Module::new("fold");
+    let ty = m.types.int(width);
+    let mut fb = FuncBuilder::new(&mut m, "f", vec![ty, ty], ty);
+    let a = fb.param(0);
+    let b = fb.param(1);
+    fb.block("entry");
+    fb.ins(|bu| {
+        let r = bu.binop(opcode, a, b);
+        bu.ret(Some(r));
+    });
+    fb.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The static folder and the dynamic interpreter agree on every integer
+    /// binop, across widths (including wrapping and shift masking).
+    #[test]
+    fn folder_matches_interpreter_on_binops(
+        op_idx in 0usize..13,
+        width in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)],
+        a in any::<i64>(),
+        b in any::<i64>(),
+    ) {
+        let opcode = int_binops()[op_idx];
+        let m = binop_module(opcode, width);
+        let types = &m.types;
+        let ty = rolag_ir::TypeStore::new().int(width); // same id space? use m's
+        let _ = ty;
+        let ty = {
+            let mut fresh = m.types.clone();
+            fresh.int(width)
+        };
+        let folded = eval_int_binop(types, opcode, ty, a, b);
+        let mut interp = Interpreter::new(&m);
+        // Arguments arrive sign-extended like the interpreter stores them.
+        let norm = |v: i64| rolag_ir::fold::normalize_int(types, ty, v);
+        let result = interp.run("f", &[IValue::Int(norm(a)), IValue::Int(norm(b))]);
+        match (folded, result) {
+            (Some(expect), Ok(out)) => prop_assert_eq!(out.ret, IValue::Int(expect)),
+            (None, Err(_)) => {} // division by zero on both sides
+            (None, Ok(out)) => {
+                return Err(TestCaseError::fail(format!(
+                    "folder refused but interpreter produced {:?}",
+                    out.ret
+                )));
+            }
+            (Some(e), Err(err)) => {
+                return Err(TestCaseError::fail(format!(
+                    "folder produced {e} but interpreter faulted: {err}"
+                )));
+            }
+        }
+    }
+
+    /// `eval_icmp` is a total order consistent with Rust's own semantics.
+    #[test]
+    fn icmp_matches_rust_semantics(
+        p_idx in 0usize..10,
+        a in any::<i32>(),
+        b in any::<i32>(),
+    ) {
+        let pred = predicates()[p_idx];
+        let types = rolag_ir::TypeStore::new();
+        let ty = types.i32();
+        let got = eval_icmp(&types, pred, ty, a as i64, b as i64);
+        let expect = match pred {
+            IntPredicate::Eq => a == b,
+            IntPredicate::Ne => a != b,
+            IntPredicate::Slt => a < b,
+            IntPredicate::Sle => a <= b,
+            IntPredicate::Sgt => a > b,
+            IntPredicate::Sge => a >= b,
+            IntPredicate::Ult => (a as u32) < b as u32,
+            IntPredicate::Ule => (a as u32) <= b as u32,
+            IntPredicate::Ugt => (a as u32) > b as u32,
+            IntPredicate::Uge => (a as u32) >= b as u32,
+        };
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Random straight-line functions print → parse → print to a fixed
+    /// point, and the re-parsed module behaves identically.
+    #[test]
+    fn print_parse_fixed_point(
+        ops in proptest::collection::vec((0usize..6, -100i64..100), 1..30),
+        arg in -1000i64..1000,
+    ) {
+        let mut m = Module::new("rt");
+        let i32t = m.types.i32();
+        let arr = m.types.array(i32t, 8);
+        let g = m.add_zero_global("g", arr);
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], i32t);
+        let p = fb.param(0);
+        fb.block("entry");
+        fb.ins(|b| {
+            let mut acc = p;
+            for &(kind, c) in &ops {
+                let cv = b.iconst(b.types.i32(), c);
+                acc = match kind {
+                    0 => b.add(acc, cv),
+                    1 => b.sub(acc, cv),
+                    2 => b.mul(acc, cv),
+                    3 => b.xor(acc, cv),
+                    4 => {
+                        let base = b.global(g);
+                        let idx = b.i64_const((c.unsigned_abs() % 8) as i64);
+                        let q = b.gep(b.types.i32(), base, &[idx]);
+                        b.store(acc, q);
+                        acc
+                    }
+                    _ => {
+                        let base = b.global(g);
+                        let idx = b.i64_const((c.unsigned_abs() % 8) as i64);
+                        let q = b.gep(b.types.i32(), base, &[idx]);
+                        let v = b.load(b.types.i32(), q);
+                        b.add(acc, v)
+                    }
+                };
+            }
+            b.ret(Some(acc));
+        });
+        fb.finish();
+        verify_module(&m).expect("generated module verifies");
+
+        let printed = print_module(&m);
+        let reparsed = parse_module(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let printed2 = print_module(&reparsed);
+        prop_assert_eq!(&printed, &printed2, "printing is a fixed point");
+        check_equivalence(&m, &reparsed, "f", &[IValue::Int(arg)])
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// simplify + DCE never change observable behaviour.
+    #[test]
+    fn cleanup_preserves_behaviour(
+        ops in proptest::collection::vec((0usize..6, -100i64..100), 1..30),
+        arg in -1000i64..1000,
+    ) {
+        let mut m = Module::new("cl");
+        let i32t = m.types.i32();
+        let arr = m.types.array(i32t, 8);
+        let g = m.add_zero_global("g", arr);
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], i32t);
+        let p = fb.param(0);
+        fb.block("entry");
+        fb.ins(|b| {
+            let mut acc = p;
+            let mut dead = p;
+            for &(kind, c) in &ops {
+                let cv = b.iconst(b.types.i32(), c);
+                match kind {
+                    0 => acc = b.add(acc, cv),
+                    1 => acc = b.mul(acc, cv),
+                    2 => dead = b.xor(dead, cv), // dead chain
+                    3 => {
+                        let z = b.iconst(b.types.i32(), 0);
+                        acc = b.add(acc, z); // identity, folds away
+                    }
+                    4 => {
+                        let base = b.global(g);
+                        let idx = b.i64_const((c.unsigned_abs() % 8) as i64);
+                        let q = b.gep(b.types.i32(), base, &[idx]);
+                        b.store(acc, q);
+                    }
+                    _ => {
+                        let x = b.iconst(b.types.i32(), c);
+                        let y = b.iconst(b.types.i32(), 7);
+                        let f = b.mul(x, y); // constant, folds away
+                        acc = b.add(acc, f);
+                    }
+                }
+            }
+            b.ret(Some(acc));
+        });
+        fb.finish();
+
+        let mut cleaned = m.clone();
+        let id = cleaned.func_by_name("f").unwrap();
+        let (func, types) = cleaned.func_and_types_mut(id);
+        rolag_ir::fold::simplify_function(func, types);
+        let snapshot = cleaned.clone();
+        let func = cleaned.func_mut(id);
+        rolag_ir::dce::run_dce_on(&snapshot, func);
+        verify_module(&cleaned).expect("cleaned verifies");
+        check_equivalence(&m, &cleaned, "f", &[IValue::Int(arg)])
+            .map_err(TestCaseError::fail)?;
+    }
+}

@@ -1,0 +1,163 @@
+//! Additional lowering-simulator tests: addressing-mode sizes, spill
+//! behaviour under loop pressure, and section accounting.
+
+use rolag_ir::parser::parse_module;
+use rolag_lower::{measure_function, measure_module, select_function};
+
+#[test]
+fn global_addressing_is_pricier_than_register_addressing() {
+    let via_global = parse_module(
+        r#"
+module "g"
+global @g : [8 x i32] = zero
+func @f() -> i32 {
+entry:
+  %v = load i32, @g
+  ret %v
+}
+"#,
+    )
+    .unwrap();
+    let via_param = parse_module(
+        r#"
+module "p"
+func @f(ptr %p0) -> i32 {
+entry:
+  %v = load i32, %p0
+  ret %v
+}
+"#,
+    )
+    .unwrap();
+    let a = measure_function(
+        &via_global,
+        via_global.func(via_global.func_by_name("f").unwrap()),
+    );
+    let b = measure_function(
+        &via_param,
+        via_param.func(via_param.func_by_name("f").unwrap()),
+    );
+    assert!(a > b, "RIP-relative {a} should cost more than [reg] {b}");
+}
+
+#[test]
+fn folded_gep_with_large_constant_offset_pays_disp32() {
+    let near = parse_module(
+        r#"
+module "n"
+global @g : [100000 x i8] = zero
+func @f() -> i8 {
+entry:
+  %p = gep i8, @g, i64 4
+  %v = load i8, %p
+  ret %v
+}
+"#,
+    )
+    .unwrap();
+    let far = parse_module(
+        r#"
+module "f"
+global @g : [100000 x i8] = zero
+func @f() -> i8 {
+entry:
+  %p = gep i8, @g, i64 90000
+  %v = load i8, %p
+  ret %v
+}
+"#,
+    )
+    .unwrap();
+    let a = measure_function(&near, near.func(near.func_by_name("f").unwrap()));
+    let b = measure_function(&far, far.func(far.func_by_name("f").unwrap()));
+    assert!(b > a, "disp32 ({b}) should exceed disp8 ({a})");
+}
+
+#[test]
+fn loop_carried_values_extend_liveness_without_panic() {
+    // Values used by phis across the back edge appear used "before" their
+    // defs in layout order; the allocator must handle them.
+    let m = parse_module(
+        r#"
+module "l"
+func @f(i64 %p0) -> i64 {
+entry:
+  br loop
+loop:
+  %a = phi i64 [ i64 0, entry ], [ %na, loop ]
+  %b = phi i64 [ i64 1, entry ], [ %nb, loop ]
+  %na = add i64 %a, %b
+  %nb = add i64 %b, i64 1
+  %c = icmp slt %nb, %p0
+  condbr %c, loop, exit
+exit:
+  ret %na
+}
+"#,
+    )
+    .unwrap();
+    let f = m.func(m.func_by_name("f").unwrap());
+    let mf = select_function(&m, f);
+    let alloc = rolag_lower::allocate(&mf);
+    assert_eq!(alloc.spills, 0, "four live values fit easily");
+    assert!(measure_function(&m, f) > 0);
+}
+
+#[test]
+fn sections_account_every_global_once() {
+    let m = parse_module(
+        r#"
+module "s"
+const @c1 : [4 x i32] = ints i32 [1,2,3,4]
+const @c2 : [2 x i64] = ints i64 [5,6]
+global @d1 : [8 x i8] = bytes [1,2,3,4,5,6,7,8]
+global @d2 : i32 = zero
+func @f() -> void {
+entry:
+  ret
+}
+"#,
+    )
+    .unwrap();
+    let sizes = measure_module(&m);
+    assert_eq!(sizes.rodata, 16 + 16);
+    assert_eq!(sizes.data, 8 + 4);
+    assert!(sizes.text >= 1);
+}
+
+#[test]
+fn measurement_is_monotonic_under_unrolling() {
+    // Unrolling duplicates code: the measured text must grow roughly
+    // linearly with the factor.
+    let text = r#"
+module "m"
+global @a : [64 x i32] = zero
+func @f() -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]
+  %q = gep i32, @a, %iv
+  %t = trunc i32 %iv
+  store %t, %q
+  %ivn = add i64 %iv, i64 1
+  %c = icmp slt %ivn, i64 64
+  condbr %c, loop, exit
+exit:
+  ret
+}
+"#;
+    let base = parse_module(text).unwrap();
+    let size1 = measure_module(&base).text;
+    let mut by4 = base.clone();
+    rolag_transforms::unroll_module(&mut by4, 4);
+    rolag_transforms::cleanup_module(&mut by4);
+    let size4 = measure_module(&by4).text;
+    let mut by8 = base.clone();
+    rolag_transforms::unroll_module(&mut by8, 8);
+    rolag_transforms::cleanup_module(&mut by8);
+    let size8 = measure_module(&by8).text;
+    assert!(size4 > 2 * size1, "x4 unroll should more than double");
+    assert!(size8 > size4, "x8 bigger than x4");
+    assert!(size8 < 4 * size4, "but not absurdly so");
+}

@@ -1,0 +1,364 @@
+//! `rolag-opt` — a pass driver over textual IR, in the spirit of LLVM's
+//! `opt`.
+//!
+//! ```text
+//! rolag-opt [PASS...] [OPTIONS] <input.rir | ->
+//!
+//! Passes (applied in order):
+//!   -rolag             loop rolling (the paper's technique)
+//!   -rolag-ext         loop rolling with the future-work extensions
+//!   -no-special        loop rolling with special nodes disabled
+//!   -reroll            LLVM-style loop rerolling (the baseline)
+//!   -unroll=<N>        partially unroll counted loops by N
+//!   -cse               local common-subexpression elimination
+//!   -simplify          constant folding + algebraic identities
+//!   -dce               dead code elimination
+//!   -flatten           flatten RoLAG's nested loops
+//!
+//! Options:
+//!   --target <x86-64|thumb2>   cost-model target for profitability
+//!   --measure                  print measured section sizes before/after
+//!   --stats                    print pass statistics
+//!   --interp <func>            interpret <func>() after the passes
+//!   --check                    interpret before AND after, compare outcomes
+//!   --quiet                    do not print the final module
+//!   --verify-only              parse + verify, print diagnostics, exit
+//!   --dump-align               print each candidate's alignment graph in
+//!                              Graphviz dot syntax instead of transforming
+//! ```
+//!
+//! Exit status: 0 on success, 1 on usage/parse/verify errors, 2 when
+//! `--check` detects a behaviour change (a miscompile).
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rolag::{roll_module, RolagOptions};
+use rolag_analysis::cost::TargetKind;
+use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::Module;
+use rolag_lower::measure_module;
+use rolag_reroll::reroll_module;
+use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
+
+#[derive(Debug, Clone)]
+enum Pass {
+    Rolag(RolagOptions),
+    Reroll,
+    Unroll(u32),
+    Cse,
+    Simplify,
+    Dce,
+    Flatten,
+}
+
+#[derive(Debug, Default)]
+struct Cli {
+    passes: Vec<Pass>,
+    input: Option<String>,
+    target: TargetKind,
+    measure: bool,
+    stats: bool,
+    interp: Option<String>,
+    check: bool,
+    quiet: bool,
+    verify_only: bool,
+    dump_align: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rolag-opt [PASS...] [OPTIONS] <input.rir | ->\n\
+     passes: -rolag -rolag-ext -no-special -reroll -unroll=<N> -cse \
+     -simplify -dce -flatten\n\
+     options: --target <x86-64|thumb2> --measure --stats --interp <func> \
+     --check --quiet --verify-only\n\
+     (run with a .rir file, or `-` to read IR text from stdin)"
+}
+
+fn parse_cli(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-rolag" => cli.passes.push(Pass::Rolag(RolagOptions::default())),
+            "-rolag-ext" => cli
+                .passes
+                .push(Pass::Rolag(RolagOptions::with_extensions())),
+            "-no-special" => cli
+                .passes
+                .push(Pass::Rolag(RolagOptions::no_special_nodes())),
+            "-reroll" => cli.passes.push(Pass::Reroll),
+            "-cse" => cli.passes.push(Pass::Cse),
+            "-simplify" => cli.passes.push(Pass::Simplify),
+            "-dce" => cli.passes.push(Pass::Dce),
+            "-flatten" => cli.passes.push(Pass::Flatten),
+            s if s.starts_with("-unroll=") => {
+                let n: u32 = s["-unroll=".len()..]
+                    .parse()
+                    .map_err(|_| format!("bad unroll factor in {s}"))?;
+                if n < 2 {
+                    return Err("unroll factor must be >= 2".into());
+                }
+                cli.passes.push(Pass::Unroll(n));
+            }
+            "--target" => {
+                let t = it.next().ok_or("--target needs a value")?;
+                cli.target = match t.as_str() {
+                    "x86-64" | "x86_64" => TargetKind::X86_64,
+                    "thumb2" | "thumb" => TargetKind::Thumb2,
+                    other => return Err(format!("unknown target {other}")),
+                };
+            }
+            "--measure" => cli.measure = true,
+            "--stats" => cli.stats = true,
+            "--check" => cli.check = true,
+            "--quiet" => cli.quiet = true,
+            "--verify-only" => cli.verify_only = true,
+            "--dump-align" => cli.dump_align = true,
+            "--interp" => {
+                cli.interp = Some(it.next().ok_or("--interp needs a function")?.clone());
+            }
+            "-h" | "--help" => return Err(usage().to_string()),
+            s if !s.starts_with('-') || s == "-" => {
+                if cli.input.replace(s.to_string()).is_some() {
+                    return Err("more than one input file".into());
+                }
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    if cli.input.is_none() {
+        return Err(usage().to_string());
+    }
+    Ok(cli)
+}
+
+fn read_input(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(buf)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn run_pass(module: &mut Module, pass: &Pass, target: TargetKind, stats: bool) {
+    match pass {
+        Pass::Rolag(opts) => {
+            let opts = RolagOptions {
+                target,
+                ..opts.clone()
+            };
+            let s = roll_module(module, &opts);
+            if stats {
+                eprintln!("rolag: {s}");
+            }
+        }
+        Pass::Reroll => {
+            let s = reroll_module(module);
+            if stats {
+                eprintln!(
+                    "reroll: {} of {} single-block loops rerolled",
+                    s.rerolled, s.examined
+                );
+            }
+        }
+        Pass::Unroll(n) => {
+            let outcomes = unroll_module(module, *n);
+            if stats {
+                let done = outcomes
+                    .iter()
+                    .filter(|o| matches!(o, rolag_transforms::UnrollOutcome::Unrolled { .. }))
+                    .count();
+                eprintln!("unroll: {done} of {} loops unrolled by {n}", outcomes.len());
+            }
+        }
+        Pass::Cse => {
+            let n = cse_module(module);
+            if stats {
+                eprintln!("cse: {n} instructions removed");
+            }
+        }
+        Pass::Simplify | Pass::Dce => {
+            let n = cleanup_module(module);
+            if stats {
+                eprintln!("cleanup: {n} instructions simplified/removed");
+            }
+        }
+        Pass::Flatten => {
+            let n = flatten_module(module);
+            if stats {
+                eprintln!("flatten: {n} nests flattened");
+            }
+        }
+    }
+}
+
+/// Builds and prints the alignment graph of every rolling candidate in the
+/// module, as Graphviz `dot`.
+fn dump_alignment_graphs(module: &Module) {
+    let opts = RolagOptions::with_extensions();
+    for id in module.func_ids() {
+        let func = module.func(id);
+        if func.is_declaration {
+            continue;
+        }
+        let candidates = rolag::collect_candidates(module, func, &opts);
+        for (k, cand) in candidates.iter().enumerate() {
+            let mut attempt = func.clone();
+            let lanes = cand.lanes();
+            let mut builder =
+                rolag::GraphBuilder::new(module, &mut attempt, cand.block(), &opts, lanes);
+            let built = match cand {
+                rolag::Candidate::Seeds { groups, .. } => {
+                    groups.iter().all(|g| builder.build_seed_root(g).is_some())
+                }
+                rolag::Candidate::Reduction {
+                    opcode,
+                    internal,
+                    leaves,
+                    carry,
+                    ty,
+                    ..
+                } => builder
+                    .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
+                    .is_some(),
+            };
+            if !built {
+                continue;
+            }
+            let graph = builder.finish();
+            println!("// @{} candidate {k} ({lanes} lanes)", func.name);
+            print!("{}", graph.to_dot());
+        }
+    }
+}
+
+/// Synthesizes deterministic arguments for an entry point: integers get
+/// 37, floats 1.5, and pointers the address of the module's first global
+/// (or a scratch address when there is none).
+fn default_args(module: &Module, entry: &str) -> Vec<IValue> {
+    let Some(id) = module.func_by_name(entry) else {
+        return Vec::new();
+    };
+    let func = module.func(id);
+    func.param_tys()
+        .iter()
+        .map(|&ty| {
+            if module.types.is_ptr(ty) {
+                let interp = Interpreter::new(module);
+                match module.global_ids().next() {
+                    Some(g) => IValue::Ptr(interp.global_addr(g)),
+                    None => IValue::Ptr(64),
+                }
+            } else if module.types.is_float(ty) {
+                IValue::Float(1.5)
+            } else {
+                IValue::Int(37)
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let text = match read_input(cli.input.as_deref().expect("validated")) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut module = match parse_module(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(errors) = verify_module(&module) {
+        for e in &errors {
+            eprintln!("verify: {e}");
+        }
+        return ExitCode::from(1);
+    }
+    if cli.verify_only {
+        eprintln!("ok: module verifies");
+        return ExitCode::SUCCESS;
+    }
+    if cli.dump_align {
+        dump_alignment_graphs(&module);
+        return ExitCode::SUCCESS;
+    }
+
+    let original = module.clone();
+    let before = measure_module(&module);
+
+    for pass in &cli.passes {
+        run_pass(&mut module, pass, cli.target, cli.stats);
+        if let Err(errors) = verify_module(&module) {
+            for e in &errors {
+                eprintln!("verify after {pass:?}: {e}");
+            }
+            return ExitCode::from(1);
+        }
+    }
+
+    if cli.measure {
+        let after = measure_module(&module);
+        eprintln!(
+            "measure: text {} -> {} B, rodata {} -> {} B, data {} -> {} B (footprint {} -> {})",
+            before.text,
+            after.text,
+            before.rodata,
+            after.rodata,
+            before.data,
+            after.data,
+            before.code_footprint(),
+            after.code_footprint()
+        );
+    }
+
+    if let Some(entry) = &cli.interp {
+        let args = default_args(&module, entry);
+        if cli.check {
+            match check_equivalence(&original, &module, entry, &args) {
+                Ok(()) => eprintln!("check: behaviour preserved"),
+                Err(msg) => {
+                    eprintln!("check: MISCOMPILE: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let mut interp = Interpreter::new(&module);
+        match interp.run(entry, &args) {
+            Ok(out) => eprintln!(
+                "interp: @{entry}() = {:?} after {} dynamic instructions",
+                out.ret, out.steps
+            ),
+            Err(e) => {
+                eprintln!("interp: fault: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if !cli.quiet {
+        print!("{}", print_module(&module));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,170 @@
+//! End-to-end tests of the `rolag-opt` driver binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const SAMPLE: &str = r#"
+module "cli"
+global @a : [8 x i32] = zero
+func @fill() -> void {
+entry:
+  %g0 = gep i32, @a, i64 0
+  store i32 0, %g0
+  %g1 = gep i32, @a, i64 1
+  store i32 7, %g1
+  %g2 = gep i32, @a, i64 2
+  store i32 14, %g2
+  %g3 = gep i32, @a, i64 3
+  store i32 21, %g3
+  %g4 = gep i32, @a, i64 4
+  store i32 28, %g4
+  %g5 = gep i32, @a, i64 5
+  store i32 35, %g5
+  %g6 = gep i32, @a, i64 6
+  store i32 42, %g6
+  %g7 = gep i32, @a, i64 7
+  store i32 49, %g7
+  ret
+}
+"#;
+
+fn run(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rolag-opt"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn rolag-opt");
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(stdin.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn rolls_from_stdin_and_prints_the_loop() {
+    let (stdout, stderr, code) = run(
+        &["-rolag", "--stats", "--check", "--interp", "fill", "-"],
+        SAMPLE,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stdout.contains("rolag.loop"), "no loop in:\n{stdout}");
+    assert!(stderr.contains("rolled 1"), "stats missing: {stderr}");
+    assert!(stderr.contains("behaviour preserved"), "{stderr}");
+}
+
+#[test]
+fn measure_reports_shrinkage() {
+    let (_, stderr, code) = run(&["-rolag", "--measure", "--quiet", "-"], SAMPLE);
+    assert_eq!(code, Some(0));
+    let line = stderr
+        .lines()
+        .find(|l| l.starts_with("measure:"))
+        .expect("measure line");
+    // "text A -> B" with B < A.
+    let nums: Vec<u64> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().unwrap())
+        .collect();
+    assert!(nums[1] < nums[0], "text did not shrink: {line}");
+}
+
+#[test]
+fn verify_only_accepts_good_ir_and_rejects_bad() {
+    let (_, stderr, code) = run(&["--verify-only", "-"], SAMPLE);
+    assert_eq!(code, Some(0));
+    assert!(stderr.contains("module verifies"));
+
+    let bad = "module \"b\"\nfunc @f() -> void {\nentry:\n  %1 = add i32 %2, i32 1\n  ret\n}\n";
+    let (_, stderr, code) = run(&["--verify-only", "-"], bad);
+    assert_eq!(code, Some(1));
+    assert!(!stderr.is_empty());
+}
+
+#[test]
+fn unroll_then_reroll_round_trips() {
+    let loop_ir = r#"
+module "rt"
+global @a : [32 x i32] = zero
+func @f() -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]
+  %q = gep i32, @a, %iv
+  %t = trunc i32 %iv
+  store %t, %q
+  %ivn = add i64 %iv, i64 1
+  %c = icmp slt %ivn, i64 32
+  condbr %c, loop, exit
+exit:
+  ret
+}
+"#;
+    let (stdout, stderr, code) = run(
+        &[
+            "-unroll=4",
+            "-cse",
+            "-dce",
+            "-reroll",
+            "-dce",
+            "--stats",
+            "--check",
+            "--interp",
+            "f",
+            "-",
+        ],
+        loop_ir,
+    );
+    assert_eq!(code, Some(0), "stderr: {stderr}");
+    assert!(stderr.contains("1 of 1 loops unrolled by 4"), "{stderr}");
+    assert!(stderr.contains("1 of"), "{stderr}");
+    assert!(stderr.contains("behaviour preserved"), "{stderr}");
+    // The rerolled loop is back to a handful of instructions.
+    let loop_lines = stdout
+        .lines()
+        .skip_while(|l| !l.starts_with("loop:"))
+        .take_while(|l| !l.starts_with("exit:"))
+        .count();
+    assert!(loop_lines <= 9, "loop did not reroll:\n{stdout}");
+}
+
+#[test]
+fn unknown_flags_and_missing_input_fail_cleanly() {
+    let (_, stderr, code) = run(&["--bogus"], "");
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("unknown flag"));
+
+    let (_, stderr, code) = run(&["-rolag"], "");
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn thumb_target_is_accepted() {
+    let (_, stderr, code) = run(
+        &["-rolag", "--target", "thumb2", "--stats", "--quiet", "-"],
+        SAMPLE,
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("rolag:"));
+}
+
+#[test]
+fn dump_align_prints_dot_graphs() {
+    let (stdout, _, code) = run(&["--dump-align", "-"], SAMPLE);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("digraph align"));
+    assert!(stdout.contains("match:store"));
+    assert!(stdout.contains("seq "));
+}

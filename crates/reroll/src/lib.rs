@@ -1,0 +1,40 @@
+//! # rolag-reroll
+//!
+//! The baseline: an LLVM-style loop *rerolling* pass (§II of the RoLAG
+//! paper). It reverts partial unrolling of single-block loops — and only
+//! that: it cannot handle straight-line code, which is exactly the gap
+//! RoLAG fills.
+//!
+//! ```
+//! use rolag_ir::parser::parse_module;
+//! use rolag_reroll::reroll_module;
+//!
+//! let text = r#"
+//! module "t"
+//! global @a : [8 x i32] = zero
+//! func @f() -> void {
+//! entry:
+//!   br loop
+//! loop:
+//!   %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+//!   %x0 = gep i32, @a, %iv
+//!   store %iv, %x0
+//!   %iv1 = add i32 %iv, i32 1
+//!   %x1 = gep i32, @a, %iv1
+//!   store %iv1, %x1
+//!   %ivn = add i32 %iv, i32 2
+//!   %cmp = icmp slt %ivn, i32 8
+//!   condbr %cmp, loop, exit
+//! exit:
+//!   ret
+//! }
+//! "#;
+//! let mut m = parse_module(text).unwrap();
+//! assert_eq!(reroll_module(&mut m).rerolled, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod reroll;
+
+pub use reroll::{reroll_function, reroll_module, RerollOutcome, RerollStats};

@@ -1,0 +1,537 @@
+//! LLVM-style loop rerolling (§II of the paper, Figs. 1–2).
+//!
+//! The pass only considers *single-block loops* that look like the result of
+//! partial unrolling:
+//!
+//! * a basic induction variable `iv` incremented by the unroll factor `f`;
+//! * *root* instructions `add iv, k` for every `k in 1..f`;
+//! * `f` isomorphic instruction sets, one per unrolled iteration, collected
+//!   by following definition-use chains from `iv` and the roots;
+//! * nothing else in the block besides the latch (`iv+f`, compare, branch).
+//!
+//! If all constraints hold, iterations `1..f` are deleted and the increment
+//! becomes 1. Accumulator chains (reductions) are supported by letting an
+//! operand pair with the previous iteration's counterpart of the chain head,
+//! like LLVM's reroll does for reductions.
+
+use std::collections::{HashMap, HashSet};
+
+use rolag_analysis::dom::DomTree;
+use rolag_analysis::loops::{find_induction_vars, find_loops, trip_count, IndVar, Loop};
+use rolag_ir::{Function, InstExtra, InstId, Module, Opcode, ValueId};
+
+/// Result of attempting to reroll one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RerollOutcome {
+    /// The loop was rerolled from the given factor down to step 1.
+    Rerolled {
+        /// Unroll factor that was undone.
+        factor: u32,
+    },
+    /// The loop does not match the required shape.
+    NotApplicable,
+}
+
+/// Statistics of a pass run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RerollStats {
+    /// Single-block loops examined.
+    pub examined: u64,
+    /// Loops successfully rerolled.
+    pub rerolled: u64,
+}
+
+/// Reroll every eligible loop in the function. Returns statistics.
+pub fn reroll_function(module: &Module, func: &mut Function) -> RerollStats {
+    let mut stats = RerollStats::default();
+    loop {
+        let dom = DomTree::compute(func);
+        let loops = find_loops(func, &dom);
+        let mut changed = false;
+        for lp in &loops {
+            if !lp.is_single_block() {
+                continue;
+            }
+            stats.examined += 1;
+            if let RerollOutcome::Rerolled { .. } = try_reroll(module, func, lp) {
+                stats.rerolled += 1;
+                changed = true;
+                break; // ids changed; re-analyze
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats
+}
+
+/// Reroll every eligible loop in every function of `module`.
+pub fn reroll_module(module: &mut Module) -> RerollStats {
+    let ids: Vec<_> = module.func_ids().collect();
+    let mut total = RerollStats::default();
+    for id in ids {
+        if module.func(id).is_declaration {
+            continue;
+        }
+        let mut func = module.func(id).clone();
+        let stats = reroll_function(module, &mut func);
+        module.replace_func(id, func);
+        total.examined += stats.examined;
+        total.rerolled += stats.rerolled;
+    }
+    total
+}
+
+fn try_reroll(module: &Module, func: &mut Function, lp: &Loop) -> RerollOutcome {
+    let header = lp.header;
+
+    // One basic induction variable with integer step >= 2 (the factor).
+    let ivs: Vec<IndVar> = find_induction_vars(module, func, lp);
+    let Some(tc) = trip_count(module, func, lp) else {
+        return RerollOutcome::NotApplicable;
+    };
+    let iv = &tc.iv;
+    if iv.step < 2 {
+        return RerollOutcome::NotApplicable;
+    }
+    let factor = iv.step as u32;
+    // Exactness: the rerolled loop (step 1) must execute factor * trips
+    // iterations. We require a statically known trip count, like the
+    // divisibility condition of the unroller.
+    let Some(_trips) = tc.known_trips else {
+        return RerollOutcome::NotApplicable;
+    };
+    if ivs.len() != 1 {
+        return RerollOutcome::NotApplicable;
+    }
+
+    // Find roots: `add iv, k` for k = 1..factor, each exactly once.
+    let block_insts: Vec<InstId> = func.block(header).insts.clone();
+    let in_block: HashSet<InstId> = block_insts.iter().copied().collect();
+    let mut roots: Vec<Option<InstId>> = vec![None; factor as usize]; // [1..factor)
+    for &i in &block_insts {
+        if i == iv.step_inst {
+            continue;
+        }
+        let data = func.inst(i);
+        if data.opcode != Opcode::Add || data.operands.len() != 2 {
+            continue;
+        }
+        let k = if data.operands[0] == iv.phi_value {
+            func.value(data.operands[1]).as_const_int()
+        } else if data.operands[1] == iv.phi_value {
+            func.value(data.operands[0]).as_const_int()
+        } else {
+            None
+        };
+        let Some(k) = k else { continue };
+        if k >= 1 && (k as u32) < factor {
+            if roots[k as usize].is_some() {
+                return RerollOutcome::NotApplicable; // duplicate root
+            }
+            roots[k as usize] = Some(i);
+        }
+    }
+    let roots: Vec<InstId> = match roots[1..].iter().copied().collect::<Option<Vec<_>>>() {
+        Some(r) => r,
+        None => return RerollOutcome::NotApplicable,
+    };
+
+    // Latch set: increment, compare, terminator.
+    let term = func.terminator(header).expect("loop has terminator");
+    let latch: HashSet<InstId> = [iv.step_inst, tc.cmp, term].into_iter().collect();
+
+    // Collect the per-iteration sets by following def-use chains.
+    let uses = func.compute_uses();
+    let collect_set = |start_users_of: ValueId, exclude: &HashSet<InstId>| -> Vec<InstId> {
+        let mut set: HashSet<InstId> = HashSet::new();
+        let mut work: Vec<InstId> = uses
+            .of(start_users_of)
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|u| in_block.contains(u) && !exclude.contains(u))
+            .collect();
+        while let Some(i) = work.pop() {
+            if !set.insert(i) {
+                continue;
+            }
+            for &(u, _) in uses.of(func.inst_result(i)) {
+                if in_block.contains(&u) && !exclude.contains(&u) && !set.contains(&u) {
+                    work.push(u);
+                }
+            }
+        }
+        let mut ordered: Vec<InstId> = set.into_iter().collect();
+        ordered.sort_by_key(|&i| func.position_in_block(i).unwrap_or(usize::MAX));
+        ordered
+    };
+
+    let mut exclude: HashSet<InstId> = latch.clone();
+    exclude.extend(roots.iter().copied());
+    // Phis (the iv and any accumulators) are loop plumbing, never part of a
+    // replicated iteration.
+    exclude.extend(
+        block_insts
+            .iter()
+            .copied()
+            .filter(|&i| func.inst(i).opcode == Opcode::Phi),
+    );
+    // Reachability sets: users of iv / each root, transitively. Through an
+    // accumulator chain, iteration k's instructions are reachable from
+    // every root j <= k, so each instruction belongs to the *latest* root
+    // that reaches it: subtract each set's successors from it.
+    let base_set = collect_set(iv.phi_value, &exclude);
+    let mut sets: Vec<Vec<InstId>> = vec![base_set];
+    for &r in &roots {
+        sets.push(collect_set(func.inst_result(r), &exclude));
+    }
+    let mut later: HashSet<InstId> = HashSet::new();
+    for k in (0..sets.len()).rev() {
+        sets[k].retain(|i| !later.contains(i));
+        later.extend(sets[k].iter().copied());
+    }
+
+    // Accumulator phis (non-iv) of the loop, allowed as cross-iteration
+    // links.
+    let acc_phis: HashSet<ValueId> = func
+        .block(header)
+        .insts
+        .iter()
+        .take_while(|&&i| func.inst(i).opcode == Opcode::Phi)
+        .filter(|&&i| i != iv.phi)
+        .map(|&i| func.inst_result(i))
+        .collect();
+
+    // Isomorphism check, pairing element-wise in block order.
+    let n = sets[0].len();
+    if n == 0 || sets.iter().any(|s| s.len() != n) {
+        return RerollOutcome::NotApplicable;
+    }
+    // LLVM's pass only manages "simple array operations, such as array
+    // initialization and element-wise addition" (§V-C): multi-statement
+    // bodies (more than one store per iteration) defeat it.
+    let stores_in_base = sets[0]
+        .iter()
+        .filter(|&&i| func.inst(i).opcode == Opcode::Store)
+        .count();
+    if stores_in_base > 1 {
+        return RerollOutcome::NotApplicable;
+    }
+    // Coverage: every instruction in the block is accounted for.
+    let mut covered: HashSet<InstId> = HashSet::new();
+    covered.extend(latch.iter().copied());
+    covered.extend(roots.iter().copied());
+    for &i in &block_insts {
+        if func.inst(i).opcode == Opcode::Phi {
+            covered.insert(i);
+        }
+    }
+    for s in &sets {
+        covered.extend(s.iter().copied());
+    }
+    if block_insts.iter().any(|i| !covered.contains(i)) {
+        return RerollOutcome::NotApplicable;
+    }
+
+    // map[k]: base-iteration value -> iteration-k value.
+    let mut maps: Vec<HashMap<ValueId, ValueId>> = vec![HashMap::new(); factor as usize];
+    for (k, &r) in roots.iter().enumerate() {
+        maps[k + 1].insert(iv.phi_value, func.inst_result(r));
+    }
+    // Reverse map for the transform: iteration-k value -> base value.
+    let mut reverse: HashMap<ValueId, ValueId> = HashMap::new();
+
+    for k in 1..factor as usize {
+        for (x0, xk) in sets[0].clone().into_iter().zip(sets[k].clone()) {
+            let d0 = func.inst(x0).clone();
+            let dk = func.inst(xk).clone();
+            if d0.opcode != dk.opcode
+                || d0.ty != dk.ty
+                || d0.operands.len() != dk.operands.len()
+                || !extras_match(&d0.extra, &dk.extra)
+            {
+                return RerollOutcome::NotApplicable;
+            }
+            for (&a0, &ak) in d0.operands.iter().zip(&dk.operands) {
+                if a0 == ak {
+                    continue; // loop-invariant or identical
+                }
+                if maps[k].get(&a0) == Some(&ak) {
+                    continue; // iv/root or previously paired counterpart
+                }
+                // Accumulator rule: a0 is a non-iv phi; iteration k uses the
+                // (k-1)-counterpart of the chain head x0 (for k == 1, x0
+                // itself). Like LLVM, only plain add/fadd reduction chains
+                // are recognized.
+                if acc_phis.contains(&a0) && matches!(d0.opcode, Opcode::Add | Opcode::FAdd) {
+                    let prev = if k == 1 {
+                        Some(func.inst_result(x0))
+                    } else {
+                        maps[k - 1].get(&func.inst_result(x0)).copied()
+                    };
+                    if prev == Some(ak) {
+                        continue;
+                    }
+                }
+                return RerollOutcome::NotApplicable;
+            }
+            maps[k].insert(func.inst_result(x0), func.inst_result(xk));
+            reverse.insert(func.inst_result(xk), func.inst_result(x0));
+        }
+    }
+
+    // Roots and replicated iterations must not escape the loop.
+    for &r in &roots {
+        for &(user, _) in uses.of(func.inst_result(r)) {
+            if !in_block.contains(&user) {
+                return RerollOutcome::NotApplicable;
+            }
+        }
+    }
+
+    // --- transform -----------------------------------------------------------
+    // Redirect all remaining uses of replica values to their base values
+    // (covers accumulator phi back-edges and exit uses of the final value).
+    let redirects: Vec<(ValueId, ValueId)> = reverse.iter().map(|(&a, &b)| (a, b)).collect();
+    for (from, to) in redirects {
+        func.replace_all_uses(from, to);
+    }
+    // Delete replicas and roots.
+    for s in &sets[1..] {
+        for &i in s {
+            func.remove_inst(i);
+        }
+    }
+    for &r in &roots {
+        func.remove_inst(r);
+    }
+    // Step becomes 1.
+    let one = func.const_int(func.value_ty(iv.phi_value, &module.types), 1);
+    let step_data = func.inst_mut(iv.step_inst);
+    if step_data.operands[0] == iv.phi_value {
+        step_data.operands[1] = one;
+    } else {
+        step_data.operands[0] = one;
+    }
+
+    RerollOutcome::Rerolled { factor }
+}
+
+fn extras_match(a: &InstExtra, b: &InstExtra) -> bool {
+    match (a, b) {
+        (InstExtra::None, InstExtra::None) => true,
+        (InstExtra::Icmp(x), InstExtra::Icmp(y)) => x == y,
+        (InstExtra::Fcmp(x), InstExtra::Fcmp(y)) => x == y,
+        (InstExtra::Gep { elem_ty: x }, InstExtra::Gep { elem_ty: y }) => x == y,
+        (InstExtra::Call { callee: x }, InstExtra::Call { callee: y }) => x == y,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::interp::check_equivalence;
+    use rolag_ir::parser::parse_module;
+    use rolag_ir::verify::verify_module;
+
+    /// Figure 1a: the canonical partially unrolled loop.
+    const FIG1: &str = r#"
+module "fig1"
+global @a : [30 x i32] = zero
+func @f(i32 %p0) -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %m0 = mul i32 %p0, %iv
+  %x0 = gep i32, @a, %iv
+  store %m0, %x0
+  %iv1 = add i32 %iv, i32 1
+  %m1 = mul i32 %p0, %iv1
+  %x1 = gep i32, @a, %iv1
+  store %m1, %x1
+  %iv2 = add i32 %iv, i32 2
+  %m2 = mul i32 %p0, %iv2
+  %x2 = gep i32, @a, %iv2
+  store %m2, %x2
+  %ivn = add i32 %iv, i32 3
+  %cmp = icmp slt %ivn, i32 30
+  condbr %cmp, loop, exit
+exit:
+  ret
+}
+"#;
+
+    #[test]
+    fn rerolls_figure1_loop() {
+        let orig = parse_module(FIG1).unwrap();
+        let mut m = orig.clone();
+        let stats = reroll_module(&mut m);
+        assert_eq!(stats.rerolled, 1);
+        verify_module(&m).expect("verifies");
+        check_equivalence(&orig, &m, "f", &[rolag_ir::interp::IValue::Int(7)]).expect("equivalent");
+        // Loop shrank to one iteration: phi, mul, gep, store, add, cmp, br.
+        let f = m.func(m.func_by_name("f").unwrap());
+        let lp = f.block_by_name("loop").unwrap();
+        assert_eq!(f.block(lp).insts.len(), 7);
+    }
+
+    #[test]
+    fn rerolls_reduction_accumulator() {
+        let text = r#"
+module "red"
+global @a : [16 x i32] = ints i32 [1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16]
+func @f() -> i32 {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %acc = phi i32 [ i32 0, entry ], [ %a1, loop ]
+  %g0 = gep i32, @a, %iv
+  %v0 = load i32, %g0
+  %a0 = add i32 %acc, %v0
+  %iv1 = add i32 %iv, i32 1
+  %g1 = gep i32, @a, %iv1
+  %v1 = load i32, %g1
+  %a1 = add i32 %a0, %v1
+  %ivn = add i32 %iv, i32 2
+  %cmp = icmp slt %ivn, i32 16
+  condbr %cmp, loop, exit
+exit:
+  ret %a1
+}
+"#;
+        let orig = parse_module(text).unwrap();
+        let mut m = orig.clone();
+        let stats = reroll_module(&mut m);
+        assert_eq!(stats.rerolled, 1);
+        verify_module(&m).expect("verifies");
+        check_equivalence(&orig, &m, "f", &[]).expect("equivalent");
+    }
+
+    #[test]
+    fn rejects_non_isomorphic_iterations() {
+        // Second iteration multiplies instead of storing the same shape.
+        let text = r#"
+module "t"
+global @a : [16 x i32] = zero
+func @f(i32 %p0) -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %x0 = gep i32, @a, %iv
+  store %p0, %x0
+  %iv1 = add i32 %iv, i32 1
+  %m1 = mul i32 %p0, i32 3
+  %x1 = gep i32, @a, %iv1
+  store %m1, %x1
+  %ivn = add i32 %iv, i32 2
+  %cmp = icmp slt %ivn, i32 16
+  condbr %cmp, loop, exit
+exit:
+  ret
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        assert_eq!(reroll_module(&mut m).rerolled, 0);
+    }
+
+    #[test]
+    fn rejects_rolled_loops_and_straight_line_code() {
+        // A step-1 loop has no roots; straight-line code has no loops.
+        let text = r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f() -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %x0 = gep i32, @a, %iv
+  store %iv, %x0
+  %ivn = add i32 %iv, i32 1
+  %cmp = icmp slt %ivn, i32 8
+  condbr %cmp, loop, exit
+exit:
+  ret
+}
+func @g(ptr %p0) -> void {
+entry:
+  store i32 1, %p0
+  %q = gep i32, %p0, i64 1
+  store i32 2, %q
+  ret
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        let stats = reroll_module(&mut m);
+        assert_eq!(stats.rerolled, 0);
+        assert_eq!(stats.examined, 1);
+    }
+
+    #[test]
+    fn rejects_escaping_roots() {
+        // iv+1 is used after the loop: deleting it would break the exit.
+        let text = r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f() -> i32 {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %x0 = gep i32, @a, %iv
+  store %iv, %x0
+  %iv1 = add i32 %iv, i32 1
+  %x1 = gep i32, @a, %iv1
+  store %iv1, %x1
+  %ivn = add i32 %iv, i32 2
+  %cmp = icmp slt %ivn, i32 8
+  condbr %cmp, loop, exit
+exit:
+  ret %iv1
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        assert_eq!(reroll_module(&mut m).rerolled, 0);
+    }
+
+    #[test]
+    fn reroll_inverts_the_unroller() {
+        // unroll x4 then reroll must reproduce a 1-step loop.
+        let text = r#"
+module "t"
+global @a : [32 x i32] = zero
+func @f() -> void {
+entry:
+  br loop
+loop:
+  %iv = phi i32 [ i32 0, entry ], [ %ivn, loop ]
+  %g = gep i32, @a, %iv
+  %m = mul i32 %iv, i32 3
+  store %m, %g
+  %ivn = add i32 %iv, i32 1
+  %cmp = icmp slt %ivn, i32 32
+  condbr %cmp, loop, exit
+exit:
+  ret
+}
+"#;
+        let orig = parse_module(text).unwrap();
+        let mut unrolled = orig.clone();
+        rolag_transforms::unroll::unroll_module(&mut unrolled, 4);
+        rolag_transforms::pipeline::cleanup_module(&mut unrolled);
+        let mut rerolled = unrolled.clone();
+        let stats = reroll_module(&mut rerolled);
+        assert_eq!(stats.rerolled, 1);
+        verify_module(&rerolled).expect("verifies");
+        check_equivalence(&orig, &rerolled, "f", &[]).expect("equivalent to original");
+        let f = rerolled.func(rerolled.func_by_name("f").unwrap());
+        let lp = f.block_by_name("loop").unwrap();
+        // phi, gep, mul, store, add, cmp, condbr
+        assert_eq!(f.block(lp).insts.len(), 7);
+    }
+}

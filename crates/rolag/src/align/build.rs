@@ -1,0 +1,702 @@
+//! Bottom-up alignment-graph construction (§IV-B, Fig. 6).
+//!
+//! Starting from a group of seed instructions, the builder follows use-def
+//! chains towards operands, classifying each operand group as a matching,
+//! identical, mismatching, or special node. Groups are memoized so shared
+//! subgraphs become shared nodes (a DAG), and instructions are *claimed* by
+//! the node lane that will regenerate them, which prevents one instruction
+//! from being rolled into two different iterations.
+
+use rolag_ir::{
+    BlockId, Function, InstExtra, InstId, Module, NeutralElement, Opcode, TypeId, ValueDef, ValueId,
+};
+
+use crate::align::graph::{AlignGraph, AlignNode, NodeId, NodeKind};
+use crate::options::RolagOptions;
+
+/// Builds an [`AlignGraph`] for groups of seed values inside one block.
+pub struct GraphBuilder<'a> {
+    module: &'a Module,
+    /// Mutated only to intern constants (synthetic zeros / neutral
+    /// elements).
+    func: &'a mut Function,
+    block: BlockId,
+    opts: &'a RolagOptions,
+    graph: AlignGraph,
+}
+
+impl<'a> GraphBuilder<'a> {
+    /// Creates a builder for a graph with `lanes` iterations.
+    pub fn new(
+        module: &'a Module,
+        func: &'a mut Function,
+        block: BlockId,
+        opts: &'a RolagOptions,
+        lanes: usize,
+    ) -> Self {
+        GraphBuilder {
+            module,
+            func,
+            block,
+            opts,
+            graph: AlignGraph::new(lanes),
+        }
+    }
+
+    /// Consumes the builder, returning the graph.
+    pub fn finish(self) -> AlignGraph {
+        self.graph
+    }
+
+    /// Builds the graph rooted at a seed group (one value per lane) and
+    /// registers it as a root. Returns `None` when the seeds do not form a
+    /// matching node (seed groups are only useful if the seeds themselves
+    /// align).
+    pub fn build_seed_root(&mut self, group: &[ValueId]) -> Option<NodeId> {
+        assert_eq!(group.len(), self.graph.lanes, "seed group lane mismatch");
+        let id = self.build_group(group, None);
+        match self.graph.node(id).kind {
+            NodeKind::Match { .. } => {
+                self.graph.roots.push(id);
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds a reduction root (§IV-C5): `internal` are the tree's internal
+    /// operations (all `opcode`), `leaves` its leaf values, which become the
+    /// new seed group.
+    pub fn build_reduction_root(
+        &mut self,
+        opcode: Opcode,
+        internal: Vec<InstId>,
+        leaves: &[ValueId],
+        carry: Option<ValueId>,
+        ty: TypeId,
+    ) -> Option<NodeId> {
+        assert_eq!(leaves.len(), self.graph.lanes, "leaf group lane mismatch");
+        if !self.opts.enable_reductions {
+            return None;
+        }
+        let child = self.build_group(leaves, None);
+        // A reduction is only useful if its leaves align into real code.
+        if !matches!(self.graph.node(child).kind, NodeKind::Match { .. }) {
+            return None;
+        }
+        let node = self.graph.add_node(AlignNode {
+            kind: NodeKind::Reduction {
+                opcode,
+                internal,
+                carry,
+                ty,
+            },
+            lanes: leaves.to_vec(),
+            children: vec![child],
+        });
+        self.graph.roots.push(node);
+        Some(node)
+    }
+
+    /// Classifies and builds the node for one group of values.
+    fn build_group(&mut self, group: &[ValueId], parent: Option<NodeId>) -> NodeId {
+        if let Some(&id) = self.graph.memo.get(group) {
+            return id;
+        }
+
+        // 1. Identical values in every lane: loop-invariant.
+        if group.iter().all(|&v| v == group[0]) {
+            return self.leaf(group, NodeKind::Identical);
+        }
+
+        // 2. Integer-constant groups: sequence or mismatch (§IV-C1).
+        if let Some(consts) = self.as_const_ints(group) {
+            if self.opts.enable_sequences {
+                if let Some((start, step)) = arithmetic_progression(&consts) {
+                    let ty = self.func.value_ty(group[0], &self.module.types);
+                    return self.leaf(group, NodeKind::Sequence { start, step, ty });
+                }
+            }
+            return self.leaf(group, NodeKind::Mismatch);
+        }
+
+        // 3. Chained dependence (§IV-C4): the group is a one-lane-shifted
+        //    view of some value-producing node already in the graph (in the
+        //    common case, the parent the recursion came from — but a compare
+        //    feeding a select chain reaches the same shifted group from a
+        //    sibling, so the search covers the whole graph).
+        if self.opts.enable_recurrences {
+            let _ = parent;
+            let target = self.graph.node_ids().find(|&t| {
+                let tn = self.graph.node(t);
+                matches!(
+                    tn.kind,
+                    NodeKind::Match { .. }
+                        | NodeKind::GepNeutral { .. }
+                        | NodeKind::BinOpNeutral { .. }
+                ) && tn.lanes.len() == group.len()
+                    && (1..group.len()).all(|k| group[k] == tn.lanes[k - 1])
+            });
+            if let Some(target) = target {
+                let node = self.graph.add_node(AlignNode {
+                    kind: NodeKind::Recurrence {
+                        init: group[0],
+                        target,
+                    },
+                    lanes: group.to_vec(),
+                    children: vec![target],
+                });
+                self.graph.memo.insert(group.to_vec(), node);
+                return node;
+            }
+        }
+
+        // 4. Exactly matching instructions.
+        if let Some(node) = self.try_match(group) {
+            return node;
+        }
+
+        // 5. Neutral pointer operations (§IV-C2).
+        if self.opts.enable_gep_neutral {
+            if let Some(node) = self.try_gep_neutral(group) {
+                return node;
+            }
+        }
+
+        // 6. Neutral elements of binary operations (§IV-C3).
+        if self.opts.enable_binop_neutral {
+            if let Some(node) = self.try_binop_neutral(group) {
+                return node;
+            }
+        }
+
+        // 7. Give up: a mismatching node.
+        self.leaf(group, NodeKind::Mismatch)
+    }
+
+    fn leaf(&mut self, group: &[ValueId], kind: NodeKind) -> NodeId {
+        let node = self.graph.add_node(AlignNode {
+            kind,
+            lanes: group.to_vec(),
+            children: Vec::new(),
+        });
+        self.graph.memo.insert(group.to_vec(), node);
+        node
+    }
+
+    fn as_const_ints(&self, group: &[ValueId]) -> Option<Vec<i64>> {
+        let ty0 = self.func.value_ty(group[0], &self.module.types);
+        group
+            .iter()
+            .map(|&v| match self.func.value(v) {
+                ValueDef::ConstInt { ty, value } if *ty == ty0 => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Instruction lane eligible for rolling: a non-phi, non-terminator,
+    /// non-alloca instruction of the target block, not yet claimed.
+    fn rollable_inst(&self, v: ValueId) -> Option<InstId> {
+        let inst = self.func.value(v).as_inst()?;
+        let data = self.func.inst(inst);
+        if data.block != self.block || !self.func.is_live(inst) {
+            return None;
+        }
+        if data.opcode == Opcode::Phi
+            || data.opcode == Opcode::Alloca
+            || data.opcode.is_terminator()
+        {
+            return None;
+        }
+        if self.graph.claimed.contains_key(&inst) {
+            return None;
+        }
+        Some(inst)
+    }
+
+    fn try_match(&mut self, group: &[ValueId]) -> Option<NodeId> {
+        let insts: Vec<InstId> = group
+            .iter()
+            .map(|&v| self.rollable_inst(v))
+            .collect::<Option<Vec<_>>>()?;
+        // Lanes must be distinct instructions.
+        for i in 0..insts.len() {
+            for j in i + 1..insts.len() {
+                if insts[i] == insts[j] {
+                    return None;
+                }
+            }
+        }
+        let first = self.func.inst(insts[0]).clone();
+        let opcode = first.opcode;
+        for &i in &insts[1..] {
+            let data = self.func.inst(i);
+            if data.opcode != opcode
+                || data.ty != first.ty
+                || data.operands.len() != first.operands.len()
+                || !extras_compatible(&first.extra, &data.extra)
+            {
+                return None;
+            }
+            for (a, b) in first.operands.iter().zip(&data.operands) {
+                let ta = self.func.value_ty(*a, &self.module.types);
+                let tb = self.func.value_ty(*b, &self.module.types);
+                if ta != tb {
+                    return None;
+                }
+            }
+        }
+
+        // Create the node first so claims and recurrence detection can see
+        // it while the children are built.
+        let node = self.graph.add_node(AlignNode {
+            kind: NodeKind::Match { opcode },
+            lanes: group.to_vec(),
+            children: Vec::new(),
+        });
+        self.graph.memo.insert(group.to_vec(), node);
+        for (lane, &i) in insts.iter().enumerate() {
+            self.graph.claimed.insert(i, (node, lane));
+        }
+
+        let operand_groups = self.operand_groups(&insts, opcode);
+        for og in operand_groups {
+            let child = self.build_group(&og, Some(node));
+            self.graph.node_mut(node).children.push(child);
+        }
+        Some(node)
+    }
+
+    /// Groups the operands of matched instructions by position, reordering
+    /// commutative operands to maximize similarity (§IV-C3).
+    fn operand_groups(&self, insts: &[InstId], opcode: Opcode) -> Vec<Vec<ValueId>> {
+        let nops = self.func.inst(insts[0]).operands.len();
+        let mut groups: Vec<Vec<ValueId>> = vec![Vec::with_capacity(insts.len()); nops];
+        let reorder = self.opts.enable_commutative && opcode.is_commutative() && nops == 2;
+        for (lane, &i) in insts.iter().enumerate() {
+            let ops = &self.func.inst(i).operands;
+            if reorder && lane > 0 {
+                let (a, b) = (ops[0], ops[1]);
+                let ref_a = groups[0][0];
+                let ref_b = groups[1][0];
+                let keep = self.similarity(a, ref_a) + self.similarity(b, ref_b);
+                let swap = self.similarity(b, ref_a) + self.similarity(a, ref_b);
+                if swap > keep {
+                    groups[0].push(b);
+                    groups[1].push(a);
+                    continue;
+                }
+            }
+            for (k, &op) in ops.iter().enumerate() {
+                groups[k].push(op);
+            }
+        }
+        groups
+    }
+
+    /// Cheap shape-similarity score used by commutative reordering.
+    fn similarity(&self, a: ValueId, b: ValueId) -> i32 {
+        if a == b {
+            return 4;
+        }
+        match (self.func.value(a), self.func.value(b)) {
+            (ValueDef::Inst(ia), ValueDef::Inst(ib)) => {
+                if self.func.inst(*ia).opcode == self.func.inst(*ib).opcode {
+                    3
+                } else {
+                    1
+                }
+            }
+            (ValueDef::ConstInt { .. }, ValueDef::ConstInt { .. }) => 2,
+            (ValueDef::Param { .. }, ValueDef::Param { .. }) => 2,
+            _ => 0,
+        }
+    }
+
+    /// Neutral pointer operations: a mix of `gep base, idx` lanes and bare
+    /// `base` lanes becomes one `gep` whose index group gets a synthetic 0
+    /// for the bare lanes (§IV-C2, Fig. 9).
+    fn try_gep_neutral(&mut self, group: &[ValueId]) -> Option<NodeId> {
+        #[derive(Clone, Copy)]
+        enum Lane {
+            Gep(InstId),
+            Base,
+        }
+        let mut lanes = Vec::with_capacity(group.len());
+        let mut base: Option<ValueId> = None;
+        let mut elem_ty: Option<TypeId> = None;
+        let mut gep_count = 0usize;
+        for &v in group {
+            if let Some(inst) = self.rollable_inst(v) {
+                let data = self.func.inst(inst);
+                if data.opcode == Opcode::Gep && data.operands.len() == 2 {
+                    let InstExtra::Gep { elem_ty: ety } = data.extra else {
+                        return None;
+                    };
+                    if *elem_ty.get_or_insert(ety) != ety {
+                        return None;
+                    }
+                    if *base.get_or_insert(data.operands[0]) != data.operands[0] {
+                        return None;
+                    }
+                    lanes.push(Lane::Gep(inst));
+                    gep_count += 1;
+                    continue;
+                }
+            }
+            // Non-gep lane: must be the base pointer itself.
+            match base {
+                Some(b) if b != v => return None,
+                _ => {
+                    base = Some(v);
+                }
+            }
+            lanes.push(Lane::Base);
+        }
+        let base = base?;
+        let elem_ty = elem_ty?;
+        if gep_count == 0 {
+            return None;
+        }
+        // Bare lanes must actually be the base (re-check first lanes seen
+        // before the base was pinned by a gep).
+        for (lane, &v) in lanes.iter().zip(group) {
+            if matches!(lane, Lane::Base) && v != base {
+                return None;
+            }
+        }
+        // All gep index operands must share one integer type.
+        let mut idx_ty: Option<TypeId> = None;
+        for l in &lanes {
+            if let Lane::Gep(i) = l {
+                let t = self
+                    .func
+                    .value_ty(self.func.inst(*i).operands[1], &self.module.types);
+                if *idx_ty.get_or_insert(t) != t {
+                    return None;
+                }
+            }
+        }
+        let idx_ty = idx_ty?;
+
+        let node = self.graph.add_node(AlignNode {
+            kind: NodeKind::GepNeutral { elem_ty },
+            lanes: group.to_vec(),
+            children: Vec::new(),
+        });
+        self.graph.memo.insert(group.to_vec(), node);
+        for (k, l) in lanes.iter().enumerate() {
+            if let Lane::Gep(i) = l {
+                self.graph.claimed.insert(*i, (node, k));
+            }
+        }
+        let zero = self.func.const_int(idx_ty, 0);
+        let base_group: Vec<ValueId> = vec![base; group.len()];
+        let idx_group: Vec<ValueId> = lanes
+            .iter()
+            .map(|l| match l {
+                Lane::Gep(i) => self.func.inst(*i).operands[1],
+                Lane::Base => zero,
+            })
+            .collect();
+        let base_child = self.build_group(&base_group, Some(node));
+        let idx_child = self.build_group(&idx_group, Some(node));
+        self.graph.node_mut(node).children = vec![base_child, idx_child];
+        Some(node)
+    }
+
+    /// Neutral elements of binary operations: the most frequent binop
+    /// becomes the node's operation; other lanes are padded as
+    /// `value ⊕ neutral` (§IV-C3).
+    fn try_binop_neutral(&mut self, group: &[ValueId]) -> Option<NodeId> {
+        // Find the most frequent eligible opcode among instruction lanes.
+        let mut counts: Vec<(Opcode, usize)> = Vec::new();
+        for &v in group {
+            if let Some(inst) = self.rollable_inst(v) {
+                let op = self.func.inst(inst).opcode;
+                if op.is_binop() && op.neutral_element().is_some() {
+                    match counts.iter_mut().find(|(o, _)| *o == op) {
+                        Some((_, c)) => *c += 1,
+                        None => counts.push((op, 1)),
+                    }
+                }
+            }
+        }
+        let (opcode, count) = counts.into_iter().max_by_key(|&(_, c)| c)?;
+        if count < 2 || count == group.len() {
+            // All-same-opcode groups were already rejected by `try_match`
+            // for structural reasons; padding cannot help them.
+            return None;
+        }
+        let ty = self.func.value_ty(group[0], &self.module.types);
+        // Every lane must produce the same type as the operation.
+        for &v in group {
+            if self.func.value_ty(v, &self.module.types) != ty {
+                return None;
+            }
+        }
+        let neutral = self.neutral_const(opcode, ty)?;
+
+        #[derive(Clone, Copy)]
+        enum Lane {
+            Op(InstId),
+            Other,
+        }
+        let lanes: Vec<Lane> = group
+            .iter()
+            .map(|&v| match self.rollable_inst(v) {
+                Some(i) if self.func.inst(i).opcode == opcode => Lane::Op(i),
+                _ => Lane::Other,
+            })
+            .collect();
+
+        let node = self.graph.add_node(AlignNode {
+            kind: NodeKind::BinOpNeutral { opcode, ty },
+            lanes: group.to_vec(),
+            children: Vec::new(),
+        });
+        self.graph.memo.insert(group.to_vec(), node);
+        for (k, l) in lanes.iter().enumerate() {
+            if let Lane::Op(i) = l {
+                self.graph.claimed.insert(*i, (node, k));
+            }
+        }
+        let lhs: Vec<ValueId> = lanes
+            .iter()
+            .zip(group)
+            .map(|(l, &v)| match l {
+                Lane::Op(i) => self.func.inst(*i).operands[0],
+                Lane::Other => v,
+            })
+            .collect();
+        let rhs: Vec<ValueId> = lanes
+            .iter()
+            .zip(group)
+            .map(|(l, _)| match l {
+                Lane::Op(i) => self.func.inst(*i).operands[1],
+                Lane::Other => neutral,
+            })
+            .collect();
+        let lhs_child = self.build_group(&lhs, Some(node));
+        let rhs_child = self.build_group(&rhs, Some(node));
+        self.graph.node_mut(node).children = vec![lhs_child, rhs_child];
+        Some(node)
+    }
+
+    fn neutral_const(&mut self, opcode: Opcode, ty: TypeId) -> Option<ValueId> {
+        let types = &self.module.types;
+        Some(match opcode.neutral_element()? {
+            NeutralElement::Zero if types.is_int(ty) => self.func.const_int(ty, 0),
+            NeutralElement::One if types.is_int(ty) => self.func.const_int(ty, 1),
+            NeutralElement::AllOnes if types.is_int(ty) => self.func.const_int(ty, -1),
+            NeutralElement::FZero if types.is_float(ty) => self.func.const_float(ty, 0.0),
+            NeutralElement::FOne if types.is_float(ty) => self.func.const_float(ty, 1.0),
+            _ => return None,
+        })
+    }
+}
+
+fn extras_compatible(a: &InstExtra, b: &InstExtra) -> bool {
+    match (a, b) {
+        (InstExtra::None, InstExtra::None) => true,
+        (InstExtra::Icmp(x), InstExtra::Icmp(y)) => x == y,
+        (InstExtra::Fcmp(x), InstExtra::Fcmp(y)) => x == y,
+        (InstExtra::Gep { elem_ty: x }, InstExtra::Gep { elem_ty: y }) => x == y,
+        (InstExtra::Call { callee: x }, InstExtra::Call { callee: y }) => x == y,
+        _ => false,
+    }
+}
+
+/// Detects `S_i = S_0 + i*(S_1 - S_0)` with a non-zero common difference.
+fn arithmetic_progression(consts: &[i64]) -> Option<(i64, i64)> {
+    if consts.len() < 2 {
+        return None;
+    }
+    let step = consts[1].checked_sub(consts[0])?;
+    if step == 0 {
+        return None;
+    }
+    for w in consts.windows(2) {
+        if w[1].checked_sub(w[0])? != step {
+            return None;
+        }
+    }
+    Some((consts[0], step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    fn build_from_stores(text: &str) -> (Module, AlignGraph) {
+        let module = parse_module(text).unwrap();
+        let fid = module.func_by_name("f").unwrap();
+        let mut func = module.func(fid).clone();
+        let block = func.entry_block();
+        let seeds: Vec<ValueId> = func
+            .block(block)
+            .insts
+            .iter()
+            .filter(|&&i| func.inst(i).opcode == Opcode::Store)
+            .map(|&i| func.inst_result(i))
+            .collect();
+        let opts = RolagOptions::default();
+        let mut b = GraphBuilder::new(&module, &mut func, block, &opts, seeds.len());
+        let root = b.build_seed_root(&seeds);
+        assert!(root.is_some(), "seed stores should match");
+        (module.clone(), b.finish())
+    }
+
+    #[test]
+    fn simple_store_sequence_aligns() {
+        // Fig. 7: three stores of constants 5, 1, 0 to ptr[0..2].
+        let (_m, g) = build_from_stores(
+            r#"
+module "t"
+func @f(ptr %p0) -> void {
+entry:
+  %a = gep i32, %p0, i64 0
+  store i32 5, %a
+  %b = gep i32, %p0, i64 1
+  store i32 1, %b
+  %c = gep i32, %p0, i64 2
+  store i32 0, %c
+  ret
+}
+"#,
+        );
+        let kinds = g.count_kinds();
+        assert_eq!(kinds.matching, 2, "store node + gep node");
+        assert_eq!(kinds.mismatching, 1, "the 5,1,0 constants");
+        assert_eq!(kinds.sequence, 1, "the 0,1,2 indices");
+        assert_eq!(kinds.identical, 1, "the base pointer");
+        assert_eq!(g.graph_insts().len(), 6);
+    }
+
+    #[test]
+    fn arithmetic_progression_detection() {
+        assert_eq!(arithmetic_progression(&[0, 16, 32, 48, 64]), Some((0, 16)));
+        assert_eq!(arithmetic_progression(&[5, 4, 3, 2]), Some((5, -1)));
+        assert_eq!(arithmetic_progression(&[1, 2, 4]), None);
+        assert_eq!(arithmetic_progression(&[7, 7, 7]), None);
+    }
+
+    #[test]
+    fn gep_neutral_unifies_base_and_offsets() {
+        // Fig. 9: stores to p, p+16, p+32 (bytes).
+        let (_m, g) = build_from_stores(
+            r#"
+module "t"
+func @f(ptr %p0) -> void {
+entry:
+  store i64 1, %p0
+  %b = gep i8, %p0, i64 16
+  store i64 2, %b
+  %c = gep i8, %p0, i64 32
+  store i64 3, %c
+  ret
+}
+"#,
+        );
+        let kinds = g.count_kinds();
+        assert_eq!(kinds.gep_neutral, 1);
+        // Two sequences: byte offsets 0,16,32 (with the synthetic zero) and
+        // the stored values 1,2,3.
+        assert_eq!(kinds.sequence, 2);
+        assert_eq!(kinds.mismatching, 0);
+    }
+
+    #[test]
+    fn binop_neutral_pads_missing_ops() {
+        // Lanes: add(x,1), x, add(y,3) -> add node with neutral 0 on lane 1.
+        let (_m, g) = build_from_stores(
+            r#"
+module "t"
+func @f(ptr %p0, i32 %p1, i32 %p2) -> void {
+entry:
+  %v0 = add i32 %p1, i32 1
+  %a = gep i32, %p0, i64 0
+  store %v0, %a
+  %b = gep i32, %p0, i64 1
+  store %p1, %b
+  %v2 = add i32 %p2, i32 3
+  %c = gep i32, %p0, i64 2
+  store %v2, %c
+  ret
+}
+"#,
+        );
+        let kinds = g.count_kinds();
+        assert_eq!(kinds.binop_neutral, 1);
+        // rhs group 1, 0, 3 is a mismatch; lhs group p1, p1, p2 too.
+        assert!(kinds.mismatching >= 2);
+    }
+
+    #[test]
+    fn commutative_reordering_recovers_alignment() {
+        // mul(x, load) vs mul(load, x): positions differ; reordering aligns.
+        let (_m, g) = build_from_stores(
+            r#"
+module "t"
+global @a : [4 x i32] = zero
+func @f(ptr %p0, i32 %p1) -> void {
+entry:
+  %q0 = gep i32, @a, i64 0
+  %l0 = load i32, %q0
+  %v0 = mul i32 %p1, %l0
+  %s0 = gep i32, %p0, i64 0
+  store %v0, %s0
+  %q1 = gep i32, @a, i64 1
+  %l1 = load i32, %q1
+  %v1 = mul i32 %l1, %p1
+  %s1 = gep i32, %p0, i64 1
+  store %v1, %s1
+  ret
+}
+"#,
+        );
+        let kinds = g.count_kinds();
+        // With reordering, the mul operands align as (p1-identical,
+        // load-match); without it, both operand groups would mismatch.
+        assert_eq!(kinds.matching, 5, "store, store-gep, mul, load, load-gep");
+        assert_eq!(kinds.mismatching, 0);
+    }
+
+    #[test]
+    fn disabled_options_fall_back_to_mismatch() {
+        let module = parse_module(
+            r#"
+module "t"
+func @f(ptr %p0) -> void {
+entry:
+  %a = gep i32, %p0, i64 0
+  store i32 5, %a
+  %b = gep i32, %p0, i64 1
+  store i32 6, %b
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let fid = module.func_by_name("f").unwrap();
+        let mut func = module.func(fid).clone();
+        let block = func.entry_block();
+        let seeds: Vec<ValueId> = func
+            .block(block)
+            .insts
+            .iter()
+            .filter(|&&i| func.inst(i).opcode == Opcode::Store)
+            .map(|&i| func.inst_result(i))
+            .collect();
+        let opts = RolagOptions::no_special_nodes();
+        let mut b = GraphBuilder::new(&module, &mut func, block, &opts, seeds.len());
+        b.build_seed_root(&seeds).unwrap();
+        let g = b.finish();
+        let kinds = g.count_kinds();
+        assert_eq!(kinds.sequence, 0);
+        // Indices 0,1 and constants 5,6 both degrade to mismatches.
+        assert_eq!(kinds.mismatching, 2);
+    }
+}

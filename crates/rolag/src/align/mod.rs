@@ -1,0 +1,7 @@
+//! Alignment graphs: data structures and the bottom-up builder (§IV-B/C).
+
+mod build;
+mod graph;
+
+pub use build::GraphBuilder;
+pub use graph::{AlignGraph, AlignNode, NodeId, NodeKind};

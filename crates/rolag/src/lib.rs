@@ -1,0 +1,61 @@
+//! # rolag
+//!
+//! RoLAG — **Ro**lling with **L**oop **A**lignment **G**raphs — a
+//! from-scratch reproduction of *"Loop Rolling for Code Size Reduction"*
+//! (Rocha, Petoumenos, Franke, Bhatotia, O'Boyle — CGO 2022).
+//!
+//! RoLAG turns straight-line repetitive code into loops. It aligns SSA
+//! graphs bottom-up from seed instructions into an *alignment graph*
+//! ([`align`]), abstracts special code patterns (integer sequences, neutral
+//! pointer operations, algebraic identities, chained dependences, reduction
+//! trees, joint alternating groups), validates the rearrangement with a
+//! scheduling analysis ([`schedule`]), generates the rolled loop
+//! ([`codegen`]), and keeps whichever version a code-size cost model says
+//! is smaller ([`pass`]).
+//!
+//! ```
+//! use rolag::{roll_module, RolagOptions};
+//! use rolag_ir::parser::parse_module;
+//!
+//! let text = r#"
+//! module "demo"
+//! global @a : [8 x i32] = zero
+//! func @fill() -> void {
+//! entry:
+//!   %g0 = gep i32, @a, i64 0
+//!   store i32 0, %g0
+//!   %g1 = gep i32, @a, i64 1
+//!   store i32 5, %g1
+//!   %g2 = gep i32, @a, i64 2
+//!   store i32 10, %g2
+//!   %g3 = gep i32, @a, i64 3
+//!   store i32 15, %g3
+//!   %g4 = gep i32, @a, i64 4
+//!   store i32 20, %g4
+//!   %g5 = gep i32, @a, i64 5
+//!   store i32 25, %g5
+//!   ret
+//! }
+//! "#;
+//! let mut module = parse_module(text).unwrap();
+//! let stats = roll_module(&mut module, &RolagOptions::default());
+//! assert_eq!(stats.rolled, 1);
+//! assert!(stats.size_after < stats.size_before);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod codegen;
+pub mod options;
+pub mod pass;
+pub mod schedule;
+pub mod seeds;
+pub mod stats;
+
+pub use align::{AlignGraph, AlignNode, GraphBuilder, NodeId, NodeKind};
+pub use options::RolagOptions;
+pub use pass::{roll_function, roll_module};
+pub use schedule::Schedule;
+pub use seeds::{collect_candidates, Candidate};
+pub use stats::{NodeKindCounts, RolagStats};

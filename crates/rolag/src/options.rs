@@ -1,0 +1,115 @@
+//! Pass configuration.
+
+use rolag_analysis::cost::TargetKind;
+
+/// Options controlling the RoLAG pass.
+///
+/// The `enable_*` switches exist for the paper's ablation discussion
+/// (disabling the special nodes drops profitable TSVC rolls from 84 to 19,
+/// §V-C / Fig. 19).
+#[derive(Debug, Clone)]
+pub struct RolagOptions {
+    /// Allow re-association of floating-point reduction trees (the paper
+    /// requires an explicit fast-math opt-in, §IV-C5).
+    pub fast_math: bool,
+    /// Minimum number of lanes (loop iterations) worth attempting.
+    pub min_lanes: usize,
+    /// Monotonic integer sequence nodes (§IV-C1).
+    pub enable_sequences: bool,
+    /// Neutral pointer operation nodes (§IV-C2).
+    pub enable_gep_neutral: bool,
+    /// Neutral-element padding for binary operations (§IV-C3).
+    pub enable_binop_neutral: bool,
+    /// Similarity-maximizing operand reordering for commutative ops
+    /// (§IV-C3).
+    pub enable_commutative: bool,
+    /// Recurrence nodes for chained dependences (§IV-C4).
+    pub enable_recurrences: bool,
+    /// Reduction-tree rolling (§IV-C5).
+    pub enable_reductions: bool,
+    /// Joint alignment of alternating seed groups (§IV-C6).
+    pub enable_joint: bool,
+    /// Mismatching nodes (handled through arrays). Disabling restricts the
+    /// graph to exact matches.
+    pub enable_mismatch: bool,
+    /// Run simplify+DCE on functions changed by the pass.
+    pub cleanup: bool,
+    /// EXTENSION (paper future work, §V-C / Fig. 20b): seed alignment from
+    /// chains of `select`s and non-associative binops, enabling select-based
+    /// min/max reductions to roll. Off by default to match the paper's
+    /// evaluated configuration.
+    pub enable_value_chains: bool,
+    /// Lowering target whose size model drives profitability (§IV-F uses
+    /// "the compiler's target-specific cost model").
+    pub target: TargetKind,
+}
+
+impl Default for RolagOptions {
+    fn default() -> Self {
+        RolagOptions {
+            fast_math: true,
+            min_lanes: 2,
+            enable_sequences: true,
+            enable_gep_neutral: true,
+            enable_binop_neutral: true,
+            enable_commutative: true,
+            enable_recurrences: true,
+            enable_reductions: true,
+            enable_joint: true,
+            enable_mismatch: true,
+            cleanup: true,
+            enable_value_chains: false,
+            target: TargetKind::default(),
+        }
+    }
+}
+
+impl RolagOptions {
+    /// The paper's future-work configuration: everything on, including the
+    /// select/min-max chain extension.
+    pub fn with_extensions() -> Self {
+        RolagOptions {
+            enable_value_chains: true,
+            ..RolagOptions::default()
+        }
+    }
+}
+
+impl RolagOptions {
+    /// The ablation configuration used by Fig. 19's discussion: all special
+    /// nodes disabled, leaving only exact matching.
+    pub fn no_special_nodes() -> Self {
+        RolagOptions {
+            enable_sequences: false,
+            enable_gep_neutral: false,
+            enable_binop_neutral: false,
+            enable_commutative: false,
+            enable_recurrences: false,
+            enable_reductions: false,
+            enable_joint: false,
+            // Mismatching nodes are one of the two *base* kinds (Fig. 7b),
+            // not a special node, so the ablation keeps them.
+            ..RolagOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let o = RolagOptions::default();
+        assert!(o.enable_sequences && o.enable_reductions && o.enable_joint);
+        assert_eq!(o.min_lanes, 2);
+    }
+
+    #[test]
+    fn ablation_disables_special_nodes_only() {
+        let o = RolagOptions::no_special_nodes();
+        assert!(!o.enable_sequences && !o.enable_recurrences);
+        assert!(o.cleanup);
+        assert_eq!(o.min_lanes, 2);
+    }
+}

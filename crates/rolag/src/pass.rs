@@ -1,0 +1,231 @@
+//! The RoLAG pass driver (Fig. 5).
+//!
+//! For every basic block: collect seed groups, build an alignment graph,
+//! run the scheduling analysis, speculatively generate the rolled loop, and
+//! keep whichever version the code-size cost model says is smaller. Commits
+//! strictly decrease the size estimate, so the pass terminates.
+
+use rolag_ir::dce::run_dce_with;
+use rolag_ir::fold::simplify_function;
+use rolag_ir::{Effects, FuncId, Function, Module};
+
+use crate::align::GraphBuilder;
+use crate::codegen;
+use crate::options::RolagOptions;
+use crate::schedule;
+use crate::seeds::{collect_candidates, Candidate};
+use crate::stats::RolagStats;
+
+/// Runs RoLAG on one function. Returns per-function statistics.
+pub fn roll_function(module: &mut Module, id: FuncId, opts: &RolagOptions) -> RolagStats {
+    let mut stats = RolagStats::default();
+    if module.func(id).is_declaration {
+        return stats;
+    }
+    let mut work = module.func(id).clone();
+    stats.size_before = opts.target.function_estimate(module, &work) as u64;
+
+    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
+
+    loop {
+        let candidates = collect_candidates(module, &work, opts);
+        let mut committed = false;
+        for cand in candidates {
+            stats.attempted += 1;
+            match try_candidate(module, &work, &cand, opts, &effects) {
+                Attempt::Committed { func, kinds } => {
+                    work = func;
+                    stats.rolled += 1;
+                    stats.nodes += kinds;
+                    committed = true;
+                    break;
+                }
+                Attempt::ScheduleRejected => stats.rejected_schedule += 1,
+                Attempt::Unprofitable => stats.rejected_profit += 1,
+            }
+        }
+        if !committed {
+            break;
+        }
+    }
+
+    stats.size_after = opts.target.function_estimate(module, &work) as u64;
+    module.replace_func(id, work);
+    stats
+}
+
+#[allow(clippy::large_enum_variant)] // transient, one per candidate
+enum Attempt {
+    Committed {
+        func: Function,
+        kinds: crate::stats::NodeKindCounts,
+    },
+    ScheduleRejected,
+    Unprofitable,
+}
+
+fn try_candidate(
+    module: &mut Module,
+    work: &Function,
+    cand: &Candidate,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> Attempt {
+    let block = cand.block();
+    let mut attempt = work.clone();
+
+    // Build the alignment graph (interning synthetic constants into the
+    // attempt as needed).
+    let lanes = cand.lanes();
+    if lanes < opts.min_lanes {
+        return Attempt::ScheduleRejected;
+    }
+    let mut builder = GraphBuilder::new(module, &mut attempt, block, opts, lanes);
+    let built = match cand {
+        Candidate::Seeds { groups, .. } => {
+            groups.iter().all(|g| builder.build_seed_root(g).is_some())
+        }
+        Candidate::Reduction {
+            opcode,
+            internal,
+            leaves,
+            carry,
+            ty,
+            ..
+        } => builder
+            .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
+            .is_some(),
+    };
+    if !built {
+        return Attempt::ScheduleRejected;
+    }
+    let graph = builder.finish();
+
+    let Some(sched) = schedule::analyze(module, &attempt, block, &graph) else {
+        return Attempt::ScheduleRejected;
+    };
+
+    let before_globals = module.num_globals();
+    let Some(outcome) = codegen::generate(module, &mut attempt, block, &graph, &sched) else {
+        // Roll back any globals created before the generator bailed.
+        rollback_globals(module, before_globals);
+        return Attempt::ScheduleRejected;
+    };
+
+    if opts.cleanup {
+        let void_ty = module.types.void();
+        loop {
+            let mut changed = simplify_function(&mut attempt, &mut module.types);
+            changed += run_dce_with(&mut attempt, void_ty, &|callee| {
+                effects.get(callee.index()).copied().unwrap_or_default()
+            });
+            if changed == 0 {
+                break;
+            }
+        }
+    }
+
+    // Profitability (§IV-F): text estimate plus the constant data the roll
+    // added to `.rodata`.
+    let old_size = opts.target.function_estimate(module, work) as u64;
+    let rodata: u64 = outcome
+        .new_globals
+        .iter()
+        .map(|&g| module.global_size(g))
+        .sum();
+    let new_size = opts.target.function_estimate(module, &attempt) as u64 + rodata;
+
+    if new_size < old_size {
+        Attempt::Committed {
+            func: attempt,
+            kinds: graph.count_kinds(),
+        }
+    } else {
+        rollback_globals(module, before_globals);
+        Attempt::Unprofitable
+    }
+}
+
+fn rollback_globals(module: &mut Module, keep: usize) {
+    while module.num_globals() > keep {
+        let last = rolag_ir::GlobalId::from_index(module.num_globals() - 1);
+        module.pop_global(last);
+    }
+}
+
+/// Runs RoLAG on every function of the module, returning aggregate
+/// statistics.
+pub fn roll_module(module: &mut Module, opts: &RolagOptions) -> RolagStats {
+    let ids: Vec<FuncId> = module.func_ids().collect();
+    let mut total = RolagStats::default();
+    for id in ids {
+        total += roll_function(module, id, opts);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::interp::{equivalent, IValue, Interpreter};
+    use rolag_ir::parser::parse_module;
+    use rolag_ir::verify::verify_module;
+
+    /// Rolls, verifies, and checks behavioural equivalence on the given
+    /// entry points/arguments. Returns (module, stats).
+    fn roll_and_check(text: &str, runs: &[(&str, Vec<IValue>)]) -> (Module, RolagStats) {
+        let orig = parse_module(text).unwrap();
+        let mut rolled = orig.clone();
+        let opts = RolagOptions::default();
+        let stats = roll_module(&mut rolled, &opts);
+        verify_module(&rolled).expect("rolled module verifies");
+        for (entry, args) in runs {
+            let mut ia = Interpreter::new(&orig);
+            let mut ib = Interpreter::new(&rolled);
+            let oa = ia.run(entry, args).unwrap();
+            let ob = ib.run(entry, args).unwrap();
+            assert!(
+                equivalent(&oa, &ob),
+                "behaviour changed for {entry}: {oa:?} vs {ob:?}"
+            );
+        }
+        (rolled, stats)
+    }
+
+    #[test]
+    fn rolls_long_store_sequence() {
+        // 8 stores a[i] = i*7: clearly profitable.
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nfunc @f() -> void {\nentry:\n",
+        );
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  ret\n}\n");
+        let (m, stats) = roll_and_check(&text, &[("f", vec![])]);
+        assert_eq!(stats.rolled, 1);
+        assert!(stats.size_after < stats.size_before);
+        let f = m.func(m.func_by_name("f").unwrap());
+        assert_eq!(f.num_blocks(), 3, "pre/loop/exit");
+    }
+
+    #[test]
+    fn short_sequences_are_unprofitable() {
+        let text = r#"
+module "t"
+global @a : [2 x i32] = zero
+func @f() -> void {
+entry:
+  %g0 = gep i32, @a, i64 0
+  store i32 0, %g0
+  %g1 = gep i32, @a, i64 1
+  store i32 7, %g1
+  ret
+}
+"#;
+        let (_, stats) = roll_and_check(text, &[("f", vec![])]);
+        assert_eq!(stats.rolled, 0);
+        assert!(stats.rejected_profit >= 1);
+    }
+}

@@ -1,0 +1,465 @@
+//! Scheduling analysis (§IV-D, Fig. 13).
+//!
+//! Decides whether the instructions of an alignment graph can be rearranged
+//! into loop-iteration order while preserving semantics:
+//!
+//! * every *external* instruction of the block must be placeable entirely
+//!   before the loop (preheader side) or after it (exit side) — an
+//!   instruction pulled both ways means a circular dependence crossing the
+//!   graph boundary, which is prohibited;
+//! * every pair of conflicting memory operations *inside* the graph must
+//!   keep its original relative order under the new `(lane, node)`
+//!   execution order;
+//! * the values consumed by mismatching/identical/recurrence-init lanes
+//!   must be available in the preheader (in particular, they must not
+//!   themselves be rolled away).
+
+use std::collections::{HashMap, HashSet};
+
+use rolag_analysis::depgraph::BlockDeps;
+use rolag_ir::{BlockId, Function, InstId, Module, Opcode};
+
+use crate::align::{AlignGraph, NodeKind};
+
+/// Where an external instruction is placed relative to the rolled loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Unknown,
+    Before,
+    After,
+}
+
+/// A valid placement produced by the analysis.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Instructions that stay in the preheader, in original order.
+    pub before: Vec<InstId>,
+    /// Instructions that move to the exit block, in original order (the
+    /// original terminator is last).
+    pub after: Vec<InstId>,
+    /// The instructions the rolled loop replaces.
+    pub graph_insts: HashSet<InstId>,
+}
+
+/// Runs the scheduling analysis. Returns `None` when the rearrangement
+/// would break semantics.
+pub fn analyze(
+    module: &Module,
+    func: &Function,
+    block: BlockId,
+    graph: &AlignGraph,
+) -> Option<Schedule> {
+    let graph_insts = graph.graph_insts();
+    if graph_insts.is_empty() {
+        return None;
+    }
+    let deps = BlockDeps::compute(module, func, block);
+    let n = deps.len();
+    let conflict_set: HashSet<(usize, usize)> = deps.mem_conflicts().iter().copied().collect();
+    let pos_of = |inst: InstId| deps.position(inst);
+
+    // Sanity: every graph instruction is in this block.
+    let mut in_graph = vec![false; n];
+    for &g in &graph_insts {
+        let p = pos_of(g)?;
+        in_graph[p] = true;
+    }
+
+    // --- availability of loop inputs ---------------------------------------
+    // Values feeding the loop from outside (mismatch lanes, identical lanes,
+    // recurrence inits) must not be instructions we are deleting.
+    for node in graph.node_ids() {
+        let data = graph.node(node);
+        let feeds: Vec<rolag_ir::ValueId> = match &data.kind {
+            NodeKind::Mismatch => data.lanes.clone(),
+            NodeKind::Identical => vec![data.lanes[0]],
+            NodeKind::Recurrence { init, .. } => vec![*init],
+            NodeKind::Reduction { carry: Some(v), .. } => vec![*v],
+            _ => continue,
+        };
+        for v in feeds {
+            if let Some(inst) = func.value(v).as_inst() {
+                if graph_insts.contains(&inst) {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // --- lane-consistency of intra-graph uses -------------------------------
+    // A rolled value may only be consumed by the same lane of another rolled
+    // instruction (recurrences are routed through phis and exempt by
+    // construction: the consuming lane reads the *previous* lane through the
+    // recurrence node, whose shifted shape was validated when it was built).
+    // (target-of-recurrence, consumer-of-recurrence) pairs: a use of the
+    // target's lane k by the consumer's lane k+1 flows through the
+    // recurrence phi and is legal.
+    let mut shift_ok: HashSet<(crate::align::NodeId, crate::align::NodeId)> = HashSet::new();
+    for rec in graph.node_ids() {
+        let NodeKind::Recurrence { target, .. } = graph.node(rec).kind else {
+            continue;
+        };
+        for user in graph.node_ids() {
+            if graph.node(user).children.contains(&rec) {
+                shift_ok.insert((target, user));
+            }
+        }
+    }
+    let uses = func.compute_uses();
+    for (&inst, &(node, lane)) in &graph.claimed {
+        let result = func.inst_result(inst);
+        for &(user, _) in uses.of(result) {
+            if let Some((user_node, user_lane)) = graph.claim_of(user) {
+                if user_lane == lane {
+                    continue;
+                }
+                // Shifted use through a recurrence: allowed when the user
+                // consumes a recurrence of this node at the next lane.
+                if user_lane == lane + 1 && shift_ok.contains(&(node, user_node)) {
+                    continue;
+                }
+                return None;
+            }
+        }
+    }
+    // Reduction internals: all their intermediate values must stay inside
+    // the tree (guaranteed single-use at collection) — double-check.
+    for node in graph.node_ids() {
+        if let NodeKind::Reduction { internal, .. } = &graph.node(node).kind {
+            for &i in &internal[1..] {
+                let result = func.inst_result(i);
+                if uses.count(result) != 1 {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // --- memory order inside the graph --------------------------------------
+    // New execution order: iterations (lanes) outermost, emission order of
+    // nodes within an iteration.
+    let emission = graph.emission_order();
+    let node_order: HashMap<_, _> = emission
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| (id, k))
+        .collect();
+    let mut new_key: HashMap<usize, (usize, usize)> = HashMap::new();
+    for (&inst, &(node, lane)) in &graph.claimed {
+        if let Some(p) = pos_of(inst) {
+            new_key.insert(p, (lane, node_order[&node]));
+        }
+    }
+    for &(a, b) in deps.mem_conflicts() {
+        match (new_key.get(&a), new_key.get(&b)) {
+            (Some(ka), Some(kb))
+                // a < b originally; the rolled order must agree.
+                if ka >= kb => {
+                    return None;
+                }
+            _ => {} // handled by the external classification below
+        }
+    }
+
+    // --- classify external instructions -------------------------------------
+    let mut side = vec![Side::Unknown; n];
+    let term = *func.block(block).insts.last()?;
+    for p in 0..n {
+        if in_graph[p] {
+            continue;
+        }
+        let inst = deps.insts[p];
+        let data = func.inst(inst);
+        if inst == term {
+            side[p] = Side::After;
+            continue;
+        }
+        if data.opcode == Opcode::Phi {
+            side[p] = Side::Before; // phis must stay at the block head
+        }
+        let mut before = side[p] == Side::Before;
+        let mut after = false;
+        #[allow(clippy::needless_range_loop)] // parallel index into two tables
+        for g in 0..n {
+            if !in_graph[g] {
+                continue;
+            }
+            // SSA: graph depends on external -> external goes before;
+            //      external depends on graph -> external goes after.
+            if g > p && deps.depends_on(g, p) {
+                before = true;
+            }
+            if p > g && deps.depends_on(p, g) {
+                after = true;
+            }
+            // Memory: conflicting pairs keep their original order.
+            let conflict = conflict_set.contains(&(p.min(g), p.max(g)));
+            if conflict {
+                if p < g {
+                    before = true;
+                } else {
+                    after = true;
+                }
+            }
+        }
+        side[p] = match (before, after) {
+            (true, true) => return None, // pulled both ways
+            (true, false) => Side::Before,
+            (false, true) => Side::After,
+            (false, false) => Side::Unknown,
+        };
+    }
+
+    // --- propagate constraints among externals -------------------------------
+    // For external p < q with q depending on p (SSA) or conflicting memory:
+    // placement must keep p before q, so (After, Before) is impossible and
+    // Before pulls its suppliers Before / After pushes its dependents After.
+    let ext_pairs: Vec<(usize, usize)> = {
+        let mut pairs = Vec::new();
+        for q in 0..n {
+            if in_graph[q] {
+                continue;
+            }
+            #[allow(clippy::needless_range_loop)] // parallel index
+            for p in 0..q {
+                if in_graph[p] {
+                    continue;
+                }
+                let dep = deps.depends_on(q, p) || conflict_set.contains(&(p, q));
+                if dep {
+                    pairs.push((p, q));
+                }
+            }
+        }
+        pairs
+    };
+    loop {
+        let mut changed = false;
+        for &(p, q) in &ext_pairs {
+            match (side[p], side[q]) {
+                (Side::After, Side::Before) => return None,
+                (Side::After, Side::Unknown) => {
+                    side[q] = Side::After;
+                    changed = true;
+                }
+                (Side::Unknown, Side::Before) => {
+                    side[p] = Side::Before;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Independent leftovers go after the loop (Fig. 13).
+    let mut before = Vec::new();
+    let mut after = Vec::new();
+    for p in 0..n {
+        if in_graph[p] {
+            continue;
+        }
+        match side[p] {
+            Side::Before => before.push(deps.insts[p]),
+            _ => after.push(deps.insts[p]),
+        }
+    }
+    Some(Schedule {
+        before,
+        after,
+        graph_insts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::align::GraphBuilder;
+    use crate::options::RolagOptions;
+    use rolag_ir::parser::parse_module;
+    use rolag_ir::ValueId;
+
+    /// Builds a graph from the store seeds of @f's entry block and runs the
+    /// scheduling analysis.
+    fn analyze_stores(text: &str) -> Option<(Schedule, usize)> {
+        let module = parse_module(text).unwrap();
+        let fid = module.func_by_name("f").unwrap();
+        let mut func = module.func(fid).clone();
+        let block = func.entry_block();
+        // Mirror the real seed collector: only stores whose pointer
+        // resolves to the global @a form the group under test.
+        let target = module.global_by_name("a");
+        let seeds: Vec<ValueId> = func
+            .block(block)
+            .insts
+            .iter()
+            .filter(|&&i| {
+                let data = func.inst(i);
+                data.opcode == Opcode::Store
+                    && match rolag_analysis::alias::resolve_pointer(
+                        &module,
+                        &func,
+                        data.operands[1],
+                    )
+                    .base
+                    {
+                        rolag_analysis::alias::BaseObject::Global(g) => Some(g) == target,
+                        _ => false,
+                    }
+            })
+            .map(|&i| func.inst_result(i))
+            .collect();
+        let opts = RolagOptions::default();
+        let mut b = GraphBuilder::new(&module, &mut func, block, &opts, seeds.len());
+        b.build_seed_root(&seeds)?;
+        let graph = b.finish();
+        let ginsts = graph.graph_insts().len();
+        analyze(&module, &func, block, &graph).map(|s| (s, ginsts))
+    }
+
+    #[test]
+    fn clean_store_sequence_schedules() {
+        let (sched, ginsts) = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f(i32 %p0) -> void {
+entry:
+  %v = mul i32 %p0, i32 3
+  %a0 = gep i32, @a, i64 0
+  store %v, %a0
+  %a1 = gep i32, @a, i64 1
+  store %v, %a1
+  %a2 = gep i32, @a, i64 2
+  store %v, %a2
+  ret
+}
+"#,
+        )
+        .expect("should schedule");
+        // %v feeds the loop -> before; ret -> after; 6 insts rolled.
+        assert_eq!(sched.before.len(), 1);
+        assert_eq!(sched.after.len(), 1);
+        assert_eq!(ginsts, 6);
+    }
+
+    #[test]
+    fn interleaved_conflicting_store_blocks_rolling() {
+        // A store to a *may-alias* location sits between the group's
+        // stores: it must stay after store#0 but before store#2 — pulled
+        // both ways, so scheduling fails.
+        let res = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f(ptr %p0) -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  store i32 9, %p0
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  ret
+}
+"#,
+        );
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn disjoint_interleaved_store_moves_after() {
+        // Same shape, but the interleaved store goes to a provably distinct
+        // global: it can be placed after the loop.
+        let (sched, _) = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+global @b : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  %b0 = gep i32, @b, i64 0
+  store i32 9, %b0
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  ret
+}
+"#,
+        )
+        .expect("distinct bases schedule fine");
+        // gep @b + store @b + ret after (gep folds with its store user).
+        assert_eq!(sched.after.len(), 3);
+    }
+
+    #[test]
+    fn user_of_rolled_value_goes_after() {
+        let (sched, _) = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+declare @use(ptr %p0) -> void readwrite
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  %a2 = gep i32, @a, i64 2
+  store i32 3, %a2
+  call void @use(@a)
+  ret
+}
+"#,
+        )
+        .expect("trailing call schedules after");
+        assert_eq!(sched.after.len(), 2, "call + ret");
+        assert!(sched.before.is_empty());
+    }
+
+    #[test]
+    fn leading_call_stays_before() {
+        let (sched, _) = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+declare @init(ptr %p0) -> void readwrite
+func @f() -> void {
+entry:
+  call void @init(@a)
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  ret
+}
+"#,
+        )
+        .expect("leading call schedules before");
+        assert_eq!(sched.before.len(), 1);
+    }
+
+    #[test]
+    fn call_sandwiched_by_conflicts_fails() {
+        // The external call conflicts with stores on both sides.
+        let res = analyze_stores(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+declare @touch() -> void readwrite
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  call void @touch()
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  ret
+}
+"#,
+        );
+        assert!(res.is_none());
+    }
+}

@@ -1,0 +1,559 @@
+//! Seed collection (§IV-A).
+//!
+//! Scans a basic block for groups of instructions likely to lead to
+//! isomorphic code: stores grouped by base address and stored type, calls
+//! grouped by callee, and roots of reduction trees. Alternating groups are
+//! additionally proposed as joint candidates (§IV-C6).
+
+use std::collections::HashMap;
+
+use rolag_analysis::alias::{resolve_pointer, BaseObject};
+use rolag_ir::{BlockId, Function, InstExtra, InstId, Module, Opcode, TypeId, ValueDef, ValueId};
+
+use crate::options::RolagOptions;
+
+/// One rolling candidate for the alignment-graph builder.
+#[derive(Debug, Clone)]
+pub enum Candidate {
+    /// One or more seed groups (more than one = a joint candidate whose
+    /// groups alternate in the block). Each inner vector holds one seed
+    /// value per lane, in block order.
+    Seeds {
+        /// The block the seeds live in.
+        block: BlockId,
+        /// Seed groups in emission order.
+        groups: Vec<Vec<ValueId>>,
+    },
+    /// A reduction tree (§IV-C5).
+    Reduction {
+        /// The block the tree lives in.
+        block: BlockId,
+        /// The associative operation.
+        opcode: Opcode,
+        /// Internal tree instructions; `internal[0]` is the tree root.
+        internal: Vec<InstId>,
+        /// Leaf values, one per lane.
+        leaves: Vec<ValueId>,
+        /// A loop-carried or external value entering the chain (the
+        /// accumulator of a partially unrolled reduction loop). Becomes the
+        /// rolled accumulator's initial value, keeping the evaluation order
+        /// — and therefore floating-point results — exact.
+        carry: Option<ValueId>,
+        /// Element type.
+        ty: TypeId,
+    },
+}
+
+impl Candidate {
+    /// The block this candidate targets.
+    pub fn block(&self) -> BlockId {
+        match self {
+            Candidate::Seeds { block, .. } => *block,
+            Candidate::Reduction { block, .. } => *block,
+        }
+    }
+
+    /// Number of lanes (rolled-loop iterations) of the candidate.
+    pub fn lanes(&self) -> usize {
+        match self {
+            Candidate::Seeds { groups, .. } => groups[0].len(),
+            Candidate::Reduction { leaves, .. } => leaves.len(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GroupKey {
+    Store(BaseObject, TypeId),
+    Call(rolag_ir::FuncId),
+}
+
+/// Collects rolling candidates for every block of `func`.
+pub fn collect_candidates(module: &Module, func: &Function, opts: &RolagOptions) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for block in func.block_ids() {
+        collect_in_block(module, func, block, opts, &mut out);
+    }
+    out
+}
+
+/// Collects rolling candidates inside one block, appending to `out`.
+pub fn collect_in_block(
+    module: &Module,
+    func: &Function,
+    block: BlockId,
+    opts: &RolagOptions,
+    out: &mut Vec<Candidate>,
+) {
+    // --- store and call groups, with their positions -----------------------
+    let mut groups: Vec<(GroupKey, Vec<(usize, InstId)>)> = Vec::new();
+    let mut index: HashMap<GroupKey, usize> = HashMap::new();
+    for (pos, &i) in func.block(block).insts.iter().enumerate() {
+        let data = func.inst(i);
+        let key = match data.opcode {
+            Opcode::Store => {
+                let base = resolve_pointer(module, func, data.operands[1]).base;
+                let vty = func.value_ty(data.operands[0], &module.types);
+                GroupKey::Store(base, vty)
+            }
+            Opcode::Call => {
+                let InstExtra::Call { callee } = data.extra else {
+                    continue;
+                };
+                GroupKey::Call(callee)
+            }
+            _ => continue,
+        };
+        let slot = *index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push((pos, i));
+    }
+    let big: Vec<&(GroupKey, Vec<(usize, InstId)>)> = groups
+        .iter()
+        .filter(|(_, seeds)| seeds.len() >= opts.min_lanes)
+        .collect();
+
+    // --- joint candidates: alternating groups of equal size (§IV-C6) -------
+    // All maximal k-way round-robins are proposed first (k >= 2), then the
+    // pairwise ones not subsumed by a larger joint.
+    if opts.enable_joint {
+        let mut by_size: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (idx, (_, seeds)) in big.iter().enumerate() {
+            by_size.entry(seeds.len()).or_default().push(idx);
+        }
+        for indices in by_size.values() {
+            if indices.len() < 2 {
+                continue;
+            }
+            // Widest-first: try the full set, then all pairs.
+            let mut proposed_full = false;
+            if indices.len() > 2 {
+                let groups: Vec<&Vec<(usize, InstId)>> =
+                    indices.iter().map(|&i| &big[i].1).collect();
+                if let Some(ordered) = alternation_k(&groups) {
+                    out.push(Candidate::Seeds {
+                        block,
+                        groups: ordered
+                            .iter()
+                            .map(|g| g.iter().map(|&(_, i)| func.inst_result(i)).collect())
+                            .collect(),
+                    });
+                    proposed_full = true;
+                }
+            }
+            if !proposed_full {
+                for a in 0..indices.len() {
+                    for b in a + 1..indices.len() {
+                        let groups = [&big[indices[a]].1, &big[indices[b]].1];
+                        if let Some(ordered) = alternation_k(&groups[..]) {
+                            out.push(Candidate::Seeds {
+                                block,
+                                groups: ordered
+                                    .iter()
+                                    .map(|g| g.iter().map(|&(_, i)| func.inst_result(i)).collect())
+                                    .collect(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- plain groups, larger first ----------------------------------------
+    let mut plain: Vec<&(GroupKey, Vec<(usize, InstId)>)> = big.clone();
+    plain.sort_by_key(|(_, seeds)| (usize::MAX - seeds.len(), seeds[0].0));
+    for (_, seeds) in plain {
+        out.push(Candidate::Seeds {
+            block,
+            groups: vec![seeds.iter().map(|&(_, i)| func.inst_result(i)).collect()],
+        });
+    }
+
+    // --- reduction trees (§IV-C5) -------------------------------------------
+    if opts.enable_reductions {
+        collect_reductions(module, func, block, opts, out);
+    }
+
+    // --- value chains (EXTENSION: paper future work, Fig. 20b) --------------
+    if opts.enable_value_chains {
+        collect_value_chains(func, block, opts, out);
+    }
+}
+
+/// EXTENSION (§V-C future work): chains of `select`s or non-associative
+/// binops where each link consumes the previous one — e.g. the select chain
+/// a partially unrolled min/max loop leaves behind. The chain members
+/// become a seed group; the link itself is recognized by the recurrence
+/// node during alignment.
+fn collect_value_chains(
+    func: &Function,
+    block: BlockId,
+    opts: &RolagOptions,
+    out: &mut Vec<Candidate>,
+) {
+    let uses = func.compute_uses();
+    let insts = &func.block(block).insts;
+    let in_block: std::collections::HashSet<InstId> = insts.iter().copied().collect();
+    let eligible = |op: Opcode| {
+        matches!(op, Opcode::Select) || (op.is_binop() && !op.is_associative(opts.fast_math))
+    };
+    // next[i] = the unique same-opcode user of i inside the block.
+    let link_of = |i: InstId| -> Option<InstId> {
+        let op = func.inst(i).opcode;
+        let result = func.inst_result(i);
+        let users: Vec<InstId> = uses
+            .of(result)
+            .iter()
+            .map(|&(u, _)| u)
+            .filter(|u| in_block.contains(u) && func.inst(*u).opcode == op)
+            .collect();
+        // The link is the unique same-opcode user; other users (e.g. the
+        // compare feeding the next select) are resolved by the alignment
+        // graph itself.
+        match users.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    };
+    // Heads: eligible instructions not linked from an earlier chain member.
+    let mut linked: std::collections::HashSet<InstId> = std::collections::HashSet::new();
+    for &i in insts {
+        if eligible(func.inst(i).opcode) {
+            if let Some(n) = link_of(i) {
+                linked.insert(n);
+            }
+        }
+    }
+    for &head in insts {
+        if !eligible(func.inst(head).opcode) || linked.contains(&head) {
+            continue;
+        }
+        let mut chain = vec![head];
+        let mut cur = head;
+        while let Some(next) = link_of(cur) {
+            chain.push(next);
+            cur = next;
+        }
+        if chain.len() >= opts.min_lanes.max(3) {
+            out.push(Candidate::Seeds {
+                block,
+                groups: vec![chain.iter().map(|&i| func.inst_result(i)).collect()],
+            });
+        }
+    }
+}
+
+/// If the position-sorted groups strictly alternate in round-robin order
+/// (g0[0] < g1[0] < ... < gk[0] < g0[1] < ...), returns them in leading
+/// order; otherwise `None`.
+fn alternation_k<'g>(groups: &[&'g Vec<(usize, InstId)>]) -> Option<Vec<&'g Vec<(usize, InstId)>>> {
+    let mut ordered: Vec<&Vec<(usize, InstId)>> = groups.to_vec();
+    ordered.sort_by_key(|g| g[0].0);
+    let n = ordered[0].len();
+    let mut prev = None;
+    for lane in 0..n {
+        for g in &ordered {
+            let pos = g[lane].0;
+            if let Some(p) = prev {
+                if pos <= p {
+                    return None;
+                }
+            }
+            prev = Some(pos);
+        }
+    }
+    Some(ordered)
+}
+
+fn collect_reductions(
+    _module: &Module,
+    func: &Function,
+    block: BlockId,
+    opts: &RolagOptions,
+    out: &mut Vec<Candidate>,
+) {
+    let uses = func.compute_uses();
+    let insts = &func.block(block).insts;
+    let in_block: std::collections::HashSet<InstId> = insts.iter().copied().collect();
+    for &i in insts {
+        let data = func.inst(i);
+        let opcode = data.opcode;
+        if !opcode.is_binop() || !opcode.is_associative(opts.fast_math) || !opcode.is_commutative()
+        {
+            continue;
+        }
+        // Roots: results not consumed by another same-opcode inst in the
+        // block.
+        let result = func.inst_result(i);
+        let is_root = !uses
+            .of(result)
+            .iter()
+            .any(|&(user, _)| in_block.contains(&user) && func.inst(user).opcode == opcode);
+        if !is_root {
+            continue;
+        }
+        // Gather the tree: internal nodes are same-opcode, single-use
+        // instructions of this block.
+        let mut internal = vec![i];
+        let mut leaves: Vec<ValueId> = Vec::new();
+        let mut stack = vec![i];
+        while let Some(n) = stack.pop() {
+            for &op in &func.inst(n).operands {
+                let as_internal = match func.value(op) {
+                    ValueDef::Inst(inner)
+                        if in_block.contains(inner)
+                            && func.inst(*inner).opcode == opcode
+                            && uses.count(op) == 1 =>
+                    {
+                        Some(*inner)
+                    }
+                    _ => None,
+                };
+                match as_internal {
+                    Some(inner) => {
+                        internal.push(inner);
+                        stack.push(inner);
+                    }
+                    None => leaves.push(op),
+                }
+            }
+        }
+        // A tree of fewer than 3 leaves is just one operation.
+        if leaves.len() < 3 || leaves.len() < opts.min_lanes {
+            continue;
+        }
+        // Canonicalize leaf order by block position (associativity and
+        // commutativity allow it): this lets strided leaves align their
+        // index groups into sequences rather than shuffled mismatch arrays.
+        let pos_map: HashMap<InstId, usize> = insts
+            .iter()
+            .enumerate()
+            .map(|(p, &inst)| (inst, p))
+            .collect();
+        let leaf_pos = |v: ValueId, func: &Function| match func.value(v) {
+            ValueDef::Inst(inner) => {
+                if func.inst(*inner).opcode == Opcode::Phi {
+                    // Phis sort first: they are carry candidates.
+                    0
+                } else {
+                    pos_map.get(inner).copied().unwrap_or(usize::MAX)
+                }
+            }
+            _ => 0,
+        };
+        leaves.sort_by_key(|&v| leaf_pos(v, func));
+        // A single non-rollable leaf (a phi of this block, or a value from
+        // outside) is the accumulator carried into a partially unrolled
+        // reduction; split it off as the chain's entry value.
+        let is_plain = |v: ValueId| match func.value(v) {
+            ValueDef::Inst(inner) => {
+                in_block.contains(inner) && func.inst(*inner).opcode != Opcode::Phi
+            }
+            _ => false,
+        };
+        let odd: Vec<usize> = (0..leaves.len())
+            .filter(|&k| !is_plain(leaves[k]))
+            .collect();
+        let carry = if odd.len() == 1 && leaves.len() >= 4 {
+            Some(leaves.remove(odd[0]))
+        } else {
+            None
+        };
+        out.push(Candidate::Reduction {
+            block,
+            opcode,
+            internal,
+            leaves,
+            carry,
+            ty: data.ty,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    fn candidates(text: &str) -> (Module, Vec<Candidate>) {
+        let m = parse_module(text).unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let opts = RolagOptions::default();
+        let c = collect_candidates(&m, f, &opts);
+        (m.clone(), c)
+    }
+
+    #[test]
+    fn stores_group_by_base_and_type() {
+        let (_m, c) = candidates(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+global @b : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  %b0 = gep i32, @b, i64 0
+  store i32 9, %b0
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  %b1 = gep i32, @b, i64 1
+  store i32 8, %b1
+  %a2 = gep i32, @a, i64 2
+  store i32 3, %a2
+  ret
+}
+"#,
+        );
+        // Groups: stores-to-@a (3 lanes), stores-to-@b (2 lanes). They do
+        // not strictly alternate (a,b,a,b,a has unequal sizes), so no joint.
+        let seeds: Vec<_> = c
+            .iter()
+            .filter_map(|c| match c {
+                Candidate::Seeds { groups, .. } => Some(groups),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seeds.len(), 2);
+        assert_eq!(seeds[0].len(), 1);
+        assert_eq!(seeds[0][0].len(), 3, "larger group first");
+        assert_eq!(seeds[1][0].len(), 2);
+    }
+
+    #[test]
+    fn calls_group_by_callee_and_joint_detected() {
+        let (_m, c) = candidates(
+            r#"
+module "t"
+declare @sink(i32 %p0) -> void readwrite
+global @a : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  call void @sink(i32 0)
+  %a1 = gep i32, @a, i64 1
+  store i32 2, %a1
+  call void @sink(i32 1)
+  ret
+}
+"#,
+        );
+        let joints: Vec<_> = c
+            .iter()
+            .filter_map(|c| match c {
+                Candidate::Seeds { groups, .. } if groups.len() == 2 => Some(groups),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(joints.len(), 1, "stores and calls alternate");
+        assert_eq!(joints[0][0].len(), 2);
+        // Plain candidates for each group also exist.
+        let plains = c
+            .iter()
+            .filter(|c| matches!(c, Candidate::Seeds { groups, .. } if groups.len() == 1))
+            .count();
+        assert_eq!(plains, 2);
+    }
+
+    #[test]
+    fn reduction_tree_found_with_root_first() {
+        let (m, c) = candidates(
+            r#"
+module "t"
+func @f(ptr %p0, ptr %p1) -> i32 {
+entry:
+  %a0 = load i32, %p0
+  %b0 = load i32, %p1
+  %m0 = mul i32 %a0, %b0
+  %g1 = gep i32, %p0, i64 1
+  %a1 = load i32, %g1
+  %h1 = gep i32, %p1, i64 1
+  %b1 = load i32, %h1
+  %m1 = mul i32 %a1, %b1
+  %g2 = gep i32, %p0, i64 2
+  %a2 = load i32, %g2
+  %h2 = gep i32, %p1, i64 2
+  %b2 = load i32, %h2
+  %m2 = mul i32 %a2, %b2
+  %s0 = add i32 %m0, %m1
+  %s1 = add i32 %s0, %m2
+  ret %s1
+}
+"#,
+        );
+        let reds: Vec<_> = c
+            .iter()
+            .filter_map(|c| match c {
+                Candidate::Reduction {
+                    opcode,
+                    internal,
+                    leaves,
+                    ..
+                } => Some((opcode, internal, leaves)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reds.len(), 1);
+        let (op, internal, leaves) = &reds[0];
+        assert_eq!(**op, Opcode::Add);
+        assert_eq!(internal.len(), 2, "two adds");
+        assert_eq!(leaves.len(), 3, "three muls");
+        // internal[0] is the root (the final add).
+        let f = m.func(m.func_by_name("f").unwrap());
+        let root_val = f.inst_result(internal[0]);
+        let ret = f.live_insts().last().unwrap();
+        assert_eq!(f.inst(ret).operands[0], root_val);
+    }
+
+    #[test]
+    fn small_groups_are_ignored() {
+        let (_m, c) = candidates(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 1, %a0
+  ret
+}
+"#,
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn multi_use_subtrees_become_leaves() {
+        // %s0 has two uses -> it cannot be an internal node; the tree seen
+        // from the final add has leaves {%s0, %s0, %p2} (>=3 leaves).
+        let (_m, c) = candidates(
+            r#"
+module "t"
+func @f(i32 %p0, i32 %p1, i32 %p2) -> i32 {
+entry:
+  %s0 = add i32 %p0, %p1
+  %d = add i32 %s0, %s0
+  %r = add i32 %d, %p2
+  ret %r
+}
+"#,
+        );
+        let reds: Vec<_> = c
+            .iter()
+            .filter_map(|c| match c {
+                Candidate::Reduction {
+                    leaves, internal, ..
+                } => Some((leaves, internal)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reds.len(), 1);
+        assert_eq!(reds[0].0.len(), 3);
+        assert_eq!(reds[0].1.len(), 2, "root and %d; %s0 stays a leaf");
+    }
+}

@@ -1,0 +1,171 @@
+//! Pass statistics, including the node-kind breakdown of profitable
+//! alignment graphs (Figs. 16 and 19 in the paper).
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters for the kinds of alignment-graph nodes (profitable graphs only).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeKindCounts {
+    /// Exactly matching instruction groups.
+    pub matching: u64,
+    /// Identical-value groups (loop invariants).
+    pub identical: u64,
+    /// Mismatching groups handled through arrays.
+    pub mismatching: u64,
+    /// Monotonic integer sequences (§IV-C1).
+    pub sequence: u64,
+    /// Neutral pointer operations (§IV-C2).
+    pub gep_neutral: u64,
+    /// Binary operations padded with neutral elements (§IV-C3).
+    pub binop_neutral: u64,
+    /// Recurrences from chained dependences (§IV-C4).
+    pub recurrence: u64,
+    /// Reduction trees (§IV-C5).
+    pub reduction: u64,
+}
+
+impl NodeKindCounts {
+    /// Total nodes counted.
+    pub fn total(&self) -> u64 {
+        self.matching
+            + self.identical
+            + self.mismatching
+            + self.sequence
+            + self.gep_neutral
+            + self.binop_neutral
+            + self.recurrence
+            + self.reduction
+    }
+
+    /// `(label, count)` rows in the order the paper's figures use.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("matching", self.matching),
+            ("identical", self.identical),
+            ("mismatching", self.mismatching),
+            ("sequence", self.sequence),
+            ("gep-neutral", self.gep_neutral),
+            ("binop-neutral", self.binop_neutral),
+            ("recurrence", self.recurrence),
+            ("reduction", self.reduction),
+        ]
+    }
+}
+
+impl AddAssign for NodeKindCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.matching += rhs.matching;
+        self.identical += rhs.identical;
+        self.mismatching += rhs.mismatching;
+        self.sequence += rhs.sequence;
+        self.gep_neutral += rhs.gep_neutral;
+        self.binop_neutral += rhs.binop_neutral;
+        self.recurrence += rhs.recurrence;
+        self.reduction += rhs.reduction;
+    }
+}
+
+/// Aggregate statistics of one pass run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RolagStats {
+    /// Alignment graphs attempted.
+    pub attempted: u64,
+    /// Graphs rejected by the scheduling analysis.
+    pub rejected_schedule: u64,
+    /// Graphs generated but rejected by the profitability analysis.
+    pub rejected_profit: u64,
+    /// Loops committed (successful rolls).
+    pub rolled: u64,
+    /// Node-kind breakdown over committed (profitable) graphs.
+    pub nodes: NodeKindCounts,
+    /// Estimated text size before the pass.
+    pub size_before: u64,
+    /// Estimated text size after the pass.
+    pub size_after: u64,
+}
+
+impl RolagStats {
+    /// Percentage reduction of the estimated text size.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.size_before == 0 {
+            return 0.0;
+        }
+        100.0 * (self.size_before as f64 - self.size_after as f64) / self.size_before as f64
+    }
+}
+
+impl AddAssign for RolagStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.attempted += rhs.attempted;
+        self.rejected_schedule += rhs.rejected_schedule;
+        self.rejected_profit += rhs.rejected_profit;
+        self.rolled += rhs.rolled;
+        self.nodes += rhs.nodes;
+        self.size_before += rhs.size_before;
+        self.size_after += rhs.size_after;
+    }
+}
+
+impl fmt::Display for RolagStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rolled {} / {} attempts ({} schedule-rejected, {} unprofitable), size {} -> {} ({:+.2}%)",
+            self.rolled,
+            self.attempted,
+            self.rejected_schedule,
+            self.rejected_profit,
+            self.size_before,
+            self.size_after,
+            -self.reduction_percent()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rows() {
+        let c = NodeKindCounts {
+            matching: 3,
+            sequence: 2,
+            ..Default::default()
+        };
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.rows()[0], ("matching", 3));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = RolagStats {
+            rolled: 1,
+            size_before: 100,
+            size_after: 80,
+            ..Default::default()
+        };
+        let b = RolagStats {
+            rolled: 2,
+            size_before: 50,
+            size_after: 50,
+            ..Default::default()
+        };
+        a += b;
+        assert_eq!(a.rolled, 3);
+        assert_eq!(a.size_before, 150);
+    }
+
+    #[test]
+    fn reduction_percent() {
+        let s = RolagStats {
+            size_before: 200,
+            size_after: 150,
+            ..Default::default()
+        };
+        assert!((s.reduction_percent() - 25.0).abs() < 1e-9);
+        let z = RolagStats::default();
+        assert_eq!(z.reduction_percent(), 0.0);
+    }
+}

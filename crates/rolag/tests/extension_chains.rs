@@ -1,0 +1,135 @@
+//! Tests for the value-chain extension (paper future work, §V-C /
+//! Fig. 20b): select-based min/max reductions and non-associative binop
+//! chains roll when `enable_value_chains` is on and are left alone in the
+//! paper's default configuration.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
+use rolag_ir::parser::parse_module;
+use rolag_ir::verify::verify_module;
+
+/// The straight-line form of Fig. 20b: max = |a[i]| over unrolled
+/// iterations, lowered to a chain of selects (cmp + select per element).
+fn max_chain(n: usize) -> String {
+    let mut t = String::from("module \"max\"\n");
+    t.push_str(&format!(
+        "global @a : [{n} x i32] = ints i32 [{}]\n",
+        (0..n)
+            .map(|i| ((i * 37 + 11) % 100).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    t.push_str("func @maxval() -> i32 {\nentry:\n");
+    t.push_str("  %m0 = load i32, @a\n");
+    let mut acc = "m0".to_string();
+    for i in 1..n {
+        t.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        t.push_str(&format!("  %v{i} = load i32, %g{i}\n"));
+        t.push_str(&format!("  %c{i} = icmp sgt %v{i}, %{acc}\n"));
+        t.push_str(&format!("  %s{i} = select i32 %c{i}, %v{i}, %{acc}\n"));
+        acc = format!("s{i}");
+    }
+    t.push_str(&format!("  ret %{acc}\n}}\n"));
+    t
+}
+
+#[test]
+fn select_chain_rolls_with_extension() {
+    let text = max_chain(8);
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::with_extensions());
+    assert_eq!(stats.rolled, 1, "the select chain rolls");
+    assert!(stats.nodes.recurrence >= 1, "the chain threads a phi");
+    verify_module(&rolled).expect("verifies");
+    check_equivalence(&original, &rolled, "maxval", &[]).expect("equivalent");
+
+    let expected = (0..8).map(|i| ((i * 37 + 11) % 100) as i64).max().unwrap();
+    let mut interp = Interpreter::new(&rolled);
+    assert_eq!(
+        interp.run("maxval", &[]).unwrap().ret,
+        IValue::Int(expected)
+    );
+    assert!(stats.size_after < stats.size_before);
+}
+
+#[test]
+fn select_chain_is_untouched_by_default() {
+    // The paper's evaluated configuration does not support min/max
+    // reductions (§V-C): the default options must not roll the chain.
+    let text = max_chain(8);
+    let mut m = parse_module(&text).unwrap();
+    let stats = roll_module(&mut m, &RolagOptions::default());
+    assert_eq!(stats.rolled, 0);
+}
+
+#[test]
+fn subtraction_chain_rolls_with_extension() {
+    // fsub is not associative, so it can never be a reduction tree; as a
+    // chained dependence it still rolls exactly.
+    let text = r#"
+module "sub"
+global @a : [6 x i32] = ints i32 [1, 2, 3, 4, 5, 6]
+func @f(i32 %p0) -> i32 {
+entry:
+  %v0 = load i32, @a
+  %s0 = sub i32 %p0, %v0
+  %g1 = gep i32, @a, i64 1
+  %v1 = load i32, %g1
+  %s1 = sub i32 %s0, %v1
+  %g2 = gep i32, @a, i64 2
+  %v2 = load i32, %g2
+  %s2 = sub i32 %s1, %v2
+  %g3 = gep i32, @a, i64 3
+  %v3 = load i32, %g3
+  %s3 = sub i32 %s2, %v3
+  %g4 = gep i32, @a, i64 4
+  %v4 = load i32, %g4
+  %s4 = sub i32 %s3, %v4
+  %g5 = gep i32, @a, i64 5
+  %v5 = load i32, %g5
+  %s5 = sub i32 %s4, %v5
+  ret %s5
+}
+"#;
+    let original = parse_module(text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::with_extensions());
+    assert_eq!(stats.rolled, 1);
+    check_equivalence(&original, &rolled, "f", &[IValue::Int(100)]).expect("equivalent");
+    let mut interp = Interpreter::new(&rolled);
+    assert_eq!(
+        interp.run("f", &[IValue::Int(100)]).unwrap().ret,
+        IValue::Int(100 - 21)
+    );
+}
+
+#[test]
+fn broken_chains_do_not_roll() {
+    // A chain with an extra external use of a middle link cannot roll as a
+    // pure recurrence (the middle value escapes and the out-array overhead
+    // must pay for itself); behaviour must be preserved either way.
+    let text = r#"
+module "b"
+global @a : [4 x i32] = ints i32 [10, 20, 30, 40]
+global @out : [2 x i32] = zero
+func @f(i32 %p0) -> i32 {
+entry:
+  %v0 = load i32, @a
+  %s0 = sub i32 %p0, %v0
+  %g1 = gep i32, @a, i64 1
+  %v1 = load i32, %g1
+  %s1 = sub i32 %s0, %v1
+  %g2 = gep i32, @a, i64 2
+  %v2 = load i32, %g2
+  %s2 = sub i32 %s1, %v2
+  store %s1, @out
+  ret %s2
+}
+"#;
+    let original = parse_module(text).unwrap();
+    let mut rolled = original.clone();
+    roll_module(&mut rolled, &RolagOptions::with_extensions());
+    verify_module(&rolled).expect("verifies");
+    check_equivalence(&original, &rolled, "f", &[IValue::Int(5)]).expect("equivalent");
+}

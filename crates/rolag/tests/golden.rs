@@ -1,0 +1,150 @@
+//! Golden tests: exact structural expectations on RoLAG's output, written
+//! as FileCheck-style scripts over the printed IR.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::filecheck::assert_filecheck;
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+
+fn rolled(text: &str) -> String {
+    let mut m = parse_module(text).unwrap();
+    let stats = roll_module(&mut m, &RolagOptions::default());
+    assert!(stats.rolled >= 1, "nothing rolled");
+    print_module(&m)
+}
+
+#[test]
+fn golden_store_sequence() {
+    let mut text = String::from(
+        "module \"g\"\nglobal @a : [8 x i32] = zero\nfunc @fill() -> void {\nentry:\n",
+    );
+    for i in 0..8 {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %g{i}\n", 3 * i));
+    }
+    text.push_str("  ret\n}\n");
+    let out = rolled(&text);
+    assert_filecheck(
+        &out,
+        r#"
+CHECK: func @fill() -> void {
+CHECK: entry:
+CHECK-NEXT: br rolag.loop
+CHECK: rolag.loop
+CHECK-NEXT: phi i64 [ i64 0, entry ]
+CHECK-NOT: alloca
+CHECK: mul
+CHECK: gep i32, @a
+CHECK: store
+CHECK: icmp ult
+CHECK-NEXT: condbr
+CHECK: rolag.exit
+CHECK-NEXT: ret
+// Exactly one store remains in the whole function.
+CHECK-COUNT-1: store
+"#,
+    );
+}
+
+#[test]
+fn golden_recurrence_chain() {
+    // Chained pure calls (the Fig. 4 shape): the chain becomes a phi whose
+    // loop arm is the call itself.
+    let text = r#"
+module "g"
+declare @fold(i32 %p0, i32 %p1) -> i32 readnone
+global @t : [6 x i32] = ints i32 [1,2,3,4,5,6]
+func @chain(i32 %p0) -> i32 {
+entry:
+  %v0 = load i32, @t
+  %r1 = call i32 @fold(%p0, %v0)
+  %g1 = gep i32, @t, i64 1
+  %v1 = load i32, %g1
+  %r2 = call i32 @fold(%r1, %v1)
+  %g2 = gep i32, @t, i64 2
+  %v2 = load i32, %g2
+  %r3 = call i32 @fold(%r2, %v2)
+  %g3 = gep i32, @t, i64 3
+  %v3 = load i32, %g3
+  %r4 = call i32 @fold(%r3, %v3)
+  %g4 = gep i32, @t, i64 4
+  %v4 = load i32, %g4
+  %r5 = call i32 @fold(%r4, %v4)
+  %g5 = gep i32, @t, i64 5
+  %v5 = load i32, %g5
+  %r6 = call i32 @fold(%r5, %v5)
+  ret %r6
+}
+"#;
+    let out = rolled(text);
+    assert_filecheck(
+        &out,
+        r#"
+CHECK: rolag.loop
+// Two phis: the induction variable and the recurrence.
+CHECK: phi i64 [ i64 0, entry ]
+CHECK: phi i32 [ %p0, entry ]
+// One call remains, consuming the recurrence phi.
+CHECK-COUNT-1: call i32 @fold
+CHECK: rolag.exit
+CHECK: ret
+"#,
+    );
+}
+
+#[test]
+fn golden_reduction_accumulator() {
+    let mut text = String::from(
+        "module \"g\"\nglobal @a : [8 x i32] = ints i32 [1,2,3,4,5,6,7,8]\nfunc @sum() -> i32 {\nentry:\n",
+    );
+    for i in 0..8 {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  %v{i} = load i32, %g{i}\n"));
+    }
+    text.push_str("  %s0 = add i32 %v0, %v1\n");
+    for i in 1..7 {
+        text.push_str(&format!("  %s{i} = add i32 %s{}, %v{}\n", i - 1, i + 1));
+    }
+    text.push_str("  ret %s6\n}\n");
+    let out = rolled(&text);
+    assert_filecheck(
+        &out,
+        r#"
+CHECK: rolag.loop
+// Accumulator initialized with the neutral element of add.
+CHECK: phi i32 [ i32 0, entry ]
+CHECK-COUNT-1: load i32
+// One accumulate plus the latch increment.
+CHECK-COUNT-2: add
+CHECK: ret
+"#,
+    );
+}
+
+#[test]
+fn golden_constant_mismatch_array() {
+    // Irregular constants: a rodata table and an indexed load appear.
+    let vals = [9, 2, 7, 1, 8, 3, 6, 4, 11, 5, 10, 0];
+    let mut text =
+        String::from("module \"g\"\nglobal @a : [12 x i32] = zero\nfunc @f() -> void {\nentry:\n");
+    for (i, v) in vals.iter().enumerate() {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {v}, %g{i}\n"));
+    }
+    text.push_str("  ret\n}\n");
+    let out = rolled(&text);
+    assert_filecheck(
+        &out,
+        r#"
+CHECK: const @rolag.cdata{{.*}}
+CHECK: func @f
+CHECK: rolag.loop
+CHECK: gep i32, @rolag.cdata
+CHECK-NEXT: load i32
+CHECK: store
+CHECK: condbr
+"#
+        .replace("{{.*}}", "")
+        .as_str(),
+    );
+}

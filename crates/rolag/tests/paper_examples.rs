@@ -1,0 +1,291 @@
+//! End-to-end tests on the paper's running examples:
+//!
+//! * Fig. 3 — `aegis128_save_state_neon`: five calls with a regular pointer
+//!   pattern (gep-neutral + sequences);
+//! * Fig. 4 — `hdmi_wp_audio_config_format`: six chained calls (recurrence +
+//!   reversed sequence);
+//! * Fig. 11 — `DotProduct`: a reduction tree;
+//! * Fig. 12 — alternating store/call groups (joint alignment);
+//! * the AnghaBench highlight — a 72-field struct-to-struct copy.
+//!
+//! Every test checks three things: the roll happened, the rolled module
+//! verifies, and interpretation is observationally equivalent (same return
+//! value, same external-call trace, same final memory).
+
+use rolag::{roll_module, RolagOptions, RolagStats};
+use rolag_ir::interp::{check_equivalence, IValue, Interpreter, Outcome};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::Module;
+
+fn roll_and_compare(text: &str, entry: &str, args: &[IValue]) -> (Module, RolagStats, Outcome) {
+    let orig = parse_module(text).expect("parse");
+    let mut rolled = orig.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    if let Err(errors) = verify_module(&rolled) {
+        panic!(
+            "rolled module does not verify: {errors:?}\n{}",
+            print_module(&rolled)
+        );
+    }
+    if let Err(msg) = check_equivalence(&orig, &rolled, entry, args) {
+        panic!("behaviour changed: {msg}\n{}", print_module(&rolled));
+    }
+    let mut ib = Interpreter::new(&rolled);
+    let ob = ib.run(entry, args).expect("rolled runs");
+    (rolled, stats, ob)
+}
+
+/// Fig. 3: five `vst1q_u8(state + i*16, st.v[i])` calls. The first operand
+/// mixes the bare pointer with byte-offset geps (neutral pointer
+/// operations); the second walks an array of 16-byte vectors (modelled here
+/// as i64 loads for interpretability).
+#[test]
+fn fig3_aegis128_save_state() {
+    let text = r#"
+module "aegis"
+declare @vst1q_u8(ptr %p0, i64 %p1) -> void readwrite
+global @stv : [5 x i64] = ints i64 [11, 22, 33, 44, 55]
+global @state : [10 x i64] = zero
+func @save_state() -> void {
+entry:
+  %v0 = load i64, @stv
+  call void @vst1q_u8(@state, %v0)
+  %s1 = gep i8, @state, i64 16
+  %g1 = gep i64, @stv, i64 1
+  %v1 = load i64, %g1
+  call void @vst1q_u8(%s1, %v1)
+  %s2 = gep i8, @state, i64 32
+  %g2 = gep i64, @stv, i64 2
+  %v2 = load i64, %g2
+  call void @vst1q_u8(%s2, %v2)
+  %s3 = gep i8, @state, i64 48
+  %g3 = gep i64, @stv, i64 3
+  %v3 = load i64, %g3
+  call void @vst1q_u8(%s3, %v3)
+  %s4 = gep i8, @state, i64 64
+  %g4 = gep i64, @stv, i64 4
+  %v4 = load i64, %g4
+  call void @vst1q_u8(%s4, %v4)
+  ret
+}
+"#;
+    let (rolled, stats, outcome) = roll_and_compare(text, "save_state", &[]);
+    assert_eq!(stats.rolled, 1, "the five calls roll into one loop");
+    assert!(stats.nodes.gep_neutral >= 1, "state+0 unified via p+0==p");
+    assert!(stats.nodes.sequence >= 1, "0,16,32,48,64 and 0..4");
+    assert_eq!(outcome.trace.len(), 5, "all five calls still happen");
+    assert!(stats.size_after < stats.size_before);
+    let f = rolled.func(rolled.func_by_name("save_state").unwrap());
+    assert_eq!(f.num_blocks(), 3);
+}
+
+/// Fig. 4: `r = FLD_MOD(r, fmt->field, i, i)` chained six times, with the
+/// struct fields read in reverse order. The chain becomes a recurrence phi
+/// and the field offsets a descending sequence.
+#[test]
+fn fig4_hdmi_chained_calls() {
+    let text = r#"
+module "hdmi"
+declare @fld_mod(i32 %p0, i32 %p1, i32 %p2, i32 %p3) -> i32 readnone
+declare @hdmi_read_reg(ptr %p0) -> i32 readonly
+declare @hdmi_write_reg(ptr %p0, i32 %p1) -> void readwrite
+global @fmt : [6 x i32] = ints i32 [7, 6, 5, 4, 3, 2]
+func @config_format(ptr %p0) -> void {
+entry:
+  %r0 = call i32 @hdmi_read_reg(%p0)
+  %f5 = gep i32, @fmt, i32 5
+  %v5 = load i32, %f5
+  %r1 = call i32 @fld_mod(%r0, %v5, i32 5, i32 5)
+  %f4 = gep i32, @fmt, i32 4
+  %v4 = load i32, %f4
+  %r2 = call i32 @fld_mod(%r1, %v4, i32 4, i32 4)
+  %f3 = gep i32, @fmt, i32 3
+  %v3 = load i32, %f3
+  %r3 = call i32 @fld_mod(%r2, %v3, i32 3, i32 3)
+  %f2 = gep i32, @fmt, i32 2
+  %v2 = load i32, %f2
+  %r4 = call i32 @fld_mod(%r3, %v2, i32 2, i32 2)
+  %f1 = gep i32, @fmt, i32 1
+  %v1 = load i32, %f1
+  %r5 = call i32 @fld_mod(%r4, %v1, i32 1, i32 1)
+  %f0 = gep i32, @fmt, i32 0
+  %v0 = load i32, %f0
+  %r6 = call i32 @fld_mod(%r5, %v0, i32 0, i32 0)
+  call void @hdmi_write_reg(%p0, %r6)
+  ret
+}
+"#;
+    let (_, stats, outcome) = roll_and_compare(text, "config_format", &[IValue::Ptr(0)]);
+    assert_eq!(stats.rolled, 1, "the six fld_mod calls roll");
+    assert!(stats.nodes.recurrence >= 1, "chained r threads a phi");
+    assert!(stats.nodes.sequence >= 1, "5..0,-1");
+    // read_reg + 6 fld_mod + write_reg.
+    assert_eq!(outcome.trace.len(), 8);
+    assert_eq!(outcome.trace[0].callee, "hdmi_read_reg");
+    assert_eq!(outcome.trace[7].callee, "hdmi_write_reg");
+}
+
+/// Fig. 11: `a[0]*b[0] + a[1]*b[1] + a[2]*b[2]` — the whole reduction tree
+/// becomes a single accumulator loop. Checked at both the paper's length
+/// (3) and a longer 8-term variant.
+#[test]
+fn fig11_dot_product_reduction() {
+    fn dot(n: usize) -> String {
+        let mut t = String::from("module \"dot\"\n");
+        t.push_str(&format!(
+            "global @a : [{n} x i32] = ints i32 [{}]\n",
+            (0..n)
+                .map(|i| (i + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        t.push_str(&format!(
+            "global @b : [{n} x i32] = ints i32 [{}]\n",
+            (0..n)
+                .map(|i| (2 * i + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        t.push_str("func @dot() -> i32 {\nentry:\n");
+        for i in 0..n {
+            t.push_str(&format!("  %ga{i} = gep i32, @a, i64 {i}\n"));
+            t.push_str(&format!("  %la{i} = load i32, %ga{i}\n"));
+            t.push_str(&format!("  %gb{i} = gep i32, @b, i64 {i}\n"));
+            t.push_str(&format!("  %lb{i} = load i32, %gb{i}\n"));
+            t.push_str(&format!("  %m{i} = mul i32 %la{i}, %lb{i}\n"));
+        }
+        t.push_str("  %s0 = add i32 %m0, %m1\n");
+        for i in 1..n - 1 {
+            t.push_str(&format!("  %s{i} = add i32 %s{}, %m{}\n", i - 1, i + 1));
+        }
+        t.push_str(&format!("  ret %s{}\n}}\n", n - 2));
+        t
+    }
+
+    let expected: i64 = (0..8).map(|i| ((i + 1) * (2 * i + 1)) as i64).sum();
+    let (_, stats, outcome) = roll_and_compare(&dot(8), "dot", &[]);
+    assert_eq!(stats.rolled, 1, "8-term dot product rolls");
+    assert!(stats.nodes.reduction >= 1);
+    assert_eq!(outcome.ret, IValue::Int(expected));
+
+    let (_, stats3, out3) = roll_and_compare(&dot(3), "dot", &[]);
+    assert_eq!(stats3.rolled, 1, "even the 3-term tree rolls profitably");
+    assert!(stats3.nodes.reduction >= 1);
+    let expected3: i64 = (0..3).map(|i| ((i + 1) * (2 * i + 1)) as i64).sum();
+    assert_eq!(out3.ret, IValue::Int(expected3));
+}
+
+/// Fig. 12: alternating stores and calls must roll as a single joint loop —
+/// the side effects make two separate loops illegal.
+#[test]
+fn fig12_joint_alternating_groups() {
+    let mut text = String::from(
+        "module \"joint\"\ndeclare @tick(i32 %p0, ptr %p1) -> void readwrite\nglobal @a : [6 x i32] = zero\nfunc @f() -> void {\nentry:\n",
+    );
+    for i in 0..6 {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %g{i}\n", 10 * i));
+        text.push_str(&format!("  call void @tick(i32 {i}, @a)\n"));
+    }
+    text.push_str("  ret\n}\n");
+    let (rolled, stats, outcome) = roll_and_compare(&text, "f", &[]);
+    assert_eq!(stats.rolled, 1, "one joint loop");
+    assert_eq!(outcome.trace.len(), 6);
+    let f = rolled.func(rolled.func_by_name("f").unwrap());
+    assert_eq!(f.num_blocks(), 3, "a single loop was created, not two");
+}
+
+/// The AnghaBench best case (§V-A): a long run of field-to-field copies
+/// between two structs, rollable because consecutive fields form a strided
+/// access. Reduction of almost 90% in the paper; here we check the roll
+/// happens and the copies survive.
+#[test]
+fn kvm_style_field_copies() {
+    let n = 24;
+    let mut text = String::from("module \"kvm\"\n");
+    text.push_str(&format!("global @src : [{n} x i64] = ints i64 ["));
+    text.push_str(
+        &(0..n)
+            .map(|i| (1000 + 7 * i).to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    text.push_str("]\n");
+    text.push_str(&format!("global @dst : [{n} x i64] = zero\n"));
+    text.push_str("func @copy() -> void {\nentry:\n");
+    for i in 0..n {
+        text.push_str(&format!("  %gs{i} = gep i64, @src, i64 {i}\n"));
+        text.push_str(&format!("  %v{i} = load i64, %gs{i}\n"));
+        text.push_str(&format!("  %gd{i} = gep i64, @dst, i64 {i}\n"));
+        text.push_str(&format!("  store %v{i}, %gd{i}\n"));
+    }
+    text.push_str("  ret\n}\n");
+    let (rolled, stats, _) = roll_and_compare(&text, "copy", &[]);
+    assert_eq!(stats.rolled, 1);
+    let f = rolled.func(rolled.func_by_name("copy").unwrap());
+    // The rolled function is drastically smaller than 4 insts/field.
+    assert!(f.num_live_insts() < 20);
+    assert!(stats.reduction_percent() > 70.0, "near-90% class reduction");
+}
+
+/// Rolling must refuse when an interleaved conflicting store would have to
+/// cross the loop.
+#[test]
+fn conflicting_interleave_is_rejected_end_to_end() {
+    let text = r#"
+module "t"
+global @a : [4 x i32] = zero
+func @f(ptr %p0) -> void {
+entry:
+  %g0 = gep i32, @a, i64 0
+  store i32 1, %g0
+  %g1 = gep i32, @a, i64 1
+  store i32 2, %g1
+  store i32 99, %p0
+  %g2 = gep i32, @a, i64 2
+  store i32 3, %g2
+  %g3 = gep i32, @a, i64 3
+  store i32 4, %g3
+  ret
+}
+"#;
+    // %p0 may alias @a, so the roll of the four @a-stores must not happen.
+    let orig = parse_module(text).unwrap();
+    let mut rolled = orig.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 0);
+    assert!(stats.rejected_schedule >= 1);
+}
+
+/// External uses of intermediate iterations flow out through an array; the
+/// final iteration's value flows out directly.
+#[test]
+fn external_uses_of_rolled_values() {
+    let text = r#"
+module "t"
+declare @seed(i32 %p0) -> i32 readnone
+func @f() -> i32 {
+entry:
+  %c0 = call i32 @seed(i32 0)
+  %c1 = call i32 @seed(i32 1)
+  %c2 = call i32 @seed(i32 2)
+  %c3 = call i32 @seed(i32 3)
+  %c4 = call i32 @seed(i32 4)
+  %c5 = call i32 @seed(i32 5)
+  %c6 = call i32 @seed(i32 6)
+  %c7 = call i32 @seed(i32 7)
+  %x = xor i32 %c1, %c7
+  %y = xor i32 %x, %c0
+  ret %y
+}
+"#;
+    let (_, stats, _) = roll_and_compare(text, "f", &[]);
+    // Whether this is profitable depends on the out-array overhead; what
+    // must hold is equivalence (checked by the helper) and a decision.
+    assert_eq!(
+        stats.rolled + stats.rejected_profit + stats.rejected_schedule,
+        stats.attempted
+    );
+}

@@ -1,0 +1,188 @@
+//! Scale and scheduling-propagation stress tests.
+
+use std::time::Instant;
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::parser::parse_module;
+
+/// The AnghaBench highlight scaled up: a 72-field copy block (~290
+/// instructions in one block) must roll in well under a second even though
+/// dependence analysis is quadratic in the block size.
+#[test]
+fn kvm_72_field_copy_rolls_quickly() {
+    let n = 72;
+    let mut text = String::from("module \"kvm\"\n");
+    text.push_str(&format!(
+        "global @src : [{n} x i64] = ints i64 [{}]\n",
+        (0..n)
+            .map(|i| (i * 31 + 5).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    text.push_str(&format!("global @dst : [{n} x i64] = zero\n"));
+    text.push_str("func @copy() -> void {\nentry:\n");
+    for i in 0..n {
+        text.push_str(&format!("  %s{i} = gep i64, @src, i64 {i}\n"));
+        text.push_str(&format!("  %v{i} = load i64, %s{i}\n"));
+        text.push_str(&format!("  %d{i} = gep i64, @dst, i64 {i}\n"));
+        text.push_str(&format!("  store %v{i}, %d{i}\n"));
+    }
+    text.push_str("  ret\n}\n");
+
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let start = Instant::now();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    let elapsed = start.elapsed();
+    assert_eq!(stats.rolled, 1);
+    assert!(
+        elapsed.as_secs_f64() < 2.0,
+        "rolling 288 instructions took {elapsed:?}"
+    );
+    check_equivalence(&original, &rolled, "copy", &[]).expect("equivalent");
+    // ~90% reduction, like the paper's best AnghaBench case.
+    assert!(stats.reduction_percent() > 80.0);
+}
+
+/// Many independent small groups in one block: the pass iterates, committing
+/// one roll per fixpoint round, and every group lands.
+#[test]
+fn multiple_groups_in_one_block_all_roll() {
+    let groups = 4;
+    let lanes = 8;
+    let mut text = String::from("module \"multi\"\n");
+    for g in 0..groups {
+        text.push_str(&format!("global @a{g} : [{lanes} x i32] = zero\n"));
+    }
+    text.push_str("func @f() -> void {\nentry:\n");
+    for g in 0..groups {
+        for i in 0..lanes {
+            text.push_str(&format!("  %g{g}_{i} = gep i32, @a{g}, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{g}_{i}\n", g * 100 + i * 3));
+        }
+    }
+    text.push_str("  ret\n}\n");
+
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, groups as u64, "every group rolls");
+    check_equivalence(&original, &rolled, "f", &[]).expect("equivalent");
+}
+
+/// Scheduling propagation: an external chain hanging off a *preheader-side*
+/// value must be dragged before the loop as a unit, and a chain consuming a
+/// rolled value must move after it — even when the chains interleave with
+/// the rollable stores in program order.
+#[test]
+fn external_chains_propagate_to_the_correct_side() {
+    let mut text = String::from(
+        "module \"prop\"\nglobal @a : [6 x i32] = zero\nfunc @f(i32 %p0) -> i32 {\nentry:\n",
+    );
+    // pre-chain interleaved between stores (independent of the stores).
+    text.push_str("  %g0 = gep i32, @a, i64 0\n  store %p0, %g0\n");
+    text.push_str("  %pre1 = mul i32 %p0, i32 3\n");
+    text.push_str("  %g1 = gep i32, @a, i64 1\n  store %pre1, %g1\n");
+    text.push_str("  %pre2 = add i32 %pre1, i32 7\n");
+    for i in 2..6 {
+        text.push_str(&format!(
+            "  %g{i} = gep i32, @a, i64 {i}\n  store %pre2, %g{i}\n"
+        ));
+    }
+    // post-chain: consumes memory the loop writes.
+    text.push_str("  %q = gep i32, @a, i64 3\n  %post = load i32, %q\n  %post2 = xor i32 %post, i32 5\n  ret %post2\n}\n");
+
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    check_equivalence(
+        &original,
+        &rolled,
+        "f",
+        &[rolag_ir::interp::IValue::Int(11)],
+    )
+    .expect("equivalent");
+    // The stores have three distinct stored values (p0, pre1, pre2):
+    // rollable only via a stack mismatch array, so profitability may reject
+    // — but if it rolled, the pre-chain fed the preheader correctly, which
+    // the equivalence check already proved. Either way the decision is
+    // recorded:
+    assert_eq!(
+        stats.attempted,
+        stats.rolled + stats.rejected_profit + stats.rejected_schedule
+    );
+}
+
+/// Rolling applies inside non-entry blocks too: a store run behind a
+/// branch rolls, and the branch structure is preserved around it.
+#[test]
+fn rolls_inside_guarded_blocks() {
+    let n = 10;
+    let mut text = String::from(
+        "module \"g\"\nglobal @a : [10 x i32] = zero\nfunc @f(i32 %p0) -> void {\nentry:\n",
+    );
+    text.push_str("  %c = icmp sgt %p0, i32 0\n  condbr %c, then, exit\nthen:\n");
+    for i in 0..n {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %g{i}\n", i * 9 + 2));
+    }
+    text.push_str("  br exit\nexit:\n  ret\n}\n");
+
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1, "the guarded run rolls");
+    for arg in [-3i64, 0, 5] {
+        check_equivalence(
+            &original,
+            &rolled,
+            "f",
+            &[rolag_ir::interp::IValue::Int(arg)],
+        )
+        .expect("equivalent on both branch outcomes");
+    }
+    // 5 blocks now: entry, then(preheader), loop, loop-exit, exit.
+    let f = rolled.func(rolled.func_by_name("f").unwrap());
+    assert_eq!(f.num_blocks(), 5);
+}
+
+/// Three alternating groups (two store bases and a call) roll as a single
+/// 3-way joint loop, preserving the interleaved side-effect order.
+#[test]
+fn three_way_joint_groups_roll_together() {
+    let n = 6;
+    let mut text = String::from(
+        "module \"j3\"\ndeclare @tick(i64 %p0) -> void readwrite\nglobal @a : [6 x i32] = zero\nglobal @b : [6 x i32] = zero\nfunc @f() -> void {\nentry:\n",
+    );
+    for i in 0..n {
+        text.push_str(&format!("  %ga{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %ga{i}\n", i * 2));
+        text.push_str(&format!("  %gb{i} = gep i32, @b, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %gb{i}\n", i * 5 + 1));
+        text.push_str(&format!("  call void @tick(i64 {i})\n"));
+    }
+    text.push_str("  ret\n}\n");
+
+    let original = parse_module(&text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1, "one joint loop covers all three groups");
+    check_equivalence(&original, &rolled, "f", &[]).expect("equivalent");
+    let f = rolled.func(rolled.func_by_name("f").unwrap());
+    assert_eq!(f.num_blocks(), 3, "a single loop, not three");
+    // The loop body contains exactly one call and two stores.
+    let lp = f
+        .block_ids()
+        .find(|&b| f.block(b).name.starts_with("rolag.loop"))
+        .unwrap();
+    let in_loop = |op: rolag_ir::Opcode| {
+        f.block(lp)
+            .insts
+            .iter()
+            .filter(|&&i| f.inst(i).opcode == op)
+            .count()
+    };
+    assert_eq!(in_loop(rolag_ir::Opcode::Call), 1);
+    assert_eq!(in_loop(rolag_ir::Opcode::Store), 2);
+}

@@ -1,0 +1,72 @@
+//! Target-specific profitability (§IV-F: "the compiler's target-specific
+//! cost model"). The same candidate can be worth rolling on one target and
+//! not another; behaviour is preserved on both.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_analysis::cost::TargetKind;
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::parser::parse_module;
+
+fn store_run(n: usize) -> String {
+    let mut text =
+        format!("module \"t\"\nglobal @a : [{n} x i32] = zero\nfunc @f() -> void {{\nentry:\n");
+    for i in 0..n {
+        text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+        text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+    }
+    text.push_str("  ret\n}\n");
+    text
+}
+
+fn rolls_on(target: TargetKind, n: usize) -> bool {
+    let mut m = parse_module(&store_run(n)).unwrap();
+    let opts = RolagOptions {
+        target,
+        ..RolagOptions::default()
+    };
+    let orig = m.clone();
+    let stats = roll_module(&mut m, &opts);
+    check_equivalence(&orig, &m, "f", &[]).expect("equivalent on every target");
+    stats.rolled > 0
+}
+
+#[test]
+fn long_runs_roll_on_both_targets() {
+    assert!(rolls_on(TargetKind::X86_64, 10));
+    assert!(rolls_on(TargetKind::Thumb2, 10));
+}
+
+#[test]
+fn profitability_threshold_depends_on_the_target() {
+    // Sweep run lengths: the break-even points must differ between the
+    // targets. On x86-64, `mov dword [rip+g], imm32` duplication is very
+    // expensive (6 B per store), so rolling pays off at shorter runs; on
+    // Thumb-2 dense 2-byte encodings keep the straight-line form cheap for
+    // longer.
+    let x86_threshold = (2..12)
+        .find(|&n| rolls_on(TargetKind::X86_64, n))
+        .expect("x86 rolls eventually");
+    let thumb_threshold = (2..12)
+        .find(|&n| rolls_on(TargetKind::Thumb2, n))
+        .expect("thumb rolls eventually");
+    assert_ne!(
+        x86_threshold, thumb_threshold,
+        "the target cost model changes the decision point"
+    );
+    assert!(
+        x86_threshold < thumb_threshold,
+        "x86's expensive store-imm duplication rolls earlier \
+         (x86 {x86_threshold} vs thumb {thumb_threshold})"
+    );
+}
+
+#[test]
+fn thumb_model_sizes_are_smaller() {
+    // Sanity: Thumb-2 code is denser than x86-64 for the same IR.
+    let m = parse_module(&store_run(8)).unwrap();
+    let f = m.func(m.func_by_name("f").unwrap());
+    let x = TargetKind::X86_64.function_estimate(&m, f);
+    let t = TargetKind::Thumb2.function_estimate(&m, f);
+    assert!(t > 0 && x > 0);
+    assert!(t < x, "thumb {t} >= x86 {x}");
+}

@@ -1,0 +1,602 @@
+//! Code-pattern templates observed in real-world repositories.
+//!
+//! These reproduce the shapes §V-A of the paper reports finding in
+//! AnghaBench: sequences of similar calls (the aegis128 pattern, Fig. 3),
+//! store runs, struct-field copy blocks (the KVM highlight), chained calls
+//! (the HDMI pattern, Fig. 4), reduction trees, alternating groups, plus
+//! near-miss variants that defeat the scheduler or the profitability
+//! analysis.
+
+use rand::Rng;
+use rolag_ir::{
+    Builder, Effects, FuncId, Function, GlobalData, GlobalInit, Module, TypeId, ValueId,
+};
+
+/// The pattern families the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// n calls to the same callee with regular operands (Fig. 3).
+    CallSequence,
+    /// n stores with sequence/constant values.
+    StoreSequence,
+    /// Struct-to-struct field copies (the KVM 72-copy function).
+    FieldCopy,
+    /// Chained calls threading a value (Fig. 4).
+    ChainedCalls,
+    /// A reduction tree (Fig. 11).
+    ReductionTree,
+    /// Alternating store/call groups (Fig. 12).
+    JointGroups,
+    /// A store run broken by a may-alias store (defeats scheduling).
+    InterleavedConflict,
+    /// A store run with irregular constants (stresses mismatch arrays and
+    /// the profitability margin).
+    IrregularConstants,
+    /// Straight-line code with no repetition (unaffected filler).
+    ColdStraightLine,
+    /// A store run living in the taken arm of a branch: exercises rolling
+    /// inside non-entry blocks of multi-block functions.
+    GuardedStores,
+    /// A counted loop partially unrolled by hand (factor 2 or 4) — the rare
+    /// real-world shape LLVM's rerolling *can* handle (the paper observes
+    /// fewer than 50 such functions in all of AnghaBench).
+    UnrolledLoop,
+}
+
+impl PatternKind {
+    /// All families.
+    pub fn all() -> [PatternKind; 11] {
+        [
+            PatternKind::CallSequence,
+            PatternKind::StoreSequence,
+            PatternKind::FieldCopy,
+            PatternKind::ChainedCalls,
+            PatternKind::ReductionTree,
+            PatternKind::JointGroups,
+            PatternKind::InterleavedConflict,
+            PatternKind::IrregularConstants,
+            PatternKind::ColdStraightLine,
+            PatternKind::GuardedStores,
+            PatternKind::UnrolledLoop,
+        ]
+    }
+
+    /// Short label used in generated function names.
+    pub fn label(self) -> &'static str {
+        match self {
+            PatternKind::CallSequence => "calls",
+            PatternKind::StoreSequence => "stores",
+            PatternKind::FieldCopy => "copy",
+            PatternKind::ChainedCalls => "chain",
+            PatternKind::ReductionTree => "reduce",
+            PatternKind::JointGroups => "joint",
+            PatternKind::InterleavedConflict => "conflict",
+            PatternKind::IrregularConstants => "irregular",
+            PatternKind::ColdStraightLine => "cold",
+            PatternKind::GuardedStores => "guarded",
+            PatternKind::UnrolledLoop => "unrolled",
+        }
+    }
+}
+
+/// Shared external declarations used by generated functions.
+pub struct Externals {
+    /// `void sink(ptr, i64)` — a store-like external.
+    pub sink: FuncId,
+    /// `i32 mix(i32, i32, i32)` — a pure combiner.
+    pub mix: FuncId,
+    /// `void touch()` — clobbers memory.
+    pub touch: FuncId,
+}
+
+/// Declares (or finds) the shared externals.
+pub fn ensure_externals(m: &mut Module) -> Externals {
+    let ptr = m.types.ptr();
+    let i64t = m.types.i64();
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let get = |m: &mut Module, name: &str, params: Vec<TypeId>, ret: TypeId, eff: Effects| {
+        m.func_by_name(name)
+            .unwrap_or_else(|| m.declare_func(name.to_string(), params, ret, eff))
+    };
+    Externals {
+        sink: get(m, "ext_sink", vec![ptr, i64t], void, Effects::ReadWrite),
+        mix: get(
+            m,
+            "ext_mix",
+            vec![i32t, i32t, i32t],
+            i32t,
+            Effects::ReadNone,
+        ),
+        touch: get(m, "ext_touch", vec![], void, Effects::ReadWrite),
+    }
+}
+
+/// Emits `ops` instructions of cold (non-repetitive) code reading and
+/// writing a scratch global. Real-world functions are mostly code like
+/// this around their rollable pattern; it dilutes the per-function
+/// reduction to the levels the paper reports (mean 9.12%, Fig. 15).
+fn emit_cold(b: &mut Builder<'_>, rng: &mut impl Rng, scratch: rolag_ir::GlobalId, ops: usize) {
+    if ops == 0 {
+        return;
+    }
+    let i32t = b.types.i32();
+    let i64t = b.types.i64();
+    let gs = b.global(scratch);
+    let idx0 = b.iconst(i64t, 0);
+    let p0 = b.gep(i32t, gs, &[idx0]);
+    let mut acc = b.load(i32t, p0);
+    for k in 0..ops {
+        let c = b.iconst(i32t, rng.gen_range(1..10000));
+        acc = match rng.gen_range(0..6) {
+            0 => b.add(acc, c),
+            1 => b.sub(acc, c),
+            2 => b.mul(acc, c),
+            3 => b.xor(acc, c),
+            4 => {
+                let sh = b.iconst(i32t, rng.gen_range(1..8));
+                b.shl(acc, sh)
+            }
+            _ => {
+                let off = b.iconst(i64t, rng.gen_range(1..15));
+                let q = b.gep(i32t, gs, &[off]);
+                let v = b.load(i32t, q);
+                b.add(acc, v)
+            }
+        };
+        let _ = k;
+    }
+    let out = b.iconst(i64t, 15);
+    let q = b.gep(i32t, gs, &[out]);
+    b.store(acc, q);
+}
+
+/// Draws the amount of cold padding around a pattern: a skewed mix from
+/// nearly-pure pattern functions (the KVM-style 90% reductions) to heavily
+/// diluted ones (the long tail of small reductions).
+fn dilution(rng: &mut impl Rng) -> (usize, usize) {
+    let roll = rng.gen_range(0..100);
+    let total = if roll < 5 {
+        0
+    } else if roll < 25 {
+        rng.gen_range(8..40)
+    } else {
+        rng.gen_range(40..800)
+    };
+    let before = total / 2;
+    (before, total - before)
+}
+
+fn fresh_array(
+    m: &mut Module,
+    prefix: &str,
+    elem: TypeId,
+    len: u64,
+    init_stride: Option<i64>,
+) -> rolag_ir::GlobalId {
+    let name = m.fresh_global_name(prefix);
+    let arr = m.types.array(elem, len);
+    match init_stride {
+        None => m.add_zero_global(name, arr),
+        Some(s) => m.add_global(GlobalData {
+            name,
+            ty: arr,
+            init: GlobalInit::Ints {
+                elem_ty: elem,
+                values: (0..len as i64).map(|i| i * s + 1).collect(),
+            },
+            is_const: false,
+        }),
+    }
+}
+
+/// Builds one function of the given pattern. Returns its name.
+pub fn build_pattern(
+    m: &mut Module,
+    rng: &mut impl Rng,
+    kind: PatternKind,
+    index: usize,
+) -> String {
+    let name = format!("f{index:05}_{}", kind.label());
+    let ext = ensure_externals(m);
+    match kind {
+        PatternKind::CallSequence => call_sequence(m, rng, &name, ext),
+        PatternKind::StoreSequence => store_sequence(m, rng, &name, false, false),
+        PatternKind::FieldCopy => field_copy(m, rng, &name),
+        PatternKind::ChainedCalls => chained_calls(m, rng, &name, ext),
+        PatternKind::ReductionTree => reduction_tree(m, rng, &name),
+        PatternKind::JointGroups => joint_groups(m, rng, &name, ext),
+        PatternKind::InterleavedConflict => store_sequence(m, rng, &name, true, false),
+        PatternKind::IrregularConstants => store_sequence(m, rng, &name, false, true),
+        PatternKind::ColdStraightLine => cold_straight_line(m, rng, &name),
+        PatternKind::GuardedStores => guarded_stores(m, rng, &name),
+        PatternKind::UnrolledLoop => unrolled_loop(m, rng, &name),
+    }
+    name
+}
+
+/// A simple array-initialization loop, partially unrolled by a factor of 2
+/// or 4 — the hand-unrolled code the classic rerolling pass was built for.
+fn unrolled_loop(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let factor = if rng.gen_bool(0.5) { 2u32 } else { 4 };
+    let trips = rng.gen_range(2..=8) * 8;
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let dst = fresh_array(m, "g.ul", i32t, trips as u64, None);
+    let mul_k = rng.gen_range(1..8);
+    let mut f = Function::new(name, vec![], void);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        let entry = b.block("entry");
+        let loop_bb = b.func.add_block("loop");
+        let exit_bb = b.func.add_block("exit");
+        b.br(loop_bb);
+        b.switch_to(loop_bb);
+        let zero = b.iconst(i64t, 0);
+        let iv = b.phi(i64t, &[(zero, entry), (zero, loop_bb)]);
+        let gd = b.global(dst);
+        let slot = b.gep(i32t, gd, &[iv]);
+        let t = b.trunc(iv, i32t);
+        let k = b.iconst(i32t, mul_k);
+        let v = b.mul(t, k);
+        b.store(v, slot);
+        let one = b.iconst(i64t, 1);
+        let ivn = b.add(iv, one);
+        // Patch the phi's back edge.
+        let phi_inst = b.func.value(iv).as_inst().expect("phi");
+        if let rolag_ir::InstExtra::Phi { incoming } = &b.func.inst(phi_inst).extra.clone() {
+            let arm = incoming.iter().position(|&x| x == loop_bb).expect("arm");
+            b.func.inst_mut(phi_inst).operands[arm] = ivn;
+        }
+        let bound = b.iconst(i64t, trips);
+        let c = b.icmp(rolag_ir::IntPredicate::Slt, ivn, bound);
+        b.cond_br(c, loop_bb, exit_bb);
+        b.switch_to(exit_bb);
+        b.ret(None);
+    }
+    let snapshot = m.clone();
+    rolag_transforms::unroll::unroll_loops_in_function(&mut m.types, &snapshot, &mut f, factor);
+    // The unroller leaves dead per-copy step clones behind; sweep them like
+    // the surrounding pipeline would.
+    let void_ty = m.types.void();
+    loop {
+        let mut changed = rolag_ir::fold::simplify_function(&mut f, &mut m.types);
+        changed += rolag_ir::dce::run_dce_with(&mut f, void_ty, &|_| rolag_ir::Effects::ReadWrite);
+        if changed == 0 {
+            break;
+        }
+    }
+    m.add_func(f);
+}
+
+/// `if (x > 0) { a[0..n] = seq; }` — the rollable run sits in a non-entry
+/// block behind a branch.
+fn guarded_stores(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let n = rng.gen_range(6..=12);
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let dst = fresh_array(m, "g.guard", i32t, n as u64, None);
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![i32t], void);
+    let x = f.param(0);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        let entry = b.block("entry");
+        let then_bb = b.func.add_block("then");
+        let exit_bb = b.func.add_block("exit");
+        b.switch_to(entry);
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let zero = b.iconst(i32t, 0);
+        let c = b.icmp(rolag_ir::IntPredicate::Sgt, x, zero);
+        b.cond_br(c, then_bb, exit_bb);
+        b.switch_to(then_bb);
+        let gd = b.global(dst);
+        for k in 0..n {
+            let idx = b.i64_const(k);
+            let slot = b.gep(i32t, gd, &[idx]);
+            let v = b.iconst(i32t, k * 9 + 2);
+            b.store(v, slot);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.br(exit_bb);
+        b.switch_to(exit_bb);
+        b.ret(None);
+        let _ = entry;
+    }
+    m.add_func(f);
+}
+
+fn call_sequence(m: &mut Module, rng: &mut impl Rng, name: &str, ext: Externals) {
+    let n = rng.gen_range(3..=12);
+    let stride = [4i64, 8, 16][rng.gen_range(0..3)];
+    let ptr = m.types.ptr();
+    let void = m.types.void();
+    let i64t = m.types.i64();
+    let i32t = m.types.i32();
+    let src = fresh_array(m, "g.src", i64t, 16, Some(7));
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![ptr], void);
+    let p = f.param(0);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let i8t = b.types.i8();
+        for k in 0..n {
+            let dst = if k == 0 {
+                p
+            } else {
+                let off = b.i64_const(k * stride);
+                b.gep(i8t, p, &[off])
+            };
+            let idx = b.iconst(i64t, k % 16);
+            let gsrc = b.global(src);
+            let sp = b.gep(i64t, gsrc, &[idx]);
+            let v = b.load(i64t, sp);
+            b.call(ext.sink, void, &[dst, v]);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(None);
+    }
+    m.add_func(f);
+}
+
+fn store_sequence(
+    m: &mut Module,
+    rng: &mut impl Rng,
+    name: &str,
+    inject_conflict: bool,
+    irregular: bool,
+) {
+    // Irregular runs sit in the profitability margin: lane counts 10..18
+    // commit under the TTI estimate but measure slightly *negative* — the
+    // paper's false positives (§V-A).
+    let n = if irregular {
+        rng.gen_range(10..=17)
+    } else {
+        rng.gen_range(3..=16)
+    };
+    let computed = irregular && rng.gen_bool(0.25);
+    // Sometimes the stored values are `x + k*c` with one bare `x` lane —
+    // the neutral-element binop case of §IV-C3.
+    let neutral = !irregular && rng.gen_bool(0.35);
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let ptr = m.types.ptr();
+    let dst = fresh_array(m, "g.dst", i32t, n as u64 + 1, None);
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    // Irregular functions stay small, like the paper's worst cases: a bad
+    // roll on a tiny function is a large *percentage* regression.
+    let (pad_pre, pad_post) = if irregular {
+        (0, rng.gen_range(0..6))
+    } else {
+        dilution(rng)
+    };
+    let mut f = Function::new(name, vec![ptr], void);
+    let p = f.param(0);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let seed_v = {
+            let pi = b.cast(rolag_ir::Opcode::PtrToInt, p, b.types.i64());
+            b.trunc(pi, b.types.i32())
+        };
+        let gdst = b.global(dst);
+        let conflict_at = n / 2;
+        for k in 0..n {
+            if inject_conflict && k == conflict_at {
+                // May-alias store through the parameter pointer.
+                let v = b.iconst(i32t, 999);
+                b.store(v, p);
+            }
+            let idx = b.i64_const(k);
+            let slot = b.gep(i32t, gdst, &[idx]);
+            let value = if neutral {
+                if k == n / 2 {
+                    seed_v
+                } else {
+                    let c = b.iconst(i32t, k * 5);
+                    b.add(seed_v, c)
+                }
+            } else if irregular {
+                if computed {
+                    // Distinct computed values: the mismatch array must be
+                    // a stack array filled in the preheader — the costly
+                    // case the cost model underprices (§V-A).
+                    let c = b.iconst(i32t, rng.gen_range(-1000..1000));
+                    let x = b.xor(seed_v, c);
+                    let sh = b.iconst(i32t, k % 7 + 1);
+                    b.shl(x, sh)
+                } else {
+                    // imm8-sized constants keep the original stores cheap,
+                    // putting the roll in the loss-making margin.
+                    b.iconst(i32t, rng.gen_range(-120..120))
+                }
+            } else {
+                b.iconst(i32t, k * 3 + 1)
+            };
+            b.store(value, slot);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(None);
+    }
+    m.add_func(f);
+}
+
+fn field_copy(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let n = rng.gen_range(8..=72);
+    let i64t = m.types.i64();
+    let void = m.types.void();
+    let src = fresh_array(m, "g.copysrc", i64t, n as u64, Some(13));
+    let dst = fresh_array(m, "g.copydst", i64t, n as u64, None);
+    let i32t = m.types.i32();
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![], void);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let gs = b.global(src);
+        let gd = b.global(dst);
+        for k in 0..n {
+            let idx = b.i64_const(k);
+            let sp = b.gep(i64t, gs, &[idx]);
+            let v = b.load(i64t, sp);
+            let dp = b.gep(i64t, gd, &[idx]);
+            b.store(v, dp);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(None);
+    }
+    m.add_func(f);
+}
+
+fn chained_calls(m: &mut Module, rng: &mut impl Rng, name: &str, ext: Externals) {
+    let n = rng.gen_range(4..=8);
+    let i32t = m.types.i32();
+    let src = fresh_array(m, "g.fields", i32t, n as u64, Some(3));
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![i32t], i32t);
+    let r0 = f.param(0);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let gs = b.global(src);
+        let mut r = r0;
+        for k in (0..n).rev() {
+            let idx = b.i64_const(k);
+            let sp = b.gep(i32t, gs, &[idx]);
+            let v = b.load(i32t, sp);
+            let kk = b.iconst(i32t, k);
+            r = b.call(ext.mix, i32t, &[r, v, kk]);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(Some(r));
+    }
+    m.add_func(f);
+}
+
+fn reduction_tree(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let n = rng.gen_range(4..=16);
+    let i32t = m.types.i32();
+    let a = fresh_array(m, "g.ra", i32t, n as u64, Some(5));
+    let bg = fresh_array(m, "g.rb", i32t, n as u64, Some(9));
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![], i32t);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let ga = b.global(a);
+        let gb = b.global(bg);
+        let mut terms: Vec<ValueId> = Vec::new();
+        for k in 0..n {
+            let idx = b.i64_const(k);
+            let pa = b.gep(i32t, ga, &[idx]);
+            let va = b.load(i32t, pa);
+            let pb = b.gep(i32t, gb, &[idx]);
+            let vb = b.load(i32t, pb);
+            terms.push(b.mul(va, vb));
+        }
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = b.add(acc, t);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(Some(acc));
+    }
+    m.add_func(f);
+}
+
+fn joint_groups(m: &mut Module, rng: &mut impl Rng, name: &str, ext: Externals) {
+    let n = rng.gen_range(3..=8);
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let dst = fresh_array(m, "g.jdst", i32t, n as u64, None);
+    let scratch = fresh_array(m, "g.cold", i32t, 16, Some(3));
+    let (pad_pre, pad_post) = dilution(rng);
+    let mut f = Function::new(name, vec![], void);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        emit_cold(&mut b, rng, scratch, pad_pre);
+        let gd = b.global(dst);
+        let i64t = b.types.i64();
+        for k in 0..n {
+            let idx = b.i64_const(k);
+            let slot = b.gep(i32t, gd, &[idx]);
+            let v = b.iconst(i32t, 10 * k);
+            b.store(v, slot);
+            let arg = b.iconst(i64t, k);
+            b.call(ext.sink, void, &[gd, arg]);
+        }
+        emit_cold(&mut b, rng, scratch, pad_post);
+        b.ret(None);
+    }
+    m.add_func(f);
+}
+
+fn cold_straight_line(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let n = rng.gen_range(4..=20);
+    let i32t = m.types.i32();
+    let mut f = Function::new(name, vec![i32t, i32t], i32t);
+    let x = f.param(0);
+    let y = f.param(1);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        b.block("entry");
+        let mut acc = x;
+        for k in 0..n {
+            let c = b.iconst(i32t, rng.gen_range(1..100));
+            acc = match k % 4 {
+                0 => b.add(acc, c),
+                1 => b.xor(acc, y),
+                2 => b.mul(acc, c),
+                _ => b.sub(acc, y),
+            };
+        }
+        b.ret(Some(acc));
+    }
+    m.add_func(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rolag_ir::verify::verify_module;
+
+    #[test]
+    fn every_pattern_builds_and_verifies() {
+        let mut m = Module::new("patterns");
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for (i, kind) in PatternKind::all().into_iter().enumerate() {
+            build_pattern(&mut m, &mut rng, kind, i);
+        }
+        verify_module(&m).expect("all patterns verify");
+        assert_eq!(m.num_funcs(), 11 + 3, "11 patterns + 3 externals");
+    }
+
+    #[test]
+    fn patterns_are_deterministic_per_seed() {
+        let build = |seed| {
+            let mut m = Module::new("p");
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for (i, kind) in PatternKind::all().into_iter().enumerate() {
+                build_pattern(&mut m, &mut rng, kind, i);
+            }
+            rolag_ir::printer::print_module(&m)
+        };
+        assert_eq!(build(7), build(7));
+        assert_ne!(build(7), build(8));
+    }
+}

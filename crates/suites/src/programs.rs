@@ -1,0 +1,359 @@
+//! Synthetic whole programs standing in for MiBench and SPEC CPU 2017
+//! (Table I of the paper).
+//!
+//! Table I only needs, per program: the binary size, the size reduction
+//! RoLAG achieves, and the number of rolled loops. Each synthetic program
+//! is a population of *filler* functions (realistic straight-line and loop
+//! code with no rollable repetition) sized to the paper's binary size,
+//! plus a number of *rollable* functions matching the paper's rolled-loop
+//! count. Programs with near-zero or negative paper reductions get
+//! marginal/irregular patterns whose estimated profit is small enough for
+//! cost-model error to flip the sign, as the paper observes (§V-A).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rolag_analysis::cost::{function_size_estimate, X86SizeModel};
+use rolag_ir::{Builder, Function, Module};
+
+use crate::angha::{build_pattern, PatternKind};
+
+/// One Table I row's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgramSpec {
+    /// Benchmark suite ("MiBench" or "SPEC'17").
+    pub suite: &'static str,
+    /// Program name as printed in Table I.
+    pub name: &'static str,
+    /// Binary size in KB reported by the paper.
+    pub size_kb: f64,
+    /// Rolled-loop count reported by the paper.
+    pub rolled_loops: usize,
+    /// Fraction of rollable functions drawn from *marginal* patterns
+    /// (irregular constants, tiny groups) rather than clear wins.
+    pub marginal: f64,
+}
+
+/// The 21 programs of Table I.
+pub const TABLE1: &[ProgramSpec] = &[
+    ProgramSpec {
+        suite: "MiBench",
+        name: "typeset",
+        size_kb: 534.4,
+        rolled_loops: 8,
+        marginal: 1.0,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "sha",
+        size_kb: 3.3,
+        rolled_loops: 3,
+        marginal: 1.0,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "pgp",
+        size_kb: 179.2,
+        rolled_loops: 5,
+        marginal: 0.8,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "gsm",
+        size_kb: 48.6,
+        rolled_loops: 1,
+        marginal: 0.5,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "jpeg_d",
+        size_kb: 116.7,
+        rolled_loops: 12,
+        marginal: 0.6,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "jpeg_c",
+        size_kb: 121.1,
+        rolled_loops: 12,
+        marginal: 0.5,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "ghostscript",
+        size_kb: 908.8,
+        rolled_loops: 68,
+        marginal: 0.7,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "tiff2bw",
+        size_kb: 240.1,
+        rolled_loops: 25,
+        marginal: 0.1,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "tiff2dither",
+        size_kb: 239.5,
+        rolled_loops: 24,
+        marginal: 0.1,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "tiff2median",
+        size_kb: 239.6,
+        rolled_loops: 25,
+        marginal: 0.1,
+    },
+    ProgramSpec {
+        suite: "MiBench",
+        name: "tiff2rgba",
+        size_kb: 243.8,
+        rolled_loops: 27,
+        marginal: 0.1,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "657.xz_s",
+        size_kb: 158.2,
+        rolled_loops: 8,
+        marginal: 1.0,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "620.omnetpp_s",
+        size_kb: 1512.2,
+        rolled_loops: 20,
+        marginal: 0.9,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "605.mcf_s",
+        size_kb: 17.8,
+        rolled_loops: 1,
+        marginal: 1.0,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "644.nab_s",
+        size_kb: 149.9,
+        rolled_loops: 15,
+        marginal: 0.9,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "631.deepsjeng_s",
+        size_kb: 68.8,
+        rolled_loops: 7,
+        marginal: 0.5,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "619.lbm_s",
+        size_kb: 15.4,
+        rolled_loops: 3,
+        marginal: 0.2,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "625.x264_s",
+        size_kb: 392.2,
+        rolled_loops: 86,
+        marginal: 0.6,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "638.imagick_s",
+        size_kb: 1574.9,
+        rolled_loops: 73,
+        marginal: 0.6,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "511.povray_r",
+        size_kb: 790.8,
+        rolled_loops: 480,
+        marginal: 0.15,
+    },
+    ProgramSpec {
+        suite: "SPEC'17",
+        name: "526.blender_r",
+        size_kb: 8508.5,
+        rolled_loops: 2580,
+        marginal: 0.3,
+    },
+];
+
+/// Builds one synthetic program at the given scale (1.0 = the paper's full
+/// binary size; smaller scales shrink filler and roll counts
+/// proportionally, floor 1).
+pub fn build_program(spec: &ProgramSpec, seed: u64, scale: f64) -> Module {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ hash_name(spec.name));
+    let mut m = Module::new(spec.name);
+
+    let target_bytes = (spec.size_kb * 1024.0 * scale) as u64;
+    let rollables = ((spec.rolled_loops as f64 * scale).round() as usize).max(1);
+
+    // Rollable functions first (they are part of the size budget too).
+    let mut total: u64 = 0;
+    for i in 0..rollables {
+        let kind = if rng.gen_bool(spec.marginal) {
+            // Marginal: irregular constants or very short store runs.
+            PatternKind::IrregularConstants
+        } else {
+            // Field copies save hundreds of bytes per roll; real programs'
+            // per-roll savings are modest (~35-45 B in Table I), so they
+            // are rare here.
+            match rng.gen_range(0..8) {
+                0..=2 => PatternKind::StoreSequence,
+                3..=5 => PatternKind::CallSequence,
+                6 => PatternKind::ReductionTree,
+                _ => PatternKind::FieldCopy,
+            }
+        };
+        let name = build_pattern(&mut m, &mut rng, kind, i);
+        let f = m.func(m.func_by_name(&name).expect("just added"));
+        total += function_size_estimate(&X86SizeModel, &m, f) as u64;
+    }
+
+    // Filler until the size target is reached.
+    let mut k = 0usize;
+    while total < target_bytes {
+        let name = format!("fill{k:06}");
+        build_filler(&mut m, &mut rng, &name);
+        let f = m.func(m.func_by_name(&name).expect("just added"));
+        total += function_size_estimate(&X86SizeModel, &m, f) as u64;
+        k += 1;
+    }
+    m
+}
+
+fn hash_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A filler function: straight-line arithmetic, the occasional small loop,
+/// and scattered memory traffic — but no rollable repetition.
+fn build_filler(m: &mut Module, rng: &mut impl Rng, name: &str) {
+    let i32t = m.types.i32();
+    let i64t = m.types.i64();
+    let ptr = m.types.ptr();
+    let with_loop = rng.gen_bool(0.3);
+    let n_ops = rng.gen_range(10..60);
+    let mut f = Function::new(name, vec![i32t, i32t, ptr], i32t);
+    let x = f.param(0);
+    let y = f.param(1);
+    let p = f.param(2);
+    {
+        let mut b = Builder::on(&mut f, &mut m.types);
+        let entry = b.block("entry");
+        let mut acc = x;
+        let mut aux = y;
+        for k in 0..n_ops {
+            let c = b.iconst(i32t, rng.gen_range(1..5000));
+            match rng.gen_range(0..8) {
+                0 => acc = b.add(acc, c),
+                1 => acc = b.sub(acc, aux),
+                2 => acc = b.mul(acc, c),
+                3 => acc = b.xor(acc, aux),
+                4 => aux = b.add(aux, acc),
+                5 => {
+                    let sh = b.iconst(i32t, rng.gen_range(1..8));
+                    acc = b.shl(acc, sh);
+                }
+                6 => {
+                    // An isolated store (different offsets each time, so no
+                    // rollable group forms).
+                    let off = b.i64_const(rng.gen_range(0..16) * 4 + k);
+                    let i8t = b.types.i8();
+                    let slot = b.gep(i8t, p, &[off]);
+                    b.store(acc, slot);
+                }
+                _ => {
+                    let off = b.i64_const(rng.gen_range(0..8));
+                    let slot = b.gep(i32t, p, &[off]);
+                    let v = b.load(i32t, slot);
+                    acc = b.add(acc, v);
+                }
+            }
+        }
+        if with_loop {
+            let loop_bb = b.func.add_block("loop");
+            let exit_bb = b.func.add_block("exit");
+            let trips = b.iconst(i64t, rng.gen_range(4..32) * 8);
+            b.br(loop_bb);
+            b.switch_to(loop_bb);
+            let zero = b.iconst(i64t, 0);
+            let iv = b.phi(i64t, &[(zero, entry), (zero, loop_bb)]);
+            let accp = b.phi(i32t, &[(acc, entry), (acc, loop_bb)]);
+            let ivt = b.trunc(iv, i32t);
+            let step = b.add(accp, ivt);
+            let one = b.iconst(i64t, 1);
+            let ivn = b.add(iv, one);
+            crate::tsvc::patch_loop_phi(b.func, iv, loop_bb, ivn);
+            crate::tsvc::patch_loop_phi(b.func, accp, loop_bb, step);
+            let cmp = b.icmp(rolag_ir::IntPredicate::Slt, ivn, trips);
+            b.cond_br(cmp, loop_bb, exit_bb);
+            b.switch_to(exit_bb);
+            b.ret(Some(step));
+        } else {
+            b.ret(Some(acc));
+        }
+    }
+    m.add_func(f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::verify::verify_module;
+
+    #[test]
+    fn table1_has_21_programs() {
+        assert_eq!(TABLE1.len(), 21);
+        assert!(TABLE1.iter().any(|p| p.name == "526.blender_r"));
+    }
+
+    #[test]
+    fn small_program_builds_to_target_size() {
+        let spec = ProgramSpec {
+            suite: "test",
+            name: "mini",
+            size_kb: 8.0,
+            rolled_loops: 3,
+            marginal: 0.0,
+        };
+        let m = build_program(&spec, 1, 1.0);
+        verify_module(&m).expect("verifies");
+        let est = rolag_analysis::cost::module_text_estimate(&X86SizeModel, &m);
+        assert!(est >= 8 * 1024, "reached the size target");
+        assert!(est < 12 * 1024, "did not wildly overshoot");
+    }
+
+    #[test]
+    fn scaled_build_shrinks() {
+        let spec = &TABLE1[3]; // gsm, 48.6 KB
+        let m = build_program(spec, 1, 0.1);
+        let est = rolag_analysis::cost::module_text_estimate(&X86SizeModel, &m);
+        assert!(est < 10 * 1024);
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = ProgramSpec {
+            suite: "test",
+            name: "det",
+            size_kb: 4.0,
+            rolled_loops: 2,
+            marginal: 0.5,
+        };
+        let a = rolag_ir::printer::print_module(&build_program(&spec, 9, 1.0));
+        let b = rolag_ir::printer::print_module(&build_program(&spec, 9, 1.0));
+        assert_eq!(a, b);
+    }
+}

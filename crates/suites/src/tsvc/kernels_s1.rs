@@ -1,0 +1,548 @@
+//! TSVC kernels: `s000` and the `s1xx`/`s1xxx` families (linear dependence
+//! testing, induction variables, global data flow).
+
+use rolag_ir::Module;
+
+use super::helpers::{kernel_loop, kernel_loop_cond, kernel_reduce, ld, ldd, ofs, std_, LEN};
+use super::KernelSpec;
+
+fn fc(b: &mut rolag_ir::Builder<'_>, v: f64) -> rolag_ir::ValueId {
+    let d = b.types.double();
+    b.fconst(d, v)
+}
+
+/// Registers the family.
+pub fn register(v: &mut Vec<KernelSpec>) {
+    let mut k = |name: &'static str, multi_block: bool, build: fn(&mut Module)| {
+        v.push(KernelSpec {
+            name,
+            multi_block,
+            build,
+        });
+    };
+
+    // s000: a[i] = b[i] + 1
+    k("s000", false, |m| {
+        kernel_loop(m, "s000", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let one = fc(b, 1.0);
+            let y = b.fadd(x, one);
+            std_(b, ar.a, iv, y);
+        });
+    });
+    // s111: a[2i+1] = a[2i] + b[2i+1] (odd/even linear dependence)
+    k("s111", false, |m| {
+        kernel_loop(m, "s111", LEN / 2, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let even = b.mul(iv, two);
+            let odd = ofs(b, even, 1);
+            let x = ldd(b, ar.a, even);
+            let y = ldd(b, ar.b, odd);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, odd, s);
+        });
+    });
+    // s1111: a[2i] = c[i]*b[i] + d[i]*b[i] (no dependence, doubled stride)
+    k("s1111", false, |m| {
+        kernel_loop(m, "s1111", LEN / 2, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let di = b.mul(iv, two);
+            let bb = ldd(b, ar.b, iv);
+            let cc = ldd(b, ar.c, iv);
+            let dd = ldd(b, ar.d, iv);
+            let t1 = b.fmul(cc, bb);
+            let t2 = b.fmul(dd, bb);
+            let s = b.fadd(t1, t2);
+            std_(b, ar.a, di, s);
+        });
+    });
+    // s1112: reverse order a[LEN-1-i] = b[LEN-1-i] + 1
+    k("s1112", false, |m| {
+        kernel_loop(m, "s1112", LEN, |b, ar, iv| {
+            let last = b.i64_const(LEN - 1);
+            let ri = b.sub(last, iv);
+            let x = ldd(b, ar.b, ri);
+            let one = fc(b, 1.0);
+            let y = b.fadd(x, one);
+            std_(b, ar.a, ri, y);
+        });
+    });
+    // s1113: a[i] = a[LEN/2] + b[i] (possible dependence on a fixed cell)
+    k("s1113", false, |m| {
+        kernel_loop(m, "s1113", LEN / 2, |b, ar, iv| {
+            let mid = b.i64_const(LEN / 2);
+            let x = ldd(b, ar.a, mid);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1115: triangular-ish update a[i] = a[i]*c[i] + b[i]
+    k("s1115", false, |m| {
+        kernel_loop(m, "s1115", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.b, iv);
+            let t = b.fmul(x, y);
+            let s = b.fadd(t, z);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1119: 2D sum over rows (flattened): a[i] = a[i-8] + b[i]
+    k("s1119", false, |m| {
+        kernel_loop(m, "s1119", LEN - 8, |b, ar, iv| {
+            let i8v = ofs(b, iv, 8);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, i8v);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i8v, s);
+        });
+    });
+    // s112: backward a[i+1] = a[i] + b[i]
+    k("s112", false, |m| {
+        kernel_loop(m, "s112", LEN - 8, |b, ar, iv| {
+            let last = b.i64_const(LEN - 2);
+            let ri = b.sub(last, iv);
+            let ri1 = ofs(b, ri, 1);
+            let x = ldd(b, ar.a, ri);
+            let y = ldd(b, ar.b, ri);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, ri1, s);
+        });
+    });
+    // s113: a[i] = a[0] + b[i]
+    k("s113", false, |m| {
+        kernel_loop(m, "s113", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let zero = b.i64_const(0);
+            let x = ldd(b, ar.a, zero);
+            let y = ldd(b, ar.b, i1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+        });
+    });
+    // s114: transposed triangular copy (flattened): a[i] = a[i^1] + b[i]
+    k("s114", false, |m| {
+        kernel_loop(m, "s114", LEN, |b, ar, iv| {
+            let one = b.i64_const(1);
+            let xi = b.xor(iv, one);
+            let x = ldd(b, ar.a, xi);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.c, iv, s);
+        });
+    });
+    // s115: triangular saxpy a[i] = a[i] - b[i]*c[i]
+    k("s115", false, |m| {
+        kernel_loop(m, "s115", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let t = b.fmul(y, z);
+            let s = b.fsub(x, t);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s116: a[i] = a[i+1]*a[i]
+    k("s116", false, |m| {
+        kernel_loop(m, "s116", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.a, iv);
+            let p = b.fmul(x, y);
+            std_(b, ar.a, iv, p);
+        });
+    });
+    // s118: a[i] = a[i-1] + bb (flattened inner product with prior row)
+    k("s118", false, |m| {
+        kernel_loop(m, "s118", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, i1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+        });
+    });
+    // s119: 2D stencil (flattened): a[i] = a[i-9] + b[i]
+    k("s119", false, |m| {
+        kernel_loop(m, "s119", LEN - 16, |b, ar, iv| {
+            let i9 = ofs(b, iv, 9);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, i9);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i9, s);
+        });
+    });
+    // s121: a[i] = a[i+1] + b[i]
+    k("s121", false, |m| {
+        kernel_loop(m, "s121", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s122: induction variable under the loop control: a[i] += b[LEN-j]
+    k("s122", false, |m| {
+        kernel_loop(m, "s122", LEN, |b, ar, iv| {
+            let last = b.i64_const(LEN - 1);
+            let rj = b.sub(last, iv);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, rj);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1221: four-way unrollable run: a[i] = b[i] + a[i-4]
+    k("s1221", false, |m| {
+        kernel_loop(m, "s1221", LEN - 8, |b, ar, iv| {
+            let i4 = ofs(b, iv, 4);
+            let x = ldd(b, ar.b, i4);
+            let y = ldd(b, ar.a, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i4, s);
+        });
+    });
+    // s123: conditional induction bumps (modelled with select)
+    k("s123", false, |m| {
+        kernel_loop(m, "s123", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let zero = fc(b, 0.0);
+            let cnd = b.fcmp(rolag_ir::FloatPredicate::Ogt, y, zero);
+            let s = b.fadd(x, y);
+            let sel = b.select(cnd, s, x);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s1232: symmetric 2D update (flattened): a[i] = b[i]+c[i]; d[i]=a[i]*e-ish
+    k("s1232", false, |m| {
+        kernel_loop(m, "s1232", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+            let z = ldd(b, ar.e, iv);
+            let t = b.fmul(s, z);
+            std_(b, ar.d, iv, t);
+        });
+    });
+    // s124: select-driven induction
+    k("s124", false, |m| {
+        kernel_loop(m, "s124", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.d, iv);
+            let zero = fc(b, 0.0);
+            let cnd = b.fcmp(rolag_ir::FloatPredicate::Ogt, x, zero);
+            let p = b.fmul(x, y);
+            let q = b.fadd(x, y);
+            let sel = b.select(cnd, p, q);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s1244: a[i] = b[i]+c[i]+d[i]; d[i] = b[i]+e[i]
+    k("s1244", false, |m| {
+        kernel_loop(m, "s1244", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let s1 = b.fadd(x, y);
+            let s2 = b.fadd(s1, z);
+            std_(b, ar.a, iv, s2);
+            let w = ldd(b, ar.e, iv);
+            let s3 = b.fadd(x, w);
+            std_(b, ar.d, iv, s3);
+        });
+    });
+    // s125: collapsed 2D: a[i] = b[i]*c[i] + d[i]*e[i]
+    k("s125", false, |m| {
+        kernel_loop(m, "s125", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let w = ldd(b, ar.e, iv);
+            let p = b.fmul(x, y);
+            let q = b.fmul(z, w);
+            let s = b.fadd(p, q);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1251: scalar expansion inside the body
+    k("s1251", false, |m| {
+        kernel_loop(m, "s1251", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            let z = ldd(b, ar.d, iv);
+            let t = b.fmul(s, z);
+            std_(b, ar.a, iv, t);
+        });
+    });
+    // s126: flattened column-wise recurrence
+    k("s126", false, |m| {
+        kernel_loop(m, "s126", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.c, i1);
+            let s = b.fadd(p, z);
+            std_(b, ar.a, i1, s);
+        });
+    });
+    // s127: doubled write stride
+    k("s127", false, |m| {
+        kernel_loop(m, "s127", LEN / 2, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let di = b.mul(iv, two);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, di, s);
+        });
+    });
+    // s128: strided read/write pair
+    k("s128", false, |m| {
+        kernel_loop(m, "s128", LEN / 2, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let di = b.mul(iv, two);
+            let di1 = ofs(b, di, 1);
+            let x = ldd(b, ar.b, di);
+            let y = ldd(b, ar.d, di1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, di, s);
+            std_(b, ar.c, di1, x);
+        });
+    });
+    // s1281: crossing thresholds with temporaries
+    k("s1281", false, |m| {
+        kernel_loop(m, "s1281", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let t = b.fmul(x, y);
+            let u = b.fadd(t, z);
+            std_(b, ar.a, iv, u);
+            std_(b, ar.e, iv, t);
+        });
+    });
+    // s131: a[i] = a[i+1] + b[i] (one-off forward)
+    k("s131", false, |m| {
+        kernel_loop(m, "s131", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s13110: reduction to scalar with global bound tracking
+    k("s13110", false, |m| {
+        kernel_reduce(m, "s13110", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // s132: 2D with constant row offset (flattened)
+    k("s132", false, |m| {
+        kernel_loop(m, "s132", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1351: pointer-walk copy: *a++ = *b++ + *c++
+    k("s1351", false, |m| {
+        kernel_loop(m, "s1351", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s141: packed lower-triangle walk (flattened via ip)
+    k("s141", false, |m| {
+        kernel_loop(m, "s141", LEN, |b, ar, iv| {
+            let i64t = b.types.i64();
+            let j = ld(b, ar.ip, i64t, iv);
+            let x = ldd(b, ar.b, j);
+            let y = ldd(b, ar.a, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1421: storage classes — half-array shifted add
+    k("s1421", false, |m| {
+        kernel_loop(m, "s1421", LEN / 2, |b, ar, iv| {
+            let half = b.i64_const(LEN / 2);
+            let hi = b.add(iv, half);
+            let x = ldd(b, ar.b, hi);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s151: one-call-deep interprocedural (inlined form)
+    k("s151", false, |m| {
+        kernel_loop(m, "s151", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s152: dot-ish with write to both arrays
+    k("s152", false, |m| {
+        kernel_loop(m, "s152", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.d, iv);
+            let y = ldd(b, ar.e, iv);
+            let p = b.fmul(x, y);
+            std_(b, ar.b, iv, p);
+            let z = ldd(b, ar.c, iv);
+            let s = b.fadd(p, z);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s161: control flow — if (b[i] < 0) goto else-arm (multi-block).
+    k("s161", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s161",
+            LEN - 8,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(rolag_ir::FloatPredicate::Oge, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.d, iv);
+                let p = b.fmul(x, y);
+                let i1 = ofs(b, iv, 1);
+                std_(b, ar.c, i1, p);
+            },
+        );
+    });
+    // s1161: same with two side effects (multi-block).
+    k("s1161", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s1161",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(rolag_ir::FloatPredicate::Olt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let s = b.fadd(x, y);
+                std_(b, ar.a, iv, s);
+            },
+        );
+    });
+    // s162: crossing thresholds with an offset guard (single block, the
+    // guard folds to a select).
+    k("s162", false, |m| {
+        kernel_loop(m, "s162", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s171: symbolic stride (here 2)
+    k("s171", false, |m| {
+        kernel_loop(m, "s171", LEN / 2, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let si = b.mul(iv, two);
+            let x = ldd(b, ar.a, si);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, si, s);
+        });
+    });
+    // s172: non-unit symbolic stride 3 over the first 48 elements
+    k("s172", false, |m| {
+        kernel_loop(m, "s172", LEN / 4, |b, ar, iv| {
+            let three = b.i64_const(3);
+            let si = b.mul(iv, three);
+            let x = ldd(b, ar.a, si);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, si, s);
+        });
+    });
+    // s173: offset by half the array
+    k("s173", false, |m| {
+        kernel_loop(m, "s173", LEN / 2, |b, ar, iv| {
+            let half = b.i64_const(LEN / 2);
+            let hi = b.add(iv, half);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, hi, s);
+        });
+    });
+    // s174: same with explicit bound parameter folded
+    k("s174", false, |m| {
+        kernel_loop(m, "s174", LEN / 2, |b, ar, iv| {
+            let half = b.i64_const(LEN / 2);
+            let hi = b.add(iv, half);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.c, hi, s);
+        });
+    });
+    // s175: non-unit stride with forward reference
+    k("s175", false, |m| {
+        kernel_loop(m, "s175", LEN / 2 - 4, |b, ar, iv| {
+            let two = b.i64_const(2);
+            let si = b.mul(iv, two);
+            let si2 = ofs(b, si, 2);
+            let x = ldd(b, ar.a, si2);
+            let y = ldd(b, ar.b, si);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, si, s);
+        });
+    });
+    // s176: convolution-ish: a[i] += b[i+m]*c[m-ish]
+    k("s176", false, |m| {
+        kernel_loop(m, "s176", LEN / 2, |b, ar, iv| {
+            let q = b.i64_const(LEN / 2 - 1);
+            let mi = b.sub(q, iv);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, mi);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, iv);
+            let s = b.fadd(z, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s1213: statement reordering with a cross pair
+    k("s1213", false, |m| {
+        kernel_loop(m, "s1213", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.d, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+            let z = ldd(b, ar.a, iv);
+            let p = b.fmul(z, y);
+            std_(b, ar.c, iv, p);
+        });
+    });
+}

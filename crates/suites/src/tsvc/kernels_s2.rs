@@ -1,0 +1,726 @@
+//! TSVC kernels: the `s2xx` family (statement reordering, loop
+//! distribution, loop interchange, node splitting, scalar/array expansion,
+//! control flow).
+
+use rolag_ir::{FloatPredicate, Module};
+
+use super::helpers::{
+    kernel_loop, kernel_loop2, kernel_loop_cond, kernel_reduce, ldd, ofs, std_, LEN,
+};
+use super::KernelSpec;
+
+fn fc(b: &mut rolag_ir::Builder<'_>, v: f64) -> rolag_ir::ValueId {
+    let d = b.types.double();
+    b.fconst(d, v)
+}
+
+/// Registers the family.
+pub fn register(v: &mut Vec<KernelSpec>) {
+    let mut k = |name: &'static str, multi_block: bool, build: fn(&mut Module)| {
+        v.push(KernelSpec {
+            name,
+            multi_block,
+            build,
+        });
+    };
+
+    // s211: statement reordering: a[i] = b[i-1]+c[i]; b[i] = b[i+1]-e[i]
+    k("s211", false, |m| {
+        kernel_loop(m, "s211", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let i2 = ofs(b, iv, 2);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, i1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+            let z = ldd(b, ar.b, i2);
+            let w = ldd(b, ar.e, i1);
+            let t = b.fsub(z, w);
+            std_(b, ar.b, i1, t);
+        });
+    });
+    // s212: dependency needing temporary
+    k("s212", false, |m| {
+        kernel_loop(m, "s212", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            std_(b, ar.a, iv, p);
+            let z = ldd(b, ar.a, i1);
+            let s = b.fadd(z, p);
+            std_(b, ar.b, iv, s);
+        });
+    });
+    // s221: loop distribution: a[i] += c[i]*d[i]; b[i] = b[i-1]+a[i]
+    k("s221", false, |m| {
+        kernel_loop(m, "s221", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.c, i1);
+            let y = ldd(b, ar.d, i1);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, i1);
+            let s = b.fadd(z, p);
+            std_(b, ar.a, i1, s);
+            let w = ldd(b, ar.b, iv);
+            let t = b.fadd(w, s);
+            std_(b, ar.b, i1, t);
+        });
+    });
+    // s222: partial distribution with a recurrence in the middle
+    k("s222", false, |m| {
+        kernel_loop(m, "s222", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, i1);
+            let y = ldd(b, ar.c, i1);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, i1);
+            let s = b.fadd(z, p);
+            std_(b, ar.a, i1, s);
+            let e1 = ldd(b, ar.e, iv);
+            let e2 = b.fmul(e1, e1);
+            std_(b, ar.e, i1, e2);
+            let t = b.fsub(s, p);
+            std_(b, ar.a, i1, t);
+        });
+    });
+    // s231: loop interchange over an 8x8 tile (true 2-level nest): the
+    // inner loop walks a column, aa[j][i] = aa[j-1][i] + bb[j][i].
+    k("s231", false, |m| {
+        kernel_loop2(m, "s231", 7, 8, |b, ar, i, j| {
+            let eight = b.i64_const(8);
+            let row = b.mul(i, eight);
+            let idx = b.add(row, j);
+            let nxt = ofs(b, idx, 8);
+            let x = ldd(b, ar.a, idx);
+            let y = ldd(b, ar.b, nxt);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, nxt, s);
+        });
+    });
+    // s232: interchanged nest with a multiply recurrence along rows.
+    k("s232", false, |m| {
+        kernel_loop2(m, "s232", 8, 7, |b, ar, i, j| {
+            let eight = b.i64_const(8);
+            let row = b.mul(i, eight);
+            let idx = b.add(row, j);
+            let i1 = ofs(b, idx, 1);
+            let x = ldd(b, ar.a, idx);
+            let y = ldd(b, ar.b, i1);
+            let p = b.fmul(x, y);
+            std_(b, ar.a, i1, p);
+        });
+    });
+    // s233: nest with both row-wise and column-wise updates per cell.
+    k("s233", false, |m| {
+        kernel_loop2(m, "s233", 7, 7, |b, ar, i, j| {
+            let eight = b.i64_const(8);
+            let row = b.mul(i, eight);
+            let idx = b.add(row, j);
+            let down = ofs(b, idx, 8);
+            let right = ofs(b, idx, 1);
+            let x = ldd(b, ar.a, idx);
+            let y = ldd(b, ar.b, down);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, down, s);
+            let z = ldd(b, ar.c, right);
+            let w = ldd(b, ar.b, right);
+            let t = b.fadd(z, w);
+            std_(b, ar.c, right, t);
+        });
+    });
+    // s2233: nest with two independent walks of the tile per cell.
+    k("s2233", false, |m| {
+        kernel_loop2(m, "s2233", 7, 8, |b, ar, i, j| {
+            let eight = b.i64_const(8);
+            let row = b.mul(i, eight);
+            let idx = b.add(row, j);
+            let down = ofs(b, idx, 8);
+            let x = ldd(b, ar.a, idx);
+            let y = ldd(b, ar.b, down);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, down, s);
+            let z = ldd(b, ar.c, down);
+            let w = ldd(b, ar.b, idx);
+            let t = b.fadd(z, w);
+            std_(b, ar.c, down, t);
+        });
+    });
+    // s235: nested walk with a per-cell combine and strided write.
+    k("s235", false, |m| {
+        kernel_loop2(m, "s235", 7, 8, |b, ar, i, j| {
+            let eight = b.i64_const(8);
+            let row = b.mul(i, eight);
+            let idx = b.add(row, j);
+            let x = ldd(b, ar.a, idx);
+            let y = ldd(b, ar.b, idx);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, idx, s);
+            let down = ofs(b, idx, 8);
+            let z = ldd(b, ar.c, down);
+            let p = b.fmul(s, z);
+            std_(b, ar.c, down, p);
+        });
+    });
+    // s2101: diagonal walk (flattened i*9)
+    k("s2101", false, |m| {
+        kernel_loop(m, "s2101", LEN / 8, |b, ar, iv| {
+            let nine = b.i64_const(9 % LEN);
+            let di = b.mul(iv, nine);
+            let x = ldd(b, ar.a, di);
+            let y = ldd(b, ar.b, di);
+            let p = b.fmul(x, y);
+            let one = fc(b, 1.0);
+            let s = b.fadd(p, one);
+            std_(b, ar.a, di, s);
+        });
+    });
+    // s2102: identity-matrix initialization (zero then set diagonal)
+    k("s2102", false, |m| {
+        kernel_loop(m, "s2102", LEN / 8, |b, ar, iv| {
+            let nine = b.i64_const(9 % LEN);
+            let di = b.mul(iv, nine);
+            let one = fc(b, 1.0);
+            std_(b, ar.a, di, one);
+        });
+    });
+    // s2111: wavefront (flattened neighbour sum)
+    k("s2111", false, |m| {
+        kernel_loop(m, "s2111", LEN - 9, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let i9 = ofs(b, iv, 9);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.a, i1);
+            let s = b.fadd(x, y);
+            let half = fc(b, 0.5);
+            let h = b.fmul(s, half);
+            std_(b, ar.a, i9, h);
+        });
+    });
+    // s241: node splitting: a[i] = b[i]*c[i]*d[i]; b[i] = a[i]*a[i+1]*d[i]
+    k("s241", false, |m| {
+        kernel_loop(m, "s241", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, y);
+            let q = b.fmul(p, z);
+            std_(b, ar.a, iv, q);
+            let w = ldd(b, ar.a, i1);
+            let r = b.fmul(q, w);
+            let t = b.fmul(r, z);
+            std_(b, ar.b, iv, t);
+        });
+    });
+    // s242: two statements with anti-dependence
+    k("s242", false, |m| {
+        kernel_loop(m, "s242", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, iv);
+            let s1 = fc(b, 1.5);
+            let s2 = fc(b, 2.5);
+            let t1 = b.fadd(x, s1);
+            let t2 = b.fadd(t1, s2);
+            let y = ldd(b, ar.b, i1);
+            let t3 = b.fadd(t2, y);
+            std_(b, ar.a, i1, t3);
+        });
+    });
+    // s243: splittable three-statement body
+    k("s243", false, |m| {
+        kernel_loop(m, "s243", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, iv, s);
+            let w = ldd(b, ar.a, i1);
+            let t = b.fadd(s, w);
+            std_(b, ar.b, iv, t);
+        });
+    });
+    // s244: false dependence chain
+    k("s244", false, |m| {
+        kernel_loop(m, "s244", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, z);
+            std_(b, ar.a, i1, p);
+        });
+    });
+    // s251: scalar expansion of a body temporary
+    k("s251", false, |m| {
+        kernel_loop(m, "s251", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let s = b.fadd(x, y);
+            let p = b.fmul(s, z);
+            std_(b, ar.a, iv, p);
+        });
+    });
+    // s2251: expansion across statements
+    k("s2251", false, |m| {
+        kernel_loop(m, "s2251", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.e, iv, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(s, z);
+            std_(b, ar.a, iv, p);
+        });
+    });
+    // s252: loop-carried scalar (sequential)
+    k("s252", false, |m| {
+        kernel_reduce(m, "s252", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let p = b.fmul(x, y);
+            let s = b.fadd(acc, p);
+            std_(b, ar.a, iv, s);
+            s
+        });
+    });
+    // s253: conditional scalar expansion (multi-block).
+    k("s253", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s253",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let y = ldd(b, ar.b, iv);
+                b.fcmp(FloatPredicate::Ogt, x, y)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let y = ldd(b, ar.b, iv);
+                let s = b.fsub(x, y);
+                let z = ldd(b, ar.d, iv);
+                let p = b.fmul(s, z);
+                std_(b, ar.c, iv, p);
+            },
+        );
+    });
+    // s254: carry-around variable
+    k("s254", false, |m| {
+        kernel_loop(m, "s254", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.b, i1);
+            let s = b.fadd(x, y);
+            let half = fc(b, 0.5);
+            let h = b.fmul(s, half);
+            std_(b, ar.a, iv, h);
+        });
+    });
+    // s255: carry-around two deep
+    k("s255", false, |m| {
+        kernel_loop(m, "s255", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let i2 = ofs(b, iv, 2);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.b, i1);
+            let z = ldd(b, ar.b, i2);
+            let s = b.fadd(x, y);
+            let t = b.fadd(s, z);
+            let third = fc(b, 0.333);
+            let h = b.fmul(t, third);
+            std_(b, ar.a, iv, h);
+        });
+    });
+    // s256: 2D array expansion (flattened)
+    k("s256", false, |m| {
+        kernel_loop(m, "s256", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let one = fc(b, 1.0);
+            let s = b.fsub(one, x);
+            std_(b, ar.a, iv, s);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(s, y);
+            std_(b, ar.d, iv, p);
+        });
+    });
+    // s257: array expansion crossing rows
+    k("s257", false, |m| {
+        kernel_loop(m, "s257", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, iv);
+            let s = b.fsub(z, p);
+            std_(b, ar.a, i1, s);
+        });
+    });
+    // s258: conditional wrap-around (multi-block).
+    k("s258", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s258",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let y = ldd(b, ar.b, iv);
+                let z = ldd(b, ar.c, iv);
+                let p = b.fmul(y, z);
+                std_(b, ar.e, iv, p);
+            },
+        );
+    });
+    // s261: scalar renaming
+    k("s261", false, |m| {
+        kernel_loop(m, "s261", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, i1);
+            let t1 = b.fadd(x, y);
+            std_(b, ar.a, iv, t1);
+            let z = ldd(b, ar.d, iv);
+            let t2 = b.fmul(t1, z);
+            std_(b, ar.c, iv, t2);
+        });
+    });
+    // s271 (Fig. 20a): if (b[i] > 0) a[i] += b[i]*c[i]  (multi-block).
+    k("s271", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s271",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+            },
+        );
+    });
+    // s272: two-branch conditional (multi-block).
+    k("s272", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s272",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.e, iv);
+                let t = fc(b, 0.5);
+                b.fcmp(FloatPredicate::Oge, x, t)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let y = ldd(b, ar.d, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+                let w = ldd(b, ar.b, iv);
+                let t2 = b.fadd(w, p);
+                std_(b, ar.b, iv, t2);
+            },
+        );
+    });
+    // s273: conditional on a computed value (multi-block).
+    k("s273", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s273",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Olt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.d, iv);
+                let y = ldd(b, ar.e, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.b, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.b, iv, s);
+            },
+        );
+    });
+    // s274: guarded then unconditional update (multi-block).
+    k("s274", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s274",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let y = ldd(b, ar.e, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+                std_(b, ar.b, iv, s);
+            },
+        );
+    });
+    // s275: guarded inner walk folded to selects (single block).
+    k("s275", false, |m| {
+        kernel_loop(m, "s275", LEN - 8, |b, ar, iv| {
+            let i8v = ofs(b, iv, 8);
+            let x = ldd(b, ar.a, iv);
+            let zero = fc(b, 0.0);
+            let cnd = b.fcmp(FloatPredicate::Ogt, x, zero);
+            let y = ldd(b, ar.b, i8v);
+            let z = ldd(b, ar.c, i8v);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            let sel = b.select(cnd, s, x);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s276: threshold test folded to select (single block).
+    k("s276", false, |m| {
+        kernel_loop(m, "s276", LEN, |b, ar, iv| {
+            let mid = b.i64_const(LEN / 2);
+            let cnd = b.icmp(rolag_ir::IntPredicate::Slt, iv, mid);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, iv);
+            let s = b.fadd(z, p);
+            let sel = b.select(cnd, s, z);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s277: dependent conditionals (multi-block).
+    k("s277", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s277",
+            LEN - 8,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Oge, x, zero)
+            },
+            |b, ar, iv| {
+                let i1 = ofs(b, iv, 1);
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, i1);
+                let s = b.fadd(z, p);
+                std_(b, ar.b, i1, s);
+            },
+        );
+    });
+    // s278: if-then-else both writing (multi-block).
+    k("s278", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s278",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let y = ldd(b, ar.d, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.b, iv);
+                let s = b.fsub(z, p);
+                std_(b, ar.b, iv, s);
+            },
+        );
+    });
+    // s279: vector if/goto (multi-block).
+    k("s279", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s279",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let t = fc(b, 0.25);
+                b.fcmp(FloatPredicate::Ogt, x, t)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let y = ldd(b, ar.d, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+                let e = ldd(b, ar.e, iv);
+                let q = b.fmul(e, p);
+                std_(b, ar.e, iv, q);
+            },
+        );
+    });
+    // s1279: variant of s279 (multi-block).
+    k("s1279", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s1279",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let y = ldd(b, ar.b, iv);
+                b.fcmp(FloatPredicate::Olt, x, y)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let y = ldd(b, ar.d, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.e, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.e, iv, s);
+            },
+        );
+    });
+    // s2710: scalar and vector ifs (multi-block).
+    k("s2710", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s2710",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let y = ldd(b, ar.b, iv);
+                b.fcmp(FloatPredicate::Ogt, x, y)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.c, iv);
+                let d = fc(b, 2.0);
+                let p = b.fmul(x, d);
+                std_(b, ar.a, iv, p);
+            },
+        );
+    });
+    // s2711: semantic if removal (multi-block in source form).
+    k("s2711", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s2711",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::One, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+            },
+        );
+    });
+    // s2712: if to elemental min (multi-block).
+    k("s2712", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s2712",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let y = ldd(b, ar.b, iv);
+                b.fcmp(FloatPredicate::Ogt, x, y)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+            },
+        );
+    });
+    // s281: crossing thresholds (reverse read, forward write)
+    k("s281", false, |m| {
+        kernel_loop(m, "s281", LEN, |b, ar, iv| {
+            let last = b.i64_const(LEN - 1);
+            let ri = b.sub(last, iv);
+            let x = ldd(b, ar.a, ri);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.b, iv, s);
+        });
+    });
+    // s291: loop peeling — wrap-around variable modelled via ip
+    k("s291", false, |m| {
+        kernel_loop(m, "s291", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.b, i1);
+            let s = b.fadd(x, y);
+            let half = fc(b, 0.5);
+            let h = b.fmul(s, half);
+            std_(b, ar.a, iv, h);
+        });
+    });
+    // s292: double wrap-around
+    k("s292", false, |m| {
+        kernel_loop(m, "s292", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let i2 = ofs(b, iv, 2);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.b, i1);
+            let z = ldd(b, ar.b, i2);
+            let s = b.fadd(x, y);
+            let t = b.fadd(s, z);
+            let q = fc(b, 0.25);
+            let h = b.fmul(t, q);
+            std_(b, ar.a, iv, h);
+        });
+    });
+    // s293: a[i] = a[0] (loop-invariant RHS)
+    k("s293", false, |m| {
+        kernel_loop(m, "s293", LEN, |b, ar, iv| {
+            let zero = b.i64_const(0);
+            let x = ldd(b, ar.a, zero);
+            std_(b, ar.b, iv, x);
+        });
+    });
+    // s2275: non-interchangeable nest (flattened strided pair)
+    k("s2275", false, |m| {
+        kernel_loop(m, "s2275", LEN - 8, |b, ar, iv| {
+            let i8v = ofs(b, iv, 8);
+            let x = ldd(b, ar.a, i8v);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, i8v, s);
+            let w = ldd(b, ar.b, i8v);
+            let t = b.fadd(w, p);
+            std_(b, ar.b, i8v, t);
+        });
+    });
+}

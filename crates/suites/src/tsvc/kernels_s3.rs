@@ -1,0 +1,354 @@
+//! TSVC kernels: the `s3xx` family (reductions, recurrences, search loops,
+//! packing, loop rerolling).
+
+use rolag_ir::{FloatPredicate, Module};
+
+use super::helpers::{kernel_loop, kernel_loop_cond, kernel_reduce, ldd, ofs, std_, LEN};
+use super::KernelSpec;
+
+fn fc(b: &mut rolag_ir::Builder<'_>, v: f64) -> rolag_ir::ValueId {
+    let d = b.types.double();
+    b.fconst(d, v)
+}
+
+/// Registers the family.
+pub fn register(v: &mut Vec<KernelSpec>) {
+    let mut k = |name: &'static str, multi_block: bool, build: fn(&mut Module)| {
+        v.push(KernelSpec {
+            name,
+            multi_block,
+            build,
+        });
+    };
+
+    // s311: sum reduction
+    k("s311", false, |m| {
+        kernel_reduce(m, "s311", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            b.fadd(acc, x)
+        });
+    });
+    // s312: product reduction
+    k("s312", false, |m| {
+        kernel_reduce(m, "s312", LEN, 1.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let one = fc(b, 1.0);
+            let bumped = b.fadd(x, one); // keep the product finite
+            b.fmul(acc, bumped)
+        });
+    });
+    // s313: dot product reduction
+    k("s313", false, |m| {
+        kernel_reduce(m, "s313", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // s314: max reduction via select
+    k("s314", false, |m| {
+        kernel_reduce(m, "s314", LEN, -1.0e30, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let c = b.fcmp(FloatPredicate::Ogt, x, acc);
+            b.select(c, x, acc)
+        });
+    });
+    // s315: max with index (value part only, via select)
+    k("s315", false, |m| {
+        kernel_reduce(m, "s315", LEN, -1.0e30, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            let c = b.fcmp(FloatPredicate::Ogt, s, acc);
+            b.select(c, s, acc)
+        });
+    });
+    // s316: min reduction via select
+    k("s316", false, |m| {
+        kernel_reduce(m, "s316", LEN, 1.0e30, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let c = b.fcmp(FloatPredicate::Olt, x, acc);
+            b.select(c, x, acc)
+        });
+    });
+    // s317: product of scalars (induction-like geometric sequence)
+    k("s317", false, |m| {
+        kernel_reduce(m, "s317", LEN, 1.0, |b, _ar, _iv, acc| {
+            let q = fc(b, 0.99);
+            b.fmul(acc, q)
+        });
+    });
+    // s318: max of |a[i]| via selects
+    k("s318", false, |m| {
+        kernel_reduce(m, "s318", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let zero = fc(b, 0.0);
+            let neg = b.fsub(zero, x);
+            let cpos = b.fcmp(FloatPredicate::Ogt, x, neg);
+            let abs = b.select(cpos, x, neg);
+            let c = b.fcmp(FloatPredicate::Ogt, abs, acc);
+            b.select(c, abs, acc)
+        });
+    });
+    // s319: sum of two elementwise sums (rollable store + reduction combo)
+    k("s319", false, |m| {
+        kernel_reduce(m, "s319", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.c, iv);
+            let y = ldd(b, ar.d, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+            let z = ldd(b, ar.e, iv);
+            let t = b.fadd(s, z);
+            std_(b, ar.b, iv, t);
+            let u = b.fadd(s, t);
+            b.fadd(acc, u)
+        });
+    });
+    // s3110: max over 2D (flattened, select form)
+    k("s3110", false, |m| {
+        kernel_reduce(m, "s3110", LEN, -1.0e30, |b, ar, iv, acc| {
+            let x = ldd(b, ar.b, iv);
+            let c = b.fcmp(FloatPredicate::Ogt, x, acc);
+            b.select(c, x, acc)
+        });
+    });
+    // s31111: repeated short sums
+    k("s31111", false, |m| {
+        kernel_reduce(m, "s31111", LEN - 8, 0.0, |b, ar, iv, acc| {
+            let i1 = ofs(b, iv, 1);
+            let i2 = ofs(b, iv, 2);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.a, i1);
+            let z = ldd(b, ar.a, i2);
+            let s = b.fadd(x, y);
+            let t = b.fadd(s, z);
+            b.fadd(acc, t)
+        });
+    });
+    // s3111: conditional sum (multi-block).
+    k("s3111", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s3111",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = b.i64_const(0);
+                let cur = ldd(b, ar.e, zero);
+                let s = b.fadd(cur, x);
+                std_(b, ar.e, zero, s);
+            },
+        );
+    });
+    // s3112: sum with prefix store (scan)
+    k("s3112", false, |m| {
+        kernel_reduce(m, "s3112", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let s = b.fadd(acc, x);
+            std_(b, ar.b, iv, s);
+            s
+        });
+    });
+    // s3113 (Fig. 20b): max of |a[i]| in if-form (multi-block).
+    k("s3113", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s3113",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = b.i64_const(0);
+                let cur = ldd(b, ar.e, zero);
+                b.fcmp(FloatPredicate::Ogt, x, cur)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = b.i64_const(0);
+                std_(b, ar.e, zero, x);
+            },
+        );
+    });
+    // s321: first-order linear recurrence
+    k("s321", false, |m| {
+        kernel_loop(m, "s321", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, i1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+        });
+    });
+    // s322: second-order linear recurrence
+    k("s322", false, |m| {
+        kernel_loop(m, "s322", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let i2 = ofs(b, iv, 2);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.a, i1);
+            let z = ldd(b, ar.b, i2);
+            let p = b.fmul(x, y);
+            let s = b.fadd(p, z);
+            std_(b, ar.a, i2, s);
+        });
+    });
+    // s323: coupled recurrence
+    k("s323", false, |m| {
+        kernel_loop(m, "s323", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, i1);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+            let z = ldd(b, ar.a, i1);
+            let w = ldd(b, ar.d, i1);
+            let p = b.fmul(z, w);
+            std_(b, ar.b, i1, p);
+        });
+    });
+    // s3251: mixed recurrence/elementwise
+    k("s3251", false, |m| {
+        kernel_loop(m, "s3251", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, z);
+            std_(b, ar.b, iv, p);
+            let w = ldd(b, ar.a, iv);
+            let q = b.fmul(w, z);
+            std_(b, ar.e, iv, q);
+        });
+    });
+    // s331: search for last negative element (multi-block).
+    k("s331", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s331",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Olt, x, zero)
+            },
+            |b, ar, iv| {
+                let zero = b.i64_const(0);
+                let d = b.types.double();
+                let fi = b.cast(rolag_ir::Opcode::SiToFp, iv, d);
+                std_(b, ar.e, zero, fi);
+            },
+        );
+    });
+    // s332: first element greater than threshold (multi-block).
+    k("s332", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s332",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let t = fc(b, 0.75);
+                b.fcmp(FloatPredicate::Ogt, x, t)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let one = b.i64_const(1);
+                std_(b, ar.e, one, x);
+            },
+        );
+    });
+    // s341: pack positive elements (multi-block).
+    k("s341", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s341",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                std_(b, ar.a, iv, x);
+            },
+        );
+    });
+    // s342: unpack (multi-block).
+    k("s342", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s342",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.a, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                std_(b, ar.a, iv, x);
+            },
+        );
+    });
+    // s343: pack 2D (multi-block).
+    k("s343", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s343",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                std_(b, ar.a, iv, p);
+            },
+        );
+    });
+    // s351: manually unrolled saxpy body (already partially unrolled in
+    // TSVC source; here the rolled form).
+    k("s351", false, |m| {
+        kernel_loop(m, "s351", LEN, |b, ar, iv| {
+            let alpha = fc(b, 1.5);
+            let x = ldd(b, ar.b, iv);
+            let p = b.fmul(alpha, x);
+            let y = ldd(b, ar.a, iv);
+            let s = b.fadd(y, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s352: unrolled dot product (rolled form)
+    k("s352", false, |m| {
+        kernel_reduce(m, "s352", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // s353: unrolled sparse saxpy through an index array
+    k("s353", false, |m| {
+        kernel_loop(m, "s353", LEN, |b, ar, iv| {
+            let i64t = b.types.i64();
+            let j = super::helpers::ld(b, ar.ip, i64t, iv);
+            let alpha = fc(b, 1.5);
+            let x = ldd(b, ar.b, j);
+            let p = b.fmul(alpha, x);
+            let y = ldd(b, ar.a, iv);
+            let s = b.fadd(y, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+}

@@ -1,0 +1,318 @@
+//! TSVC kernels: the `s4xx` family (indirect addressing, statement
+//! functions, vector semantics, searching).
+
+use rolag_ir::{FloatPredicate, Module};
+
+use super::helpers::{kernel_loop, kernel_loop_cond, kernel_reduce, ld, ldd, ofs, std_, LEN};
+use super::KernelSpec;
+
+fn fc(b: &mut rolag_ir::Builder<'_>, v: f64) -> rolag_ir::ValueId {
+    let d = b.types.double();
+    b.fconst(d, v)
+}
+
+fn ldip(
+    b: &mut rolag_ir::Builder<'_>,
+    ar: &super::helpers::Arrays,
+    iv: rolag_ir::ValueId,
+) -> rolag_ir::ValueId {
+    let i64t = b.types.i64();
+    ld(b, ar.ip, i64t, iv)
+}
+
+/// Registers the family.
+pub fn register(v: &mut Vec<KernelSpec>) {
+    let mut k = |name: &'static str, multi_block: bool, build: fn(&mut Module)| {
+        v.push(KernelSpec {
+            name,
+            multi_block,
+            build,
+        });
+    };
+
+    // s4112: indirect gather: a[i] += b[ip[i]] * s
+    k("s4112", false, |m| {
+        kernel_loop(m, "s4112", LEN, |b, ar, iv| {
+            let j = ldip(b, ar, iv);
+            let x = ldd(b, ar.b, j);
+            let s = fc(b, 1.5);
+            let p = b.fmul(x, s);
+            let y = ldd(b, ar.a, iv);
+            let t = b.fadd(y, p);
+            std_(b, ar.a, iv, t);
+        });
+    });
+    // s4113: indirect scatter: a[ip[i]] = b[ip[i]] + c[i]
+    k("s4113", false, |m| {
+        kernel_loop(m, "s4113", LEN, |b, ar, iv| {
+            let j = ldip(b, ar, iv);
+            let x = ldd(b, ar.b, j);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, j, s);
+        });
+    });
+    // s4114: mixed direct/indirect
+    k("s4114", false, |m| {
+        kernel_loop(m, "s4114", LEN, |b, ar, iv| {
+            let j = ldip(b, ar, iv);
+            let x = ldd(b, ar.b, j);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s4115: indirect dot product
+    k("s4115", false, |m| {
+        kernel_reduce(m, "s4115", LEN, 0.0, |b, ar, iv, acc| {
+            let j = ldip(b, ar, iv);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, j);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // s4116: indirect with stride in the index array
+    k("s4116", false, |m| {
+        kernel_reduce(m, "s4116", LEN / 2, 0.0, |b, ar, iv, acc| {
+            let two = b.i64_const(2);
+            let si = b.mul(iv, two);
+            let j = ldip(b, ar, si);
+            let x = ldd(b, ar.a, j);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // s4117: strength-reduced index expressions (produces bitwise-or
+    // patterns after strength reduction in the paper's discussion).
+    k("s4117", false, |m| {
+        kernel_loop(m, "s4117", LEN - 8, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let i1 = ofs(b, iv, 1);
+            let y = ldd(b, ar.c, i1);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s4121: statement function (inlined arithmetic helper)
+    k("s4121", false, |m| {
+        kernel_loop(m, "s4121", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let p = b.fmul(x, y);
+            let z = ldd(b, ar.a, iv);
+            let s = b.fadd(z, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s421: storage association via shifted alias
+    k("s421", false, |m| {
+        kernel_loop(m, "s421", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.a, i1);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s422: association with an offset window
+    k("s422", false, |m| {
+        kernel_loop(m, "s422", LEN - 8, |b, ar, iv| {
+            let i4 = ofs(b, iv, 4);
+            let x = ldd(b, ar.a, i4);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s423: overlapping windows, forward
+    k("s423", false, |m| {
+        kernel_loop(m, "s423", LEN - 8, |b, ar, iv| {
+            let i3 = ofs(b, iv, 3);
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i3, s);
+        });
+    });
+    // s424: overlapping windows, backward
+    k("s424", false, |m| {
+        kernel_loop(m, "s424", LEN - 8, |b, ar, iv| {
+            let i3 = ofs(b, iv, 3);
+            let x = ldd(b, ar.a, i3);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s431: loop with a redundant recomputed scalar
+    k("s431", false, |m| {
+        kernel_loop(m, "s431", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let c = fc(b, 3.0);
+            let s = b.fadd(x, c);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s441: three-way if-arithmetic (multi-block).
+    k("s441", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s441",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.d, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Olt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                let z = ldd(b, ar.a, iv);
+                let s = b.fadd(z, p);
+                std_(b, ar.a, iv, s);
+            },
+        );
+    });
+    // s442: computed-goto-style dispatch (multi-block).
+    k("s442", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s442",
+            LEN,
+            |b, ar, iv| {
+                let x = ld(b, ar.ia, b.types.i32(), iv);
+                let t = b.i32_const(50);
+                b.icmp(rolag_ir::IntPredicate::Slt, x, t)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let p = b.fmul(x, y);
+                std_(b, ar.a, iv, p);
+            },
+        );
+    });
+    // s443: two-arm arithmetic if (multi-block).
+    k("s443", true, |m| {
+        kernel_loop_cond(
+            m,
+            "s443",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.d, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ole, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let y = ldd(b, ar.c, iv);
+                let s = b.fadd(x, y);
+                let z = ldd(b, ar.a, iv);
+                let t = b.fadd(z, s);
+                std_(b, ar.a, iv, t);
+            },
+        );
+    });
+    // s451: interleaved stores of two expressions
+    k("s451", false, |m| {
+        kernel_loop(m, "s451", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, z);
+            std_(b, ar.e, iv, p);
+        });
+    });
+    // s452: induction in the data: a[i] = b[i] + c * (i+1)
+    k("s452", false, |m| {
+        kernel_loop(m, "s452", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let d = b.types.double();
+            let i1 = ofs(b, iv, 1);
+            let fi = b.cast(rolag_ir::Opcode::SiToFp, i1, d);
+            let c = fc(b, 0.01);
+            let p = b.fmul(fi, c);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // s453: scaled induction: s += 2; a[i] = s * b[i]
+    k("s453", false, |m| {
+        kernel_loop(m, "s453", LEN, |b, ar, iv| {
+            let d = b.types.double();
+            let fi = b.cast(rolag_ir::Opcode::SiToFp, iv, d);
+            let two = fc(b, 2.0);
+            let s = b.fmul(fi, two);
+            let x = ldd(b, ar.b, iv);
+            let p = b.fmul(s, x);
+            std_(b, ar.a, iv, p);
+        });
+    });
+    // s471: call in the loop (side-effecting statement call)
+    k("s471", false, |m| {
+        // Declare the callee once.
+        if m.func_by_name("s471s").is_none() {
+            let void = m.types.void();
+            m.declare_func("s471s", vec![], void, rolag_ir::Effects::ReadNone);
+        }
+        kernel_loop(m, "s471", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, z);
+            std_(b, ar.e, iv, p);
+        });
+    });
+    // s481: non-local goto-like early exit guard (multi-block in source;
+    // folded here to a select to keep a single block, matching -Os
+    // if-conversion).
+    k("s481", false, |m| {
+        kernel_loop(m, "s481", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.d, iv);
+            let zero = fc(b, 0.0);
+            let c = b.fcmp(FloatPredicate::Oge, x, zero);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let w = ldd(b, ar.a, iv);
+            let s = b.fadd(w, p);
+            let sel = b.select(c, s, w);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s482: early-exit on threshold folded to select
+    k("s482", false, |m| {
+        kernel_loop(m, "s482", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.c, iv);
+            let t = fc(b, 0.9);
+            let c = b.fcmp(FloatPredicate::Olt, x, t);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(y, x);
+            let w = ldd(b, ar.a, iv);
+            let s = b.fadd(w, p);
+            let sel = b.select(c, s, w);
+            std_(b, ar.a, iv, sel);
+        });
+    });
+    // s491: indirect scatter with computed values
+    k("s491", false, |m| {
+        kernel_loop(m, "s491", LEN, |b, ar, iv| {
+            let j = ldip(b, ar, iv);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(y, z);
+            let s = b.fadd(x, p);
+            std_(b, ar.a, j, s);
+        });
+    });
+}

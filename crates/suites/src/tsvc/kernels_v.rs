@@ -1,0 +1,173 @@
+//! TSVC kernels: the `v*` control family (basic vector operations) plus
+//! `s2244`.
+
+use rolag_ir::{FloatPredicate, Module};
+
+use super::helpers::{kernel_loop, kernel_loop_cond, kernel_reduce, ldd, ofs, std_, LEN};
+use super::KernelSpec;
+
+fn fc(b: &mut rolag_ir::Builder<'_>, v: f64) -> rolag_ir::ValueId {
+    let d = b.types.double();
+    b.fconst(d, v)
+}
+
+/// Registers the family.
+pub fn register(v: &mut Vec<KernelSpec>) {
+    let mut k = |name: &'static str, multi_block: bool, build: fn(&mut Module)| {
+        v.push(KernelSpec {
+            name,
+            multi_block,
+            build,
+        });
+    };
+
+    // va: vector assignment a[i] = b[i]
+    k("va", false, |m| {
+        kernel_loop(m, "va", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.b, iv);
+            std_(b, ar.a, iv, x);
+        });
+    });
+    // vag: gather a[i] = b[ip[i]]
+    k("vag", false, |m| {
+        kernel_loop(m, "vag", LEN, |b, ar, iv| {
+            let i64t = b.types.i64();
+            let j = super::helpers::ld(b, ar.ip, i64t, iv);
+            let x = ldd(b, ar.b, j);
+            std_(b, ar.a, iv, x);
+        });
+    });
+    // vas: scatter a[ip[i]] = b[i]
+    k("vas", false, |m| {
+        kernel_loop(m, "vas", LEN, |b, ar, iv| {
+            let i64t = b.types.i64();
+            let j = super::helpers::ld(b, ar.ip, i64t, iv);
+            let x = ldd(b, ar.b, iv);
+            std_(b, ar.a, j, x);
+        });
+    });
+    // vbor: long expression chain per element
+    k("vbor", false, |m| {
+        kernel_loop(m, "vbor", LEN, |b, ar, iv| {
+            let a = ldd(b, ar.a, iv);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let z = ldd(b, ar.d, iv);
+            let w = ldd(b, ar.e, iv);
+            let t1 = b.fmul(a, x);
+            let t2 = b.fmul(t1, y);
+            let t3 = b.fadd(t2, z);
+            let t4 = b.fmul(t3, w);
+            let t5 = b.fadd(t4, t1);
+            std_(b, ar.b, iv, t5);
+        });
+    });
+    // vdotr: dot product reduction
+    k("vdotr", false, |m| {
+        kernel_reduce(m, "vdotr", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            b.fadd(acc, p)
+        });
+    });
+    // vif: vector if (multi-block).
+    k("vif", true, |m| {
+        kernel_loop_cond(
+            m,
+            "vif",
+            LEN,
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                let zero = fc(b, 0.0);
+                b.fcmp(FloatPredicate::Ogt, x, zero)
+            },
+            |b, ar, iv| {
+                let x = ldd(b, ar.b, iv);
+                std_(b, ar.a, iv, x);
+            },
+        );
+    });
+    // vpv: a[i] += b[i]
+    k("vpv", false, |m| {
+        kernel_loop(m, "vpv", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, iv, s);
+        });
+    });
+    // vpvpv: a[i] += b[i] + c[i]
+    k("vpvpv", false, |m| {
+        kernel_loop(m, "vpvpv", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let s = b.fadd(y, z);
+            let t = b.fadd(x, s);
+            std_(b, ar.a, iv, t);
+        });
+    });
+    // vpvts: a[i] += b[i] * scalar
+    k("vpvts", false, |m| {
+        kernel_loop(m, "vpvts", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let s = fc(b, 1.75);
+            let p = b.fmul(y, s);
+            let t = b.fadd(x, p);
+            std_(b, ar.a, iv, t);
+        });
+    });
+    // vpvtv: a[i] += b[i] * c[i]
+    k("vpvtv", false, |m| {
+        kernel_loop(m, "vpvtv", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(y, z);
+            let t = b.fadd(x, p);
+            std_(b, ar.a, iv, t);
+        });
+    });
+    // vsumr: sum reduction
+    k("vsumr", false, |m| {
+        kernel_reduce(m, "vsumr", LEN, 0.0, |b, ar, iv, acc| {
+            let x = ldd(b, ar.a, iv);
+            b.fadd(acc, x)
+        });
+    });
+    // vtv: a[i] *= b[i]
+    k("vtv", false, |m| {
+        kernel_loop(m, "vtv", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let p = b.fmul(x, y);
+            std_(b, ar.a, iv, p);
+        });
+    });
+    // vtvtv: a[i] = a[i] * b[i] * c[i]
+    k("vtvtv", false, |m| {
+        kernel_loop(m, "vtvtv", LEN, |b, ar, iv| {
+            let x = ldd(b, ar.a, iv);
+            let y = ldd(b, ar.b, iv);
+            let z = ldd(b, ar.c, iv);
+            let p = b.fmul(x, y);
+            let q = b.fmul(p, z);
+            std_(b, ar.a, iv, q);
+        });
+    });
+    // s2244: node splitting with cross-iteration pair
+    k("s2244", false, |m| {
+        kernel_loop(m, "s2244", LEN - 8, |b, ar, iv| {
+            let i1 = ofs(b, iv, 1);
+            let x = ldd(b, ar.b, iv);
+            let y = ldd(b, ar.c, iv);
+            let s = b.fadd(x, y);
+            std_(b, ar.a, i1, s);
+            let z = ldd(b, ar.d, iv);
+            let p = b.fmul(x, z);
+            std_(b, ar.a, iv, p);
+        });
+    });
+}

@@ -1,0 +1,110 @@
+//! TSVC — the Test Suite for Vectorizing Compilers (Callahan, Dongarra,
+//! Levine), ported to the project IR.
+//!
+//! The paper evaluates loop (re)rolling on TSVC with every inner loop
+//! force-unrolled by 8 (§V-C); the original rolled kernels serve as the
+//! oracle of Fig. 18. Each kernel here is built in its *rolled* form; the
+//! harness unrolls it with `rolag-transforms` to produce the evaluated
+//! input.
+//!
+//! The ports preserve each kernel's loop structure and memory access
+//! pattern (strides, offsets, reductions, recurrences, conditionals,
+//! indirection); scalar element types are `double` for floating kernels and
+//! `i32`/`i64` for integer/index kernels, as in the original suite.
+
+mod helpers;
+mod kernels_s1;
+mod kernels_s2;
+mod kernels_s3;
+mod kernels_s4;
+mod kernels_v;
+
+pub use helpers::{ensure_arrays, kernel_loop, patch_loop_phi, KernelCx, LEN};
+
+use rolag_ir::Module;
+
+/// A named TSVC kernel and its builder.
+pub struct KernelSpec {
+    /// Kernel name (matches the TSVC function name).
+    pub name: &'static str,
+    /// Whether the kernel's inner loop spans multiple basic blocks
+    /// (conditional kernels like s271) — unsupported by both techniques in
+    /// the paper.
+    pub multi_block: bool,
+    /// Builds the kernel function into the module.
+    pub build: fn(&mut Module),
+}
+
+/// All kernels of the suite, in name order.
+pub fn all_kernels() -> Vec<KernelSpec> {
+    let mut v = Vec::new();
+    kernels_s1::register(&mut v);
+    kernels_s2::register(&mut v);
+    kernels_s3::register(&mut v);
+    kernels_s4::register(&mut v);
+    kernels_v::register(&mut v);
+    v.sort_by_key(|k| k.name);
+    v
+}
+
+/// Builds one module per kernel (rolled form), so kernels can be sized and
+/// transformed independently like separate object files.
+pub fn build_kernel_module(spec: &KernelSpec) -> Module {
+    let mut m = Module::new(format!("tsvc.{}", spec.name));
+    ensure_arrays(&mut m);
+    (spec.build)(&mut m);
+    m
+}
+
+/// Builds the whole suite into one module (used by the interpreter tests).
+pub fn build_suite_module() -> Module {
+    let mut m = Module::new("tsvc");
+    ensure_arrays(&mut m);
+    for spec in all_kernels() {
+        (spec.build)(&mut m);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::verify::verify_module;
+
+    #[test]
+    fn suite_has_151_kernels() {
+        let kernels = all_kernels();
+        assert_eq!(kernels.len(), 151, "TSVC has 151 loops");
+        // Names are unique.
+        let mut names: Vec<_> = kernels.iter().map(|k| k.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), 151);
+    }
+
+    #[test]
+    fn full_suite_verifies() {
+        let m = build_suite_module();
+        verify_module(&m).expect("all kernels verify");
+    }
+
+    #[test]
+    fn paper_reports_26_multi_block_loops() {
+        // §V-C: "the most prominent of them are the 26 loops with multiple
+        // basic blocks".
+        let n = all_kernels().iter().filter(|k| k.multi_block).count();
+        assert_eq!(n, 26);
+    }
+
+    #[test]
+    fn kernels_execute_in_the_interpreter() {
+        let m = build_suite_module();
+        let mut failures = Vec::new();
+        for spec in all_kernels() {
+            let mut interp = rolag_ir::interp::Interpreter::new(&m).with_max_steps(2_000_000);
+            if let Err(e) = interp.run(spec.name, &[]) {
+                failures.push(format!("{}: {e}", spec.name));
+            }
+        }
+        assert!(failures.is_empty(), "kernels faulted: {failures:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Cleanup pipeline: constant folding + DCE to a fixed point.
+//!
+//! Run after unrolling and after loop rolling, playing the role of the
+//! surrounding `-Os` pipeline in the paper's evaluation setup.
+
+use rolag_ir::dce::run_dce_with;
+use rolag_ir::fold::simplify_function;
+use rolag_ir::{Effects, FuncId, Module};
+
+/// Simplifies and DCEs one function until nothing changes. Returns the
+/// total number of instructions rewritten or removed.
+pub fn cleanup_function(module: &mut Module, id: FuncId) -> usize {
+    // Snapshot call effects up front so DCE does not need the module while
+    // the function is mutably borrowed.
+    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
+    let void_ty = module.types.void();
+    let mut total = 0;
+    loop {
+        let mut changed = 0;
+        {
+            let (func, types) = module.func_and_types_mut(id);
+            changed += simplify_function(func, types);
+        }
+        {
+            let func = module.func_mut(id);
+            changed += run_dce_with(func, void_ty, &|callee| effects[callee.index()]);
+        }
+        total += changed;
+        if changed == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Runs [`cleanup_function`] over every definition in the module. The call
+/// effects table is computed once, so this is linear in module size.
+pub fn cleanup_module(module: &mut Module) -> usize {
+    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
+    let void_ty = module.types.void();
+    let ids: Vec<FuncId> = module.func_ids().collect();
+    let mut total = 0;
+    for id in ids {
+        if module.func(id).is_declaration {
+            continue;
+        }
+        loop {
+            let mut changed = 0;
+            {
+                let (func, types) = module.func_and_types_mut(id);
+                changed += simplify_function(func, types);
+            }
+            {
+                let func = module.func_mut(id);
+                changed += run_dce_with(func, void_ty, &|callee| effects[callee.index()]);
+            }
+            total += changed;
+            if changed == 0 {
+                break;
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    #[test]
+    fn cleanup_folds_and_removes() {
+        let text = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  %1 = add i32 i32 2, i32 3
+  %2 = mul i32 %1, i32 0
+  %3 = add i32 %p0, %2
+  %4 = mul i32 %3, i32 7
+  ret %3
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        let id = m.func_by_name("f").unwrap();
+        cleanup_function(&mut m, id);
+        // %1,%2 fold away, %3 becomes %p0, %4 is dead.
+        let f = m.func(id);
+        assert_eq!(f.num_live_insts(), 1);
+        let ret = f.live_insts().next().unwrap();
+        assert_eq!(f.inst(ret).operands[0], f.param(0));
+    }
+
+    #[test]
+    fn cleanup_is_idempotent() {
+        let text = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  %1 = add i32 %p0, i32 1
+  ret %1
+}
+"#;
+        let mut m = parse_module(text).unwrap();
+        assert!(cleanup_module(&mut m) == 0);
+        assert_eq!(cleanup_module(&mut m), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The reduction-tree example (Fig. 11): a straight-line dot product whose
+//! whole `+` tree collapses into a single accumulator loop.
+//!
+//! Run with: `cargo run --example dot_product`
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::builder::FuncBuilder;
+use rolag_ir::interp::{IValue, Interpreter};
+use rolag_ir::printer::print_module;
+use rolag_ir::{GlobalData, GlobalInit, Module};
+use rolag_lower::measure_module;
+
+const N: i64 = 6;
+
+fn main() {
+    let mut module = Module::new("dot");
+    let i32t = module.types.i32();
+    let arr = module.types.array(i32t, N as u64);
+    let a = module.add_global(GlobalData {
+        name: "a".into(),
+        ty: arr,
+        init: GlobalInit::Ints {
+            elem_ty: i32t,
+            values: (1..=N).collect(),
+        },
+        is_const: false,
+    });
+    let b_arr = module.add_global(GlobalData {
+        name: "b".into(),
+        ty: arr,
+        init: GlobalInit::Ints {
+            elem_ty: i32t,
+            values: (1..=N).map(|i| 2 * i - 1).collect(),
+        },
+        is_const: false,
+    });
+
+    // return a[0]*b[0] + a[1]*b[1] + ... (straight-line, no loop).
+    let mut fb = FuncBuilder::new(&mut module, "dot_product", vec![], i32t);
+    fb.block("entry");
+    fb.ins(|bu| {
+        let ga = bu.global(a);
+        let gb = bu.global(b_arr);
+        let mut terms = Vec::new();
+        for i in 0..N {
+            let idx = bu.i64_const(i);
+            let pa = bu.gep(bu.types.i32(), ga, &[idx]);
+            let va = bu.load(bu.types.i32(), pa);
+            let pb = bu.gep(bu.types.i32(), gb, &[idx]);
+            let vb = bu.load(bu.types.i32(), pb);
+            terms.push(bu.mul(va, vb));
+        }
+        let mut acc = terms[0];
+        for &t in &terms[1..] {
+            acc = bu.add(acc, t);
+        }
+        bu.ret(Some(acc));
+    });
+    fb.finish();
+
+    let before = measure_module(&module).code_footprint();
+    let mut rolled = module.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    let after = measure_module(&rolled).code_footprint();
+
+    println!("=== rolled dot product ===\n{}", print_module(&rolled));
+    println!("{stats}");
+    println!("measured size: {before} -> {after} bytes");
+
+    let expected: i64 = (1..=N).map(|i| i * (2 * i - 1)).sum();
+    let mut interp = Interpreter::new(&rolled);
+    let out = interp.run("dot_product", &[]).expect("runs");
+    println!("dot_product() = {:?} (expected {expected})", out.ret);
+    assert_eq!(out.ret, IValue::Int(expected));
+}

@@ -1,0 +1,65 @@
+//! Head-to-head on a TSVC kernel: unroll `vpv` (a[i] += b[i]) by 8, then
+//! let the LLVM-style rerolling baseline and RoLAG each try to undo it.
+//! This is one lane of the Fig. 17 experiment, end to end.
+//!
+//! Run with: `cargo run --example reroll_comparison`
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::printer::print_function;
+use rolag_lower::measure_module;
+use rolag_reroll::reroll_module;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+fn main() {
+    let spec = all_kernels()
+        .into_iter()
+        .find(|k| k.name == "vpv")
+        .expect("vpv is in the suite");
+    let rolled = build_kernel_module(&spec);
+    let oracle = measure_module(&rolled).code_footprint();
+
+    let mut base = rolled.clone();
+    unroll_module(&mut base, 8);
+    cse_module(&mut base);
+    cleanup_module(&mut base);
+    let base_size = measure_module(&base).code_footprint();
+    println!("=== vpv, force-unrolled x8 (the evaluated input) ===");
+    let f = base.func(base.func_by_name("vpv").unwrap());
+    println!("{}", print_function(&base, f));
+
+    let mut llvm = base.clone();
+    let llvm_stats = reroll_module(&mut llvm);
+    cleanup_module(&mut llvm);
+    let llvm_size = measure_module(&llvm).code_footprint();
+
+    let mut rolag_m = base.clone();
+    let stats = roll_module(&mut rolag_m, &RolagOptions::default());
+    cleanup_module(&mut rolag_m);
+    let rolag_size = measure_module(&rolag_m).code_footprint();
+
+    println!("=== after RoLAG ===");
+    let f = rolag_m.func(rolag_m.func_by_name("vpv").unwrap());
+    println!("{}", print_function(&rolag_m, f));
+
+    check_equivalence(&base, &llvm, "vpv", &[]).expect("baseline preserves behaviour");
+    check_equivalence(&base, &rolag_m, "vpv", &[]).expect("RoLAG preserves behaviour");
+
+    let pct = |after: u64| 100.0 * (base_size as f64 - after as f64) / base_size as f64;
+    println!("unrolled input : {base_size} bytes");
+    println!(
+        "LLVM rerolling : {llvm_size} bytes ({:+.1}%, rerolled {} loops)",
+        pct(llvm_size),
+        llvm_stats.rerolled
+    );
+    println!(
+        "RoLAG          : {rolag_size} bytes ({:+.1}%, rolled {} loops)",
+        pct(rolag_size),
+        stats.rolled
+    );
+    println!(
+        "oracle (never unrolled): {oracle} bytes ({:+.1}%)",
+        pct(oracle)
+    );
+}

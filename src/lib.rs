@@ -1,0 +1,24 @@
+//! # rolag-suite
+//!
+//! Workspace umbrella crate for the RoLAG reproduction ("Loop Rolling for
+//! Code Size Reduction", CGO 2022). It re-exports every member crate and
+//! hosts the workspace-level examples (`examples/`) and integration tests
+//! (`tests/`).
+//!
+//! Crate map:
+//!
+//! * [`rolag_ir`] — SSA IR, builder, printer/parser, verifier, interpreter;
+//! * [`rolag_analysis`] — dominators, loops, alias/dependence, cost model;
+//! * [`rolag_lower`] — x86-64 lowering simulator and object-size measure;
+//! * [`rolag`](rolag_pass) — the paper's contribution: the loop-rolling pass;
+//! * [`rolag_reroll`] — the LLVM-style rerolling baseline;
+//! * [`rolag_transforms`] — unrolling, CSE, cleanup pipeline;
+//! * [`rolag_suites`] — TSVC, AnghaBench-like, and Table-I workloads.
+
+pub use rolag as rolag_pass;
+pub use rolag_analysis;
+pub use rolag_ir;
+pub use rolag_lower;
+pub use rolag_reroll;
+pub use rolag_suites;
+pub use rolag_transforms;

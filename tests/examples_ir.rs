@@ -1,0 +1,48 @@
+//! Guards the sample `.rir` files shipped in `examples/ir/`: they must
+//! parse, verify, interpret, and actually demonstrate a roll.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::parser::parse_module;
+use rolag_ir::verify::verify_module;
+
+fn load(name: &str) -> rolag_ir::Module {
+    let path = format!("{}/examples/ir/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let m = parse_module(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    verify_module(&m).unwrap_or_else(|e| panic!("{path}: {e:?}"));
+    m
+}
+
+#[test]
+fn aegis128_sample_rolls() {
+    let m = load("aegis128.rir");
+    let mut rolled = m.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1);
+    check_equivalence(&m, &rolled, "save_state", &[]).expect("equivalent");
+}
+
+#[test]
+fn memcpy_sample_rolls_dramatically() {
+    let m = load("memcpy72.rir");
+    let mut rolled = m.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1);
+    assert!(stats.reduction_percent() > 70.0);
+    check_equivalence(&m, &rolled, "copy", &[]).expect("equivalent");
+}
+
+#[test]
+fn axpy_sample_survives_the_full_pipeline() {
+    let m = load("axpy.rir");
+    let mut v = m.clone();
+    rolag_transforms::unroll_module(&mut v, 4);
+    rolag_transforms::cse_module(&mut v);
+    rolag_transforms::cleanup_module(&mut v);
+    let stats = roll_module(&mut v, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1, "the unrolled axpy re-rolls");
+    rolag_transforms::cleanup_module(&mut v);
+    verify_module(&v).expect("verifies");
+    check_equivalence(&m, &v, "axpy", &[rolag_ir::interp::IValue::Float(2.5)]).expect("equivalent");
+}

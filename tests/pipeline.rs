@@ -1,0 +1,235 @@
+//! Workspace-level integration tests: the full pipeline across crates —
+//! parse → verify → unroll → CSE → roll/reroll → lower → interpret.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+use rolag_lower::measure_module;
+use rolag_reroll::reroll_module;
+use rolag_suites::angha::{generate, AnghaConfig};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+/// Text IR → parse → roll → print → re-parse → identical behaviour.
+#[test]
+fn parse_roll_print_reparse_round_trip() {
+    let text = r#"
+module "rt"
+global @t : [8 x i32] = zero
+func @f() -> i32 {
+entry:
+  %g0 = gep i32, @t, i64 0
+  store i32 3, %g0
+  %g1 = gep i32, @t, i64 1
+  store i32 6, %g1
+  %g2 = gep i32, @t, i64 2
+  store i32 9, %g2
+  %g3 = gep i32, @t, i64 3
+  store i32 12, %g3
+  %g4 = gep i32, @t, i64 4
+  store i32 15, %g4
+  %g5 = gep i32, @t, i64 5
+  store i32 18, %g5
+  %r = gep i32, @t, i64 2
+  %v = load i32, %r
+  ret %v
+}
+"#;
+    let original = parse_module(text).unwrap();
+    let mut rolled = original.clone();
+    let stats = roll_module(&mut rolled, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1);
+
+    let printed = print_module(&rolled);
+    let reparsed = parse_module(&printed).expect("rolled module re-parses");
+    verify_module(&reparsed).expect("re-parsed module verifies");
+    check_equivalence(&original, &reparsed, "f", &[]).expect("behaviour preserved");
+}
+
+/// The full evaluation pipeline on a loop: unroll, disturb with CSE, then
+/// both rolling techniques, with sizes measured by the lowering simulator.
+#[test]
+fn unroll_cse_roll_pipeline_preserves_behaviour_and_shrinks() {
+    let text = r#"
+module "p"
+global @a : [64 x i32] = zero
+global @b : [64 x i32] = ints i32 [9,8,7,6,5,4,3,2,1,0,9,8,7,6,5,4,3,2,1,0,9,8,7,6,5,4,3,2,1,0,9,8,7,6,5,4,3,2,1,0,9,8,7,6,5,4,3,2,1,0,9,8,7,6,5,4,3,2,1,0,9,8,7,6]
+func @f() -> i32 {
+entry:
+  br loop
+loop:
+  %iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]
+  %p = gep i32, @b, %iv
+  %v = load i32, %p
+  %w = mul i32 %v, i32 3
+  %q = gep i32, @a, %iv
+  store %w, %q
+  %ivn = add i64 %iv, i64 1
+  %c = icmp slt %ivn, i64 64
+  condbr %c, loop, exit
+exit:
+  %r = gep i32, @a, i64 10
+  %out = load i32, %r
+  ret %out
+}
+"#;
+    let original = parse_module(text).unwrap();
+    let mut base = original.clone();
+    unroll_module(&mut base, 8);
+    cse_module(&mut base);
+    cleanup_module(&mut base);
+    verify_module(&base).unwrap();
+    check_equivalence(&original, &base, "f", &[]).unwrap();
+    let base_size = measure_module(&base).code_footprint();
+
+    let mut llvm = base.clone();
+    let llvm_stats = reroll_module(&mut llvm);
+    cleanup_module(&mut llvm);
+    check_equivalence(&base, &llvm, "f", &[]).unwrap();
+
+    let mut rolag_m = base.clone();
+    let stats = roll_module(&mut rolag_m, &RolagOptions::default());
+    cleanup_module(&mut rolag_m);
+    check_equivalence(&base, &rolag_m, "f", &[]).unwrap();
+    let rolag_size = measure_module(&rolag_m).code_footprint();
+
+    assert_eq!(llvm_stats.rerolled, 1, "simple kernel rerolls");
+    assert_eq!(stats.rolled, 1, "RoLAG rolls it too");
+    assert!(
+        rolag_size < base_size,
+        "rolled {rolag_size} >= unrolled {base_size}"
+    );
+}
+
+/// Every generated AnghaBench function behaves identically after RoLAG.
+#[test]
+fn angha_corpus_rolling_is_behaviour_preserving() {
+    let cfg = AnghaConfig {
+        seed: 11,
+        functions: 120,
+    };
+    let corpus = generate(&cfg);
+    let mut failures = Vec::new();
+    for (name, kind, module) in corpus.entries {
+        let mut rolled = module.clone();
+        roll_module(&mut rolled, &RolagOptions::default());
+        if let Err(e) = verify_module(&rolled) {
+            failures.push(format!("{name} ({kind:?}): verify: {e:?}"));
+            continue;
+        }
+        // Entry points take differing signatures; run with a safe pointer
+        // into scratch memory and a couple of integers.
+        let args = entry_args(&module, &name);
+        if let Err(msg) = check_equivalence(&module, &rolled, &name, &args) {
+            failures.push(format!("{name} ({kind:?}): {msg}"));
+        }
+    }
+    assert!(failures.is_empty(), "{}\n", failures.join("\n"));
+}
+
+fn entry_args(module: &rolag_ir::Module, name: &str) -> Vec<IValue> {
+    let f = module.func(module.func_by_name(name).unwrap());
+    f.param_tys()
+        .iter()
+        .map(|&ty| {
+            if module.types.is_ptr(ty) {
+                // A valid address: the base of the module's first global, or
+                // fresh scratch if there is none.
+                let interp = Interpreter::new(module);
+                match module.global_ids().next() {
+                    Some(g) => IValue::Ptr(interp.global_addr(g)),
+                    None => IValue::Ptr(64),
+                }
+            } else if module.types.is_float(ty) {
+                IValue::Float(1.5)
+            } else {
+                IValue::Int(37)
+            }
+        })
+        .collect()
+}
+
+/// The §V-C improvement end to end: RoLAG rolls the unrolled loop into a
+/// nest; the flattening post-pass collapses it back to a single loop,
+/// matching the baseline's shape — with behaviour preserved throughout.
+#[test]
+fn rolag_nest_flattens_to_a_single_loop() {
+    let text = r#"
+module "fl"
+global @a : [64 x i32] = zero
+func @f() -> i32 {
+entry:
+  br loop
+loop:
+  %iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]
+  %t = trunc i32 %iv
+  %m = mul i32 %t, i32 3
+  %q = gep i32, @a, %iv
+  store %m, %q
+  %ivn = add i64 %iv, i64 1
+  %c = icmp slt %ivn, i64 64
+  condbr %c, loop, exit
+exit:
+  %p = gep i32, @a, i64 11
+  %v = load i32, %p
+  ret %v
+}
+"#;
+    let original = parse_module(text).unwrap();
+    let mut m = original.clone();
+    unroll_module(&mut m, 8);
+    cse_module(&mut m);
+    cleanup_module(&mut m);
+    let stats = roll_module(&mut m, &RolagOptions::default());
+    assert_eq!(stats.rolled, 1, "RoLAG re-rolls the unrolled loop");
+    let nested_size = measure_module(&m).code_footprint();
+
+    // RoLAG created a nest (two loops).
+    let f = m.func(m.func_by_name("f").unwrap());
+    let dom = rolag_analysis::DomTree::compute(f);
+    assert_eq!(rolag_analysis::find_loops(f, &dom).len(), 2);
+
+    let flattened = rolag_transforms::flatten_module(&mut m);
+    cleanup_module(&mut m);
+    assert_eq!(flattened, 1, "the nest flattens");
+    verify_module(&m).unwrap();
+    check_equivalence(&original, &m, "f", &[]).unwrap();
+
+    let f = m.func(m.func_by_name("f").unwrap());
+    let dom = rolag_analysis::DomTree::compute(f);
+    assert_eq!(rolag_analysis::find_loops(f, &dom).len(), 1, "one loop");
+    assert!(
+        measure_module(&m).code_footprint() < nested_size,
+        "flattening shrinks the code further"
+    );
+}
+
+/// Estimated and measured sizes agree on ordering for a mixed module.
+#[test]
+fn estimate_and_measurement_are_correlated() {
+    let cfg = AnghaConfig {
+        seed: 5,
+        functions: 60,
+    };
+    let corpus = generate(&cfg);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    let mut prev: Option<(u64, u64)> = None;
+    for (_, _, module) in &corpus.entries {
+        let est = rolag_analysis::cost::module_text_estimate(&rolag_analysis::X86SizeModel, module);
+        let meas = measure_module(module).text;
+        if let Some((pe, pm)) = prev {
+            total += 1;
+            if (est > pe) == (meas > pm) {
+                agree += 1;
+            }
+        }
+        prev = Some((est, meas));
+    }
+    // The TTI estimate is deliberately inexact but must track the backend.
+    assert!(
+        agree as f64 >= 0.8 * total as f64,
+        "estimate ordering agreement too low: {agree}/{total}"
+    );
+}

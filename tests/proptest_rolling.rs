@@ -1,0 +1,221 @@
+//! Property-based testing of the whole transformation stack: random
+//! straight-line functions and random loops go through RoLAG (and the
+//! unroll/reroll pipeline) and must behave identically under the
+//! interpreter — same return value, external-call trace, and final memory.
+
+use proptest::prelude::*;
+
+use rolag::{roll_module, RolagOptions};
+use rolag_ir::builder::FuncBuilder;
+use rolag_ir::interp::check_equivalence;
+use rolag_ir::verify::verify_module;
+use rolag_ir::{Effects, Module};
+use rolag_reroll::reroll_module;
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+/// One abstract statement of a generated straight-line function.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `dst[slot] = value_expr`
+    Store { slot: u8, expr: Expr },
+    /// `sink(arg_expr)`
+    Call { expr: Expr },
+}
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i32),
+    LoadSrc(u8),
+    AddConst(Box<Expr>, i32),
+    MulLoad(Box<Expr>, u8),
+    XorParam(Box<Expr>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i32..100).prop_map(Expr::Const),
+        (0u8..16).prop_map(Expr::LoadSrc),
+    ];
+    leaf.prop_recursive(3, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), -50i32..50).prop_map(|(e, c)| Expr::AddConst(Box::new(e), c)),
+            (inner.clone(), 0u8..16).prop_map(|(e, s)| Expr::MulLoad(Box::new(e), s)),
+            inner.prop_map(|e| Expr::XorParam(Box::new(e))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0u8..24, expr_strategy()).prop_map(|(slot, expr)| Stmt::Store { slot, expr }),
+        expr_strategy().prop_map(|expr| Stmt::Call { expr }),
+    ]
+}
+
+/// Builds a module with one function made of the given statements. Slots
+/// repeat, so store groups of every size (including rollable runs and
+/// conflicting interleavings) arise naturally.
+fn build(stmts: &[Stmt]) -> Module {
+    let mut m = Module::new("prop");
+    let i32t = m.types.i32();
+    let void = m.types.void();
+    let src_ty = m.types.array(i32t, 16);
+    let dst_ty = m.types.array(i32t, 24);
+    let src = m.add_global(rolag_ir::GlobalData {
+        name: "src".into(),
+        ty: src_ty,
+        init: rolag_ir::GlobalInit::Ints {
+            elem_ty: i32t,
+            values: (0..16).map(|i| i * 11 + 3).collect(),
+        },
+        is_const: false,
+    });
+    let dst = m.add_zero_global("dst", dst_ty);
+    let sink = m.declare_func("sink", vec![i32t], void, Effects::ReadWrite);
+
+    let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t], void);
+    let p = fb.param(0);
+    fb.block("entry");
+    fb.ins(|b| {
+        fn emit(
+            b: &mut rolag_ir::Builder<'_>,
+            e: &Expr,
+            src: rolag_ir::GlobalId,
+            p: rolag_ir::ValueId,
+        ) -> rolag_ir::ValueId {
+            match e {
+                Expr::Const(c) => b.iconst(b.types.i32(), *c as i64),
+                Expr::LoadSrc(slot) => {
+                    let g = b.global(src);
+                    let idx = b.i64_const(*slot as i64);
+                    let q = b.gep(b.types.i32(), g, &[idx]);
+                    b.load(b.types.i32(), q)
+                }
+                Expr::AddConst(e, c) => {
+                    let v = emit(b, e, src, p);
+                    let cc = b.iconst(b.types.i32(), *c as i64);
+                    b.add(v, cc)
+                }
+                Expr::MulLoad(e, slot) => {
+                    let v = emit(b, e, src, p);
+                    let g = b.global(src);
+                    let idx = b.i64_const(*slot as i64);
+                    let q = b.gep(b.types.i32(), g, &[idx]);
+                    let w = b.load(b.types.i32(), q);
+                    b.mul(v, w)
+                }
+                Expr::XorParam(e) => {
+                    let v = emit(b, e, src, p);
+                    b.xor(v, p)
+                }
+            }
+        }
+        for s in stmts {
+            match s {
+                Stmt::Store { slot, expr } => {
+                    let v = emit(b, expr, src, p);
+                    let g = b.global(dst);
+                    let idx = b.i64_const(*slot as i64);
+                    let q = b.gep(b.types.i32(), g, &[idx]);
+                    b.store(v, q);
+                }
+                Stmt::Call { expr } => {
+                    let v = emit(b, expr, src, p);
+                    let vt = b.types.void();
+                    b.call(sink, vt, &[v]);
+                }
+            }
+        }
+        b.ret(None);
+    });
+    fb.finish();
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    /// RoLAG never changes the behaviour of random straight-line code.
+    #[test]
+    fn rolag_preserves_random_straight_line_code(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..24),
+        arg in -1000i64..1000,
+    ) {
+        let module = build(&stmts);
+        verify_module(&module).expect("generated module verifies");
+        let mut rolled = module.clone();
+        roll_module(&mut rolled, &RolagOptions::default());
+        verify_module(&rolled).expect("rolled module verifies");
+        check_equivalence(
+            &module,
+            &rolled,
+            "f",
+            &[rolag_ir::interp::IValue::Int(arg)],
+        )
+        .map_err(|e| TestCaseError::fail(e))?;
+    }
+
+    /// The ablation configuration is equally sound.
+    #[test]
+    fn ablated_rolag_preserves_random_code(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..16),
+    ) {
+        let module = build(&stmts);
+        let mut rolled = module.clone();
+        roll_module(&mut rolled, &RolagOptions::no_special_nodes());
+        check_equivalence(&module, &rolled, "f", &[rolag_ir::interp::IValue::Int(7)])
+            .map_err(TestCaseError::fail)?;
+    }
+
+    /// unroll → CSE → reroll / roll on random counted loops stays correct.
+    #[test]
+    fn loop_pipeline_preserves_random_loops(
+        mul_k in 1i64..9,
+        add_k in -8i64..9,
+        trips in (1i64..8).prop_map(|t| t * 8),
+        factor in prop_oneof![Just(2u32), Just(4), Just(8)],
+    ) {
+        let text = format!(
+            r#"
+module "lp"
+global @a : [64 x i32] = zero
+func @f() -> i32 {{
+entry:
+  br loop
+loop:
+  %iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]
+  %t = trunc i32 %iv
+  %m = mul i32 %t, i32 {mul_k}
+  %v = add i32 %m, i32 {add_k}
+  %q = gep i32, @a, %iv
+  store %v, %q
+  %ivn = add i64 %iv, i64 1
+  %c = icmp slt %ivn, i64 {trips}
+  condbr %c, loop, exit
+exit:
+  %r = load i32, @a
+  ret %r
+}}
+"#
+        );
+        let original = rolag_ir::parser::parse_module(&text).unwrap();
+        let mut base = original.clone();
+        unroll_module(&mut base, factor);
+        cse_module(&mut base);
+        cleanup_module(&mut base);
+        check_equivalence(&original, &base, "f", &[]).map_err(TestCaseError::fail)?;
+
+        let mut llvm = base.clone();
+        reroll_module(&mut llvm);
+        cleanup_module(&mut llvm);
+        check_equivalence(&base, &llvm, "f", &[]).map_err(TestCaseError::fail)?;
+
+        let mut rolag_m = base.clone();
+        roll_module(&mut rolag_m, &RolagOptions::default());
+        cleanup_module(&mut rolag_m);
+        check_equivalence(&base, &rolag_m, "f", &[]).map_err(TestCaseError::fail)?;
+    }
+}
