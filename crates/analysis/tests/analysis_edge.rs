@@ -74,8 +74,7 @@ exit:
     // Trip count requires a constant init: with two distinct entries it
     // must refuse.
     assert!(trip_count(&m, f, &loops[0])
-        .map(|tc| tc.known_trips)
-        .flatten()
+        .and_then(|tc| tc.known_trips)
         .is_none());
 }
 

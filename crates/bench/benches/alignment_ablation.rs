@@ -2,9 +2,8 @@
 //! runtime and applicability with each feature class toggled off. This is
 //! the compile-time companion to Fig. 19's quality ablation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
 use rolag::{roll_module, RolagOptions};
+use rolag_bench::harness::BenchGroup;
 use rolag_suites::tsvc::{all_kernels, build_kernel_module};
 use rolag_transforms::{cleanup_module, cse_module, unroll_module};
 
@@ -58,25 +57,19 @@ fn variants() -> Vec<(&'static str, RolagOptions)> {
     ]
 }
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let modules = inputs(16);
-    let mut group = c.benchmark_group("alignment_ablation");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("alignment_ablation", 10);
     for (label, opts) in variants() {
-        group.bench_function(label, |b| {
-            b.iter_batched(
-                || modules.clone(),
-                |mut ms| {
-                    for m in &mut ms {
-                        roll_module(m, &opts);
-                    }
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        group.bench_batched(
+            label,
+            || modules.clone(),
+            |mut ms| {
+                for m in &mut ms {
+                    roll_module(m, &opts);
+                }
+            },
+        );
     }
     group.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -2,14 +2,13 @@
 //! allocation + sizing) and the reference interpreter — the two substrates
 //! every experiment leans on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-
+use rolag_bench::harness::BenchGroup;
 use rolag_ir::interp::Interpreter;
 use rolag_lower::measure_module;
 use rolag_suites::programs::{build_program, ProgramSpec};
 use rolag_suites::tsvc::build_suite_module;
 
-fn bench_lowering(c: &mut Criterion) {
+fn main() {
     let spec = ProgramSpec {
         suite: "bench",
         name: "lower-input",
@@ -20,26 +19,16 @@ fn bench_lowering(c: &mut Criterion) {
     let program = build_program(&spec, 7, 1.0);
     let tsvc = build_suite_module();
 
-    let mut group = c.benchmark_group("lowering");
-    group.sample_size(10);
+    let mut group = BenchGroup::new("lowering", 10);
 
-    group.bench_function("measure_64kb_program", |b| {
-        b.iter(|| std::hint::black_box(measure_module(&program)))
-    });
+    group.bench("measure_64kb_program", || measure_module(&program));
 
-    group.bench_function("measure_tsvc_suite", |b| {
-        b.iter(|| std::hint::black_box(measure_module(&tsvc)))
-    });
+    group.bench("measure_tsvc_suite", || measure_module(&tsvc));
 
-    group.bench_function("interpret_vpv", |b| {
-        b.iter(|| {
-            let mut i = Interpreter::new(&tsvc);
-            std::hint::black_box(i.run("vpv", &[]).expect("runs"))
-        })
+    group.bench("interpret_vpv", || {
+        let mut i = Interpreter::new(&tsvc);
+        i.run("vpv", &[]).expect("runs")
     });
 
     group.finish();
 }
-
-criterion_group!(benches, bench_lowering);
-criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! AnghaBench evaluation driver (§V-A, Figs. 15–16).
 
-use rolag::{roll_module, NodeKindCounts, RolagOptions};
+use rolag::{roll_module, NodeKindCounts, RolagOptions, StageTimings};
 use rolag_lower::measure_module;
 use rolag_reroll::reroll_module;
 use rolag_suites::angha::{generate, AnghaConfig, PatternKind};
@@ -23,6 +23,8 @@ pub struct AnghaRow {
     pub llvm_rerolled: u64,
     /// Node kinds of profitable graphs.
     pub nodes: NodeKindCounts,
+    /// Per-stage wall-clock breakdown of the RoLAG run.
+    pub timings: StageTimings,
 }
 
 impl AnghaRow {
@@ -63,6 +65,7 @@ pub fn evaluate_angha(config: &AnghaConfig, opts: &RolagOptions) -> Vec<AnghaRow
                 rolled: stats.rolled,
                 llvm_rerolled: llvm_stats.rerolled,
                 nodes: stats.nodes,
+                timings: stats.timings,
             }
         }
     })

@@ -10,7 +10,9 @@
 
 use rolag::RolagOptions;
 use rolag_bench::angha_eval::{evaluate_angha, summarize};
-use rolag_bench::report::{arg_value, render_curve, sorted_desc, write_csv};
+use rolag_bench::report::{
+    arg_value, render_curve, sorted_desc, stage_csv_header, stage_csv_row, write_csv,
+};
 use rolag_suites::angha::AnghaConfig;
 
 fn main() {
@@ -52,5 +54,21 @@ fn main() {
     match write_csv("fig15-angha-curve", "rank,reduction_pct", &csv_rows) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    // Aggregate stage timings per pattern family (a per-function dump would
+    // be thousands of rows of noise at this corpus size).
+    let mut by_kind: std::collections::BTreeMap<String, rolag::StageTimings> =
+        std::collections::BTreeMap::new();
+    for r in &rows {
+        *by_kind.entry(format!("{:?}", r.kind)).or_default() += r.timings;
+    }
+    let stage_rows: Vec<String> = by_kind
+        .iter()
+        .map(|(kind, t)| stage_csv_row(kind, t))
+        .collect();
+    match write_csv("fig15-stages", stage_csv_header(), &stage_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write stage CSV: {e}"),
     }
 }

@@ -12,7 +12,7 @@
 //! configuration.
 
 use rolag::RolagOptions;
-use rolag_bench::report::{arg_flag, bar, write_csv};
+use rolag_bench::report::{arg_flag, bar, stage_csv_header, stage_csv_row, write_csv};
 use rolag_bench::tsvc_eval::{evaluate_tsvc, evaluate_tsvc_flattened, summarize};
 
 fn main() {
@@ -86,5 +86,14 @@ fn main() {
     ) {
         Ok(path) => println!("wrote {path}"),
         Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+
+    let stage_rows: Vec<String> = rows
+        .iter()
+        .map(|r| stage_csv_row(r.name, &r.timings))
+        .collect();
+    match write_csv("fig17-stages", stage_csv_header(), &stage_rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write stage CSV: {e}"),
     }
 }

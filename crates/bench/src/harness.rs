@@ -1,0 +1,145 @@
+//! Minimal wall-clock benchmarking harness for the `benches/` targets
+//! (stands in for the `criterion` crate, unavailable in the offline
+//! build). Each measurement reports min / median / mean over a fixed
+//! number of samples; results print as a table and are not persisted.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: label plus per-sample durations.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark label.
+    pub label: String,
+    /// Raw sample durations, sorted ascending.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.first().copied().unwrap_or_default()
+    }
+
+    /// Median sample.
+    pub fn median(&self) -> Duration {
+        self.samples
+            .get(self.samples.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.iter().sum::<Duration>() / self.samples.len() as u32
+    }
+}
+
+/// A named group of measurements, printed when [`BenchGroup::finish`] is
+/// called (mirroring the criterion API shape the benches used before).
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `samples` timed runs per benchmark (after one
+    /// untimed warm-up).
+    pub fn new(name: impl Into<String>, samples: usize) -> Self {
+        BenchGroup {
+            name: name.into(),
+            samples: samples.max(1),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `job()` directly.
+    pub fn bench<R>(&mut self, label: &str, mut job: impl FnMut() -> R) {
+        self.bench_batched(label, || (), |()| job());
+    }
+
+    /// Times `job(input)` where a fresh `input` comes from the untimed
+    /// `setup` closure before every sample (for consuming jobs).
+    pub fn bench_batched<T, R>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> T,
+        mut job: impl FnMut(T) -> R,
+    ) {
+        std::hint::black_box(job(setup())); // warm-up
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(job(input));
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.results.push(Measurement {
+            label: label.to_string(),
+            samples,
+        });
+    }
+
+    /// Prints the table and returns the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("\n{}", self.name);
+        println!("{:-<72}", "");
+        println!(
+            "{:<32} {:>12} {:>12} {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        for m in &self.results {
+            println!(
+                "{:<32} {:>12?} {:>12?} {:>12?}",
+                m.label,
+                m.min(),
+                m.median(),
+                m.mean()
+            );
+        }
+        println!("{:-<72}", "");
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_orders_samples() {
+        let mut g = BenchGroup::new("t", 5);
+        g.bench("spin", || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        let results = g.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].samples.len(), 5);
+        assert!(results[0].min() <= results[0].median());
+        assert!(results[0].median() <= *results[0].samples.last().unwrap());
+    }
+
+    #[test]
+    fn batched_setup_is_untimed_input() {
+        let mut g = BenchGroup::new("t", 3);
+        let mut setups = 0;
+        g.bench_batched(
+            "consume",
+            || {
+                setups += 1;
+                vec![1u8; 64]
+            },
+            |v| v.len(),
+        );
+        // warm-up + 3 samples
+        assert_eq!(setups, 4);
+    }
+}

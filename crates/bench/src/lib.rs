@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod angha_eval;
+pub mod harness;
 pub mod parallel;
 pub mod report;
 pub mod table1_eval;

@@ -1,45 +1,9 @@
-//! A dependency-free ordered parallel map over worker threads.
+//! Re-export of the shared worker pool.
+//!
+//! The original per-slot-mutex implementation lived here; it was promoted
+//! to the dependency-free [`rolag_par`] crate (fixing panic propagation and
+//! dropping the per-slot locks on the way) so the pass driver and the
+//! benchmark harness share one pool. This shim keeps the old
+//! `rolag_bench::parallel::par_map` path working.
 
-/// Runs `job` over `items` on all available cores, preserving order.
-pub fn par_map<T: Send + Sync, R: Send>(items: Vec<T>, job: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(items.len().max(1));
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = job(&items[i]);
-                **slots[i].lock().expect("slot") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    results.into_iter().map(|r| r.expect("filled")).collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_and_covers_all_items() {
-        let items: Vec<u64> = (0..100).collect();
-        let out = par_map(items, |&x| x * 2);
-        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        assert!(par_map(Vec::<u8>::new(), |&x| x).is_empty());
-        assert_eq!(par_map(vec![7u8], |&x| x + 1), vec![8]);
-    }
-}
+pub use rolag_par::{effective_jobs, par_map, par_map_with};

@@ -59,6 +59,25 @@ pub fn render_curve(values: &[f64], buckets: usize) -> String {
     out
 }
 
+/// Header matching [`stage_csv_row`], for the `*-stages.csv` dumps.
+pub fn stage_csv_header() -> &'static str {
+    "label,seeds_ns,align_ns,schedule_ns,codegen_ns,cost_ns,cleanup_ns,total_ns"
+}
+
+/// One per-stage timing row keyed by `label`.
+pub fn stage_csv_row(label: &str, t: &rolag::StageTimings) -> String {
+    format!(
+        "{label},{},{},{},{},{},{},{}",
+        t.seeds_ns,
+        t.align_ns,
+        t.schedule_ns,
+        t.codegen_ns,
+        t.cost_ns,
+        t.cleanup_ns,
+        t.total_ns()
+    )
+}
+
 /// Simple command-line flag lookup: `--key value`.
 pub fn arg_value(key: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();

@@ -1,6 +1,6 @@
 //! Full-program evaluation driver (Table I: MiBench + SPEC CPU 2017).
 
-use rolag::{roll_module, RolagOptions};
+use rolag::{roll_module_par, DriverOptions, RolagOptions, StageTimings};
 use rolag_lower::measure_module;
 use rolag_reroll::reroll_module;
 use rolag_suites::programs::{build_program, ProgramSpec, TABLE1};
@@ -22,9 +22,31 @@ pub struct Table1Row {
     pub rolled_loops: u64,
     /// Loops LLVM's rerolling touched (the paper: never triggered).
     pub llvm_rerolled: u64,
+    /// Function definitions in the program.
+    pub functions: usize,
+    /// Structurally distinct definitions the driver actually rolled.
+    pub unique: usize,
+    /// Definitions served from the memoization cache.
+    pub cache_hits: u64,
+    /// Per-stage wall-clock breakdown of the RoLAG run.
+    pub timings: StageTimings,
+}
+
+impl Table1Row {
+    /// Fraction of definitions served from the cache, in `0.0..=1.0`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.functions == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.functions as f64
+    }
 }
 
 /// Evaluates one program at the given scale.
+///
+/// Full programs are multi-function modules, so this goes through the
+/// memoizing driver (`jobs: 1` — the table already runs programs in
+/// parallel, so per-module fan-out would only oversubscribe cores).
 pub fn evaluate_program(
     spec: &ProgramSpec,
     seed: u64,
@@ -38,7 +60,14 @@ pub fn evaluate_program(
     let llvm_stats = reroll_module(&mut llvm_m);
 
     let mut rolag_m = module;
-    let stats = roll_module(&mut rolag_m, opts);
+    let report = roll_module_par(
+        &mut rolag_m,
+        opts,
+        &DriverOptions {
+            jobs: 1,
+            memoize: true,
+        },
+    );
     let after = measure_module(&rolag_m).code_footprint();
 
     let reduction = base as f64 - after as f64;
@@ -52,8 +81,12 @@ pub fn evaluate_program(
         } else {
             0.0
         },
-        rolled_loops: stats.rolled,
+        rolled_loops: report.stats.rolled,
         llvm_rerolled: llvm_stats.rerolled,
+        functions: report.functions,
+        unique: report.unique,
+        cache_hits: report.cache_hits,
+        timings: report.stats.timings,
     }
 }
 

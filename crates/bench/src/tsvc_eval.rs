@@ -6,7 +6,7 @@
 //! and RoLAG independently → measure object sizes and dynamic instruction
 //! counts.
 
-use rolag::{roll_module, NodeKindCounts, RolagOptions};
+use rolag::{roll_module, NodeKindCounts, RolagOptions, StageTimings};
 use rolag_ir::interp::Interpreter;
 use rolag_ir::Module;
 use rolag_lower::measure_module;
@@ -40,6 +40,8 @@ pub struct TsvcRow {
     pub rolag_rolled: u64,
     /// Node kinds of RoLAG's profitable graphs.
     pub nodes: NodeKindCounts,
+    /// Per-stage wall-clock breakdown of the RoLAG run.
+    pub timings: StageTimings,
     /// Dynamic instruction count of the evaluated input.
     pub steps_base: u64,
     /// Dynamic instruction count after RoLAG.
@@ -144,6 +146,7 @@ pub fn evaluate_kernel_with(
         llvm_rerolled: llvm_stats.rerolled,
         rolag_rolled: rolag_stats.rolled,
         nodes: rolag_stats.nodes,
+        timings: rolag_stats.timings,
         steps_base,
         steps_rolag,
     }

@@ -413,6 +413,87 @@ impl Function {
             _ => false,
         }
     }
+
+    /// Rewrites every [`TypeId`] stored in this function through `map`.
+    ///
+    /// Covers the signature, value definitions, instruction result types,
+    /// and the `gep`/`alloca` element-type payloads, then rebuilds the
+    /// constant-interning map (whose keys embed type ids). Used when a
+    /// function is transplanted between modules whose type stores interned
+    /// types in a different order.
+    pub fn remap_types(&mut self, map: impl Fn(TypeId) -> TypeId) {
+        for ty in self.param_tys.iter_mut() {
+            *ty = map(*ty);
+        }
+        self.ret_ty = map(self.ret_ty);
+        for def in self.values.iter_mut() {
+            match def {
+                ValueDef::Param { ty, .. }
+                | ValueDef::ConstInt { ty, .. }
+                | ValueDef::Undef(ty) => *ty = map(*ty),
+                ValueDef::ConstFloat { ty, .. } => *ty = map(*ty),
+                ValueDef::Inst(_) | ValueDef::GlobalAddr(_) | ValueDef::FuncAddr(_) => {}
+            }
+        }
+        for inst in self.insts.iter_mut() {
+            inst.ty = map(inst.ty);
+            match &mut inst.extra {
+                crate::inst::InstExtra::Gep { elem_ty }
+                | crate::inst::InstExtra::Alloca { elem_ty } => *elem_ty = map(*elem_ty),
+                _ => {}
+            }
+        }
+        self.rebuild_const_map();
+    }
+
+    /// Rewrites every [`GlobalId`] referenced by this function through
+    /// `map`, then rebuilds the constant-interning map.
+    pub fn remap_globals(&mut self, map: impl Fn(GlobalId) -> GlobalId) {
+        for def in self.values.iter_mut() {
+            if let ValueDef::GlobalAddr(g) = def {
+                *g = map(*g);
+            }
+        }
+        self.rebuild_const_map();
+    }
+
+    /// Rewrites every [`FuncId`] referenced by this function (direct call
+    /// callees and function-address constants) through `map`, then rebuilds
+    /// the constant-interning map.
+    pub fn remap_funcs(&mut self, map: impl Fn(FuncId) -> FuncId) {
+        for def in self.values.iter_mut() {
+            if let ValueDef::FuncAddr(f) = def {
+                *f = map(*f);
+            }
+        }
+        for inst in self.insts.iter_mut() {
+            if let crate::inst::InstExtra::Call { callee } = &mut inst.extra {
+                *callee = map(*callee);
+            }
+        }
+        self.rebuild_const_map();
+    }
+
+    /// Recomputes the constant-interning map from the value table. Needed
+    /// after a remap rewrites ids that appear inside [`ConstKey`]s.
+    ///
+    /// If a remap made two previously distinct constants identical, the
+    /// later value slot wins future interning lookups; existing operands
+    /// keep referring to their original slots, which stay valid.
+    fn rebuild_const_map(&mut self) {
+        self.const_map.clear();
+        for (idx, def) in self.values.iter().enumerate() {
+            let key = match def {
+                ValueDef::ConstInt { ty, value } => ConstKey::Int(*ty, *value),
+                ValueDef::ConstFloat { ty, bits } => ConstKey::Float(*ty, *bits),
+                ValueDef::GlobalAddr(g) => ConstKey::Global(*g),
+                ValueDef::FuncAddr(f) => ConstKey::Func(*f),
+                ValueDef::Undef(ty) => ConstKey::Undef(*ty),
+                ValueDef::Inst(_) | ValueDef::Param { .. } => continue,
+            };
+            self.const_map.insert(key, ValueId(idx as u32));
+        }
+    }
 }
 
 /// Def-use information computed by [`Function::compute_uses`].
@@ -508,6 +589,46 @@ mod tests {
         assert_eq!(f.inst(i).operands[0], c);
         assert_eq!(f.inst(i).operands[1], b);
         let _ = v1;
+    }
+
+    #[test]
+    fn remaps_rewrite_ids_and_rebuild_interning() {
+        let (types, mut f) = sample();
+        let bb = f.add_block("entry");
+        let g = GlobalId::from_index(2);
+        let callee = FuncId::from_index(1);
+        let c = f.const_int(types.i32(), 5);
+        let ga = f.global_addr(g);
+        let (i, _) = f.create_inst(InstData {
+            opcode: Opcode::Call,
+            ty: types.i32(),
+            operands: vec![c, ga],
+            block: bb,
+            extra: crate::inst::InstExtra::Call { callee },
+        });
+        f.append_inst(bb, i);
+
+        f.remap_globals(|old| GlobalId::from_index(old.index() + 10));
+        f.remap_funcs(|old| FuncId::from_index(old.index() + 10));
+        let shifted = GlobalId::from_index(12);
+        assert_eq!(f.value(ga), &ValueDef::GlobalAddr(shifted));
+        match &f.inst(i).extra {
+            crate::inst::InstExtra::Call { callee } => {
+                assert_eq!(*callee, FuncId::from_index(11));
+            }
+            other => panic!("unexpected extra {other:?}"),
+        }
+        // The rebuilt interning map resolves the *new* ids to the same slots.
+        assert_eq!(f.global_addr(shifted), ga);
+        assert_eq!(f.const_int(types.i32(), 5), c);
+
+        // Type remap rewrites result types, signature, and const keys.
+        let bump = |t: TypeId| TypeId(t.0 + 1);
+        let old_ret = f.ret_ty;
+        f.remap_types(bump);
+        assert_eq!(f.ret_ty, bump(old_ret));
+        assert_eq!(f.inst(i).ty, bump(types.i32()));
+        assert_eq!(f.const_int(bump(types.i32()), 5), c);
     }
 
     #[test]

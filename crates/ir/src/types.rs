@@ -281,6 +281,42 @@ impl TypeStore {
         class(a) == class(b) && class(a) != 2 && self.size_of(a) == self.size_of(b)
     }
 
+    /// Number of interned types.
+    pub fn num_types(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Interns every type of `other` with index `>= base_len` into `self`,
+    /// returning the full old→new id mapping for `other`'s id space
+    /// (identity below `base_len`).
+    ///
+    /// Intended for merging a worker store back into the store it was
+    /// cloned from: `base_len` is the clone-time type count, so ids below
+    /// it mean the same type in both stores. Relies on the interner's
+    /// append-only invariant that a compound kind only references ids
+    /// interned before it.
+    pub fn absorb(&mut self, other: &TypeStore, base_len: usize) -> Vec<TypeId> {
+        let mut map: Vec<TypeId> = (0..other.kinds.len() as u32).map(TypeId).collect();
+        for i in base_len..other.kinds.len() {
+            let remapped = match &other.kinds[i] {
+                TypeKind::Array { elem, len } => TypeKind::Array {
+                    elem: map[elem.index()],
+                    len: *len,
+                },
+                TypeKind::Struct { fields } => TypeKind::Struct {
+                    fields: fields.iter().map(|f| map[f.index()]).collect(),
+                },
+                TypeKind::Func { ret, params } => TypeKind::Func {
+                    ret: map[ret.index()],
+                    params: params.iter().map(|p| map[p.index()]).collect(),
+                },
+                scalar => scalar.clone(),
+            };
+            map[i] = self.intern(remapped);
+        }
+        map
+    }
+
     /// Renders `id` as IR text (e.g. `i32`, `[4 x i32]`).
     pub fn display(&self, id: TypeId) -> String {
         match self.kind(id) {
@@ -382,6 +418,30 @@ mod tests {
         assert!(!store.equivalent(store.i32(), store.i64()));
         assert!(!store.equivalent(store.float(), store.i32()));
         assert!(!store.equivalent(store.float(), store.double()));
+    }
+
+    #[test]
+    fn absorb_merges_worker_types() {
+        let mut base = TypeStore::new();
+        let base_len = base.num_types();
+        let mut worker = base.clone();
+        // Worker interns new compound types in its own order.
+        let w_arr = worker.array(worker.i32(), 4);
+        let w_nest = worker.array(w_arr, 2);
+        // Base meanwhile interned something else, shifting indices.
+        let b_other = base.array(base.i64(), 7);
+        let map = base.absorb(&worker, base_len);
+        // Pre-existing ids are identity-mapped.
+        assert_eq!(map[base.i32().index()], base.i32());
+        // Worker types land in base with correct structure.
+        let merged_arr = map[w_arr.index()];
+        let merged_nest = map[w_nest.index()];
+        assert_eq!(base.display(merged_arr), "[4 x i32]");
+        assert_eq!(base.display(merged_nest), "[2 x [4 x i32]]");
+        assert_ne!(merged_arr, b_other);
+        // Absorbing twice is idempotent.
+        let map2 = base.absorb(&worker, base_len);
+        assert_eq!(map, map2);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! * printing then parsing any generated module is a fixed point;
 //! * the constant folder agrees with the interpreter on every binop;
 //! * DCE and simplification never change observable behaviour.
-
-use proptest::prelude::*;
+//!
+//! Uses the seeded in-repo harness (`rolag_prng::check`); a failure prints
+//! the derived seed needed to replay the exact case.
 
 use rolag_ir::builder::FuncBuilder;
 use rolag_ir::fold::{eval_icmp, eval_int_binop};
@@ -13,6 +14,7 @@ use rolag_ir::parser::parse_module;
 use rolag_ir::printer::print_module;
 use rolag_ir::verify::verify_module;
 use rolag_ir::{IntPredicate, Module, Opcode};
+use rolag_prng::{check::run_cases, ChaCha8Rng, Rng, RngCore};
 
 fn int_binops() -> Vec<Opcode> {
     vec![
@@ -63,57 +65,51 @@ fn binop_module(opcode: Opcode, width: u16) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// The static folder and the dynamic interpreter agree on every integer
-    /// binop, across widths (including wrapping and shift masking).
-    #[test]
-    fn folder_matches_interpreter_on_binops(
-        op_idx in 0usize..13,
-        width in prop_oneof![Just(8u16), Just(16), Just(32), Just(64)],
-        a in any::<i64>(),
-        b in any::<i64>(),
-    ) {
-        let opcode = int_binops()[op_idx];
-        let m = binop_module(opcode, width);
-        let types = &m.types;
-        let ty = rolag_ir::TypeStore::new().int(width); // same id space? use m's
-        let _ = ty;
-        let ty = {
-            let mut fresh = m.types.clone();
-            fresh.int(width)
-        };
-        let folded = eval_int_binop(types, opcode, ty, a, b);
-        let mut interp = Interpreter::new(&m);
-        // Arguments arrive sign-extended like the interpreter stores them.
-        let norm = |v: i64| rolag_ir::fold::normalize_int(types, ty, v);
-        let result = interp.run("f", &[IValue::Int(norm(a)), IValue::Int(norm(b))]);
-        match (folded, result) {
-            (Some(expect), Ok(out)) => prop_assert_eq!(out.ret, IValue::Int(expect)),
-            (None, Err(_)) => {} // division by zero on both sides
-            (None, Ok(out)) => {
-                return Err(TestCaseError::fail(format!(
-                    "folder refused but interpreter produced {:?}",
-                    out.ret
-                )));
+/// The static folder and the dynamic interpreter agree on every integer
+/// binop, across widths (including wrapping and shift masking).
+#[test]
+fn folder_matches_interpreter_on_binops() {
+    run_cases(
+        "folder_matches_interpreter_on_binops",
+        256,
+        0x1401,
+        |rng, _| {
+            let opcode = int_binops()[rng.gen_range(0usize..13)];
+            let width = [8u16, 16, 32, 64][rng.gen_range(0usize..4)];
+            let a = rng.next_u64() as i64;
+            let b = rng.next_u64() as i64;
+            let m = binop_module(opcode, width);
+            let types = &m.types;
+            let ty = {
+                let mut fresh = m.types.clone();
+                fresh.int(width)
+            };
+            let folded = eval_int_binop(types, opcode, ty, a, b);
+            let mut interp = Interpreter::new(&m);
+            // Arguments arrive sign-extended like the interpreter stores them.
+            let norm = |v: i64| rolag_ir::fold::normalize_int(types, ty, v);
+            let result = interp.run("f", &[IValue::Int(norm(a)), IValue::Int(norm(b))]);
+            match (folded, result) {
+                (Some(expect), Ok(out)) => assert_eq!(out.ret, IValue::Int(expect)),
+                (None, Err(_)) => {} // division by zero on both sides
+                (None, Ok(out)) => {
+                    panic!("folder refused but interpreter produced {:?}", out.ret);
+                }
+                (Some(e), Err(err)) => {
+                    panic!("folder produced {e} but interpreter faulted: {err}");
+                }
             }
-            (Some(e), Err(err)) => {
-                return Err(TestCaseError::fail(format!(
-                    "folder produced {e} but interpreter faulted: {err}"
-                )));
-            }
-        }
-    }
+        },
+    );
+}
 
-    /// `eval_icmp` is a total order consistent with Rust's own semantics.
-    #[test]
-    fn icmp_matches_rust_semantics(
-        p_idx in 0usize..10,
-        a in any::<i32>(),
-        b in any::<i32>(),
-    ) {
-        let pred = predicates()[p_idx];
+/// `eval_icmp` is a total order consistent with Rust's own semantics.
+#[test]
+fn icmp_matches_rust_semantics() {
+    run_cases("icmp_matches_rust_semantics", 256, 0x1402, |rng, _| {
+        let pred = predicates()[rng.gen_range(0usize..10)];
+        let a = rng.next_u32() as i32;
+        let b = rng.next_u32() as i32;
         let types = rolag_ir::TypeStore::new();
         let ty = types.i32();
         let got = eval_icmp(&types, pred, ty, a as i64, b as i64);
@@ -129,16 +125,24 @@ proptest! {
             IntPredicate::Ugt => (a as u32) > b as u32,
             IntPredicate::Uge => (a as u32) >= b as u32,
         };
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect, "{pred:?} on ({a}, {b})");
+    });
+}
 
-    /// Random straight-line functions print → parse → print to a fixed
-    /// point, and the re-parsed module behaves identically.
-    #[test]
-    fn print_parse_fixed_point(
-        ops in proptest::collection::vec((0usize..6, -100i64..100), 1..30),
-        arg in -1000i64..1000,
-    ) {
+fn gen_ops(rng: &mut ChaCha8Rng, max: usize) -> Vec<(usize, i64)> {
+    let n = rng.gen_range(1..=max);
+    (0..n)
+        .map(|_| (rng.gen_range(0usize..6), rng.gen_range(-100i64..100)))
+        .collect()
+}
+
+/// Random straight-line functions print → parse → print to a fixed
+/// point, and the re-parsed module behaves identically.
+#[test]
+fn print_parse_fixed_point() {
+    run_cases("print_parse_fixed_point", 128, 0x1403, |rng, _| {
+        let ops = gen_ops(rng, 29);
+        let arg = rng.gen_range(-1000i64..1000);
         let mut m = Module::new("rt");
         let i32t = m.types.i32();
         let arr = m.types.array(i32t, 8);
@@ -177,20 +181,20 @@ proptest! {
         verify_module(&m).expect("generated module verifies");
 
         let printed = print_module(&m);
-        let reparsed = parse_module(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let reparsed = parse_module(&printed).expect("printed module parses back");
         let printed2 = print_module(&reparsed);
-        prop_assert_eq!(&printed, &printed2, "printing is a fixed point");
+        assert_eq!(printed, printed2, "printing is a fixed point");
         check_equivalence(&m, &reparsed, "f", &[IValue::Int(arg)])
-            .map_err(TestCaseError::fail)?;
-    }
+            .expect("reparsed module behaves identically");
+    });
+}
 
-    /// simplify + DCE never change observable behaviour.
-    #[test]
-    fn cleanup_preserves_behaviour(
-        ops in proptest::collection::vec((0usize..6, -100i64..100), 1..30),
-        arg in -1000i64..1000,
-    ) {
+/// simplify + DCE never change observable behaviour.
+#[test]
+fn cleanup_preserves_behaviour() {
+    run_cases("cleanup_preserves_behaviour", 128, 0x1404, |rng, _| {
+        let ops = gen_ops(rng, 29);
+        let arg = rng.gen_range(-1000i64..1000);
         let mut m = Module::new("cl");
         let i32t = m.types.i32();
         let arr = m.types.array(i32t, 8);
@@ -238,6 +242,6 @@ proptest! {
         rolag_ir::dce::run_dce_on(&snapshot, func);
         verify_module(&cleaned).expect("cleaned verifies");
         check_equivalence(&m, &cleaned, "f", &[IValue::Int(arg)])
-            .map_err(TestCaseError::fail)?;
-    }
+            .expect("cleanup preserves behaviour");
+    });
 }

@@ -18,7 +18,10 @@
 //! Options:
 //!   --target <x86-64|thumb2>   cost-model target for profitability
 //!   --measure                  print measured section sizes before/after
-//!   --stats                    print pass statistics
+//!   --stats                    print pass statistics (with per-stage
+//!                              timings and driver cache counters)
+//!   --jobs <N>                 run -rolag through the parallel memoizing
+//!                              driver with N workers (0 = all cores)
 //!   --interp <func>            interpret <func>() after the passes
 //!   --check                    interpret before AND after, compare outcomes
 //!   --quiet                    do not print the final module
@@ -33,7 +36,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use rolag::{roll_module, RolagOptions};
+use rolag::{roll_module, roll_module_par, DriverOptions, RolagOptions};
 use rolag_analysis::cost::TargetKind;
 use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
 use rolag_ir::parser::parse_module;
@@ -60,6 +63,7 @@ struct Cli {
     passes: Vec<Pass>,
     input: Option<String>,
     target: TargetKind,
+    jobs: Option<usize>,
     measure: bool,
     stats: bool,
     interp: Option<String>,
@@ -73,8 +77,8 @@ fn usage() -> &'static str {
     "usage: rolag-opt [PASS...] [OPTIONS] <input.rir | ->\n\
      passes: -rolag -rolag-ext -no-special -reroll -unroll=<N> -cse \
      -simplify -dce -flatten\n\
-     options: --target <x86-64|thumb2> --measure --stats --interp <func> \
-     --check --quiet --verify-only\n\
+     options: --target <x86-64|thumb2> --jobs <N> --measure --stats \
+     --interp <func> --check --quiet --verify-only\n\
      (run with a .rir file, or `-` to read IR text from stdin)"
 }
 
@@ -112,6 +116,10 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                     other => return Err(format!("unknown target {other}")),
                 };
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                cli.jobs = Some(v.parse().map_err(|_| format!("bad job count {v}"))?);
+            }
             "--measure" => cli.measure = true,
             "--stats" => cli.stats = true,
             "--check" => cli.check = true,
@@ -148,16 +156,49 @@ fn read_input(path: &str) -> Result<String, String> {
     }
 }
 
-fn run_pass(module: &mut Module, pass: &Pass, target: TargetKind, stats: bool) {
+fn run_pass(
+    module: &mut Module,
+    pass: &Pass,
+    target: TargetKind,
+    jobs: Option<usize>,
+    stats: bool,
+) {
     match pass {
         Pass::Rolag(opts) => {
             let opts = RolagOptions {
                 target,
                 ..opts.clone()
             };
-            let s = roll_module(module, &opts);
+            let s = match jobs {
+                Some(n) => {
+                    let report = roll_module_par(
+                        module,
+                        &opts,
+                        &DriverOptions {
+                            jobs: n,
+                            memoize: true,
+                        },
+                    );
+                    if stats {
+                        eprintln!(
+                            "driver: {} functions, {} unique, {} cache hits ({:.1}%), {} workers, {:.2} ms wall",
+                            report.functions,
+                            report.unique,
+                            report.cache_hits,
+                            100.0 * report.cache_hit_rate(),
+                            report.jobs,
+                            report.wall_ns as f64 / 1e6
+                        );
+                    }
+                    report.stats
+                }
+                None => roll_module(module, &opts),
+            };
             if stats {
                 eprintln!("rolag: {s}");
+                for (stage, ns) in s.timings.rows() {
+                    eprintln!("  stage {stage:<9} {ns:>12} ns");
+                }
             }
         }
         Pass::Reroll => {
@@ -309,7 +350,7 @@ fn main() -> ExitCode {
     let before = measure_module(&module);
 
     for pass in &cli.passes {
-        run_pass(&mut module, pass, cli.target, cli.stats);
+        run_pass(&mut module, pass, cli.target, cli.jobs, cli.stats);
         if let Err(errors) = verify_module(&module) {
             for e in &errors {
                 eprintln!("verify after {pass:?}: {e}");

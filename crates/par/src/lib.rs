@@ -1,0 +1,198 @@
+//! # rolag-par
+//!
+//! A dependency-free scoped worker pool shared by the pass driver and the
+//! benchmark harness (promoted out of `rolag-bench`).
+//!
+//! Design points:
+//!
+//! * **Order preservation.** Results come back in item order regardless of
+//!   which worker computed them, so parallel runs are drop-in replacements
+//!   for serial loops.
+//! * **Lock-free result collection.** Each worker appends `(index, result)`
+//!   pairs to its own buffer; buffers are merged after the scope joins.
+//!   There are no per-slot mutexes and no contention beyond the single
+//!   atomic work counter.
+//! * **Panic propagation.** If a worker panics, the *original* panic
+//!   payload is re-raised on the calling thread once all workers have
+//!   stopped, instead of dying later on a misleading "slot unfilled"
+//!   expectation.
+//! * **Per-worker state.** [`par_map_with`] gives every worker a private
+//!   state value built by an `init` closure (e.g. a scratch module clone)
+//!   and hands the states back to the caller for deterministic merging.
+
+#![warn(missing_docs)]
+
+use std::panic::resume_unwind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers to use for `len` items when the caller asked for
+/// `jobs` (`0` = one per available core). Always in `1..=len.max(1)`.
+pub fn effective_jobs(jobs: usize, len: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let requested = if jobs == 0 { hw } else { jobs };
+    requested.clamp(1, len.max(1))
+}
+
+/// Runs `job` over `items` on a pool of workers, preserving item order.
+///
+/// Equivalent to `items.iter().map(|t| job(t)).collect()`, up to wall-clock
+/// time. A panicking `job` aborts the pool and re-raises the original
+/// panic payload on the caller.
+pub fn par_map<T, R, F>(items: Vec<T>, job: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let (results, _) = par_map_with(&items, 0, || (), |(), _idx, item| job(item));
+    results
+}
+
+/// Like [`par_map`], but every worker owns a private state created by
+/// `init`, and the per-worker states are returned alongside the ordered
+/// results (in worker order) for the caller to merge.
+///
+/// `job` receives `(worker state, item index, item)`. Work is distributed
+/// dynamically through an atomic counter, so the mapping from items to
+/// workers is nondeterministic — callers that need determinism must make
+/// `job`'s result independent of the worker state's history, or merge the
+/// returned states in a canonical order.
+pub fn par_map_with<T, R, S, I, F>(items: &[T], jobs: usize, init: I, job: F) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = effective_jobs(jobs, items.len());
+    if items.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+
+    let next = AtomicUsize::new(0);
+    // One (state, results) pair per worker; moved back out of the scope.
+    let mut per_worker: Vec<(S, Vec<(usize, R)>)> = Vec::with_capacity(workers);
+    let mut panic_payload = None;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let init = &init;
+                let job = &job;
+                scope.spawn(move || {
+                    let mut state = init();
+                    let mut out: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, job(&mut state, i, &items[i])));
+                    }
+                    (state, out)
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(pair) => per_worker.push(pair),
+                // Keep the first panic; keep joining so no worker outlives
+                // the scope while we unwind.
+                Err(payload) => {
+                    if panic_payload.is_none() {
+                        panic_payload = Some(payload);
+                    }
+                }
+            }
+        }
+    });
+
+    if let Some(payload) = panic_payload {
+        resume_unwind(payload);
+    }
+
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let mut states = Vec::with_capacity(per_worker.len());
+    for (state, pairs) in per_worker {
+        states.push(state);
+        for (i, r) in pairs {
+            debug_assert!(results[i].is_none(), "item {i} produced twice");
+            results[i] = Some(r);
+        }
+    }
+    let results = results
+        .into_iter()
+        .map(|r| r.expect("work counter covered every item"))
+        .collect();
+    (results, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = par_map(items, |&x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(par_map(Vec::<u8>::new(), |&x| x).is_empty());
+        assert_eq!(par_map(vec![7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn propagates_the_original_panic_payload() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_map((0..64).collect::<Vec<u32>>(), |&x| {
+                if x == 13 {
+                    panic!("unlucky item 13");
+                }
+                x
+            });
+        }));
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>");
+        assert!(
+            msg.contains("unlucky item 13"),
+            "original payload lost: {msg}"
+        );
+    }
+
+    #[test]
+    fn worker_states_are_returned() {
+        let items: Vec<usize> = (0..100).collect();
+        let (results, states) = par_map_with(
+            &items,
+            4,
+            || 0usize,
+            |count, _i, &x| {
+                *count += 1;
+                x + 1
+            },
+        );
+        assert_eq!(results, (1..=100).collect::<Vec<_>>());
+        assert_eq!(states.iter().sum::<usize>(), 100, "every item counted once");
+        assert!(states.len() <= 4);
+    }
+
+    #[test]
+    fn effective_jobs_clamps() {
+        assert_eq!(effective_jobs(8, 3), 3);
+        assert_eq!(effective_jobs(2, 100), 2);
+        assert_eq!(effective_jobs(0, 0), 1);
+        assert!(effective_jobs(0, 100) >= 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! A small seeded property-testing harness.
+//!
+//! Stands in for the `proptest` crate (unavailable in the offline build):
+//! properties are checked over many deterministically generated random
+//! cases, and a failing case reports the case index and derived seed so it
+//! can be replayed exactly with [`replay_case`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{ChaCha8Rng, SeedableRng};
+
+/// Per-case seed derivation: mixes the property seed with the case index so
+/// individual cases can be replayed in isolation.
+fn case_seed(seed: u64, case: usize) -> u64 {
+    seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Runs `property` against `cases` independently seeded RNGs.
+///
+/// On failure, re-raises the panic annotated with the property name, case
+/// index, and the exact seed to hand to [`replay_case`].
+pub fn run_cases<F>(name: &str, cases: usize, seed: u64, mut property: F)
+where
+    F: FnMut(&mut ChaCha8Rng, usize),
+{
+    for case in 0..cases {
+        let derived = case_seed(seed, case);
+        let mut rng = ChaCha8Rng::seed_from_u64(derived);
+        let result = catch_unwind(AssertUnwindSafe(|| property(&mut rng, case)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property `{name}` failed at case {case}/{cases} \
+                 (replay_case seed: {derived:#x})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single failing case printed by [`run_cases`].
+pub fn replay_case<F>(derived_seed: u64, mut property: F)
+where
+    F: FnMut(&mut ChaCha8Rng),
+{
+    let mut rng = ChaCha8Rng::seed_from_u64(derived_seed);
+    property(&mut rng);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Rng, RngCore};
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_cases("counts", 17, 1, |_, _| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn failing_property_propagates_the_panic() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_cases("fails", 10, 1, |rng, _| {
+                let v: u32 = rng.gen_range(0..100);
+                assert!(v < 1000, "impossible");
+                panic!("always fails");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_see_distinct_streams() {
+        let mut firsts = Vec::new();
+        run_cases("distinct", 8, 99, |rng, _| {
+            firsts.push(rng.next_u64());
+        });
+        let unique: std::collections::HashSet<u64> = firsts.iter().copied().collect();
+        assert_eq!(unique.len(), firsts.len());
+    }
+}

@@ -1,0 +1,293 @@
+//! # rolag-prng
+//!
+//! A dependency-free, deterministic pseudo-random number generator for the
+//! benchmark generators and the property-testing harness.
+//!
+//! The generator is ChaCha with 8 rounds, the same core the evaluation
+//! harness originally used through the `rand_chacha` crate. Streams are
+//! fully determined by the seed, are identical across platforms, and are
+//! documented to stay stable: the Angha corpus and the synthetic Table-I
+//! programs are derived from them.
+//!
+//! The API deliberately mirrors the small subset of the `rand` crate the
+//! repository uses (`Rng::gen_range`, `Rng::gen_bool`,
+//! `SeedableRng::seed_from_u64`), so generator code reads identically.
+
+#![warn(missing_docs)]
+
+pub mod check;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Minimal random-source trait: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        // 53 uniformly random mantissa bits, exactly representable in f64.
+        let sample = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        sample < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding constructors, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed. The full internal key
+    /// is expanded with SplitMix64, so nearby seeds give unrelated streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample itself. Implemented for `Range` and
+/// `RangeInclusive` over the primitive integer types.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Uniform `u64` in `[0, width)` by Lemire's widening-multiply method with
+/// rejection, so every value is exactly equally likely.
+fn uniform_below(rng: &mut impl RngCore, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    let mut m = (rng.next_u64() as u128) * (width as u128);
+    let mut lo = m as u64;
+    if lo < width {
+        let threshold = width.wrapping_neg() % width;
+        while lo < threshold {
+            m = (rng.next_u64() as u128) * (width as u128);
+            lo = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let offset = uniform_below(rng, width);
+                ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut impl RngCore) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let width = (end as $wide).wrapping_sub(start as $wide) as u64;
+                let offset = if width == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    uniform_below(rng, width + 1)
+                };
+                ((start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range! {
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+}
+
+/// ChaCha with 8 rounds, keyed from a 64-bit seed.
+///
+/// The keystream matches RFC 8439's block function with the round count
+/// lowered to 8, a 64-bit block counter, and an all-zero nonce.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread word of `buf`; 16 means "refill".
+    pos: usize,
+    /// One pending half-word for `next_u32` so u32 and u64 draws interleave
+    /// deterministically.
+    spare: Option<u32>,
+}
+
+const CHACHA_SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16] is the all-zero nonce.
+        let input = state;
+        for _ in 0..4 {
+            // Four double rounds = 8 ChaCha rounds.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(input) {
+            *word = word.wrapping_add(init);
+        }
+        self.buf = state;
+        self.pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            let w = splitmix64(&mut sm);
+            pair[0] = w as u32;
+            pair[1] = (w >> 32) as u32;
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            pos: 16,
+            spare: None,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if let Some(w) = self.spare.take() {
+            return w;
+        }
+        if self.pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.pos];
+        self.pos += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn chacha_rfc_block_shape() {
+        // The keystream must not be trivially degenerate: all 16 words of a
+        // block distinct from the raw key/constant inputs is a cheap sanity
+        // check that the rounds actually ran.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let first: Vec<u32> = (0..16).map(|_| rng.next_u32()).collect();
+        assert!(first.iter().all(|&w| !CHACHA_SIGMA.contains(&w)));
+        let distinct: std::collections::HashSet<u32> = first.iter().copied().collect();
+        assert!(
+            distinct.len() > 12,
+            "keystream block suspiciously repetitive"
+        );
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&v));
+            let w: i32 = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_balance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "biased coin: {heads}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(5..5);
+    }
+}

@@ -1,0 +1,458 @@
+//! Parallel, memoizing module driver.
+//!
+//! [`roll_module_par`] fans [`roll_function_with`] out over a scoped worker
+//! pool ([`rolag_par`]) and merges the results deterministically, so that a
+//! parallel run produces a **byte-identical printed module and identical
+//! [`RolagStats`]** to the serial [`roll_module`](crate::roll_module) —
+//! regardless of worker count or scheduling order.
+//!
+//! # How determinism is preserved
+//!
+//! The pass only reads the module for *shared context*: the type store,
+//! globals, function signatures, and call effects. It never inspects the
+//! body of any function other than the one being rolled. Each worker
+//! therefore rolls its assigned functions inside a private module clone,
+//! and the driver merges the pieces back serially in function-id order:
+//!
+//! * **Globals.** Constant arrays minted by codegen get worker-local names.
+//!   At merge time each one is renamed through
+//!   [`Module::fresh_global_name`] against the *merged* module, which walks
+//!   functions in the same order as the serial pass — reproducing the
+//!   serial names exactly. Rolled bodies are rewritten with
+//!   [`Function::remap_globals`].
+//! * **Types.** Worker stores are absorbed via [`TypeStore::absorb`] and
+//!   bodies rewritten with [`Function::remap_types`]. Interned type *ids*
+//!   may differ from a serial run, but ids are never printed — types
+//!   render structurally — so the output is unaffected.
+//! * **Stats.** Per-function statistics are summed in function-id order.
+//!   Wall-clock [`StageTimings`](crate::stats::StageTimings) are excluded
+//!   from `RolagStats` equality, so outcome comparison is exact.
+//!
+//! # Memoization
+//!
+//! Large modules (e.g. AnghaBench translation units) contain many
+//! structurally identical functions. With [`DriverOptions::memoize`] the
+//! driver groups definitions by a canonical key — the printed function with
+//! its own symbol name normalized out — rolls one representative per
+//! group, and replays the result onto every duplicate: fresh constant
+//! arrays are minted per duplicate (matching what the serial pass would
+//! have created) and self-references are remapped, so even cache hits are
+//! byte-identical to the serial output.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rolag_ir::printer::print_function;
+use rolag_ir::{FuncId, Function, GlobalData, GlobalId, Module};
+use rolag_par::{effective_jobs, par_map, par_map_with};
+use rolag_transforms::effects_table;
+
+use crate::options::RolagOptions;
+use crate::pass::roll_function_with;
+use crate::stats::RolagStats;
+
+/// Configuration of the parallel driver.
+#[derive(Debug, Clone)]
+pub struct DriverOptions {
+    /// Worker count; `0` means one per available core.
+    pub jobs: usize,
+    /// Roll one representative per structurally identical group of
+    /// functions and replay the result onto the duplicates.
+    pub memoize: bool,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            jobs: 0,
+            memoize: true,
+        }
+    }
+}
+
+/// What one [`roll_module_par`] run did, beyond the pass statistics.
+#[derive(Debug, Clone, Default)]
+pub struct DriverReport {
+    /// Aggregate pass statistics (equal to the serial pass's).
+    pub stats: RolagStats,
+    /// Function definitions processed.
+    pub functions: usize,
+    /// Structurally distinct definitions actually rolled.
+    pub unique: usize,
+    /// Definitions served from the memoization cache.
+    pub cache_hits: u64,
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// End-to-end wall-clock of the driver, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl DriverReport {
+    /// Fraction of definitions served from the cache, in `0.0..=1.0`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.functions == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / self.functions as f64
+    }
+}
+
+/// Canonical cache key of a definition: its printed form with the
+/// function's own `@name` tokens normalized, so structurally identical
+/// functions under different symbols compare equal (including
+/// self-recursive ones).
+///
+/// If a *global* shares the function's name, `@name` tokens in the body are
+/// ambiguous and normalization is skipped — the function simply won't
+/// share a cache slot, which is always safe.
+fn canonical_key(module: &Module, id: FuncId) -> String {
+    let func = module.func(id);
+    let printed = print_function(module, func);
+    if module.global_by_name(&func.name).is_some() {
+        return printed;
+    }
+    normalize_own_name(&printed, &func.name)
+}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-' | '$')
+}
+
+/// Replaces exact `@name` tokens with a placeholder that no parsed symbol
+/// can collide with. Token-boundary checked, so `@f` inside `@f2` is left
+/// alone.
+fn normalize_own_name(printed: &str, name: &str) -> String {
+    let needle = format!("@{name}");
+    let mut out = String::with_capacity(printed.len());
+    let mut rest = printed;
+    while let Some(pos) = rest.find(&needle) {
+        let tail = &rest[pos + needle.len()..];
+        let at_boundary = tail.chars().next().is_none_or(|c| !is_symbol_char(c));
+        out.push_str(&rest[..pos]);
+        out.push_str(if at_boundary { "@\u{1}self" } else { &needle });
+        rest = tail;
+    }
+    out.push_str(rest);
+    out
+}
+
+/// `prefix` such that `fresh_global_name(prefix)` can reproduce `name`:
+/// the name with a trailing `.<digits>` counter stripped.
+fn name_prefix(name: &str) -> &str {
+    match name.rfind('.') {
+        Some(pos)
+            if pos > 0
+                && !name[pos + 1..].is_empty()
+                && name[pos + 1..].chars().all(|c| c.is_ascii_digit()) =>
+        {
+            &name[..pos]
+        }
+        _ => name,
+    }
+}
+
+/// Outcome of rolling one representative inside a worker's module clone.
+struct RepRoll {
+    /// Rolled body, in the worker's id spaces — `None` when the pass
+    /// committed nothing, so the function (and any structural duplicate of
+    /// it) is byte-identical to the input and needs no merge work.
+    func: Option<Function>,
+    stats: RolagStats,
+    /// Constant-array globals the roll committed, in creation order.
+    new_globals: Vec<GlobalData>,
+    /// Worker-module index of the first entry of `new_globals`.
+    first_new_global: usize,
+    /// Which worker produced this (indexes the returned states).
+    worker: usize,
+}
+
+struct WorkerState {
+    module: Module,
+    id: usize,
+}
+
+/// Rolls every function of the module on a worker pool, memoizing
+/// structurally identical definitions, and merges the results so the
+/// printed module and the statistics are identical to a serial
+/// [`roll_module`](crate::roll_module) run.
+pub fn roll_module_par(
+    module: &mut Module,
+    opts: &RolagOptions,
+    driver: &DriverOptions,
+) -> DriverReport {
+    let start = Instant::now();
+    let ids: Vec<FuncId> = module
+        .func_ids()
+        .filter(|&id| !module.func(id).is_declaration)
+        .collect();
+    let base_globals = module.num_globals();
+    let base_types = module.types.num_types();
+    let effects = effects_table(module);
+
+    // Group definitions by canonical key (everything is its own group when
+    // memoization is off). Representatives keep the lowest function id so
+    // the merge below walks them in serial order.
+    let shared: &Module = module;
+    let mut groups: Vec<(FuncId, Vec<FuncId>)> = Vec::new();
+    if driver.memoize {
+        let keys = par_map(ids.clone(), |&id| canonical_key(shared, id));
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for (&id, key) in ids.iter().zip(keys) {
+            match by_key.entry(key) {
+                std::collections::hash_map::Entry::Occupied(slot) => {
+                    groups[*slot.get()].1.push(id);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(groups.len());
+                    groups.push((id, Vec::new()));
+                }
+            }
+        }
+    } else {
+        groups = ids.iter().map(|&id| (id, Vec::new())).collect();
+    }
+    let group_of: HashMap<FuncId, usize> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(gi, (rep, dups))| {
+            std::iter::once((*rep, gi)).chain(dups.iter().map(move |&d| (d, gi)))
+        })
+        .collect();
+
+    // Roll one representative per group, each worker inside its own module
+    // clone. Dynamic scheduling decides *which* worker rolls *what*, but
+    // every result is independent of that choice.
+    let reps: Vec<FuncId> = groups.iter().map(|&(rep, _)| rep).collect();
+    let jobs = effective_jobs(driver.jobs, reps.len());
+    let worker_tag = AtomicUsize::new(0);
+    let (rolls, states) = par_map_with(
+        &reps,
+        driver.jobs,
+        || WorkerState {
+            module: shared.clone(),
+            id: worker_tag.fetch_add(1, Ordering::Relaxed),
+        },
+        |state, _idx, &fid| {
+            let before = state.module.num_globals();
+            let stats = roll_function_with(&mut state.module, fid, opts, &effects);
+            let changed = stats.rolled > 0 || state.module.num_globals() != before;
+            let new_globals = (before..state.module.num_globals())
+                .map(|g| state.module.global(GlobalId::from_index(g)).clone())
+                .collect();
+            RepRoll {
+                func: changed.then(|| state.module.func(fid).clone()),
+                stats,
+                new_globals,
+                first_new_global: before,
+                worker: state.id,
+            }
+        },
+    );
+
+    // Absorb every worker's type store into the merged module, recording
+    // the per-worker id translation.
+    let mut type_maps: Vec<Vec<rolag_ir::TypeId>> = vec![Vec::new(); states.len()];
+    for state in &states {
+        type_maps[state.id] = module.types.absorb(&state.module.types, base_types);
+    }
+    let identity_map: Vec<bool> = type_maps
+        .iter()
+        .map(|m| m.iter().enumerate().all(|(i, t)| t.index() == i))
+        .collect();
+
+    // Merge serially in function-id order — the order the serial pass
+    // walks — so fresh global names come out identical.
+    let mut report = DriverReport {
+        functions: ids.len(),
+        unique: reps.len(),
+        jobs,
+        ..Default::default()
+    };
+    for &fid in &ids {
+        let roll = &rolls[group_of[&fid]];
+        report.stats += roll.stats;
+        let rep = reps[group_of[&fid]];
+        if fid != rep {
+            report.cache_hits += 1;
+        }
+        // Nothing committed: the input body (and any duplicate of it) is
+        // already what the serial pass would produce.
+        let Some(rolled) = &roll.func else {
+            continue;
+        };
+        let type_map = &type_maps[roll.worker];
+        let mut func = rolled.clone();
+
+        // Mint this function's constant arrays with serial-order names and
+        // point the body at them.
+        let mut global_map: HashMap<GlobalId, GlobalId> = HashMap::new();
+        for (offset, data) in roll.new_globals.iter().enumerate() {
+            let name = module.fresh_global_name(name_prefix(&data.name));
+            let mut data = data.clone();
+            data.ty = type_map[data.ty.index()];
+            data.name = name;
+            let merged_id = module.add_global(data);
+            global_map.insert(
+                GlobalId::from_index(roll.first_new_global + offset),
+                merged_id,
+            );
+        }
+        func.remap_globals(|g| {
+            if g.index() < base_globals {
+                g
+            } else {
+                *global_map
+                    .get(&g)
+                    .expect("rolled function references a global outside its own roll")
+            }
+        });
+        if !identity_map[roll.worker] {
+            func.remap_types(|t| type_map[t.index()]);
+        }
+
+        // Cache hit: retarget the representative's body onto the duplicate.
+        if fid != rep {
+            let target = module.func(fid);
+            func.name = target.name.clone();
+            // The annotation is caller-facing metadata the printer may not
+            // show; keep the duplicate's own.
+            func.effects = target.effects;
+            func.remap_funcs(|f| if f == rep { fid } else { f });
+        }
+        module.replace_func(fid, func);
+    }
+    report.wall_ns = start.elapsed().as_nanos() as u64;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::roll_module;
+    use rolag_ir::printer::print_module;
+    use rolag_ir::verify::verify_module;
+
+    fn rollable_body(offset: usize) -> String {
+        let mut body = String::new();
+        for i in 0..8 {
+            body.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            body.push_str(&format!("  store i32 {}, %g{i}\n", i * 7 + offset));
+        }
+        body
+    }
+
+    /// `n` copies of the same profitable function plus one distinct one.
+    fn duplicated_module(n: usize) -> Module {
+        let mut text = String::from("module \"dup\"\nglobal @a : [8 x i32] = zero\n");
+        for f in 0..n {
+            text.push_str(&format!("func @f{f}() -> void {{\nentry:\n"));
+            text.push_str(&rollable_body(0));
+            text.push_str("  ret\n}\n");
+        }
+        text.push_str("func @other() -> void {\nentry:\n");
+        text.push_str(&rollable_body(3));
+        text.push_str("  ret\n}\n");
+        rolag_ir::parser::parse_module(&text).unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bytes_and_stats() {
+        let original = duplicated_module(5);
+        let opts = RolagOptions::default();
+
+        let mut serial = original.clone();
+        let serial_stats = roll_module(&mut serial, &opts);
+        assert!(serial_stats.rolled >= 6, "fixture must actually roll");
+
+        for memoize in [false, true] {
+            for jobs in [1, 4] {
+                let mut par = original.clone();
+                let report = roll_module_par(&mut par, &opts, &DriverOptions { jobs, memoize });
+                verify_module(&par).expect("merged module verifies");
+                assert_eq!(
+                    print_module(&serial),
+                    print_module(&par),
+                    "jobs={jobs} memoize={memoize} must be byte-identical"
+                );
+                assert_eq!(report.stats, serial_stats);
+                assert_eq!(report.functions, 6);
+                if memoize {
+                    assert_eq!(report.unique, 2);
+                    assert_eq!(report.cache_hits, 4);
+                } else {
+                    assert_eq!(report.unique, 6);
+                    assert_eq!(report.cache_hits, 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn own_name_normalization_is_token_exact() {
+        let s = "func @f(i32 %p0) -> void {\n  call @f2(%p0)\n  call @f(%p0)\n";
+        let n = normalize_own_name(s, "f");
+        assert!(n.contains("@f2"), "prefix symbol must survive");
+        assert!(n.contains("@\u{1}self"), "own tokens replaced");
+        assert!(!n.contains("call @f("), "own call site normalized");
+    }
+
+    #[test]
+    fn name_prefix_strips_counters() {
+        assert_eq!(name_prefix("rolag.cdata.17"), "rolag.cdata");
+        assert_eq!(name_prefix("rolag.cdata"), "rolag.cdata");
+        assert_eq!(name_prefix("plain"), "plain");
+        assert_eq!(name_prefix("dotted.name"), "dotted.name");
+    }
+
+    #[test]
+    fn recursive_duplicates_keep_their_own_identity() {
+        let text = r#"
+module "rec"
+func @a(i32 %p0) -> i32 {
+entry:
+  %c = icmp sle %p0, i32 0
+  condbr %c, done, more
+more:
+  %n = sub i32 %p0, i32 1
+  %r = call i32 @a(%n)
+  %s = add i32 %r, %p0
+  ret %s
+done:
+  ret i32 0
+}
+func @b(i32 %p0) -> i32 {
+entry:
+  %c = icmp sle %p0, i32 0
+  condbr %c, done, more
+more:
+  %n = sub i32 %p0, i32 1
+  %r = call i32 @b(%n)
+  %s = add i32 %r, %p0
+  ret %s
+done:
+  ret i32 0
+}
+"#;
+        let original = rolag_ir::parser::parse_module(text).unwrap();
+        let opts = RolagOptions::default();
+        let mut serial = original.clone();
+        roll_module(&mut serial, &opts);
+        let mut par = original.clone();
+        let report = roll_module_par(&mut par, &opts, &DriverOptions::default());
+        assert_eq!(report.cache_hits, 1, "@b is a cache hit of @a");
+        assert_eq!(print_module(&serial), print_module(&par));
+        // @b must still call itself, not @a.
+        let b = par.func(par.func_by_name("b").unwrap());
+        let self_calls = b
+            .live_insts()
+            .filter(|&i| {
+                matches!(
+                    b.inst(i).extra,
+                    rolag_ir::InstExtra::Call { callee } if callee == par.func_by_name("b").unwrap()
+                )
+            })
+            .count();
+        assert_eq!(self_calls, 1);
+    }
+}

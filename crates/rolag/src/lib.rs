@@ -47,6 +47,7 @@
 
 pub mod align;
 pub mod codegen;
+pub mod driver;
 pub mod options;
 pub mod pass;
 pub mod schedule;
@@ -54,8 +55,9 @@ pub mod seeds;
 pub mod stats;
 
 pub use align::{AlignGraph, AlignNode, GraphBuilder, NodeId, NodeKind};
+pub use driver::{roll_module_par, DriverOptions, DriverReport};
 pub use options::RolagOptions;
-pub use pass::{roll_function, roll_module};
+pub use pass::{roll_function, roll_function_with, roll_module};
 pub use schedule::Schedule;
 pub use seeds::{collect_candidates, Candidate};
-pub use stats::{NodeKindCounts, RolagStats};
+pub use stats::{NodeKindCounts, RolagStats, StageTimings};

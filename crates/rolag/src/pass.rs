@@ -5,9 +5,10 @@
 //! keep whichever version the code-size cost model says is smaller. Commits
 //! strictly decrease the size estimate, so the pass terminates.
 
-use rolag_ir::dce::run_dce_with;
-use rolag_ir::fold::simplify_function;
+use std::time::Instant;
+
 use rolag_ir::{Effects, FuncId, Function, Module};
+use rolag_transforms::{cleanup_in_place, effects_table};
 
 use crate::align::GraphBuilder;
 use crate::codegen;
@@ -16,23 +17,50 @@ use crate::schedule;
 use crate::seeds::{collect_candidates, Candidate};
 use crate::stats::RolagStats;
 
+/// Runs `f`, adding its wall-clock to `slot`.
+fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
+    let start = Instant::now();
+    let result = f();
+    *slot += start.elapsed().as_nanos() as u64;
+    result
+}
+
 /// Runs RoLAG on one function. Returns per-function statistics.
+///
+/// Convenience wrapper around [`roll_function_with`] that snapshots the
+/// module's call-effects table itself. When rolling many functions, compute
+/// the table once with [`rolag_transforms::effects_table`] and call
+/// [`roll_function_with`] directly — the table is loop-invariant (rolling
+/// never changes a function's effects annotation).
 pub fn roll_function(module: &mut Module, id: FuncId, opts: &RolagOptions) -> RolagStats {
+    let effects = effects_table(module);
+    roll_function_with(module, id, opts, &effects)
+}
+
+/// Runs RoLAG on one function using a pre-computed call-effects table.
+pub fn roll_function_with(
+    module: &mut Module,
+    id: FuncId,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> RolagStats {
     let mut stats = RolagStats::default();
     if module.func(id).is_declaration {
         return stats;
     }
     let mut work = module.func(id).clone();
-    stats.size_before = opts.target.function_estimate(module, &work) as u64;
-
-    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
+    stats.size_before = timed(&mut stats.timings.cost_ns, || {
+        opts.target.function_estimate(module, &work) as u64
+    });
 
     loop {
-        let candidates = collect_candidates(module, &work, opts);
+        let candidates = timed(&mut stats.timings.seeds_ns, || {
+            collect_candidates(module, &work, opts)
+        });
         let mut committed = false;
         for cand in candidates {
             stats.attempted += 1;
-            match try_candidate(module, &work, &cand, opts, &effects) {
+            match try_candidate(module, &work, &cand, opts, effects, &mut stats) {
                 Attempt::Committed { func, kinds } => {
                     work = func;
                     stats.rolled += 1;
@@ -49,7 +77,9 @@ pub fn roll_function(module: &mut Module, id: FuncId, opts: &RolagOptions) -> Ro
         }
     }
 
-    stats.size_after = opts.target.function_estimate(module, &work) as u64;
+    stats.size_after = timed(&mut stats.timings.cost_ns, || {
+        opts.target.function_estimate(module, &work) as u64
+    });
     module.replace_func(id, work);
     stats
 }
@@ -70,6 +100,7 @@ fn try_candidate(
     cand: &Candidate,
     opts: &RolagOptions,
     effects: &[Effects],
+    stats: &mut RolagStats,
 ) -> Attempt {
     let block = cand.block();
     let mut attempt = work.clone();
@@ -80,62 +111,69 @@ fn try_candidate(
     if lanes < opts.min_lanes {
         return Attempt::ScheduleRejected;
     }
-    let mut builder = GraphBuilder::new(module, &mut attempt, block, opts, lanes);
-    let built = match cand {
-        Candidate::Seeds { groups, .. } => {
-            groups.iter().all(|g| builder.build_seed_root(g).is_some())
+    let graph = {
+        let align_start = Instant::now();
+        let mut builder = GraphBuilder::new(module, &mut attempt, block, opts, lanes);
+        let built = match cand {
+            Candidate::Seeds { groups, .. } => {
+                groups.iter().all(|g| builder.build_seed_root(g).is_some())
+            }
+            Candidate::Reduction {
+                opcode,
+                internal,
+                leaves,
+                carry,
+                ty,
+                ..
+            } => builder
+                .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
+                .is_some(),
+        };
+        let graph = if built { Some(builder.finish()) } else { None };
+        stats.timings.align_ns += align_start.elapsed().as_nanos() as u64;
+        match graph {
+            Some(g) => g,
+            None => return Attempt::ScheduleRejected,
         }
-        Candidate::Reduction {
-            opcode,
-            internal,
-            leaves,
-            carry,
-            ty,
-            ..
-        } => builder
-            .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
-            .is_some(),
     };
-    if !built {
-        return Attempt::ScheduleRejected;
-    }
-    let graph = builder.finish();
 
-    let Some(sched) = schedule::analyze(module, &attempt, block, &graph) else {
+    let sched = timed(&mut stats.timings.schedule_ns, || {
+        schedule::analyze(module, &attempt, block, &graph)
+    });
+    let Some(sched) = sched else {
         return Attempt::ScheduleRejected;
     };
 
     let before_globals = module.num_globals();
-    let Some(outcome) = codegen::generate(module, &mut attempt, block, &graph, &sched) else {
+    let outcome = timed(&mut stats.timings.codegen_ns, || {
+        codegen::generate(module, &mut attempt, block, &graph, &sched)
+    });
+    let Some(outcome) = outcome else {
         // Roll back any globals created before the generator bailed.
         rollback_globals(module, before_globals);
         return Attempt::ScheduleRejected;
     };
 
     if opts.cleanup {
-        let void_ty = module.types.void();
-        loop {
-            let mut changed = simplify_function(&mut attempt, &mut module.types);
-            changed += run_dce_with(&mut attempt, void_ty, &|callee| {
-                effects.get(callee.index()).copied().unwrap_or_default()
-            });
-            if changed == 0 {
-                break;
-            }
-        }
+        timed(&mut stats.timings.cleanup_ns, || {
+            cleanup_in_place(&mut attempt, &mut module.types, effects)
+        });
     }
 
     // Profitability (§IV-F): text estimate plus the constant data the roll
     // added to `.rodata`.
-    let old_size = opts.target.function_estimate(module, work) as u64;
-    let rodata: u64 = outcome
-        .new_globals
-        .iter()
-        .map(|&g| module.global_size(g))
-        .sum();
-    let new_size = opts.target.function_estimate(module, &attempt) as u64 + rodata;
+    let profitable = timed(&mut stats.timings.cost_ns, || {
+        let old_size = opts.target.function_estimate(module, work) as u64;
+        let rodata: u64 = outcome
+            .new_globals
+            .iter()
+            .map(|&g| module.global_size(g))
+            .sum();
+        let new_size = opts.target.function_estimate(module, &attempt) as u64 + rodata;
+        new_size < old_size
+    });
 
-    if new_size < old_size {
+    if profitable {
         Attempt::Committed {
             func: attempt,
             kinds: graph.count_kinds(),
@@ -154,12 +192,14 @@ fn rollback_globals(module: &mut Module, keep: usize) {
 }
 
 /// Runs RoLAG on every function of the module, returning aggregate
-/// statistics.
+/// statistics. The call-effects table is computed once and shared across
+/// all functions.
 pub fn roll_module(module: &mut Module, opts: &RolagOptions) -> RolagStats {
+    let effects = effects_table(module);
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = RolagStats::default();
     for id in ids {
-        total += roll_function(module, id, opts);
+        total += roll_function_with(module, id, opts, &effects);
     }
     total
 }
@@ -208,6 +248,13 @@ mod tests {
         assert!(stats.size_after < stats.size_before);
         let f = m.func(m.func_by_name("f").unwrap());
         assert_eq!(f.num_blocks(), 3, "pre/loop/exit");
+        // A committed roll exercises every stage, so every timer ticks.
+        assert!(stats.timings.seeds_ns > 0);
+        assert!(stats.timings.align_ns > 0);
+        assert!(stats.timings.schedule_ns > 0);
+        assert!(stats.timings.codegen_ns > 0);
+        assert!(stats.timings.cost_ns > 0);
+        assert!(stats.timings.cleanup_ns > 0);
     }
 
     #[test]

@@ -66,6 +66,63 @@ impl AddAssign for NodeKindCounts {
     }
 }
 
+/// Wall-clock nanoseconds spent in each stage of the pass (Fig. 5's
+/// pipeline), accumulated across every candidate attempt.
+///
+/// Timings are observability data, not results: they are carried inside
+/// [`RolagStats`] but deliberately excluded from its [`PartialEq`], so a
+/// parallel run with identical outcomes compares equal to a serial one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Seed collection (candidate discovery per block).
+    pub seeds_ns: u64,
+    /// Alignment-graph construction.
+    pub align_ns: u64,
+    /// Scheduling analysis.
+    pub schedule_ns: u64,
+    /// Speculative loop code generation.
+    pub codegen_ns: u64,
+    /// Cost-model size estimates (profitability decisions).
+    pub cost_ns: u64,
+    /// Post-roll simplify + DCE cleanup.
+    pub cleanup_ns: u64,
+}
+
+impl StageTimings {
+    /// Total nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.seeds_ns
+            + self.align_ns
+            + self.schedule_ns
+            + self.codegen_ns
+            + self.cost_ns
+            + self.cleanup_ns
+    }
+
+    /// `(stage, nanoseconds)` rows in pipeline order, for CSV dumps.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("seeds", self.seeds_ns),
+            ("align", self.align_ns),
+            ("schedule", self.schedule_ns),
+            ("codegen", self.codegen_ns),
+            ("cost", self.cost_ns),
+            ("cleanup", self.cleanup_ns),
+        ]
+    }
+}
+
+impl AddAssign for StageTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.seeds_ns += rhs.seeds_ns;
+        self.align_ns += rhs.align_ns;
+        self.schedule_ns += rhs.schedule_ns;
+        self.codegen_ns += rhs.codegen_ns;
+        self.cost_ns += rhs.cost_ns;
+        self.cleanup_ns += rhs.cleanup_ns;
+    }
+}
+
 /// Aggregate statistics of one pass run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RolagStats {
@@ -83,7 +140,25 @@ pub struct RolagStats {
     pub size_before: u64,
     /// Estimated text size after the pass.
     pub size_after: u64,
+    /// Per-stage wall-clock breakdown (excluded from equality).
+    pub timings: StageTimings,
 }
+
+impl PartialEq for RolagStats {
+    /// Compares pass *outcomes* only; wall-clock [`StageTimings`] are
+    /// nondeterministic and intentionally ignored.
+    fn eq(&self, other: &Self) -> bool {
+        self.attempted == other.attempted
+            && self.rejected_schedule == other.rejected_schedule
+            && self.rejected_profit == other.rejected_profit
+            && self.rolled == other.rolled
+            && self.nodes == other.nodes
+            && self.size_before == other.size_before
+            && self.size_after == other.size_after
+    }
+}
+
+impl Eq for RolagStats {}
 
 impl RolagStats {
     /// Percentage reduction of the estimated text size.
@@ -104,6 +179,7 @@ impl AddAssign for RolagStats {
         self.nodes += rhs.nodes;
         self.size_before += rhs.size_before;
         self.size_after += rhs.size_after;
+        self.timings += rhs.timings;
     }
 }
 
@@ -155,6 +231,38 @@ mod tests {
         a += b;
         assert_eq!(a.rolled, 3);
         assert_eq!(a.size_before, 150);
+    }
+
+    #[test]
+    fn equality_ignores_timings() {
+        let mut a = RolagStats {
+            rolled: 2,
+            size_before: 10,
+            size_after: 8,
+            ..Default::default()
+        };
+        let mut b = a;
+        a.timings.seeds_ns = 1_000;
+        b.timings.codegen_ns = 999_999;
+        assert_eq!(a, b, "wall-clock differences must not break equality");
+        b.rolled = 3;
+        assert_ne!(a, b, "outcome differences must break equality");
+    }
+
+    #[test]
+    fn timing_rows_cover_all_stages() {
+        let t = StageTimings {
+            seeds_ns: 1,
+            align_ns: 2,
+            schedule_ns: 3,
+            codegen_ns: 4,
+            cost_ns: 5,
+            cleanup_ns: 6,
+        };
+        assert_eq!(t.total_ns(), 21);
+        let rows = t.rows();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.iter().map(|&(_, v)| v).sum::<u64>(), t.total_ns());
     }
 
     #[test]

@@ -10,9 +10,9 @@ mod patterns;
 
 pub use patterns::{build_pattern, ensure_externals, Externals, PatternKind};
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rolag_ir::Module;
+use rolag_prng::ChaCha8Rng;
+use rolag_prng::{Rng, SeedableRng};
 
 /// Corpus configuration.
 #[derive(Debug, Clone)]

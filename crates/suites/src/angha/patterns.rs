@@ -7,10 +7,10 @@
 //! near-miss variants that defeat the scheduler or the profitability
 //! analysis.
 
-use rand::Rng;
 use rolag_ir::{
     Builder, Effects, FuncId, Function, GlobalData, GlobalInit, Module, TypeId, ValueId,
 };
+use rolag_prng::Rng;
 
 /// The pattern families the generator draws from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -219,7 +219,7 @@ pub fn build_pattern(
 /// or 4 — the hand-unrolled code the classic rerolling pass was built for.
 fn unrolled_loop(m: &mut Module, rng: &mut impl Rng, name: &str) {
     let factor = if rng.gen_bool(0.5) { 2u32 } else { 4 };
-    let trips = rng.gen_range(2..=8) * 8;
+    let trips = rng.gen_range(2i64..=8) * 8;
     let i32t = m.types.i32();
     let i64t = m.types.i64();
     let void = m.types.void();
@@ -310,7 +310,7 @@ fn guarded_stores(m: &mut Module, rng: &mut impl Rng, name: &str) {
 
 fn call_sequence(m: &mut Module, rng: &mut impl Rng, name: &str, ext: Externals) {
     let n = rng.gen_range(3..=12);
-    let stride = [4i64, 8, 16][rng.gen_range(0..3)];
+    let stride = [4i64, 8, 16][rng.gen_range(0usize..3)];
     let ptr = m.types.ptr();
     let void = m.types.void();
     let i64t = m.types.i64();
@@ -571,9 +571,9 @@ fn cold_straight_line(m: &mut Module, rng: &mut impl Rng, name: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
     use rolag_ir::verify::verify_module;
+    use rolag_prng::ChaCha8Rng;
+    use rolag_prng::SeedableRng;
 
     #[test]
     fn every_pattern_builds_and_verifies() {

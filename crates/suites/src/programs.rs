@@ -10,10 +10,10 @@
 //! marginal/irregular patterns whose estimated profit is small enough for
 //! cost-model error to flip the sign, as the paper observes (§V-A).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use rolag_analysis::cost::{function_size_estimate, X86SizeModel};
 use rolag_ir::{Builder, Function, Module};
+use rolag_prng::ChaCha8Rng;
+use rolag_prng::{Rng, SeedableRng};
 
 use crate::angha::{build_pattern, PatternKind};
 
@@ -269,7 +269,7 @@ fn build_filler(m: &mut Module, rng: &mut impl Rng, name: &str) {
                 6 => {
                     // An isolated store (different offsets each time, so no
                     // rollable group forms).
-                    let off = b.i64_const(rng.gen_range(0..16) * 4 + k);
+                    let off = b.i64_const(rng.gen_range(0i64..16) * 4 + k);
                     let i8t = b.types.i8();
                     let slot = b.gep(i8t, p, &[off]);
                     b.store(acc, slot);
@@ -285,7 +285,7 @@ fn build_filler(m: &mut Module, rng: &mut impl Rng, name: &str) {
         if with_loop {
             let loop_bb = b.func.add_block("loop");
             let exit_bb = b.func.add_block("exit");
-            let trips = b.iconst(i64t, rng.gen_range(4..32) * 8);
+            let trips = b.iconst(i64t, rng.gen_range(4i64..32) * 8);
             b.br(loop_bb);
             b.switch_to(loop_bb);
             let zero = b.iconst(i64t, 0);

@@ -278,7 +278,7 @@ fn try_flatten(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{cleanup_module, cse_module, unroll_module};
+    use crate::cleanup_module;
     use rolag_ir::interp::check_equivalence;
     use rolag_ir::parser::parse_module;
     use rolag_ir::verify::verify_module;

@@ -5,26 +5,31 @@
 
 use rolag_ir::dce::run_dce_with;
 use rolag_ir::fold::simplify_function;
-use rolag_ir::{Effects, FuncId, Module};
+use rolag_ir::{Effects, FuncId, Function, Module, TypeStore};
 
-/// Simplifies and DCEs one function until nothing changes. Returns the
-/// total number of instructions rewritten or removed.
-pub fn cleanup_function(module: &mut Module, id: FuncId) -> usize {
-    // Snapshot call effects up front so DCE does not need the module while
-    // the function is mutably borrowed.
-    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
-    let void_ty = module.types.void();
+/// Snapshots the memory-effect annotation of every function, indexed by
+/// [`FuncId`]. Passes compute this once and share it across all the
+/// functions they touch — effects only depend on declarations, which
+/// rolling and cleanup never change.
+pub fn effects_table(module: &Module) -> Vec<Effects> {
+    module.func_ids().map(|f| module.func(f).effects).collect()
+}
+
+/// Simplifies and DCEs a detached function body until nothing changes,
+/// using a pre-computed [`effects_table`]. Returns the total number of
+/// instructions rewritten or removed.
+///
+/// This is the borrow-friendly core shared by [`cleanup_function`],
+/// [`cleanup_module`], and the RoLAG pass's post-roll cleanup (which holds
+/// the function outside the module while speculating).
+pub fn cleanup_in_place(func: &mut Function, types: &mut TypeStore, effects: &[Effects]) -> usize {
+    let void_ty = types.void();
     let mut total = 0;
     loop {
-        let mut changed = 0;
-        {
-            let (func, types) = module.func_and_types_mut(id);
-            changed += simplify_function(func, types);
-        }
-        {
-            let func = module.func_mut(id);
-            changed += run_dce_with(func, void_ty, &|callee| effects[callee.index()]);
-        }
+        let mut changed = simplify_function(func, types);
+        changed += run_dce_with(func, void_ty, &|callee| {
+            effects.get(callee.index()).copied().unwrap_or_default()
+        });
         total += changed;
         if changed == 0 {
             break;
@@ -33,32 +38,28 @@ pub fn cleanup_function(module: &mut Module, id: FuncId) -> usize {
     total
 }
 
+/// Simplifies and DCEs one function until nothing changes. Returns the
+/// total number of instructions rewritten or removed.
+pub fn cleanup_function(module: &mut Module, id: FuncId) -> usize {
+    // Snapshot call effects up front so DCE does not need the module while
+    // the function is mutably borrowed.
+    let effects = effects_table(module);
+    let (func, types) = module.func_and_types_mut(id);
+    cleanup_in_place(func, types, &effects)
+}
+
 /// Runs [`cleanup_function`] over every definition in the module. The call
 /// effects table is computed once, so this is linear in module size.
 pub fn cleanup_module(module: &mut Module) -> usize {
-    let effects: Vec<Effects> = module.func_ids().map(|f| module.func(f).effects).collect();
-    let void_ty = module.types.void();
+    let effects = effects_table(module);
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = 0;
     for id in ids {
         if module.func(id).is_declaration {
             continue;
         }
-        loop {
-            let mut changed = 0;
-            {
-                let (func, types) = module.func_and_types_mut(id);
-                changed += simplify_function(func, types);
-            }
-            {
-                let func = module.func_mut(id);
-                changed += run_dce_with(func, void_ty, &|callee| effects[callee.index()]);
-            }
-            total += changed;
-            if changed == 0 {
-                break;
-            }
-        }
+        let (func, types) = module.func_and_types_mut(id);
+        total += cleanup_in_place(func, types, &effects);
     }
     total
 }

@@ -2,14 +2,16 @@
 //! straight-line functions and random loops go through RoLAG (and the
 //! unroll/reroll pipeline) and must behave identically under the
 //! interpreter — same return value, external-call trace, and final memory.
-
-use proptest::prelude::*;
+//!
+//! Uses the seeded in-repo harness (`rolag_prng::check`); a failure prints
+//! the derived seed needed to replay the exact case.
 
 use rolag::{roll_module, RolagOptions};
 use rolag_ir::builder::FuncBuilder;
 use rolag_ir::interp::check_equivalence;
 use rolag_ir::verify::verify_module;
 use rolag_ir::{Effects, Module};
+use rolag_prng::{check::run_cases, ChaCha8Rng, Rng};
 use rolag_reroll::reroll_module;
 use rolag_transforms::{cleanup_module, cse_module, unroll_module};
 
@@ -31,25 +33,40 @@ enum Expr {
     XorParam(Box<Expr>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-100i32..100).prop_map(Expr::Const),
-        (0u8..16).prop_map(Expr::LoadSrc),
-    ];
-    leaf.prop_recursive(3, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), -50i32..50).prop_map(|(e, c)| Expr::AddConst(Box::new(e), c)),
-            (inner.clone(), 0u8..16).prop_map(|(e, s)| Expr::MulLoad(Box::new(e), s)),
-            inner.prop_map(|e| Expr::XorParam(Box::new(e))),
-        ]
-    })
+fn gen_expr(rng: &mut ChaCha8Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return if rng.gen_bool(0.5) {
+            Expr::Const(rng.gen_range(-100i32..100))
+        } else {
+            Expr::LoadSrc(rng.gen_range(0u8..16))
+        };
+    }
+    match rng.gen_range(0u32..3) {
+        0 => Expr::AddConst(
+            Box::new(gen_expr(rng, depth - 1)),
+            rng.gen_range(-50i32..50),
+        ),
+        1 => Expr::MulLoad(Box::new(gen_expr(rng, depth - 1)), rng.gen_range(0u8..16)),
+        _ => Expr::XorParam(Box::new(gen_expr(rng, depth - 1))),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = Stmt> {
-    prop_oneof![
-        (0u8..24, expr_strategy()).prop_map(|(slot, expr)| Stmt::Store { slot, expr }),
-        expr_strategy().prop_map(|expr| Stmt::Call { expr }),
-    ]
+fn gen_stmt(rng: &mut ChaCha8Rng) -> Stmt {
+    if rng.gen_bool(0.5) {
+        Stmt::Store {
+            slot: rng.gen_range(0u8..24),
+            expr: gen_expr(rng, 3),
+        }
+    } else {
+        Stmt::Call {
+            expr: gen_expr(rng, 3),
+        }
+    }
+}
+
+fn gen_stmts(rng: &mut ChaCha8Rng, max: usize) -> Vec<Stmt> {
+    let n = rng.gen_range(1..=max);
+    (0..n).map(|_| gen_stmt(rng)).collect()
 }
 
 /// Builds a module with one function made of the given statements. Slots
@@ -132,54 +149,59 @@ fn build(stmts: &[Stmt]) -> Module {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 96,
-        ..ProptestConfig::default()
-    })]
+/// RoLAG never changes the behaviour of random straight-line code.
+#[test]
+fn rolag_preserves_random_straight_line_code() {
+    run_cases(
+        "rolag_preserves_random_straight_line_code",
+        96,
+        0x0401,
+        |rng, _| {
+            let stmts = gen_stmts(rng, 23);
+            let arg = rng.gen_range(-1000i64..1000);
+            let module = build(&stmts);
+            verify_module(&module).expect("generated module verifies");
+            let mut rolled = module.clone();
+            roll_module(&mut rolled, &RolagOptions::default());
+            verify_module(&rolled).expect("rolled module verifies");
+            check_equivalence(&module, &rolled, "f", &[rolag_ir::interp::IValue::Int(arg)])
+                .unwrap_or_else(|e| panic!("behaviour changed: {e}\nstmts: {stmts:?}"));
+        },
+    );
+}
 
-    /// RoLAG never changes the behaviour of random straight-line code.
-    #[test]
-    fn rolag_preserves_random_straight_line_code(
-        stmts in proptest::collection::vec(stmt_strategy(), 1..24),
-        arg in -1000i64..1000,
-    ) {
-        let module = build(&stmts);
-        verify_module(&module).expect("generated module verifies");
-        let mut rolled = module.clone();
-        roll_module(&mut rolled, &RolagOptions::default());
-        verify_module(&rolled).expect("rolled module verifies");
-        check_equivalence(
-            &module,
-            &rolled,
-            "f",
-            &[rolag_ir::interp::IValue::Int(arg)],
-        )
-        .map_err(|e| TestCaseError::fail(e))?;
-    }
+/// The ablation configuration is equally sound.
+#[test]
+fn ablated_rolag_preserves_random_code() {
+    run_cases(
+        "ablated_rolag_preserves_random_code",
+        64,
+        0x0402,
+        |rng, _| {
+            let stmts = gen_stmts(rng, 15);
+            let module = build(&stmts);
+            let mut rolled = module.clone();
+            roll_module(&mut rolled, &RolagOptions::no_special_nodes());
+            check_equivalence(&module, &rolled, "f", &[rolag_ir::interp::IValue::Int(7)])
+                .unwrap_or_else(|e| panic!("behaviour changed: {e}\nstmts: {stmts:?}"));
+        },
+    );
+}
 
-    /// The ablation configuration is equally sound.
-    #[test]
-    fn ablated_rolag_preserves_random_code(
-        stmts in proptest::collection::vec(stmt_strategy(), 1..16),
-    ) {
-        let module = build(&stmts);
-        let mut rolled = module.clone();
-        roll_module(&mut rolled, &RolagOptions::no_special_nodes());
-        check_equivalence(&module, &rolled, "f", &[rolag_ir::interp::IValue::Int(7)])
-            .map_err(TestCaseError::fail)?;
-    }
-
-    /// unroll → CSE → reroll / roll on random counted loops stays correct.
-    #[test]
-    fn loop_pipeline_preserves_random_loops(
-        mul_k in 1i64..9,
-        add_k in -8i64..9,
-        trips in (1i64..8).prop_map(|t| t * 8),
-        factor in prop_oneof![Just(2u32), Just(4), Just(8)],
-    ) {
-        let text = format!(
-            r#"
+/// unroll → CSE → reroll / roll on random counted loops stays correct.
+#[test]
+fn loop_pipeline_preserves_random_loops() {
+    run_cases(
+        "loop_pipeline_preserves_random_loops",
+        64,
+        0x0403,
+        |rng, _| {
+            let mul_k = rng.gen_range(1i64..9);
+            let add_k = rng.gen_range(-8i64..9);
+            let trips = rng.gen_range(1i64..8) * 8;
+            let factor = [2u32, 4, 8][rng.gen_range(0usize..3)];
+            let text = format!(
+                r#"
 module "lp"
 global @a : [64 x i32] = zero
 func @f() -> i32 {{
@@ -200,22 +222,23 @@ exit:
   ret %r
 }}
 "#
-        );
-        let original = rolag_ir::parser::parse_module(&text).unwrap();
-        let mut base = original.clone();
-        unroll_module(&mut base, factor);
-        cse_module(&mut base);
-        cleanup_module(&mut base);
-        check_equivalence(&original, &base, "f", &[]).map_err(TestCaseError::fail)?;
+            );
+            let original = rolag_ir::parser::parse_module(&text).unwrap();
+            let mut base = original.clone();
+            unroll_module(&mut base, factor);
+            cse_module(&mut base);
+            cleanup_module(&mut base);
+            check_equivalence(&original, &base, "f", &[]).expect("unroll+cse+cleanup");
 
-        let mut llvm = base.clone();
-        reroll_module(&mut llvm);
-        cleanup_module(&mut llvm);
-        check_equivalence(&base, &llvm, "f", &[]).map_err(TestCaseError::fail)?;
+            let mut llvm = base.clone();
+            reroll_module(&mut llvm);
+            cleanup_module(&mut llvm);
+            check_equivalence(&base, &llvm, "f", &[]).expect("reroll");
 
-        let mut rolag_m = base.clone();
-        roll_module(&mut rolag_m, &RolagOptions::default());
-        cleanup_module(&mut rolag_m);
-        check_equivalence(&base, &rolag_m, "f", &[]).map_err(TestCaseError::fail)?;
-    }
+            let mut rolag_m = base.clone();
+            roll_module(&mut rolag_m, &RolagOptions::default());
+            cleanup_module(&mut rolag_m);
+            check_equivalence(&base, &rolag_m, "f", &[]).expect("rolag");
+        },
+    );
 }
