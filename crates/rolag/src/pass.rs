@@ -57,10 +57,15 @@ pub fn roll_function_with(
         let candidates = timed(&mut stats.timings.seeds_ns, || {
             collect_candidates(module, &work, opts)
         });
+        // `work` is invariant within a sweep, so the profitability baseline
+        // is too: compute it once per sweep, not once per candidate.
+        let old_size = timed(&mut stats.timings.cost_ns, || {
+            opts.target.function_estimate(module, &work) as u64
+        });
         let mut committed = false;
         for cand in candidates {
             stats.attempted += 1;
-            match try_candidate(module, &work, &cand, opts, effects, &mut stats) {
+            match try_candidate(module, &work, &cand, opts, effects, &mut stats, old_size) {
                 Attempt::Committed { func, kinds } => {
                     work = func;
                     stats.rolled += 1;
@@ -68,6 +73,7 @@ pub fn roll_function_with(
                     committed = true;
                     break;
                 }
+                Attempt::LanesRejected => stats.rejected_lanes += 1,
                 Attempt::ScheduleRejected => stats.rejected_schedule += 1,
                 Attempt::Unprofitable => stats.rejected_profit += 1,
             }
@@ -90,6 +96,7 @@ enum Attempt {
         func: Function,
         kinds: crate::stats::NodeKindCounts,
     },
+    LanesRejected,
     ScheduleRejected,
     Unprofitable,
 }
@@ -101,16 +108,20 @@ fn try_candidate(
     opts: &RolagOptions,
     effects: &[Effects],
     stats: &mut RolagStats,
+    old_size: u64,
 ) -> Attempt {
     let block = cand.block();
+
+    // Lane gate first: it needs no IR at all, so reject before paying for
+    // the function clone.
+    let lanes = cand.lanes();
+    if lanes < opts.min_lanes {
+        return Attempt::LanesRejected;
+    }
     let mut attempt = work.clone();
 
     // Build the alignment graph (interning synthetic constants into the
     // attempt as needed).
-    let lanes = cand.lanes();
-    if lanes < opts.min_lanes {
-        return Attempt::ScheduleRejected;
-    }
     let graph = {
         let align_start = Instant::now();
         let mut builder = GraphBuilder::new(module, &mut attempt, block, opts, lanes);
@@ -161,9 +172,8 @@ fn try_candidate(
     }
 
     // Profitability (§IV-F): text estimate plus the constant data the roll
-    // added to `.rodata`.
+    // added to `.rodata`. The baseline `old_size` comes in from the sweep.
     let profitable = timed(&mut stats.timings.cost_ns, || {
-        let old_size = opts.target.function_estimate(module, work) as u64;
         let rodata: u64 = outcome
             .new_globals
             .iter()

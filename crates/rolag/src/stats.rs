@@ -128,6 +128,9 @@ impl AddAssign for StageTimings {
 pub struct RolagStats {
     /// Alignment graphs attempted.
     pub attempted: u64,
+    /// Candidates rejected by the lane-count gate before any graph was
+    /// built (fewer lanes than `RolagOptions::min_lanes`).
+    pub rejected_lanes: u64,
     /// Graphs rejected by the scheduling analysis.
     pub rejected_schedule: u64,
     /// Graphs generated but rejected by the profitability analysis.
@@ -149,6 +152,7 @@ impl PartialEq for RolagStats {
     /// nondeterministic and intentionally ignored.
     fn eq(&self, other: &Self) -> bool {
         self.attempted == other.attempted
+            && self.rejected_lanes == other.rejected_lanes
             && self.rejected_schedule == other.rejected_schedule
             && self.rejected_profit == other.rejected_profit
             && self.rolled == other.rolled
@@ -173,6 +177,7 @@ impl RolagStats {
 impl AddAssign for RolagStats {
     fn add_assign(&mut self, rhs: Self) {
         self.attempted += rhs.attempted;
+        self.rejected_lanes += rhs.rejected_lanes;
         self.rejected_schedule += rhs.rejected_schedule;
         self.rejected_profit += rhs.rejected_profit;
         self.rolled += rhs.rolled;
@@ -187,9 +192,10 @@ impl fmt::Display for RolagStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rolled {} / {} attempts ({} schedule-rejected, {} unprofitable), size {} -> {} ({:+.2}%)",
+            "rolled {} / {} attempts ({} lane-rejected, {} schedule-rejected, {} unprofitable), size {} -> {} ({:+.2}%)",
             self.rolled,
             self.attempted,
+            self.rejected_lanes,
             self.rejected_schedule,
             self.rejected_profit,
             self.size_before,
