@@ -202,6 +202,99 @@ impl TargetKind {
             TargetKind::Thumb2 => function_size_estimate(&Thumb2SizeModel, module, func),
         }
     }
+
+    /// Estimated size of one block under this target's model.
+    pub fn block_estimate(self, module: &Module, func: &Function, block: BlockId) -> u32 {
+        match self {
+            TargetKind::X86_64 => block_size_estimate(&X86SizeModel, module, func, block),
+            TargetKind::Thumb2 => block_size_estimate(&Thumb2SizeModel, module, func, block),
+        }
+    }
+
+    /// Fixed per-function overhead under this target's model.
+    pub fn function_overhead(self) -> u32 {
+        match self {
+            TargetKind::X86_64 => X86SizeModel.function_overhead(),
+            TargetKind::Thumb2 => Thumb2SizeModel.function_overhead(),
+        }
+    }
+}
+
+/// Per-block memo over [`block_size_estimate`], keyed by the function's
+/// stable [`BlockId`]s.
+///
+/// [`function_size_estimate`] is a plain sum of block estimates plus the
+/// fixed overhead, so as long as stale entries are [invalidated] whenever a
+/// block's estimate could change, summing cached entries reproduces the
+/// whole-function walk exactly. Note that a block's estimate depends on
+/// slightly more than the block's own content: `gep`s are free when every
+/// *user* folds them into an addressing mode, so editing a block can change
+/// the estimate of the blocks defining the `gep`s it uses — callers must
+/// invalidate those too (see `rolag::incremental`).
+///
+/// [invalidated]: BlockSizeCache::invalidate
+#[derive(Debug, Clone, Default)]
+pub struct BlockSizeCache {
+    sizes: Vec<Option<u32>>,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that computed (and cached) a fresh estimate.
+    pub misses: u64,
+}
+
+impl BlockSizeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached estimate of `block`, computing and caching it on miss.
+    pub fn get(
+        &mut self,
+        target: TargetKind,
+        module: &Module,
+        func: &Function,
+        block: BlockId,
+    ) -> u32 {
+        let i = block.index();
+        if i >= self.sizes.len() {
+            self.sizes.resize(i + 1, None);
+        }
+        if let Some(size) = self.sizes[i] {
+            self.hits += 1;
+            return size;
+        }
+        self.misses += 1;
+        let size = target.block_estimate(module, func, block);
+        self.sizes[i] = Some(size);
+        size
+    }
+
+    /// Drops the cached estimate of `block`.
+    pub fn invalidate(&mut self, block: BlockId) {
+        let i = block.index();
+        if i < self.sizes.len() {
+            self.sizes[i] = None;
+        }
+    }
+
+    /// Cached whole-function estimate: the sum of per-block estimates plus
+    /// the fixed overhead — identical to [`TargetKind::function_estimate`].
+    pub fn function_estimate(
+        &mut self,
+        target: TargetKind,
+        module: &Module,
+        func: &Function,
+    ) -> u32 {
+        if func.is_declaration {
+            return 0;
+        }
+        let body: u32 = func
+            .block_ids()
+            .map(|b| self.get(target, module, func, b))
+            .sum();
+        body + target.function_overhead()
+    }
 }
 
 /// Estimated size of one block under `model`.
@@ -359,6 +452,37 @@ exit:
         );
         // br 2 + phi 0 + add 4 + icmp 3 + condbr 2 + ret 1 + overhead 4.
         assert_eq!(loop_fn, 16);
+    }
+
+    #[test]
+    fn block_size_cache_matches_full_walk() {
+        let m = parse_module(
+            r#"
+module "t"
+global @g : [8 x i32] = zero
+func @f(i64 %p0) -> i32 {
+entry:
+  %p = gep i32, @g, %p0
+  %v = load i32, %p
+  br exit
+exit:
+  ret %v
+}
+"#,
+        )
+        .unwrap();
+        let f = m.func(m.func_by_name("f").unwrap());
+        let mut cache = BlockSizeCache::new();
+        let full = TargetKind::X86_64.function_estimate(&m, f);
+        assert_eq!(cache.function_estimate(TargetKind::X86_64, &m, f), full);
+        assert_eq!(cache.hits, 0);
+        // Second walk is served entirely from the cache.
+        assert_eq!(cache.function_estimate(TargetKind::X86_64, &m, f), full);
+        assert_eq!(cache.hits, 2);
+        // Invalidation forces exactly one recomputation.
+        cache.invalidate(rolag_ir::BlockId::from_index(0));
+        assert_eq!(cache.function_estimate(TargetKind::X86_64, &m, f), full);
+        assert_eq!(cache.misses, 3);
     }
 
     #[test]

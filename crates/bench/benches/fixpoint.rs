@@ -1,0 +1,196 @@
+//! Serial fixpoint-engine benchmark: the incremental engine
+//! (`roll_module`) against the retained full-rescan reference
+//! (`roll_module_full_rescan`) on the unrolled TSVC kernels and on a
+//! many-commit synthetic function built to stress sweep count.
+//!
+//! Besides the usual min/median/mean table this bench writes
+//! `BENCH_fixpoint.json` at the repository root: per-benchmark mean
+//! nanoseconds, per-stage timings, cache hit-rates, and the
+//! incremental-over-full speedups.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rolag::{roll_module, roll_module_full_rescan, RolagOptions, RolagStats};
+use rolag_bench::harness::{BenchGroup, Measurement};
+use rolag_ir::parser::parse_module;
+use rolag_ir::Module;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+fn tsvc_inputs(n: usize) -> Vec<Module> {
+    all_kernels()
+        .iter()
+        .take(n)
+        .map(|spec| {
+            let mut m = build_kernel_module(spec);
+            unroll_module(&mut m, 8);
+            cse_module(&mut m);
+            cleanup_module(&mut m);
+            m
+        })
+        .collect()
+}
+
+/// One function with a short unprofitable leading block and `blocks`
+/// value-disconnected rollable blocks (8 stores each into a distinct
+/// global). Every store block rolls, so the fixpoint commits `blocks`
+/// times — the worst case for full re-scanning and the best case for the
+/// dirty-block worklist (commits dirty only a tiny neighbourhood). The
+/// short block's candidate is visited and rejected in every sweep: the
+/// reference engine rebuilds the attempt each time, the incremental engine
+/// replays the memoized verdict.
+fn many_commit_module(blocks: usize) -> Module {
+    let mut text = String::from("module \"many\"\nglobal @t : [2 x i32] = zero\n");
+    for b in 0..blocks {
+        let _ = writeln!(text, "global @g{b} : [8 x i32] = zero");
+    }
+    text.push_str(
+        "func @f() -> void {\nentry:\n  br short\nshort:\n\
+         \x20 %t0 = gep i32, @t, i64 0\n  store i32 1, %t0\n\
+         \x20 %t1 = gep i32, @t, i64 1\n  store i32 8, %t1\n  br b0\n",
+    );
+    for b in 0..blocks {
+        let _ = writeln!(text, "b{b}:");
+        for i in 0..8 {
+            let _ = writeln!(text, "  %p{b}_{i} = gep i32, @g{b}, i64 {i}");
+            let _ = writeln!(text, "  store i32 {}, %p{b}_{i}", b * 100 + i * 7);
+        }
+        if b + 1 < blocks {
+            let _ = writeln!(text, "  br b{}", b + 1);
+        } else {
+            text.push_str("  ret\n");
+        }
+    }
+    text.push_str("}\n");
+    parse_module(&text).expect("synthetic module parses")
+}
+
+fn mean_ns(m: &Measurement) -> u128 {
+    m.mean().as_nanos()
+}
+
+/// `"label": {...}` JSON object for one measurement.
+fn bench_json(m: &Measurement) -> String {
+    format!(
+        "{{\"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+        m.min().as_nanos(),
+        m.median().as_nanos(),
+        mean_ns(m)
+    )
+}
+
+/// `"label": {...}` JSON object for one stats run (stage ns + cache).
+fn stats_json(s: &RolagStats) -> String {
+    let mut out = String::from("{\"stage_ns\": {");
+    let rows = s.timings.rows();
+    for (i, (stage, ns)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { ", " } else { "" };
+        let _ = write!(out, "\"{stage}\": {ns}{sep}");
+    }
+    let _ = write!(
+        out,
+        "}}, \"cache\": {{\"candidate_hit_rate\": {:.4}, \"size_hit_rate\": {:.4}, \
+         \"memo_hit_rate\": {:.4}",
+        s.cache.candidate_hit_rate(),
+        s.cache.size_hit_rate(),
+        s.cache.memo_hit_rate()
+    );
+    for (counter, n) in s.cache.rows() {
+        let _ = write!(out, ", \"{counter}\": {n}");
+    }
+    out.push_str("}}");
+    out
+}
+
+fn main() {
+    let opts = RolagOptions::default();
+    let tsvc = tsvc_inputs(24);
+    let synth = many_commit_module(16);
+
+    let mut group = BenchGroup::new("fixpoint", 10);
+    group.bench_batched(
+        "full_rescan_tsvc24",
+        || tsvc.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module_full_rescan(m, &opts);
+            }
+        },
+    );
+    group.bench_batched(
+        "incremental_tsvc24",
+        || tsvc.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module(m, &opts);
+            }
+        },
+    );
+    group.bench_batched(
+        "full_rescan_many_commit",
+        || synth.clone(),
+        |mut m| roll_module_full_rescan(&mut m, &opts),
+    );
+    group.bench_batched(
+        "incremental_many_commit",
+        || synth.clone(),
+        |mut m| roll_module(&mut m, &opts),
+    );
+    let results = group.finish();
+
+    // One instrumented incremental run per input for stage/cache detail.
+    let tsvc_stats = {
+        let mut total = RolagStats::default();
+        for m in &tsvc {
+            let mut m = m.clone();
+            total += roll_module(&mut m, &opts);
+        }
+        total
+    };
+    let synth_stats = {
+        let mut m = synth.clone();
+        roll_module(&mut m, &opts)
+    };
+
+    let by_label = |label: &str| -> &Measurement {
+        results
+            .iter()
+            .find(|m| m.label == label)
+            .expect("measurement exists")
+    };
+    let speedup = |full: &str, incr: &str| -> f64 {
+        mean_ns(by_label(full)) as f64 / mean_ns(by_label(incr)).max(1) as f64
+    };
+    let tsvc_speedup = speedup("full_rescan_tsvc24", "incremental_tsvc24");
+    let synth_speedup = speedup("full_rescan_many_commit", "incremental_many_commit");
+    println!("speedup tsvc24:      {tsvc_speedup:.2}x");
+    println!("speedup many_commit: {synth_speedup:.2}x");
+
+    let mut json = String::from("{\n  \"bench\": \"fixpoint\",\n  \"samples\": 10,\n");
+    json.push_str("  \"benchmarks\": {\n");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {}{sep}", m.label, bench_json(m));
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {{\"tsvc24\": {tsvc_speedup:.3}, \"many_commit\": {synth_speedup:.3}}},"
+    );
+    json.push_str("  \"incremental_stats\": {\n");
+    let _ = writeln!(json, "    \"tsvc24\": {},", stats_json(&tsvc_stats));
+    let _ = writeln!(json, "    \"many_commit\": {}", stats_json(&synth_stats));
+    json.push_str("  }\n}\n");
+
+    // CARGO_MANIFEST_DIR is crates/bench; the JSON belongs at the repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_fixpoint.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -19,7 +19,8 @@
 //!   --target <x86-64|thumb2>   cost-model target for profitability
 //!   --measure                  print measured section sizes before/after
 //!   --stats                    print pass statistics (with per-stage
-//!                              timings and driver cache counters)
+//!                              timings, fixpoint cache counters, and
+//!                              driver cache counters)
 //!   --jobs <N>                 run -rolag through the parallel memoizing
 //!                              driver with N workers (0 = all cores)
 //!   --interp <func>            interpret <func>() after the passes
@@ -198,6 +199,9 @@ fn run_pass(
                 eprintln!("rolag: {s}");
                 for (stage, ns) in s.timings.rows() {
                     eprintln!("  stage {stage:<9} {ns:>12} ns");
+                }
+                for (counter, n) in s.cache.rows() {
+                    eprintln!("  cache {counter:<20} {n:>10}");
                 }
             }
         }

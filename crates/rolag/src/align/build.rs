@@ -13,6 +13,39 @@ use rolag_ir::{
 
 use crate::align::graph::{AlignGraph, AlignNode, NodeId, NodeKind};
 use crate::options::RolagOptions;
+use crate::seeds::Candidate;
+
+/// Builds the alignment graph of a collected [`Candidate`] against `func`,
+/// returning `None` when any root fails to build.
+///
+/// The builder mutates `func` only to intern constants, which is inert for
+/// printing (the printer numbers instruction results by block layout and
+/// prints constants by content) and idempotent, so callers may build
+/// against the shared working function rather than a speculative clone.
+pub fn build_candidate_graph(
+    module: &Module,
+    func: &mut Function,
+    cand: &Candidate,
+    opts: &RolagOptions,
+) -> Option<AlignGraph> {
+    let mut builder = GraphBuilder::new(module, func, cand.block(), opts, cand.lanes());
+    let built = match cand {
+        Candidate::Seeds { groups, .. } => {
+            groups.iter().all(|g| builder.build_seed_root(g).is_some())
+        }
+        Candidate::Reduction {
+            opcode,
+            internal,
+            leaves,
+            carry,
+            ty,
+            ..
+        } => builder
+            .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
+            .is_some(),
+    };
+    built.then(|| builder.finish())
+}
 
 /// Builds an [`AlignGraph`] for groups of seed values inside one block.
 pub struct GraphBuilder<'a> {

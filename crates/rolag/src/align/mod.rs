@@ -3,5 +3,5 @@
 mod build;
 mod graph;
 
-pub use build::GraphBuilder;
+pub use build::{build_candidate_graph, GraphBuilder};
 pub use graph::{AlignGraph, AlignNode, NodeId, NodeKind};

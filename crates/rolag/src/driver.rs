@@ -38,6 +38,11 @@
 //! arrays are minted per duplicate (matching what the serial pass would
 //! have created) and self-references are remapped, so even cache hits are
 //! byte-identical to the serial output.
+//!
+//! Replayed stats include the representative's
+//! [`FixpointCacheStats`](crate::stats::FixpointCacheStats) — duplicates
+//! report the same fixpoint cache counters their representative's actual
+//! run produced, keeping aggregate counters identical to a serial run.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,300 @@
+//! Change tracking for the incremental fixpoint engine in [`crate::pass`].
+//!
+//! The fixpoint loop commits at most one roll per sweep, and a roll touches
+//! a small neighbourhood of the function: the rolled block (which becomes
+//! the preheader), the new loop and exit blocks, and whatever the cleanup
+//! pipeline simplifies in their wake. Everything the pass computes per
+//! block — candidate lists, size estimates, and reject verdicts — can
+//! therefore be cached across sweeps, as long as a commit invalidates every
+//! entry whose inputs may have changed.
+//!
+//! Soundness rests on one rule. All cross-block inputs of those cached
+//! computations flow along SSA def-use edges:
+//!
+//! * seed collection resolves pointer operands through their (possibly
+//!   cross-block) defining instructions, and classifies reductions using
+//!   whole-function use counts of the values a block defines;
+//! * the scheduling analysis classifies values as external by looking at
+//!   their uses outside the candidate block;
+//! * the size model charges a `gep` zero bytes exactly when all of its
+//!   direct users fold it into an addressing mode.
+//!
+//! So after a commit the **dirty set** is the undirected transitive closure
+//! of the content-changed blocks over block-level def-use edges (block X is
+//! adjacent to block Y when an instruction in X has an operand defined in
+//! Y), taken in both the old and new versions of the function. Any block
+//! outside that closure has byte-identical content *and* an unchanged
+//! def-use neighbourhood, so its cached candidates, size estimate, and
+//! memoized verdicts are exactly what a fresh computation would produce.
+//! Change detection itself is exact — blocks are compared structurally,
+//! never by hash — so the engine's output is byte-identical to the
+//! full-rescan reference by construction, not probabilistically.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rolag_analysis::cost::BlockSizeCache;
+use rolag_ir::{BlockId, Function, ValueDef, ValueId};
+
+use crate::seeds::Candidate;
+
+/// A memoized reject verdict for a candidate attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemoVerdict {
+    /// The graph build, scheduling analysis, or code generator rejected
+    /// the candidate.
+    Schedule,
+    /// The candidate generated code but the size delta was not profitable.
+    Unprofitable,
+}
+
+/// One memoized verdict plus the blocks it depends on.
+#[derive(Debug, Clone)]
+pub(crate) struct MemoEntry {
+    /// The replayable verdict.
+    pub verdict: MemoVerdict,
+    /// Blocks this verdict was derived from: the candidate's own block,
+    /// plus (for profitability verdicts) every existing block the attempt
+    /// changed or whose size estimate the delta recomputed. The entry dies
+    /// when a commit dirties any of them.
+    pub deps: Vec<BlockId>,
+}
+
+/// Per-function caches of the incremental engine, keyed by stable
+/// [`BlockId`]s (blocks are only ever appended, never removed or renumbered,
+/// and instruction/value arenas are append-only, so ids cached for clean
+/// blocks stay valid across commits).
+#[derive(Debug, Default)]
+pub(crate) struct FunctionCache {
+    /// Per-block size estimates (delta profitability, §IV-F).
+    pub sizes: BlockSizeCache,
+    /// Per-block candidate lists (dirty-block worklist).
+    pub cands: HashMap<BlockId, Vec<Candidate>>,
+    /// Reject verdicts keyed by the structural candidate itself.
+    pub memo: HashMap<Candidate, MemoEntry>,
+}
+
+impl FunctionCache {
+    /// Drops every cached fact that may depend on a dirty block.
+    pub fn invalidate(&mut self, dirty: &HashSet<BlockId>) {
+        for &b in dirty {
+            self.sizes.invalidate(b);
+            self.cands.remove(&b);
+        }
+        self.memo.retain(|cand, entry| {
+            !dirty.contains(&cand.block()) && entry.deps.iter().all(|d| !dirty.contains(d))
+        });
+    }
+}
+
+/// The block defining `v`, when `v` is an instruction result.
+fn def_block(f: &Function, v: ValueId) -> Option<BlockId> {
+    match f.value(v) {
+        ValueDef::Inst(i) => Some(f.inst(*i).block),
+        _ => None,
+    }
+}
+
+/// True when `block` has byte-identical content in both versions: same
+/// label, same instruction list, identical data for every instruction, and
+/// identical definitions behind every operand id (value arenas are
+/// append-only, so for two snapshots of one function lineage id equality
+/// already implies def equality — the extra check keeps the comparison
+/// honest for arbitrary function pairs, e.g. in tests).
+fn block_content_equal(old: &Function, new: &Function, block: BlockId) -> bool {
+    let (a, b) = (old.block(block), new.block(block));
+    if a.name != b.name || a.insts != b.insts {
+        return false;
+    }
+    a.insts.iter().all(|&i| {
+        old.inst(i) == new.inst(i)
+            && old
+                .inst(i)
+                .operands
+                .iter()
+                .all(|&v| old.value(v) == new.value(v))
+    })
+}
+
+/// Blocks whose content differs between `old` and `new` — two snapshots of
+/// the same function, before and after a (speculative or committed) roll —
+/// including blocks that exist only in `new`. Block ids are stable and
+/// blocks are never removed, so `new`'s blocks are a superset of `old`'s.
+pub(crate) fn changed_blocks(old: &Function, new: &Function) -> Vec<BlockId> {
+    let shared = old.num_blocks().min(new.num_blocks());
+    let mut out: Vec<BlockId> = (0..shared)
+        .map(BlockId::from_index)
+        .filter(|&b| !block_content_equal(old, new, b))
+        .collect();
+    out.extend((shared..new.num_blocks()).map(BlockId::from_index));
+    out
+}
+
+/// Records an undirected edge between every pair of blocks connected by a
+/// def-use relation in `f`.
+fn add_value_flow_edges(f: &Function, adj: &mut [HashSet<usize>]) {
+    for b in f.block_ids() {
+        for &i in &f.block(b).insts {
+            for &v in &f.inst(i).operands {
+                if let Some(d) = def_block(f, v) {
+                    if d != b {
+                        adj[b.index()].insert(d.index());
+                        adj[d.index()].insert(b.index());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The dirty set of a commit: the undirected transitive closure of
+/// `changed` over block-level def-use edges of both function versions (an
+/// edge present in either version propagates dirtiness — a deleted use is
+/// as significant as an added one).
+pub(crate) fn dirty_closure(
+    old: &Function,
+    new: &Function,
+    changed: &[BlockId],
+) -> HashSet<BlockId> {
+    let n = old.num_blocks().max(new.num_blocks());
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    add_value_flow_edges(old, &mut adj);
+    add_value_flow_edges(new, &mut adj);
+
+    let mut dirty: HashSet<BlockId> = HashSet::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &b in changed {
+        if dirty.insert(b) {
+            queue.push_back(b.index());
+        }
+    }
+    while let Some(i) = queue.pop_front() {
+        for &j in &adj[i] {
+            if dirty.insert(BlockId::from_index(j)) {
+                queue.push_back(j);
+            }
+        }
+    }
+    dirty
+}
+
+/// Unchanged blocks whose *size estimate* may still differ between the two
+/// versions: an instruction's size depends on its own content, its
+/// operands' immutable definitions, and — for `gep` folding — its direct
+/// users. Only the last is non-local, and only by one hop: a block editing
+/// the users of a `gep` can flip the estimate of the block defining it. So
+/// the affected set is the defining blocks of every operand used by the
+/// changed blocks, in either version.
+pub(crate) fn size_affected_blocks(
+    old: &Function,
+    new: &Function,
+    changed: &[BlockId],
+) -> HashSet<BlockId> {
+    let changed_set: HashSet<BlockId> = changed.iter().copied().collect();
+    let mut out = HashSet::new();
+    for f in [old, new] {
+        for &b in changed {
+            if b.index() >= f.num_blocks() {
+                continue;
+            }
+            for &i in &f.block(b).insts {
+                for &v in &f.inst(i).operands {
+                    if let Some(d) = def_block(f, v) {
+                        if !changed_set.contains(&d) {
+                            out.insert(d);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    fn two_funcs(a: &str, b: &str) -> (Function, Function) {
+        let ma = parse_module(a).unwrap();
+        let mb = parse_module(b).unwrap();
+        let fa = ma.func(ma.func_by_name("f").unwrap()).clone();
+        let fb = mb.func(mb.func_by_name("f").unwrap()).clone();
+        (fa, fb)
+    }
+
+    #[test]
+    fn identical_functions_have_no_changes() {
+        let text = r#"
+module "t"
+global @a : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %g = gep i32, @a, i64 0
+  store i32 1, %g
+  ret
+}
+"#;
+        let (a, b) = two_funcs(text, text);
+        assert!(changed_blocks(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn closure_follows_cross_block_values_transitively() {
+        // def in b0, used in b1 and b2: changing b2 must dirty b0 (direct
+        // edge) and b1 (through b0) — the shared def couples all three.
+        let text = r#"
+module "t"
+global @a : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %g = gep i32, @a, i64 0
+  br b1
+b1:
+  store i32 1, %g
+  br b2
+b2:
+  store i32 2, %g
+  ret
+}
+"#;
+        let changed_text = text.replace("store i32 2", "store i32 3");
+        let (a, b) = two_funcs(text, &changed_text);
+        let changed = changed_blocks(&a, &b);
+        assert_eq!(changed, vec![BlockId::from_index(2)]);
+        let dirty = dirty_closure(&a, &b, &changed);
+        assert!(dirty.contains(&BlockId::from_index(0)), "defining block");
+        assert!(dirty.contains(&BlockId::from_index(1)), "sibling user");
+        assert!(dirty.contains(&BlockId::from_index(2)));
+
+        // The one-hop size-affected set only reaches the defining block.
+        let affected = size_affected_blocks(&a, &b, &changed);
+        assert!(affected.contains(&BlockId::from_index(0)));
+        assert!(!affected.contains(&BlockId::from_index(1)));
+    }
+
+    #[test]
+    fn disconnected_blocks_stay_clean() {
+        let text = r#"
+module "t"
+global @a : [4 x i32] = zero
+global @b : [4 x i32] = zero
+func @f() -> void {
+entry:
+  %g = gep i32, @a, i64 0
+  store i32 1, %g
+  br b1
+b1:
+  %h = gep i32, @b, i64 0
+  store i32 2, %h
+  ret
+}
+"#;
+        let changed_text = text.replace("store i32 2", "store i32 9");
+        let (a, b) = two_funcs(text, &changed_text);
+        let changed = changed_blocks(&a, &b);
+        assert_eq!(changed, vec![BlockId::from_index(1)]);
+        let dirty = dirty_closure(&a, &b, &changed);
+        assert!(!dirty.contains(&BlockId::from_index(0)), "no value flow");
+    }
+}

@@ -48,16 +48,20 @@
 pub mod align;
 pub mod codegen;
 pub mod driver;
+mod incremental;
 pub mod options;
 pub mod pass;
 pub mod schedule;
 pub mod seeds;
 pub mod stats;
 
-pub use align::{AlignGraph, AlignNode, GraphBuilder, NodeId, NodeKind};
+pub use align::{build_candidate_graph, AlignGraph, AlignNode, GraphBuilder, NodeId, NodeKind};
 pub use driver::{roll_module_par, DriverOptions, DriverReport};
 pub use options::RolagOptions;
-pub use pass::{roll_function, roll_function_with, roll_module};
+pub use pass::{
+    roll_function, roll_function_full_rescan, roll_function_with, roll_module,
+    roll_module_full_rescan,
+};
 pub use schedule::Schedule;
-pub use seeds::{collect_candidates, Candidate};
-pub use stats::{NodeKindCounts, RolagStats, StageTimings};
+pub use seeds::{collect_block_candidates, collect_candidates, Candidate};
+pub use stats::{FixpointCacheStats, NodeKindCounts, RolagStats, StageTimings};

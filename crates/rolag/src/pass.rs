@@ -4,17 +4,29 @@
 //! run the scheduling analysis, speculatively generate the rolled loop, and
 //! keep whichever version the code-size cost model says is smaller. Commits
 //! strictly decrease the size estimate, so the pass terminates.
+//!
+//! The fixpoint runs on an **incremental engine**: after a commit, only the
+//! dirty blocks (see [`crate::incremental`]) are re-scanned for candidates,
+//! profitability works on per-block size deltas instead of whole-function
+//! walks, and reject verdicts are memoized so a failed candidate is not
+//! rebuilt on every sweep. The engine is byte-identical and
+//! outcome-stats-identical to the retained full-rescan reference
+//! ([`roll_function_full_rescan`]), enforced by `tests/incremental_fixpoint.rs`.
 
+use std::collections::HashSet;
 use std::time::Instant;
 
-use rolag_ir::{Effects, FuncId, Function, Module};
+use rolag_ir::{BlockId, Effects, FuncId, Function, Module};
 use rolag_transforms::{cleanup_in_place, effects_table};
 
-use crate::align::GraphBuilder;
-use crate::codegen;
+use crate::align::{build_candidate_graph, AlignGraph};
+use crate::codegen::{self, RollOutcome};
+use crate::incremental::{
+    changed_blocks, dirty_closure, size_affected_blocks, FunctionCache, MemoEntry, MemoVerdict,
+};
 use crate::options::RolagOptions;
-use crate::schedule;
-use crate::seeds::{collect_candidates, Candidate};
+use crate::schedule::{self, Schedule};
+use crate::seeds::{collect_block_candidates, collect_candidates, Candidate};
 use crate::stats::RolagStats;
 
 /// Runs `f`, adding its wall-clock to `slot`.
@@ -38,7 +50,126 @@ pub fn roll_function(module: &mut Module, id: FuncId, opts: &RolagOptions) -> Ro
 }
 
 /// Runs RoLAG on one function using a pre-computed call-effects table.
+///
+/// This is the incremental engine: identical decisions and output to
+/// [`roll_function_full_rescan`], with per-block caches carrying candidate
+/// lists, size estimates, and reject verdicts across fixpoint sweeps.
 pub fn roll_function_with(
+    module: &mut Module,
+    id: FuncId,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> RolagStats {
+    let mut stats = RolagStats::default();
+    if module.func(id).is_declaration {
+        return stats;
+    }
+    let mut work = module.func(id).clone();
+    let mut cache = FunctionCache::default();
+
+    let cost_start = Instant::now();
+    stats.size_before = cache.sizes.function_estimate(opts.target, module, &work) as u64;
+    stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
+    let mut old_size = stats.size_before;
+
+    loop {
+        // Assemble the sweep's candidates: cached per-block lists for clean
+        // blocks, fresh collection for dirty or new ones, concatenated in
+        // block order — exactly the list `collect_candidates` would build.
+        let seeds_start = Instant::now();
+        let mut candidates: Vec<Candidate> = Vec::new();
+        for b in work.block_ids() {
+            if let Some(list) = cache.cands.get(&b) {
+                stats.cache.cand_blocks_reused += 1;
+                candidates.extend(list.iter().cloned());
+            } else {
+                stats.cache.cand_blocks_scanned += 1;
+                let list = collect_block_candidates(module, &work, b, opts);
+                candidates.extend(list.iter().cloned());
+                cache.cands.insert(b, list);
+            }
+        }
+        stats.timings.seeds_ns += seeds_start.elapsed().as_nanos() as u64;
+
+        let mut committed = false;
+        for cand in candidates {
+            stats.attempted += 1;
+            // Replay a memoized reject without rebuilding the attempt. The
+            // first (executed) attempt already interned its constants and
+            // rolled back its globals, so skipping the re-run leaves the
+            // module exactly as the reference engine would.
+            if let Some(entry) = cache.memo.get(&cand) {
+                stats.cache.memo_hits += 1;
+                match entry.verdict {
+                    MemoVerdict::Schedule => stats.rejected_schedule += 1,
+                    MemoVerdict::Unprofitable => stats.rejected_profit += 1,
+                }
+                continue;
+            }
+            stats.cache.memo_misses += 1;
+            let block = cand.block();
+            match try_candidate_incremental(
+                module, &mut work, &cand, opts, effects, &mut stats, old_size, &mut cache,
+            ) {
+                IncrAttempt::Committed {
+                    func,
+                    kinds,
+                    changed,
+                } => {
+                    let dirty = dirty_closure(&work, &func, &changed);
+                    cache.invalidate(&dirty);
+                    work = func;
+                    stats.rolled += 1;
+                    stats.nodes += kinds;
+                    committed = true;
+                    break;
+                }
+                // The lane gate is cheaper than a memo lookup; never cached.
+                IncrAttempt::LanesRejected => stats.rejected_lanes += 1,
+                IncrAttempt::ScheduleRejected => {
+                    stats.rejected_schedule += 1;
+                    cache.memo.insert(
+                        cand,
+                        MemoEntry {
+                            verdict: MemoVerdict::Schedule,
+                            deps: vec![block],
+                        },
+                    );
+                }
+                IncrAttempt::Unprofitable { deps } => {
+                    stats.rejected_profit += 1;
+                    cache.memo.insert(
+                        cand,
+                        MemoEntry {
+                            verdict: MemoVerdict::Unprofitable,
+                            deps,
+                        },
+                    );
+                }
+            }
+        }
+        if !committed {
+            break;
+        }
+        let cost_start = Instant::now();
+        old_size = cache.sizes.function_estimate(opts.target, module, &work) as u64;
+        stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
+    }
+
+    // `work` did not change since `old_size` was last computed (constant
+    // interning during rejected graph builds never alters block content).
+    stats.size_after = old_size;
+    stats.cache.size_blocks_reused += cache.sizes.hits;
+    stats.cache.size_blocks_computed += cache.sizes.misses;
+    module.replace_func(id, work);
+    stats
+}
+
+/// Runs RoLAG on one function with the pre-incremental full-rescan loop:
+/// every sweep re-collects all candidates and every profitability decision
+/// walks the whole function. Retained as the executable specification the
+/// incremental engine is tested against; prefer [`roll_function_with`].
+pub fn roll_function_full_rescan(
     module: &mut Module,
     id: FuncId,
     opts: &RolagOptions,
@@ -65,7 +196,9 @@ pub fn roll_function_with(
         let mut committed = false;
         for cand in candidates {
             stats.attempted += 1;
-            match try_candidate(module, &work, &cand, opts, effects, &mut stats, old_size) {
+            match try_candidate(
+                module, &mut work, &cand, opts, effects, &mut stats, old_size,
+            ) {
                 Attempt::Committed { func, kinds } => {
                     work = func;
                     stats.rolled += 1;
@@ -101,9 +234,83 @@ enum Attempt {
     Unprofitable,
 }
 
+#[allow(clippy::large_enum_variant)] // transient, one per candidate
+enum IncrAttempt {
+    Committed {
+        func: Function,
+        kinds: crate::stats::NodeKindCounts,
+        /// Blocks of `work` the attempt changed, plus the attempt's new
+        /// blocks (the commit's change set, reused for invalidation).
+        changed: Vec<BlockId>,
+    },
+    LanesRejected,
+    ScheduleRejected,
+    Unprofitable {
+        /// Blocks the profitability verdict depends on.
+        deps: Vec<BlockId>,
+    },
+}
+
+/// Graph build stage, shared by both engines. Builds against the *shared*
+/// working function (cheap-reject: no clone yet); interning synthetic
+/// constants into it is inert (see [`build_candidate_graph`]).
+fn build_graph(
+    module: &Module,
+    work: &mut Function,
+    cand: &Candidate,
+    opts: &RolagOptions,
+    stats: &mut RolagStats,
+) -> Option<AlignGraph> {
+    timed(&mut stats.timings.align_ns, || {
+        build_candidate_graph(module, work, cand, opts)
+    })
+}
+
+/// Scheduling stage, shared by both engines.
+fn analyze_schedule(
+    module: &Module,
+    work: &Function,
+    block: BlockId,
+    graph: &AlignGraph,
+    stats: &mut RolagStats,
+) -> Option<Schedule> {
+    timed(&mut stats.timings.schedule_ns, || {
+        schedule::analyze(module, work, block, graph)
+    })
+}
+
+/// Codegen + cleanup stage on the cloned attempt, shared by both engines.
+/// Rolls back any globals the generator created before bailing.
+#[allow(clippy::too_many_arguments)] // one slot per pipeline stage input
+fn generate_and_cleanup(
+    module: &mut Module,
+    attempt: &mut Function,
+    block: BlockId,
+    graph: &AlignGraph,
+    sched: &Schedule,
+    opts: &RolagOptions,
+    effects: &[Effects],
+    stats: &mut RolagStats,
+    before_globals: usize,
+) -> Option<RollOutcome> {
+    let outcome = timed(&mut stats.timings.codegen_ns, || {
+        codegen::generate(module, attempt, block, graph, sched)
+    });
+    let Some(outcome) = outcome else {
+        rollback_globals(module, before_globals);
+        return None;
+    };
+    if opts.cleanup {
+        timed(&mut stats.timings.cleanup_ns, || {
+            cleanup_in_place(attempt, &mut module.types, effects)
+        });
+    }
+    Some(outcome)
+}
+
 fn try_candidate(
     module: &mut Module,
-    work: &Function,
+    work: &mut Function,
     cand: &Candidate,
     opts: &RolagOptions,
     effects: &[Effects],
@@ -112,64 +319,35 @@ fn try_candidate(
 ) -> Attempt {
     let block = cand.block();
 
-    // Lane gate first: it needs no IR at all, so reject before paying for
-    // the function clone.
-    let lanes = cand.lanes();
-    if lanes < opts.min_lanes {
+    // Lane gate first: it needs no IR at all, so reject before any work.
+    if cand.lanes() < opts.min_lanes {
         return Attempt::LanesRejected;
     }
+
+    // Cheap-reject: graph build and scheduling read the shared working
+    // function; the function clone is deferred to scheduling survivors.
+    let Some(graph) = build_graph(module, work, cand, opts, stats) else {
+        return Attempt::ScheduleRejected;
+    };
+    let Some(sched) = analyze_schedule(module, work, block, &graph, stats) else {
+        return Attempt::ScheduleRejected;
+    };
+
     let mut attempt = work.clone();
-
-    // Build the alignment graph (interning synthetic constants into the
-    // attempt as needed).
-    let graph = {
-        let align_start = Instant::now();
-        let mut builder = GraphBuilder::new(module, &mut attempt, block, opts, lanes);
-        let built = match cand {
-            Candidate::Seeds { groups, .. } => {
-                groups.iter().all(|g| builder.build_seed_root(g).is_some())
-            }
-            Candidate::Reduction {
-                opcode,
-                internal,
-                leaves,
-                carry,
-                ty,
-                ..
-            } => builder
-                .build_reduction_root(*opcode, internal.clone(), leaves, *carry, *ty)
-                .is_some(),
-        };
-        let graph = if built { Some(builder.finish()) } else { None };
-        stats.timings.align_ns += align_start.elapsed().as_nanos() as u64;
-        match graph {
-            Some(g) => g,
-            None => return Attempt::ScheduleRejected,
-        }
-    };
-
-    let sched = timed(&mut stats.timings.schedule_ns, || {
-        schedule::analyze(module, &attempt, block, &graph)
-    });
-    let Some(sched) = sched else {
-        return Attempt::ScheduleRejected;
-    };
-
     let before_globals = module.num_globals();
-    let outcome = timed(&mut stats.timings.codegen_ns, || {
-        codegen::generate(module, &mut attempt, block, &graph, &sched)
-    });
-    let Some(outcome) = outcome else {
-        // Roll back any globals created before the generator bailed.
-        rollback_globals(module, before_globals);
+    let Some(outcome) = generate_and_cleanup(
+        module,
+        &mut attempt,
+        block,
+        &graph,
+        &sched,
+        opts,
+        effects,
+        stats,
+        before_globals,
+    ) else {
         return Attempt::ScheduleRejected;
     };
-
-    if opts.cleanup {
-        timed(&mut stats.timings.cleanup_ns, || {
-            cleanup_in_place(&mut attempt, &mut module.types, effects)
-        });
-    }
 
     // Profitability (§IV-F): text estimate plus the constant data the roll
     // added to `.rodata`. The baseline `old_size` comes in from the sweep.
@@ -194,6 +372,101 @@ fn try_candidate(
     }
 }
 
+/// The incremental engine's candidate attempt: identical stages and
+/// decisions to [`try_candidate`], but profitability is computed as a
+/// per-block size delta against the sweep's cached estimates, and rejects
+/// report the blocks their verdict depends on for memoization.
+#[allow(clippy::too_many_arguments)] // mirror of try_candidate + cache
+fn try_candidate_incremental(
+    module: &mut Module,
+    work: &mut Function,
+    cand: &Candidate,
+    opts: &RolagOptions,
+    effects: &[Effects],
+    stats: &mut RolagStats,
+    old_size: u64,
+    cache: &mut FunctionCache,
+) -> IncrAttempt {
+    let block = cand.block();
+
+    if cand.lanes() < opts.min_lanes {
+        return IncrAttempt::LanesRejected;
+    }
+
+    let Some(graph) = build_graph(module, work, cand, opts, stats) else {
+        return IncrAttempt::ScheduleRejected;
+    };
+    let Some(sched) = analyze_schedule(module, work, block, &graph, stats) else {
+        return IncrAttempt::ScheduleRejected;
+    };
+
+    let mut attempt = work.clone();
+    let before_globals = module.num_globals();
+    let Some(outcome) = generate_and_cleanup(
+        module,
+        &mut attempt,
+        block,
+        &graph,
+        &sched,
+        opts,
+        effects,
+        stats,
+        before_globals,
+    ) else {
+        return IncrAttempt::ScheduleRejected;
+    };
+
+    // Delta profitability: `new_size` sums the attempt's per-block
+    // estimates, recomputing only blocks the attempt changed (plus the
+    // one-hop gep-folding neighbourhood) and reusing the sweep's cached
+    // estimates for everything else. Equal to the full walk by
+    // construction: `function_estimate` is itself that per-block sum.
+    let cost_start = Instant::now();
+    let rodata: u64 = outcome
+        .new_globals
+        .iter()
+        .map(|&g| module.global_size(g))
+        .sum();
+    let changed = changed_blocks(work, &attempt);
+    let affected = size_affected_blocks(work, &attempt, &changed);
+    let changed_set: HashSet<BlockId> = changed.iter().copied().collect();
+    let mut new_size = 0u64;
+    for b in attempt.block_ids() {
+        if changed_set.contains(&b) || affected.contains(&b) {
+            stats.cache.size_blocks_computed += 1;
+            new_size += opts.target.block_estimate(module, &attempt, b) as u64;
+        } else {
+            new_size += cache.sizes.get(opts.target, module, work, b) as u64;
+        }
+    }
+    new_size += opts.target.function_overhead() as u64 + rodata;
+    let profitable = new_size < old_size;
+    stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
+
+    if profitable {
+        IncrAttempt::Committed {
+            func: attempt,
+            kinds: graph.count_kinds(),
+            changed,
+        }
+    } else {
+        rollback_globals(module, before_globals);
+        // The verdict depends on the candidate block, every pre-existing
+        // block the attempt rewrote, and every block whose size fed the
+        // delta outside the cache.
+        let num_work_blocks = work.num_blocks();
+        let mut deps = vec![block];
+        deps.extend(
+            changed
+                .iter()
+                .copied()
+                .filter(|b| b.index() < num_work_blocks && *b != block),
+        );
+        deps.extend(affected.iter().copied().filter(|b| *b != block));
+        IncrAttempt::Unprofitable { deps }
+    }
+}
+
 fn rollback_globals(module: &mut Module, keep: usize) {
     while module.num_globals() > keep {
         let last = rolag_ir::GlobalId::from_index(module.num_globals() - 1);
@@ -210,6 +483,19 @@ pub fn roll_module(module: &mut Module, opts: &RolagOptions) -> RolagStats {
     let mut total = RolagStats::default();
     for id in ids {
         total += roll_function_with(module, id, opts, &effects);
+    }
+    total
+}
+
+/// [`roll_module`] on the full-rescan reference engine
+/// ([`roll_function_full_rescan`]); used by the equivalence tests and the
+/// `fixpoint` bench.
+pub fn roll_module_full_rescan(module: &mut Module, opts: &RolagOptions) -> RolagStats {
+    let effects = effects_table(module);
+    let ids: Vec<FuncId> = module.func_ids().collect();
+    let mut total = RolagStats::default();
+    for id in ids {
+        total += roll_function_full_rescan(module, id, opts, &effects);
     }
     total
 }
@@ -284,5 +570,38 @@ entry:
         let (_, stats) = roll_and_check(text, &[("f", vec![])]);
         assert_eq!(stats.rolled, 0);
         assert!(stats.rejected_profit >= 1);
+    }
+
+    /// A roll in one block must not invalidate the cached candidates of
+    /// value-disconnected blocks: the second sweep reuses them, and a third
+    /// sweep replays memoized verdicts instead of re-running attempts.
+    #[test]
+    fn caches_survive_commits_in_disconnected_blocks() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nglobal @b : [8 x i32] = zero\n\
+             func @f() -> void {\nentry:\n",
+        );
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  br next\nnext:\n");
+        for i in 0..8 {
+            text.push_str(&format!("  %h{i} = gep i32, @b, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %h{i}\n", i * 3));
+        }
+        text.push_str("  ret\n}\n");
+        let (_, stats) = roll_and_check(&text, &[("f", vec![])]);
+        assert_eq!(stats.rolled, 2);
+        assert!(
+            stats.cache.cand_blocks_reused > 0,
+            "clean blocks must serve candidates from cache: {:?}",
+            stats.cache
+        );
+        assert!(
+            stats.cache.size_blocks_reused > 0,
+            "clean blocks must serve sizes from cache: {:?}",
+            stats.cache
+        );
     }
 }

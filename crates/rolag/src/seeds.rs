@@ -13,7 +13,12 @@ use rolag_ir::{BlockId, Function, InstExtra, InstId, Module, Opcode, TypeId, Val
 use crate::options::RolagOptions;
 
 /// One rolling candidate for the alignment-graph builder.
-#[derive(Debug, Clone)]
+///
+/// Candidates are structural values over stable arena ids, so they are
+/// hashable and comparable: the incremental fixpoint engine uses them
+/// directly as memoization keys (a candidate re-collected from an unchanged
+/// block compares equal to its previous incarnation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Candidate {
     /// One or more seed groups (more than one = a joint candidate whose
     /// groups alternate in the block). Each inner vector holds one seed
@@ -74,6 +79,20 @@ pub fn collect_candidates(module: &Module, func: &Function, opts: &RolagOptions)
     for block in func.block_ids() {
         collect_in_block(module, func, block, opts, &mut out);
     }
+    out
+}
+
+/// Collects the candidates of one block into a fresh vector — the unit of
+/// caching for the incremental fixpoint engine ([`collect_candidates`] is
+/// exactly the per-block lists concatenated in block order).
+pub fn collect_block_candidates(
+    module: &Module,
+    func: &Function,
+    block: BlockId,
+    opts: &RolagOptions,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    collect_in_block(module, func, block, opts, &mut out);
     out
 }
 

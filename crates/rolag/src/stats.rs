@@ -123,6 +123,76 @@ impl AddAssign for StageTimings {
     }
 }
 
+/// Cache-effectiveness counters of the incremental fixpoint engine.
+///
+/// Like [`StageTimings`], these are observability data, not results: the
+/// full-rescan reference engine never touches the caches, so the counters
+/// are carried inside [`RolagStats`] but excluded from its [`PartialEq`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixpointCacheStats {
+    /// Blocks whose candidate list was served from the per-block cache.
+    pub cand_blocks_reused: u64,
+    /// Blocks whose candidate list was (re)collected with `collect_in_block`.
+    pub cand_blocks_scanned: u64,
+    /// Block size estimates served from the per-block size cache.
+    pub size_blocks_reused: u64,
+    /// Block size estimates computed fresh.
+    pub size_blocks_computed: u64,
+    /// Candidate attempts skipped by replaying a memoized reject verdict.
+    pub memo_hits: u64,
+    /// Candidate attempts actually executed (memo misses, including the
+    /// attempts that end up committing).
+    pub memo_misses: u64,
+}
+
+impl FixpointCacheStats {
+    /// Fraction of per-block candidate lookups served from cache.
+    pub fn candidate_hit_rate(&self) -> f64 {
+        ratio(self.cand_blocks_reused, self.cand_blocks_scanned)
+    }
+
+    /// Fraction of block-size lookups served from cache.
+    pub fn size_hit_rate(&self) -> f64 {
+        ratio(self.size_blocks_reused, self.size_blocks_computed)
+    }
+
+    /// Fraction of candidate attempts skipped via verdict memoization.
+    pub fn memo_hit_rate(&self) -> f64 {
+        ratio(self.memo_hits, self.memo_misses)
+    }
+
+    /// `(counter, value)` rows for CSV dumps.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cand_blocks_reused", self.cand_blocks_reused),
+            ("cand_blocks_scanned", self.cand_blocks_scanned),
+            ("size_blocks_reused", self.size_blocks_reused),
+            ("size_blocks_computed", self.size_blocks_computed),
+            ("memo_hits", self.memo_hits),
+            ("memo_misses", self.memo_misses),
+        ]
+    }
+}
+
+fn ratio(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        return 0.0;
+    }
+    hits as f64 / total as f64
+}
+
+impl AddAssign for FixpointCacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.cand_blocks_reused += rhs.cand_blocks_reused;
+        self.cand_blocks_scanned += rhs.cand_blocks_scanned;
+        self.size_blocks_reused += rhs.size_blocks_reused;
+        self.size_blocks_computed += rhs.size_blocks_computed;
+        self.memo_hits += rhs.memo_hits;
+        self.memo_misses += rhs.memo_misses;
+    }
+}
+
 /// Aggregate statistics of one pass run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RolagStats {
@@ -145,6 +215,8 @@ pub struct RolagStats {
     pub size_after: u64,
     /// Per-stage wall-clock breakdown (excluded from equality).
     pub timings: StageTimings,
+    /// Incremental-engine cache counters (excluded from equality).
+    pub cache: FixpointCacheStats,
 }
 
 impl PartialEq for RolagStats {
@@ -185,6 +257,7 @@ impl AddAssign for RolagStats {
         self.size_before += rhs.size_before;
         self.size_after += rhs.size_after;
         self.timings += rhs.timings;
+        self.cache += rhs.cache;
     }
 }
 
@@ -269,6 +342,30 @@ mod tests {
         let rows = t.rows();
         assert_eq!(rows.len(), 6);
         assert_eq!(rows.iter().map(|&(_, v)| v).sum::<u64>(), t.total_ns());
+    }
+
+    #[test]
+    fn equality_ignores_cache_counters() {
+        let a = RolagStats {
+            rolled: 2,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.cache.memo_hits = 41;
+        b.cache.cand_blocks_reused = 7;
+        assert_eq!(a, b, "cache counters must not break equality");
+    }
+
+    #[test]
+    fn cache_rates_and_rows() {
+        let c = FixpointCacheStats {
+            memo_hits: 3,
+            memo_misses: 1,
+            ..Default::default()
+        };
+        assert!((c.memo_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(c.candidate_hit_rate(), 0.0);
+        assert_eq!(c.rows().len(), 6);
     }
 
     #[test]
