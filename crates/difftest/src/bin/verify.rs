@@ -1,0 +1,163 @@
+//! `rolag-verify` — the differential fuzzing driver.
+//!
+//! Generates a fixed-seed corpus, runs every module through the pipeline
+//! matrix, and reports divergences. Each failure is shrunk to a minimal
+//! reproducer and written into the repro directory, so a red run leaves
+//! behind exactly the files a regression test (and a human) needs.
+//!
+//! ```text
+//! rolag-verify [--seed N] [--count N] [--runs N] [--pipelines all|a,b,...]
+//!              [--repro-dir DIR] [--no-shrink] [FILE.rir ...]
+//! ```
+//!
+//! With positional files, checks those instead of generating. Exits 0 on
+//! a clean run, 1 on any failure (or bad usage).
+
+use rolag_difftest::oracle::{check_module, Pipeline};
+use rolag_difftest::shrink::shrink_failure;
+use rolag_difftest::{generate, generate_module};
+use rolag_ir::parser::parse_module;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    seed: u64,
+    count: u64,
+    runs: u64,
+    pipelines: Vec<Pipeline>,
+    repro_dir: PathBuf,
+    shrink: bool,
+    files: Vec<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rolag-verify [--seed N] [--count N] [--runs N] \
+         [--pipelines all|name,name,...] [--repro-dir DIR] [--no-shrink] [FILE.rir ...]"
+    );
+    eprintln!("pipelines: {}", Pipeline::ALL.map(|p| p.name()).join(", "));
+    std::process::exit(1)
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        seed: 0,
+        count: 256,
+        runs: 3,
+        pipelines: Pipeline::ALL.to_vec(),
+        repro_dir: PathBuf::from("tests/repros"),
+        shrink: true,
+        files: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--seed" => cli.seed = parse_num(&value("--seed")),
+            "--count" => cli.count = parse_num(&value("--count")),
+            "--runs" => cli.runs = parse_num(&value("--runs")),
+            "--pipelines" => {
+                cli.pipelines = Pipeline::parse_list(&value("--pipelines")).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
+            "--repro-dir" => cli.repro_dir = PathBuf::from(value("--repro-dir")),
+            "--no-shrink" => cli.shrink = false,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("unknown option {arg}");
+                usage()
+            }
+            _ => cli.files.push(PathBuf::from(arg)),
+        }
+    }
+    cli
+}
+
+fn parse_num(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s}");
+        usage()
+    })
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let mut failures = 0u64;
+    let mut checked = 0u64;
+
+    // Explicit files: regression mode.
+    if !cli.files.is_empty() {
+        for path in &cli.files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    failures += 1;
+                    continue;
+                }
+            };
+            let module = match parse_module(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{}: {e}", path.display());
+                    failures += 1;
+                    continue;
+                }
+            };
+            checked += 1;
+            if let Err(f) = check_module(&module, &cli.pipelines, cli.runs) {
+                eprintln!("{}: {f}", path.display());
+                failures += 1;
+            }
+        }
+        return summarize(checked, cli.pipelines.len(), failures);
+    }
+
+    for i in 0..cli.count {
+        let text = generate(cli.seed, i);
+        let module = generate_module(cli.seed, i);
+        let Err(failure) = check_module(&module, &cli.pipelines, cli.runs) else {
+            continue;
+        };
+        failures += 1;
+        eprintln!("FAIL module (seed {}, index {i}): {failure}", cli.seed);
+        if !cli.shrink {
+            continue;
+        }
+        eprint!("  shrinking... ");
+        let reduced = shrink_failure(&text, &failure, cli.runs);
+        let name = format!(
+            "repro-{}-{i}-{}-{}.rir",
+            cli.seed,
+            failure.pipeline.name(),
+            failure.kind
+        );
+        let path = cli.repro_dir.join(&name);
+        if let Err(e) = std::fs::create_dir_all(&cli.repro_dir) {
+            eprintln!("cannot create {}: {e}", cli.repro_dir.display());
+        } else {
+            match std::fs::write(&path, &reduced) {
+                Ok(()) => eprintln!("wrote {} ({} bytes)", path.display(), reduced.len()),
+                Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+    checked += cli.count;
+    summarize(checked, cli.pipelines.len(), failures)
+}
+
+fn summarize(modules: u64, pipelines: usize, failures: u64) -> ExitCode {
+    println!("verified {modules} module(s) x {pipelines} pipeline(s): {failures} failure(s)");
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,477 @@
+//! Deterministic IR module generator.
+//!
+//! Emits *textual* IR (so every generated module also exercises the lexer
+//! and parser) covering the pattern space the paper's pass targets:
+//! straight-line store sequences over monotonic GEPs (with and without
+//! constant mismatches), external-call sequences under all three effect
+//! classes, reduction chains, recurrences, float lanes, mixed integer
+//! widths, commutative operand orders, division edge cases, and genuine
+//! counted loops for the unroll/reroll pipelines.
+//!
+//! Every module is verifier-clean by construction; [`generate_module`]
+//! asserts it. Streams are fully determined by `(seed, index)` — the same
+//! pair always yields byte-identical text, on every platform, so a corpus
+//! is reproducible from two integers.
+
+use rolag_ir::interp::IValue;
+use rolag_ir::parser::parse_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::{Module, TypeKind};
+use rolag_prng::{ChaCha8Rng, Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Number of elements in each generated array global.
+const ARR: i64 = 16;
+
+/// Generates the textual IR of corpus module `index` of stream `seed`.
+pub fn generate(seed: u64, index: u64) -> String {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut out = String::new();
+    let _ = writeln!(out, "module \"fuzz-{seed}-{index}\"");
+    let _ = writeln!(out, "global @a : [{ARR} x i32] = zero");
+    let _ = writeln!(out, "global @b : [{ARR} x i64] = zero");
+    let _ = writeln!(out, "global @fl : [{ARR} x double] = zero");
+    let _ = writeln!(out, "global @by : [{} x i8] = zero", ARR * 4);
+    if rng.gen_bool(0.5) {
+        let vals: Vec<String> = (0..8)
+            .map(|_| rng.gen_range(-100i64..100).to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "const @tbl : [8 x i32] = ints i32 [{}]",
+            vals.join(", ")
+        );
+    }
+    out.push_str("declare @ext_rw(i32 %p0) -> i32 readwrite\n");
+    out.push_str("declare @ext_ro(i32 %p0) -> i32 readonly\n");
+    out.push_str("declare @ext_pure(i32 %p0) -> i32 readnone\n");
+    out.push_str("declare @sink(i32 %p0) -> void readwrite\n");
+
+    let nfuncs = rng.gen_range(1u32..=3);
+    for f in 0..nfuncs {
+        emit_function(&mut rng, &mut out, f);
+    }
+    out
+}
+
+/// [`generate`], parsed and verified. Panics if the generator ever emits a
+/// module its own toolchain rejects — that is a bug worth crashing on.
+pub fn generate_module(seed: u64, index: u64) -> Module {
+    let text = generate(seed, index);
+    let module = parse_module(&text).unwrap_or_else(|e| {
+        panic!("generator emitted unparsable IR ({seed},{index}): {e}\n{text}")
+    });
+    verify_module(&module)
+        .unwrap_or_else(|e| panic!("generator emitted invalid IR ({seed},{index}): {e:?}\n{text}"));
+    module
+}
+
+/// A tiny emitter state: the function body buffer plus a fresh-name counter.
+struct Body {
+    text: String,
+    next: u32,
+}
+
+impl Body {
+    fn new() -> Self {
+        Body {
+            text: String::new(),
+            next: 0,
+        }
+    }
+    /// Returns a fresh `%vN` name.
+    fn fresh(&mut self) -> String {
+        let n = self.next;
+        self.next += 1;
+        format!("%v{n}")
+    }
+    fn line(&mut self, s: &str) {
+        self.text.push_str("  ");
+        self.text.push_str(s);
+        self.text.push('\n');
+    }
+}
+
+fn emit_function(rng: &mut ChaCha8Rng, out: &mut String, index: u32) {
+    // Patterns 0..=9; see the module docs. A coin flip appends a second,
+    // independent pattern to the same entry block so some functions hold
+    // several rollable regions.
+    let pattern = rng.gen_range(0u32..=9);
+    let mut body = Body::new();
+    let (params, mut ret_ty, mut ret_val) = emit_pattern(rng, &mut body, pattern);
+    if ret_val.is_none() && rng.gen_bool(0.35) {
+        let extra = rng.gen_range(0u32..=7);
+        // Only compose patterns that share the `i32 %p0` signature, so some
+        // functions hold several independent rollable regions.
+        if matches!(extra, 0 | 1 | 4 | 6 | 7) && params == "i32 %p0" {
+            let (_, extra_ty, extra_ret) = emit_pattern(rng, &mut body, extra);
+            if extra_ret.is_some() {
+                ret_ty = extra_ty;
+                ret_val = extra_ret;
+            }
+        }
+    }
+    let ret_ty = if ret_val.is_some() { ret_ty } else { "void" };
+    let _ = writeln!(out, "func @f{index}({params}) -> {ret_ty} {{");
+    out.push_str("entry:\n");
+    out.push_str(&body.text);
+    match ret_val {
+        Some(v) => {
+            let _ = writeln!(out, "  ret {v}");
+        }
+        None => out.push_str("  ret\n"),
+    }
+    out.push_str("}\n");
+}
+
+/// Emits one pattern into `body`; returns `(params, ret_ty, ret_val)`.
+/// `ret_val == None` means the function returns void.
+fn emit_pattern(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+    pattern: u32,
+) -> (&'static str, &'static str, Option<String>) {
+    match pattern {
+        0 => store_seq(rng, body),
+        1 => call_seq(rng, body),
+        2 => reduction(rng, body),
+        3 => recurrence(rng, body),
+        4 => float_seq(rng, body),
+        5 => counted_loop(rng, body),
+        6 => mixed_width(rng, body),
+        7 => commutative(rng, body),
+        8 => div_edge(rng, body),
+        _ => param_indexed(rng, body),
+    }
+}
+
+/// Straight-line stores over a monotonic GEP sequence — the paper's bread
+/// and butter. Values follow an affine progression, optionally with one
+/// off-pattern lane (a "constant mismatch" the pass must table-ize) or a
+/// parameter-derived term.
+fn store_seq(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let stride = if rng.gen_bool(0.25) { 2 } else { 1 };
+    let lanes = rng.gen_range(4i64..=(ARR / stride).min(10));
+    let base = rng.gen_range(0i64..=(ARR - lanes * stride));
+    let c0 = rng.gen_range(-20i64..=20);
+    let c1 = rng.gen_range(-5i64..=5);
+    let mismatch = if rng.gen_bool(0.3) {
+        Some((rng.gen_range(0i64..lanes), rng.gen_range(-99i64..=99)))
+    } else {
+        None
+    };
+    let from_param = rng.gen_bool(0.3);
+    for i in 0..lanes {
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i32, @a, i64 {}", base + i * stride));
+        let value = match mismatch {
+            Some((lane, v)) if lane == i => v,
+            _ => c0 + c1 * i,
+        };
+        if from_param {
+            let t = body.fresh();
+            body.line(&format!("{t} = add i32 %p0, i32 {value}"));
+            body.line(&format!("store {t}, {g}"));
+        } else {
+            body.line(&format!("store i32 {value}, {g}"));
+        }
+    }
+    ("i32 %p0", "void", None)
+}
+
+/// A lane of external calls with affine arguments, under a randomly chosen
+/// effect class. Results are summed so pure calls stay live.
+fn call_seq(rng: &mut ChaCha8Rng, body: &mut Body) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(3i64..=8);
+    let callee = ["@ext_rw", "@ext_ro", "@ext_pure"][rng.gen_range(0usize..3)];
+    let a0 = rng.gen_range(-10i64..=10);
+    let a1 = rng.gen_range(1i64..=4);
+    let discard = rng.gen_bool(0.4);
+    let mut acc: Option<String> = None;
+    for i in 0..lanes {
+        if discard {
+            body.line(&format!("call void @sink(i32 {})", a0 + a1 * i));
+            continue;
+        }
+        let c = body.fresh();
+        body.line(&format!("{c} = call i32 {callee}(i32 {})", a0 + a1 * i));
+        acc = Some(match acc {
+            None => c,
+            Some(prev) => {
+                let s = body.fresh();
+                body.line(&format!("{s} = add i32 {prev}, {c}"));
+                s
+            }
+        });
+    }
+    if discard {
+        ("i32 %p0", "void", None)
+    } else {
+        ("i32 %p0", "i32", acc)
+    }
+}
+
+/// A left-fold reduction over loads from `@a` — the reduction-tree shape.
+fn reduction(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(4i64..=10);
+    let op = ["add", "xor", "mul"][rng.gen_range(0usize..3)];
+    let mut acc: Option<String> = None;
+    for i in 0..lanes {
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i32, @a, i64 {i}"));
+        let l = body.fresh();
+        body.line(&format!("{l} = load i32, {g}"));
+        acc = Some(match acc {
+            None => l,
+            Some(prev) => {
+                let s = body.fresh();
+                body.line(&format!("{s} = {op} i32 {prev}, {l}"));
+                s
+            }
+        });
+    }
+    ("i32 %p0", "i32", acc)
+}
+
+/// A chained dependence: `x = x * k + i`, repeated. Rolling must respect
+/// the serial chain.
+fn recurrence(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let steps = rng.gen_range(4i64..=9);
+    let k = rng.gen_range(2i64..=5);
+    let mut x = "%p0".to_string();
+    for i in 0..steps {
+        let m = body.fresh();
+        body.line(&format!("{m} = mul i32 {x}, i32 {k}"));
+        let a = body.fresh();
+        body.line(&format!("{a} = add i32 {m}, i32 {i}"));
+        x = a;
+    }
+    ("i32 %p0", "i32", Some(x))
+}
+
+/// Float lanes: either an affine store sequence into `@fl`, or an
+/// `fadd` left-fold over its elements (association order is observable).
+fn float_seq(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(4i64..=8);
+    if rng.gen_bool(0.5) {
+        let c0 = rng.gen_range(-8i64..=8) as f64 / 2.0;
+        let c1 = rng.gen_range(1i64..=6) as f64 / 4.0;
+        for i in 0..lanes {
+            let g = body.fresh();
+            body.line(&format!("{g} = gep double, @fl, i64 {i}"));
+            let v = c0 + c1 * i as f64;
+            body.line(&format!("store double {v:?}, {g}"));
+        }
+        ("i32 %p0", "void", None)
+    } else {
+        let mut acc: Option<String> = None;
+        for i in 0..lanes {
+            let g = body.fresh();
+            body.line(&format!("{g} = gep double, @fl, i64 {i}"));
+            let l = body.fresh();
+            body.line(&format!("{l} = load double, {g}"));
+            acc = Some(match acc {
+                None => l,
+                Some(prev) => {
+                    let s = body.fresh();
+                    body.line(&format!("{s} = fadd double {prev}, {l}"));
+                    s
+                }
+            });
+        }
+        ("i32 %p0", "double", acc)
+    }
+}
+
+/// A genuine single-block counted loop storing its induction variable into
+/// `@b` — food for the unroll and reroll pipelines. Loops need their own
+/// blocks, so this pattern owns the whole function body.
+fn counted_loop(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let bound = rng.gen_range(8i64..=ARR);
+    let step = 1;
+    // `body.line` indents by two spaces; labels and the loop structure are
+    // written raw.
+    body.text.push_str("  br loop\nloop:\n");
+    body.line("%iv = phi i64 [ i64 0, entry ], [ %ivn, loop ]");
+    body.line("%pg = gep i64, @b, %iv");
+    body.line("store %iv, %pg");
+    body.line(&format!("%ivn = add i64 %iv, i64 {step}"));
+    body.line(&format!("%c = icmp slt %ivn, i64 {bound}"));
+    body.text.push_str("  condbr %c, loop, exit\nexit:\n");
+    ("i32 %p0", "void", None)
+}
+
+/// Mixed integer widths: i32 loads truncated into the i8 array, with the
+/// occasional zext back. Exercises type-equivalence boundaries.
+fn mixed_width(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(4i64..=8);
+    for i in 0..lanes {
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i32, @a, i64 {i}"));
+        let l = body.fresh();
+        body.line(&format!("{l} = load i32, {g}"));
+        let t = body.fresh();
+        body.line(&format!("{t} = trunc i8 {l}"));
+        let d = body.fresh();
+        body.line(&format!("{d} = gep i8, @by, i64 {i}"));
+        body.line(&format!("store {t}, {d}"));
+    }
+    if rng.gen_bool(0.4) {
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i8, @by, i64 0"));
+        let l = body.fresh();
+        body.line(&format!("{l} = load i8, {g}"));
+        let z = body.fresh();
+        body.line(&format!("{z} = zext i32 {l}"));
+        ("i32 %p0", "i32", Some(z))
+    } else {
+        ("i32 %p0", "void", None)
+    }
+}
+
+/// Identical lanes whose commutative operands appear in alternating order
+/// — the pass's commutativity canonicalization must line them up.
+fn commutative(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(4i64..=8);
+    let op = if rng.gen_bool(0.5) { "add" } else { "mul" };
+    for i in 0..lanes {
+        let c = rng.gen_range(-9i64..=9);
+        let t = body.fresh();
+        if i % 2 == 0 {
+            body.line(&format!("{t} = {op} i32 %p0, i32 {c}"));
+        } else {
+            body.line(&format!("{t} = {op} i32 i32 {c}, %p0"));
+        }
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i32, @a, i64 {i}"));
+        body.line(&format!("store {t}, {g}"));
+    }
+    ("i32 %p0", "void", None)
+}
+
+/// Division edge cases: `sdiv`/`srem` fed by parameters, so argument sets
+/// containing `0`, `-1`, and `i32::MIN` drive the trap paths. The results
+/// feed the return value, keeping the traps un-removable.
+fn div_edge(rng: &mut ChaCha8Rng, body: &mut Body) -> (&'static str, &'static str, Option<String>) {
+    let c = rng.gen_range(-4i64..=4);
+    let d = body.fresh();
+    body.line(&format!("{d} = sdiv i32 %p0, %p1"));
+    let m = body.fresh();
+    body.line(&format!("{m} = srem i32 %p0, i32 {c}"));
+    let s = body.fresh();
+    body.line(&format!("{s} = add i32 {d}, {m}"));
+    ("i32 %p0, i32 %p1", "i32", Some(s))
+}
+
+/// Parameter-indexed stores: the address depends on `%p0`, so large
+/// arguments walk off the array and must trap identically on both sides.
+fn param_indexed(
+    rng: &mut ChaCha8Rng,
+    body: &mut Body,
+) -> (&'static str, &'static str, Option<String>) {
+    let lanes = rng.gen_range(3i64..=6);
+    for i in 0..lanes {
+        let idx = body.fresh();
+        body.line(&format!("{idx} = add i64 %p0, i64 {i}"));
+        let g = body.fresh();
+        body.line(&format!("{g} = gep i64, @b, {idx}"));
+        body.line(&format!("store i64 {}, {g}", rng.gen_range(-50i64..=50)));
+    }
+    ("i64 %p0", "void", None)
+}
+
+/// Deterministic argument synthesis for an entry point: variant `k` of the
+/// argument list for `func`, drawn from a pool of boundary-heavy values.
+/// The stream depends only on the function name and `k`.
+pub fn args_for(module: &Module, entry: &str, k: u64) -> Option<Vec<IValue>> {
+    const INT_POOL: [i64; 14] = [
+        0,
+        1,
+        2,
+        3,
+        7,
+        8,
+        -1,
+        -2,
+        5,
+        16,
+        100,
+        -128,
+        i32::MIN as i64,
+        i32::MAX as i64,
+    ];
+    const FLOAT_POOL: [f64; 6] = [0.0, 1.0, -1.5, 2.25, 8.0, -0.5];
+    let id = module.func_by_name(entry)?;
+    let func = module.func(id);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in entry.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(h ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut args = Vec::new();
+    for &ty in func.param_tys() {
+        let v = match module.types.kind(ty) {
+            TypeKind::Float | TypeKind::Double => {
+                IValue::Float(FLOAT_POOL[rng.gen_range(0usize..FLOAT_POOL.len())])
+            }
+            TypeKind::Ptr => IValue::Ptr(0),
+            _ => IValue::Int(INT_POOL[rng.gen_range(0usize..INT_POOL.len())]),
+        };
+        args.push(v);
+    }
+    Some(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..8 {
+            assert_eq!(
+                generate(7, i),
+                generate(7, i),
+                "module {i} not reproducible"
+            );
+        }
+        assert_ne!(generate(7, 0), generate(8, 0), "seed must matter");
+    }
+
+    #[test]
+    fn corpus_is_verifier_clean() {
+        for i in 0..64 {
+            let _ = generate_module(0, i);
+        }
+    }
+
+    #[test]
+    fn args_are_deterministic_and_typed() {
+        let m = generate_module(0, 3);
+        let entry = m.func(m.func_ids().next().unwrap()).name.clone();
+        let a = args_for(&m, &entry, 5).unwrap();
+        let b = args_for(&m, &entry, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

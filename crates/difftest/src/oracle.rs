@@ -1,0 +1,488 @@
+//! The differential oracle: pipeline matrix + behavioural comparison.
+//!
+//! A *pipeline* is one way the toolchain may transform a module. The
+//! oracle applies it to a copy, verifies the result, and then interprets
+//! every entry point of both modules over deterministic argument sets,
+//! requiring them to be observationally equivalent:
+//!
+//! * identical return values,
+//! * identical sequences of **effectful** (`readwrite`) external calls —
+//!   `readnone`/`readonly` calls may legally be deduplicated or deleted,
+//!   so only the clobbering calls are compared,
+//! * identical final contents of every global the *original* module owns
+//!   (a transform may add constant data of its own),
+//! * identical trap classes when either side faults: a transformed module
+//!   must not turn a division-by-zero into a clean return, or vice versa.
+//!
+//! Meta-pipelines also cross-check the engine against itself: the parallel
+//! driver and the incremental fixpoint must produce byte-identical printed
+//! modules and equal statistics to the serial / full-rescan references,
+//! and a printed module must re-parse to its own fixed point.
+
+use crate::gen::args_for;
+use rolag::{roll_module, roll_module_full_rescan, roll_module_par, DriverOptions, RolagOptions};
+use rolag_ir::interp::{IValue, Interpreter, Outcome};
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::{Effects, Module};
+use rolag_reroll::reroll_module;
+use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Step budget per interpreted entry point: generous for the tiny corpus
+/// functions, small enough to bound a runaway loop quickly.
+const MAX_STEPS: u64 = 2_000_000;
+
+/// One transformation under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pipeline {
+    /// `parse(print(m))`, plus the print-fixed-point cross-check.
+    RoundTrip,
+    /// Partial unrolling (factor 4) of counted loops.
+    Unroll,
+    /// Block-local common-subexpression elimination.
+    Cse,
+    /// Control-flow flattening of two-block diamonds.
+    Flatten,
+    /// Constant folding + dead-code elimination.
+    Cleanup,
+    /// The baseline rerolling pass.
+    Reroll,
+    /// The serial loop-rolling pass (incremental engine).
+    Rolag,
+    /// The parallel memoizing driver, cross-checked against serial.
+    RolagPar,
+    /// The incremental engine cross-checked against the full rescan.
+    RolagIncremental,
+}
+
+impl Pipeline {
+    /// Every pipeline, in the order `--pipelines all` runs them.
+    pub const ALL: [Pipeline; 9] = [
+        Pipeline::RoundTrip,
+        Pipeline::Unroll,
+        Pipeline::Cse,
+        Pipeline::Flatten,
+        Pipeline::Cleanup,
+        Pipeline::Reroll,
+        Pipeline::Rolag,
+        Pipeline::RolagPar,
+        Pipeline::RolagIncremental,
+    ];
+
+    /// Stable command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pipeline::RoundTrip => "roundtrip",
+            Pipeline::Unroll => "unroll",
+            Pipeline::Cse => "cse",
+            Pipeline::Flatten => "flatten",
+            Pipeline::Cleanup => "cleanup",
+            Pipeline::Reroll => "reroll",
+            Pipeline::Rolag => "rolag",
+            Pipeline::RolagPar => "rolag-par",
+            Pipeline::RolagIncremental => "rolag-incremental",
+        }
+    }
+
+    /// Parses `all` or a comma-separated list of pipeline names.
+    pub fn parse_list(spec: &str) -> Result<Vec<Pipeline>, String> {
+        if spec == "all" {
+            return Ok(Pipeline::ALL.to_vec());
+        }
+        spec.split(',')
+            .map(|name| {
+                Pipeline::ALL
+                    .into_iter()
+                    .find(|p| p.name() == name.trim())
+                    .ok_or_else(|| format!("unknown pipeline `{}`", name.trim()))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How a pipeline failed on a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The transform (or an engine cross-check) panicked.
+    Panic,
+    /// The transformed module no longer verifies.
+    Verify,
+    /// Observable behaviour changed, or an engine cross-check mismatched.
+    Divergence,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FailureKind::Panic => "panic",
+            FailureKind::Verify => "verify",
+            FailureKind::Divergence => "divergence",
+        })
+    }
+}
+
+/// A reproducible oracle failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Pipeline that failed.
+    pub pipeline: Pipeline,
+    /// Failure class (what the shrinker preserves).
+    pub kind: FailureKind,
+    /// Human-readable description of the first mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.pipeline, self.kind, self.detail)
+    }
+}
+
+/// Applies `pipeline` to a copy of `module`. `Err` carries an *internal
+/// consistency* divergence (round-trip not a fixed point, parallel/serial
+/// or incremental/full mismatch, engine panic rescued mid-module).
+/// Transform panics unwind out of this function; [`check_module`] catches
+/// them.
+pub fn apply_pipeline(pipeline: Pipeline, module: &Module) -> Result<Module, String> {
+    let mut m = module.clone();
+    match pipeline {
+        Pipeline::RoundTrip => {
+            let text = print_module(module);
+            let reparsed =
+                parse_module(&text).map_err(|e| format!("printed module fails to parse: {e}"))?;
+            let text2 = print_module(&reparsed);
+            if text2 != text {
+                return Err("print is not a fixed point across parse(print(m))".into());
+            }
+            Ok(reparsed)
+        }
+        Pipeline::Unroll => {
+            unroll_module(&mut m, 4);
+            Ok(m)
+        }
+        Pipeline::Cse => {
+            cse_module(&mut m);
+            Ok(m)
+        }
+        Pipeline::Flatten => {
+            flatten_module(&mut m);
+            Ok(m)
+        }
+        Pipeline::Cleanup => {
+            cleanup_module(&mut m);
+            Ok(m)
+        }
+        Pipeline::Reroll => {
+            reroll_module(&mut m);
+            Ok(m)
+        }
+        Pipeline::Rolag => {
+            let stats = roll_module(&mut m, &RolagOptions::default());
+            if stats.rescued > 0 {
+                return Err(format!(
+                    "engine panicked on {} function(s) (rescued)",
+                    stats.rescued
+                ));
+            }
+            Ok(m)
+        }
+        Pipeline::RolagPar => {
+            let opts = RolagOptions::default();
+            let mut serial = module.clone();
+            let serial_stats = roll_module(&mut serial, &opts);
+            let driver = DriverOptions {
+                jobs: 2,
+                memoize: true,
+            };
+            let report = roll_module_par(&mut m, &opts, &driver);
+            if report.stats.rescued + serial_stats.rescued > 0 {
+                return Err("engine panicked under the driver (rescued)".into());
+            }
+            if print_module(&m) != print_module(&serial) {
+                return Err("parallel driver output differs from the serial pass".into());
+            }
+            if report.stats != serial_stats {
+                return Err(format!(
+                    "parallel driver stats differ from serial: {} vs {}",
+                    report.stats, serial_stats
+                ));
+            }
+            Ok(m)
+        }
+        Pipeline::RolagIncremental => {
+            let opts = RolagOptions::default();
+            let mut full = module.clone();
+            let incr_stats = roll_module(&mut m, &opts);
+            let full_stats = roll_module_full_rescan(&mut full, &opts);
+            if incr_stats.rescued + full_stats.rescued > 0 {
+                return Err("engine panicked during the incremental cross-check (rescued)".into());
+            }
+            if print_module(&m) != print_module(&full) {
+                return Err("incremental engine output differs from the full rescan".into());
+            }
+            if incr_stats != full_stats {
+                return Err(format!(
+                    "incremental stats differ from full rescan: {} vs {}",
+                    incr_stats, full_stats
+                ));
+            }
+            Ok(m)
+        }
+    }
+}
+
+/// The `readwrite` subsequence of an external-call trace: the only calls a
+/// legal transform must preserve exactly (pure and read-only calls may be
+/// merged or dropped).
+fn effectful_trace<'t>(
+    original: &Module,
+    trace: &'t [rolag_ir::interp::CallEvent],
+) -> Vec<&'t rolag_ir::interp::CallEvent> {
+    trace
+        .iter()
+        .filter(|ev| match original.func_by_name(&ev.callee) {
+            Some(id) => original.func(id).effects == Effects::ReadWrite,
+            None => true,
+        })
+        .collect()
+}
+
+/// Value equality with *bitwise* float comparison: the interpreter is a
+/// deterministic IEEE machine, so a correct transform preserves the exact
+/// bit pattern — and `NaN` results must compare equal to themselves.
+fn ivalue_eq(a: IValue, b: IValue) -> bool {
+    match (a, b) {
+        (IValue::Float(x), IValue::Float(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn event_eq(a: &rolag_ir::interp::CallEvent, b: &rolag_ir::interp::CallEvent) -> bool {
+    a.callee == b.callee
+        && a.args.len() == b.args.len()
+        && a.args.iter().zip(&b.args).all(|(&x, &y)| ivalue_eq(x, y))
+        && ivalue_eq(a.result, b.result)
+}
+
+/// Runs `entry(args)` on both modules and compares observable behaviour,
+/// trap-aware. `Err` describes the first mismatch.
+pub fn compare_behaviour(
+    original: &Module,
+    transformed: &Module,
+    entry: &str,
+    args: &[rolag_ir::interp::IValue],
+) -> Result<(), String> {
+    let mut ia = Interpreter::new(original).with_max_steps(MAX_STEPS);
+    let mut ib = Interpreter::new(transformed).with_max_steps(MAX_STEPS);
+    let ra = ia.run(entry, args);
+    let rb = ib.run(entry, args);
+    match (ra, rb) {
+        (Ok(oa), Ok(ob)) => compare_outcomes(original, &ia, &oa, transformed, &ib, &ob),
+        (Err(ea), Err(eb)) => {
+            if std::mem::discriminant(&ea) == std::mem::discriminant(&eb) {
+                Ok(())
+            } else {
+                Err(format!("trap classes differ: `{ea}` vs `{eb}`"))
+            }
+        }
+        (Ok(_), Err(e)) => Err(format!("original completed but transformed trapped: {e}")),
+        (Err(e), Ok(_)) => Err(format!("original trapped ({e}) but transformed completed")),
+    }
+}
+
+fn compare_outcomes(
+    original: &Module,
+    ia: &Interpreter<'_>,
+    oa: &Outcome,
+    transformed: &Module,
+    ib: &Interpreter<'_>,
+    ob: &Outcome,
+) -> Result<(), String> {
+    if !ivalue_eq(oa.ret, ob.ret) {
+        return Err(format!(
+            "return values differ: {:?} vs {:?}",
+            oa.ret, ob.ret
+        ));
+    }
+    let ta = effectful_trace(original, &oa.trace);
+    let tb = effectful_trace(original, &ob.trace);
+    if ta.len() != tb.len() || ta.iter().zip(&tb).any(|(a, b)| !event_eq(a, b)) {
+        return Err(format!(
+            "effectful call traces differ:\n  original:    {ta:?}\n  transformed: {tb:?}"
+        ));
+    }
+    for g in original.global_ids() {
+        let name = &original.global(g).name;
+        let Some(g2) = transformed.global_by_name(name) else {
+            return Err(format!("global @{name} disappeared"));
+        };
+        let size = original.global_size(g);
+        let a = ia
+            .mem
+            .read_bytes(ia.global_addr(g), size)
+            .map_err(|e| e.to_string())?;
+        let b = ib
+            .mem
+            .read_bytes(ib.global_addr(g2), size)
+            .map_err(|e| e.to_string())?;
+        if a != b {
+            return Err(format!("final contents of @{name} differ"));
+        }
+    }
+    Ok(())
+}
+
+/// True when the function can be driven by [`args_for`]: a definition
+/// whose parameters are ints, floats, or pointers (i.e. all of them).
+fn interpretable_entries(module: &Module) -> Vec<String> {
+    module
+        .func_ids()
+        .filter(|&id| !module.func(id).is_declaration)
+        .map(|id| module.func(id).name.clone())
+        .collect()
+}
+
+/// Checks one module against a set of pipelines, interpreting every entry
+/// point over `runs` deterministic argument sets. Returns the first
+/// failure.
+///
+/// # Errors
+///
+/// [`Failure`] identifies the pipeline, the failure class, and the first
+/// observed mismatch.
+pub fn check_module(module: &Module, pipelines: &[Pipeline], runs: u64) -> Result<(), Failure> {
+    for &pipeline in pipelines {
+        check_pipeline(module, pipeline, runs)?;
+    }
+    Ok(())
+}
+
+fn check_pipeline(module: &Module, pipeline: Pipeline, runs: u64) -> Result<(), Failure> {
+    let fail = |kind, detail| {
+        Err(Failure {
+            pipeline,
+            kind,
+            detail,
+        })
+    };
+    let transformed = match catch_unwind(AssertUnwindSafe(|| apply_pipeline(pipeline, module))) {
+        Ok(Ok(m)) => m,
+        Ok(Err(detail)) => return fail(FailureKind::Divergence, detail),
+        Err(payload) => return fail(FailureKind::Panic, panic_message(&payload)),
+    };
+    if let Err(errors) = verify_module(&transformed) {
+        let detail = errors
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("; ");
+        return fail(FailureKind::Verify, detail);
+    }
+    for entry in interpretable_entries(module) {
+        for k in 0..runs {
+            let Some(args) = args_for(module, &entry, k) else {
+                continue;
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                compare_behaviour(module, &transformed, &entry, &args)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(detail)) => {
+                    return fail(
+                        FailureKind::Divergence,
+                        format!("@{entry}({args:?}): {detail}"),
+                    )
+                }
+                Err(payload) => {
+                    return fail(
+                        FailureKind::Panic,
+                        format!(
+                            "interpreter panicked on @{entry}({args:?}): {}",
+                            panic_message(&payload)
+                        ),
+                    )
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_module;
+
+    #[test]
+    fn pipeline_list_parses() {
+        assert_eq!(
+            Pipeline::parse_list("all").unwrap().len(),
+            Pipeline::ALL.len()
+        );
+        assert_eq!(
+            Pipeline::parse_list("cse, rolag").unwrap(),
+            vec![Pipeline::Cse, Pipeline::Rolag]
+        );
+        assert!(Pipeline::parse_list("bogus").is_err());
+    }
+
+    #[test]
+    fn small_corpus_is_clean_on_every_pipeline() {
+        for i in 0..16 {
+            let m = generate_module(0, i);
+            if let Err(f) = check_module(&m, &Pipeline::ALL, 2) {
+                panic!("module (0,{i}) failed: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_miscompile_is_caught() {
+        // `cleanup` on a module whose store we secretly retarget must
+        // diverge — built by comparing two genuinely different modules.
+        let a = parse_module(
+            "module \"t\"\nglobal @g : [2 x i32] = zero\nfunc @f() -> void {\nentry:\n  %p = gep i32, @g, i64 0\n  store i32 1, %p\n  ret\n}\n",
+        )
+        .unwrap();
+        let b = parse_module(
+            "module \"t\"\nglobal @g : [2 x i32] = zero\nfunc @f() -> void {\nentry:\n  %p = gep i32, @g, i64 1\n  store i32 1, %p\n  ret\n}\n",
+        )
+        .unwrap();
+        let err = compare_behaviour(&a, &b, "f", &[]).unwrap_err();
+        assert!(err.contains("@g"), "unexpected detail: {err}");
+    }
+
+    #[test]
+    fn a_trap_mismatch_is_caught() {
+        let trapping = parse_module(
+            "module \"t\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n  %d = sdiv i32 %p0, i32 0\n  ret %d\n}\n",
+        )
+        .unwrap();
+        let clean = parse_module("module \"t\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n  ret %p0\n}\n")
+            .unwrap();
+        let err = compare_behaviour(&trapping, &clean, "f", &[rolag_ir::interp::IValue::Int(3)])
+            .unwrap_err();
+        assert!(err.contains("trapped"), "unexpected detail: {err}");
+    }
+}

@@ -1,0 +1,305 @@
+//! Greedy IR shrinker.
+//!
+//! Reduces a failing module to a minimal reproducer by deleting structure
+//! and simplifying operands, re-checking the failure after every candidate
+//! edit. The shrinker works on the *textual* IR — the parser and verifier
+//! gate every candidate, so an edit that produces malformed IR is simply
+//! discarded — and runs passes from coarse to fine until a fixpoint:
+//!
+//! 1. drop whole functions (and declarations),
+//! 2. drop whole globals,
+//! 3. drop whole basic blocks,
+//! 4. drop single instructions,
+//! 5. shrink integer literals toward zero.
+//!
+//! The caller supplies the predicate (`still_fails`); [`shrink_failure`]
+//! wires it to the oracle so the shrunk module reproduces the *same
+//! failure class on the same pipeline* as the original report.
+
+use crate::oracle::{check_module, Failure, Pipeline};
+use rolag_ir::parser::parse_module;
+use rolag_ir::verify::verify_module;
+use rolag_ir::Module;
+
+/// A contiguous line range `[start, end)` that one shrink step deletes.
+type Region = (usize, usize);
+
+/// Shrinks `text` while `still_fails` holds on the re-parsed module.
+/// Returns the smallest failing text found (always parseable, verified,
+/// and failing).
+pub fn shrink(text: &str, still_fails: &dyn Fn(&Module) -> bool) -> String {
+    let mut best: Vec<String> = text.lines().map(str::to_string).collect();
+    loop {
+        let mut progressed = false;
+        progressed |= drop_regions(&mut best, function_regions, still_fails);
+        progressed |= drop_regions(&mut best, global_regions, still_fails);
+        progressed |= drop_regions(&mut best, block_regions, still_fails);
+        progressed |= drop_regions(&mut best, inst_regions, still_fails);
+        progressed |= shrink_literals(&mut best, still_fails);
+        if !progressed {
+            break;
+        }
+    }
+    let mut out = best.join("\n");
+    out.push('\n');
+    out
+}
+
+/// Shrinks the module that produced `failure` under `pipeline`, preserving
+/// the failure class. Returns the reduced text.
+pub fn shrink_failure(text: &str, failure: &Failure, runs: u64) -> String {
+    let pipeline: Pipeline = failure.pipeline;
+    let kind = failure.kind;
+    shrink(
+        text,
+        &move |m: &Module| matches!(check_module(m, &[pipeline], runs), Err(f) if f.kind == kind),
+    )
+}
+
+/// Tries deleting each region produced by `regions` (recomputed after
+/// every accepted edit), keeping deletions that still parse, verify, and
+/// fail. Returns true if anything was deleted.
+fn drop_regions(
+    lines: &mut Vec<String>,
+    regions: fn(&[String]) -> Vec<Region>,
+    still_fails: &dyn Fn(&Module) -> bool,
+) -> bool {
+    let mut progressed = false;
+    let mut cursor = 0;
+    loop {
+        let regs = regions(lines);
+        let Some(&(start, end)) = regs.iter().find(|&&(s, _)| s >= cursor) else {
+            break;
+        };
+        let mut candidate = lines.clone();
+        candidate.drain(start..end);
+        if accepts(&candidate, still_fails) {
+            *lines = candidate;
+            progressed = true;
+            cursor = start;
+        } else {
+            cursor = start + 1;
+        }
+    }
+    progressed
+}
+
+/// True when `candidate` joins to a parseable, verifier-clean module on
+/// which the failure still reproduces.
+fn accepts(candidate: &[String], still_fails: &dyn Fn(&Module) -> bool) -> bool {
+    let text = candidate.join("\n");
+    let Ok(module) = parse_module(&text) else {
+        return false;
+    };
+    if verify_module(&module).is_err() {
+        return false;
+    }
+    still_fails(&module)
+}
+
+/// `func @…` / `declare @…` regions (a declaration is one line; a
+/// definition runs through its closing `}`).
+fn function_regions(lines: &[String]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < lines.len() {
+        let t = lines[i].trim_start();
+        if t.starts_with("declare @") {
+            regions.push((i, i + 1));
+            i += 1;
+        } else if t.starts_with("func @") {
+            let mut end = i + 1;
+            while end < lines.len() && lines[end].trim() != "}" {
+                end += 1;
+            }
+            regions.push((i, (end + 1).min(lines.len())));
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// `global @…` / `const @…` lines.
+fn global_regions(lines: &[String]) -> Vec<Region> {
+    lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| {
+            let t = l.trim_start();
+            t.starts_with("global @") || t.starts_with("const @")
+        })
+        .map(|(i, _)| (i, i + 1))
+        .collect()
+}
+
+/// Label-to-label regions inside function bodies. The entry block is never
+/// a candidate (deleting it can only be achieved by deleting the
+/// function).
+fn block_regions(lines: &[String]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    let mut in_func = false;
+    let mut first_label = true;
+    let mut start: Option<usize> = None;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with("func @") {
+            in_func = true;
+            first_label = true;
+            start = None;
+            continue;
+        }
+        if !in_func {
+            continue;
+        }
+        let is_label = t.ends_with(':') && !t.starts_with("//") && !t.contains(' ');
+        if is_label || t == "}" {
+            if let Some(s) = start.take() {
+                regions.push((s, i));
+            }
+            if is_label && !first_label {
+                start = Some(i);
+            }
+            first_label = false;
+            if t == "}" {
+                in_func = false;
+            }
+        }
+    }
+    regions
+}
+
+/// Single instruction lines (indented, not labels, not braces).
+fn inst_regions(lines: &[String]) -> Vec<Region> {
+    let mut regions = Vec::new();
+    let mut in_func = false;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if t.starts_with("func @") {
+            in_func = true;
+            continue;
+        }
+        if t == "}" {
+            in_func = false;
+            continue;
+        }
+        if in_func && !t.is_empty() && !t.ends_with(':') && !t.starts_with("//") {
+            regions.push((i, i + 1));
+        }
+    }
+    regions
+}
+
+/// Replaces integer literals with `0` (or halves them toward zero) where
+/// the failure survives. Literals embedded in identifiers (`%v10`, `i32`)
+/// are left alone by requiring a non-alphanumeric, non-sigil predecessor.
+fn shrink_literals(lines: &mut Vec<String>, still_fails: &dyn Fn(&Module) -> bool) -> bool {
+    let mut progressed = false;
+    for i in 0..lines.len() {
+        loop {
+            let mut changed = false;
+            let spans = literal_spans(&lines[i]);
+            for (start, end, value) in spans {
+                for target in [0i64, value / 2] {
+                    if target == value || (target == 0 && value.abs() <= 1) {
+                        continue;
+                    }
+                    let mut candidate = lines.clone();
+                    candidate[i] = format!("{}{}{}", &lines[i][..start], target, &lines[i][end..]);
+                    if accepts(&candidate, still_fails) {
+                        *lines = candidate;
+                        progressed = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                if changed {
+                    break;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    progressed
+}
+
+/// Byte spans of standalone decimal literals in `line`, with their values.
+fn literal_spans(line: &str) -> Vec<(usize, usize, i64)> {
+    let bytes = line.as_bytes();
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let neg = c == b'-' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit();
+        if c.is_ascii_digit() || neg {
+            let prev_ok = i == 0
+                || !(bytes[i - 1].is_ascii_alphanumeric()
+                    || matches!(bytes[i - 1], b'%' | b'@' | b'_' | b'.' | b'-'));
+            let start = i;
+            if neg {
+                i += 1;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            // Skip floats (`1.5`), hex (`0x…`), and identifier tails.
+            let next_ok = i >= bytes.len()
+                || !(bytes[i].is_ascii_alphanumeric() || bytes[i] == b'.' || bytes[i] == b'_');
+            if prev_ok && next_ok {
+                if let Ok(v) = line[start..i].parse::<i64>() {
+                    spans.push((start, i, v));
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use rolag_ir::{Module, Opcode};
+
+    /// The property: the module still contains an sdiv instruction.
+    fn has_sdiv(m: &Module) -> bool {
+        m.func_ids().any(|f| {
+            let func = m.func(f);
+            func.live_insts()
+                .any(|i| func.inst(i).opcode == Opcode::SDiv)
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_essential_instruction() {
+        // Build a sizable corpus module and graft a known sdiv into it.
+        let mut text = generate(3, 1);
+        text.push_str(
+            "func @needle(i32 %p0) -> i32 {\nentry:\n  %d = sdiv i32 %p0, i32 7\n  ret %d\n}\n",
+        );
+        assert!(has_sdiv(&parse_module(&text).unwrap()));
+        let small = shrink(&text, &has_sdiv);
+        let m = parse_module(&small).unwrap();
+        assert!(has_sdiv(&m), "shrunk module lost the property:\n{small}");
+        assert!(
+            small.len() < text.len() / 2,
+            "no meaningful reduction: {} -> {}",
+            text.len(),
+            small.len()
+        );
+        // Nothing but the needle function (and the module header) survives.
+        assert_eq!(m.func_ids().count(), 1);
+        assert_eq!(m.num_globals(), 0);
+    }
+
+    #[test]
+    fn literal_spans_skip_identifiers_and_types() {
+        let spans = literal_spans("  %v10 = add i32 %p0, i32 -42");
+        assert_eq!(spans, vec![(26, 29, -42)]);
+    }
+}

@@ -7,14 +7,17 @@
 use std::collections::HashSet;
 
 use crate::block::BlockId;
+use crate::fold::normalize_int;
 use crate::function::{Effects, Function};
 use crate::inst::{InstExtra, Opcode};
 use crate::module::Module;
+use crate::types::TypeStore;
 use crate::value::FuncId;
 
 /// Whether an instruction must be kept even when its result is unused.
 fn is_root(
     func: &Function,
+    types: &TypeStore,
     inst: crate::inst::InstId,
     callee_effects: &dyn Fn(FuncId) -> Effects,
 ) -> bool {
@@ -25,6 +28,19 @@ fn is_root(
             InstExtra::Call { callee } => callee_effects(*callee) != Effects::ReadNone,
             _ => true,
         },
+        // Division traps at run time (zero divisor; signed `MIN / -1`), so
+        // an unused division is only dead when its divisor is a constant
+        // that provably cannot trap at the operation's width.
+        op @ (Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem) => {
+            let safe_divisor = func
+                .value(data.operands[1])
+                .as_const_int()
+                .is_some_and(|v| {
+                    let d = normalize_int(types, data.ty, v);
+                    d != 0 && (matches!(op, Opcode::UDiv | Opcode::URem) || d != -1)
+                });
+            !safe_divisor
+        }
         _ => false,
     }
 }
@@ -33,7 +49,7 @@ fn is_root(
 /// through `callee_effects`. Returns how many were removed.
 pub fn run_dce_with(
     func: &mut Function,
-    void_ty: crate::types::TypeId,
+    types: &TypeStore,
     callee_effects: &dyn Fn(FuncId) -> Effects,
 ) -> usize {
     let mut removed_total = 0;
@@ -41,7 +57,9 @@ pub fn run_dce_with(
         let uses = func.compute_uses();
         let dead: Vec<_> = func
             .live_insts()
-            .filter(|&i| !is_root(func, i, callee_effects) && uses.count(func.inst_result(i)) == 0)
+            .filter(|&i| {
+                !is_root(func, types, i, callee_effects) && uses.count(func.inst_result(i)) == 0
+            })
             .collect();
         if dead.is_empty() {
             break;
@@ -51,15 +69,13 @@ pub fn run_dce_with(
         }
         removed_total += dead.len();
     }
-    removed_total + remove_unreachable_blocks(func, void_ty)
+    removed_total + remove_unreachable_blocks(func, types.void())
 }
 
 /// Removes dead instructions from one function. Returns how many were
 /// removed.
 pub fn run_dce_on(module: &Module, func: &mut Function) -> usize {
-    run_dce_with(func, module.types.void(), &|callee| {
-        module.func(callee).effects
-    })
+    run_dce_with(func, &module.types, &|callee| module.func(callee).effects)
 }
 
 /// Removes blocks unreachable from the entry (sealing their ids with
@@ -209,6 +225,34 @@ mod tests {
         let id = fb.finish();
         run_dce(&mut m);
         assert_eq!(m.func(id).num_live_insts(), 1);
+    }
+
+    #[test]
+    fn keeps_unused_divisions_that_may_trap() {
+        let text = r#"
+module "t"
+func @f(i32 %p0, i32 %p1) -> i32 {
+entry:
+  %a = sdiv i32 %p0, %p1
+  %b = sdiv i32 %p0, i32 0
+  %c = srem i32 %p0, i32 -1
+  %d = udiv i32 %p0, i32 -1
+  %e = sdiv i32 %p0, i32 4
+  ret i32 0
+}
+"#;
+        let mut m = crate::parser::parse_module(text).unwrap();
+        let removed = run_dce(&mut m);
+        // Unknown divisor, zero divisor, and signed -1 divisor must stay
+        // (they can trap); `udiv` by all-ones and `sdiv` by 4 cannot.
+        assert_eq!(removed, 2);
+        let f = m.func(m.func_by_name("f").unwrap());
+        let kept: Vec<_> = f
+            .live_insts()
+            .filter(|&i| f.inst(i).opcode != Opcode::Ret)
+            .map(|i| f.inst(i).opcode)
+            .collect();
+        assert_eq!(kept, vec![Opcode::SDiv, Opcode::SDiv, Opcode::SRem]);
     }
 
     #[test]

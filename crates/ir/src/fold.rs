@@ -37,8 +37,55 @@ pub fn as_unsigned(types: &TypeStore, ty: TypeId, v: i64) -> u64 {
     (v as u64) & ((1u64 << width) - 1)
 }
 
-/// Evaluates an integer binop on constant inputs. Returns `None` for
-/// division by zero (left to trap at run time) and non-integer ops.
+/// Why an integer binop has no defined result — the two run-time traps of
+/// the division family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntTrap {
+    /// `sdiv`/`udiv`/`srem`/`urem` with a zero divisor.
+    DivByZero,
+    /// Signed division overflow: `MIN / -1` (or `MIN % -1`) at the type's
+    /// width, whose mathematical quotient is unrepresentable.
+    Overflow,
+}
+
+/// Smallest representable signed value at `ty`'s width (clamped to 64 bits).
+fn signed_min(types: &TypeStore, ty: TypeId) -> i64 {
+    let width = types.int_width(ty).unwrap_or(64).min(64) as u32;
+    i64::MIN >> (64 - width)
+}
+
+/// Classifies why [`eval_int_binop`] returned `None` for a division-family
+/// opcode, distinguishing the zero-divisor trap from signed overflow.
+/// Returns `None` when the operation actually has a defined result (or is
+/// not a division).
+pub fn int_binop_trap(
+    types: &TypeStore,
+    opcode: Opcode,
+    ty: TypeId,
+    a: i64,
+    b: i64,
+) -> Option<IntTrap> {
+    let sa = normalize_int(types, ty, a);
+    let sb = normalize_int(types, ty, b);
+    let ub = as_unsigned(types, ty, b);
+    match opcode {
+        Opcode::SDiv | Opcode::SRem => {
+            if sb == 0 {
+                Some(IntTrap::DivByZero)
+            } else if sa == signed_min(types, ty) && sb == -1 {
+                Some(IntTrap::Overflow)
+            } else {
+                None
+            }
+        }
+        Opcode::UDiv | Opcode::URem => (ub == 0).then_some(IntTrap::DivByZero),
+        _ => None,
+    }
+}
+
+/// Evaluates an integer binop on constant inputs. Returns `None` for the
+/// division-family traps (zero divisor, signed `MIN / -1` overflow — left
+/// to trap at run time; see [`int_binop_trap`]) and non-integer ops.
 pub fn eval_int_binop(
     types: &TypeStore,
     opcode: Opcode,
@@ -60,7 +107,7 @@ pub fn eval_int_binop(
         Opcode::Sub => a.wrapping_sub(b),
         Opcode::Mul => a.wrapping_mul(b),
         Opcode::SDiv => {
-            if sb == 0 || (sa == i64::MIN && sb == -1) {
+            if sb == 0 || (sa == signed_min(types, ty) && sb == -1) {
                 return None;
             }
             sa.wrapping_div(sb)
@@ -72,7 +119,7 @@ pub fn eval_int_binop(
             (ua / ub) as i64
         }
         Opcode::SRem => {
-            if sb == 0 {
+            if sb == 0 || (sa == signed_min(types, ty) && sb == -1) {
                 return None;
             }
             sa.wrapping_rem(sb)

@@ -182,7 +182,13 @@ impl Function {
 
     /// Interns a floating-point constant (stored as `f64` bits).
     pub fn const_float(&mut self, ty: TypeId, value: f64) -> ValueId {
-        let bits = value.to_bits();
+        self.const_float_bits(ty, value.to_bits())
+    }
+
+    /// Interns a floating-point constant from its exact `f64` bit pattern.
+    /// Needed to round-trip NaN payloads, which `f64` arithmetic would not
+    /// preserve.
+    pub fn const_float_bits(&mut self, ty: TypeId, bits: u64) -> ValueId {
         let key = ConstKey::Float(ty, bits);
         if let Some(&v) = self.const_map.get(&key) {
             return v;

@@ -18,6 +18,12 @@ impl Memory {
     /// Reserved low region; accesses below this address fault.
     pub const NULL_GUARD: u64 = 64;
 
+    /// Total memory cap. [`Memory::alloc`] traps (typed
+    /// [`ExecError::AllocLimit`]) instead of growing past this, so a wild
+    /// `alloca` count degrades into a recoverable fault rather than an
+    /// unbounded host allocation.
+    pub const MAX_SIZE: u64 = 1 << 28; // 256 MiB
+
     /// Creates a memory with just the null guard mapped.
     pub fn new() -> Self {
         Memory {
@@ -31,11 +37,20 @@ impl Memory {
     }
 
     /// Allocates `size` bytes aligned to `align`, zero-initialized.
-    pub fn alloc(&mut self, size: u64, align: u64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::AllocLimit`] when the allocation would grow the
+    /// memory past [`Memory::MAX_SIZE`].
+    pub fn alloc(&mut self, size: u64, align: u64) -> Result<u64, ExecError> {
         let align = align.max(1);
         let base = (self.bytes.len() as u64 + align - 1) & !(align - 1);
-        self.bytes.resize((base + size) as usize, 0);
-        base
+        let end = base
+            .checked_add(size)
+            .filter(|&end| end <= Self::MAX_SIZE)
+            .ok_or(ExecError::AllocLimit { size })?;
+        self.bytes.resize(end as usize, 0);
+        Ok(base)
     }
 
     fn check(&self, addr: u64, size: u64) -> Result<(), ExecError> {
@@ -44,6 +59,16 @@ impl Memory {
         }
         if addr.checked_add(size).is_none_or(|end| end > self.size()) {
             return Err(ExecError::OutOfBounds { addr, size });
+        }
+        Ok(())
+    }
+
+    /// Typed accesses must be naturally aligned; byte accesses
+    /// ([`Memory::read_bytes`]/[`Memory::write_bytes`]) are exempt.
+    fn check_aligned(&self, types: &TypeStore, ty: TypeId, addr: u64) -> Result<(), ExecError> {
+        let align = types.align_of(ty).clamp(1, 8);
+        if !addr.is_multiple_of(align) {
+            return Err(ExecError::Misaligned { addr, align });
         }
         Ok(())
     }
@@ -74,7 +99,14 @@ impl Memory {
     }
 
     /// Loads a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Traps ([`ExecError::NullAccess`]/[`ExecError::OutOfBounds`]/
+    /// [`ExecError::Misaligned`]) on wild, out-of-range, or misaligned
+    /// addresses.
     pub fn load(&self, types: &TypeStore, ty: TypeId, addr: u64) -> Result<IValue, ExecError> {
+        self.check_aligned(types, ty, addr)?;
         match types.kind(ty) {
             TypeKind::Int(width) => {
                 let size = types.size_of(ty).min(8);
@@ -107,6 +139,12 @@ impl Memory {
     }
 
     /// Stores a typed value.
+    ///
+    /// # Errors
+    ///
+    /// Traps ([`ExecError::NullAccess`]/[`ExecError::OutOfBounds`]/
+    /// [`ExecError::Misaligned`]) on wild, out-of-range, or misaligned
+    /// addresses.
     pub fn store(
         &mut self,
         types: &TypeStore,
@@ -114,6 +152,7 @@ impl Memory {
         addr: u64,
         value: IValue,
     ) -> Result<(), ExecError> {
+        self.check_aligned(types, ty, addr)?;
         match (types.kind(ty), value) {
             (TypeKind::Int(width), IValue::Int(v)) => {
                 let size = types.size_of(ty).min(8);
@@ -167,8 +206,8 @@ mod tests {
     #[test]
     fn alloc_respects_alignment() {
         let mut m = Memory::new();
-        m.alloc(3, 1);
-        let a = m.alloc(8, 8);
+        m.alloc(3, 1).unwrap();
+        let a = m.alloc(8, 8).unwrap();
         assert_eq!(a % 8, 0);
         assert!(a >= Memory::NULL_GUARD);
     }
@@ -190,7 +229,7 @@ mod tests {
     fn typed_round_trip() {
         let types = TypeStore::new();
         let mut m = Memory::new();
-        let a = m.alloc(32, 8);
+        let a = m.alloc(32, 8).unwrap();
 
         m.store(&types, types.i32(), a, IValue::Int(-5)).unwrap();
         assert_eq!(m.load(&types, types.i32(), a).unwrap(), IValue::Int(-5));
@@ -225,7 +264,7 @@ mod tests {
     #[test]
     fn content_hash_changes_with_content() {
         let mut m = Memory::new();
-        let a = m.alloc(8, 8);
+        let a = m.alloc(8, 8).unwrap();
         let h0 = m.content_hash();
         m.write_bytes(a, &[1]).unwrap();
         assert_ne!(h0, m.content_hash());

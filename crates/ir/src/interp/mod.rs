@@ -13,7 +13,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 use crate::block::BlockId;
-use crate::fold::{as_unsigned, eval_float_binop, eval_icmp, eval_int_binop, normalize_int};
+use crate::fold::{
+    as_unsigned, eval_float_binop, eval_icmp, eval_int_binop, int_binop_trap, normalize_int,
+};
 use crate::function::{Effects, Function};
 use crate::inst::{FloatPredicate, InstExtra, Opcode};
 use crate::module::{GlobalInit, Module};
@@ -79,8 +81,24 @@ pub enum ExecError {
         /// Access size.
         size: u64,
     },
+    /// Access whose address is not a multiple of the accessed type's
+    /// natural alignment.
+    Misaligned {
+        /// Faulting address.
+        addr: u64,
+        /// Required alignment.
+        align: u64,
+    },
     /// Integer division by zero.
     DivByZero,
+    /// Signed division overflow (`MIN / -1` or `MIN % -1` at type width).
+    DivOverflow,
+    /// Allocation (alloca or globals) would exceed the interpreter's memory
+    /// cap.
+    AllocLimit {
+        /// Requested size in bytes.
+        size: u64,
+    },
     /// Step budget exhausted (probable endless loop).
     StepLimit,
     /// Executed `unreachable`.
@@ -100,7 +118,14 @@ impl fmt::Display for ExecError {
             ExecError::OutOfBounds { addr, size } => {
                 write!(f, "out-of-bounds access at {addr:#x} (size {size})")
             }
+            ExecError::Misaligned { addr, align } => {
+                write!(f, "misaligned access at {addr:#x} (requires align {align})")
+            }
             ExecError::DivByZero => write!(f, "integer division by zero"),
+            ExecError::DivOverflow => write!(f, "signed division overflow"),
+            ExecError::AllocLimit { size } => {
+                write!(f, "allocation of {size} bytes exceeds the memory cap")
+            }
             ExecError::StepLimit => write!(f, "step limit exceeded"),
             ExecError::Unreachable => write!(f, "reached unreachable"),
             ExecError::TypeConfusion(m) => write!(f, "type confusion: {m}"),
@@ -157,7 +182,9 @@ impl<'m> Interpreter<'m> {
             let data = module.global(g);
             let size = module.global_size(g).max(1);
             let align = module.types.align_of(data.ty).max(8);
-            let addr = mem.alloc(size, align);
+            let addr = mem
+                .alloc(size, align)
+                .expect("global data exceeds the interpreter memory cap");
             match &data.init {
                 GlobalInit::Zero => {}
                 GlobalInit::Bytes(bytes) => {
@@ -371,7 +398,10 @@ impl<'m> Interpreter<'m> {
                 let b = op(self, 1)?.as_int()?;
                 match eval_int_binop(types, o, data.ty, a, b) {
                     Some(r) => Ok(IValue::Int(r)),
-                    None => Err(ExecError::DivByZero),
+                    None => match int_binop_trap(types, o, data.ty, a, b) {
+                        Some(crate::fold::IntTrap::Overflow) => Err(ExecError::DivOverflow),
+                        _ => Err(ExecError::DivByZero),
+                    },
                 }
             }
             o if o.is_float_binop() => {
@@ -460,9 +490,12 @@ impl<'m> Interpreter<'m> {
                 } else {
                     op(self, 0)?.as_int()?.max(0) as u64
                 };
-                let size = types.size_of(elem_ty) * count;
+                let size = types
+                    .size_of(elem_ty)
+                    .checked_mul(count)
+                    .ok_or(ExecError::AllocLimit { size: u64::MAX })?;
                 let align = types.align_of(elem_ty).max(8);
-                Ok(IValue::Ptr(self.mem.alloc(size.max(1), align)))
+                Ok(IValue::Ptr(self.mem.alloc(size.max(1), align)?))
             }
             Opcode::Load => {
                 let addr = op(self, 0)?.as_ptr()?;
@@ -837,6 +870,168 @@ entry:
             interp_ret(text, "f", &[IValue::Float(1.0)]),
             IValue::Float(0.0)
         );
+    }
+
+    fn interp_err(text: &str, entry: &str, args: &[IValue]) -> ExecError {
+        let m = parse_module(text).unwrap();
+        let mut i = Interpreter::new(&m);
+        i.run(entry, args).unwrap_err()
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let text = r#"
+module "t"
+func @f(i32 %p0, i32 %p1) -> i32 {
+entry:
+  %1 = sdiv i32 %p0, %p1
+  ret %1
+}
+"#;
+        assert_eq!(
+            interp_err(text, "f", &[IValue::Int(7), IValue::Int(0)]),
+            ExecError::DivByZero
+        );
+        let rem = r#"
+module "t"
+func @f(i32 %p0, i32 %p1) -> i32 {
+entry:
+  %1 = srem i32 %p0, %p1
+  ret %1
+}
+"#;
+        assert_eq!(
+            interp_err(rem, "f", &[IValue::Int(7), IValue::Int(0)]),
+            ExecError::DivByZero
+        );
+    }
+
+    #[test]
+    fn signed_division_overflow_traps_at_type_width() {
+        let sdiv = r#"
+module "t"
+func @f(i32 %p0, i32 %p1) -> i32 {
+entry:
+  %1 = sdiv i32 %p0, %p1
+  ret %1
+}
+"#;
+        // i32::MIN / -1 overflows i32.
+        assert_eq!(
+            interp_err(sdiv, "f", &[IValue::Int(i32::MIN as i64), IValue::Int(-1)]),
+            ExecError::DivOverflow
+        );
+        let srem = r#"
+module "t"
+func @f(i32 %p0, i32 %p1) -> i32 {
+entry:
+  %1 = srem i32 %p0, %p1
+  ret %1
+}
+"#;
+        assert_eq!(
+            interp_err(srem, "f", &[IValue::Int(i32::MIN as i64), IValue::Int(-1)]),
+            ExecError::DivOverflow
+        );
+        // The same numerator is fine at i64 width.
+        let wide = r#"
+module "t"
+func @f(i64 %p0, i64 %p1) -> i64 {
+entry:
+  %1 = sdiv i64 %p0, %p1
+  ret %1
+}
+"#;
+        let m = parse_module(wide).unwrap();
+        let mut i = Interpreter::new(&m);
+        let o = i
+            .run("f", &[IValue::Int(i32::MIN as i64), IValue::Int(-1)])
+            .unwrap();
+        assert_eq!(o.ret, IValue::Int(-(i32::MIN as i64)));
+        // i8 width: -128 / -1 overflows.
+        let narrow = r#"
+module "t"
+func @f(i8 %p0, i8 %p1) -> i8 {
+entry:
+  %1 = sdiv i8 %p0, %p1
+  ret %1
+}
+"#;
+        assert_eq!(
+            interp_err(narrow, "f", &[IValue::Int(-128), IValue::Int(-1)]),
+            ExecError::DivOverflow
+        );
+    }
+
+    #[test]
+    fn misaligned_access_traps() {
+        let text = r#"
+module "t"
+global @buf : [4 x i32] = zero
+func @f(i64 %p0) -> i32 {
+entry:
+  %p = gep i8, @buf, %p0
+  %v = load i32, %p
+  ret %v
+}
+"#;
+        assert_eq!(interp_err(text, "f", &[IValue::Int(1)]), {
+            let m = parse_module(text).unwrap();
+            let i = Interpreter::new(&m);
+            let addr = i.global_addr(crate::value::GlobalId::from_index(0)) + 1;
+            ExecError::Misaligned { addr, align: 4 }
+        });
+        let store = r#"
+module "t"
+global @buf : [4 x i32] = zero
+func @f(i64 %p0) -> void {
+entry:
+  %p = gep i8, @buf, %p0
+  store i32 1, %p
+  ret
+}
+"#;
+        assert!(matches!(
+            interp_err(store, "f", &[IValue::Int(2)]),
+            ExecError::Misaligned { align: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn wild_pointer_access_traps() {
+        let text = r#"
+module "t"
+func @f(i64 %p0) -> i64 {
+entry:
+  %p = inttoptr ptr %p0
+  %v = load i64, %p
+  ret %v
+}
+"#;
+        assert!(matches!(
+            interp_err(text, "f", &[IValue::Int(0)]),
+            ExecError::NullAccess { .. }
+        ));
+        assert!(matches!(
+            interp_err(text, "f", &[IValue::Int(1 << 40)]),
+            ExecError::OutOfBounds { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_alloca_traps_instead_of_aborting() {
+        let text = r#"
+module "t"
+func @f(i64 %p0) -> ptr {
+entry:
+  %a = alloca i64, %p0
+  ret %a
+}
+"#;
+        assert!(matches!(
+            interp_err(text, "f", &[IValue::Int(i64::MAX / 2)]),
+            ExecError::AllocLimit { .. }
+        ));
     }
 
     #[test]

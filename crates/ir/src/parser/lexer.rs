@@ -13,9 +13,12 @@ pub enum Token {
     Global(String),
     /// Integer literal (possibly negative).
     Int(i64),
-    /// Floating-point literal (contains `.`, `e`, `inf`, or `nan`).
+    /// Floating-point literal (contains `.` or an exponent).
     Float(f64),
-    /// Double-quoted string.
+    /// `0x...` hexadecimal bit pattern. Used for bit-exact float constants
+    /// (NaN payloads, infinities) that have no decimal spelling.
+    HexBits(u64),
+    /// Double-quoted string (escapes already decoded).
     Str(String),
     /// `(`
     LParen,
@@ -51,6 +54,7 @@ impl fmt::Display for Token {
             Token::Global(s) => write!(f, "@{s}"),
             Token::Int(v) => write!(f, "{v}"),
             Token::Float(v) => write!(f, "{v}"),
+            Token::HexBits(v) => write!(f, "{v:#x}"),
             Token::Str(s) => write!(f, "\"{s}\""),
             Token::LParen => write!(f, "("),
             Token::RParen => write!(f, ")"),
@@ -68,13 +72,15 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token plus the 1-based source line it starts on.
+/// A token plus the 1-based source line and column it starts on.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub token: Token,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
 }
 
 /// Lexer error (unexpected character or malformed literal).
@@ -84,11 +90,17 @@ pub struct LexError {
     pub message: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "lex error at line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -102,13 +114,116 @@ fn is_ident_continue(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_' || c == '.'
 }
 
+/// True when `name` can be printed bare after `@`/`%` (no quoting needed).
+pub fn is_plain_symbol(name: &str) -> bool {
+    !name.is_empty() && name.chars().all(is_ident_continue)
+}
+
+/// Character cursor tracking 1-based line/column positions.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next();
+        match c {
+            Some('\n') => {
+                self.line += 1;
+                self.col = 1;
+            }
+            Some(_) => self.col += 1,
+            None => {}
+        }
+        c
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, LexError> {
+        Err(LexError {
+            message: message.into(),
+            line: self.line,
+            col: self.col,
+        })
+    }
+
+    /// Consumes ident-continue characters into a string.
+    fn take_ident(&mut self) -> String {
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if is_ident_continue(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        name
+    }
+
+    /// Consumes a double-quoted string body (opening quote already
+    /// consumed), decoding `\"`, `\\`, `\n`, `\t`, `\0` and `\xNN` escapes.
+    fn take_string(&mut self) -> Result<String, LexError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('0') => s.push('\0'),
+                    Some('x') => {
+                        let hi = self.bump();
+                        let lo = self.bump();
+                        let (Some(hi), Some(lo)) = (
+                            hi.and_then(|c| c.to_digit(16)),
+                            lo.and_then(|c| c.to_digit(16)),
+                        ) else {
+                            return self.err("bad \\x escape (expected two hex digits)");
+                        };
+                        let code = (hi * 16 + lo) as u8;
+                        s.push(code as char);
+                    }
+                    Some(other) => return self.err(format!("unknown escape \\{other}")),
+                    None => return self.err("unterminated string"),
+                },
+                Some('\n') | None => return self.err("unterminated string"),
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    /// Lexes a symbol name after `@`/`%`: bare identifier or quoted string.
+    fn take_symbol(&mut self, sigil: char) -> Result<String, LexError> {
+        if self.peek() == Some('"') {
+            self.bump();
+            return self.take_string();
+        }
+        let name = self.take_ident();
+        if name.is_empty() {
+            return self.err(format!("empty name after '{sigil}'"));
+        }
+        Ok(name)
+    }
+}
+
 /// Tokenizes `input`. Consecutive newlines collapse into one
 /// [`Token::Newline`]; `//` comments run to end of line.
 pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
     let mut tokens = Vec::new();
-    let mut chars = input.chars().peekable();
-    let mut line: u32 = 1;
-    let push = |t: Token, line: u32, tokens: &mut Vec<Spanned>| {
+    let mut cur = Cursor {
+        chars: input.chars().peekable(),
+        line: 1,
+        col: 1,
+    };
+    let push = |t: Token, line: u32, col: u32, tokens: &mut Vec<Spanned>| {
         if t == Token::Newline
             && matches!(
                 tokens.last(),
@@ -120,188 +235,165 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
         {
             return;
         }
-        tokens.push(Spanned { token: t, line });
+        tokens.push(Spanned {
+            token: t,
+            line,
+            col,
+        });
     };
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
         match c {
             '\n' => {
-                chars.next();
-                push(Token::Newline, line, &mut tokens);
-                line += 1;
+                cur.bump();
+                push(Token::Newline, line, col, &mut tokens);
             }
             c if c.is_whitespace() => {
-                chars.next();
+                cur.bump();
             }
             '/' => {
-                chars.next();
-                if chars.peek() == Some(&'/') {
-                    while let Some(&c2) = chars.peek() {
+                cur.bump();
+                if cur.peek() == Some('/') {
+                    while let Some(c2) = cur.peek() {
                         if c2 == '\n' {
                             break;
                         }
-                        chars.next();
+                        cur.bump();
                     }
                 } else {
                     return Err(LexError {
                         message: "unexpected '/'".into(),
                         line,
+                        col,
                     });
                 }
             }
             '(' => {
-                chars.next();
-                push(Token::LParen, line, &mut tokens);
+                cur.bump();
+                push(Token::LParen, line, col, &mut tokens);
             }
             ')' => {
-                chars.next();
-                push(Token::RParen, line, &mut tokens);
+                cur.bump();
+                push(Token::RParen, line, col, &mut tokens);
             }
             '{' => {
-                chars.next();
-                push(Token::LBrace, line, &mut tokens);
+                cur.bump();
+                push(Token::LBrace, line, col, &mut tokens);
             }
             '}' => {
-                chars.next();
-                push(Token::RBrace, line, &mut tokens);
+                cur.bump();
+                push(Token::RBrace, line, col, &mut tokens);
             }
             '[' => {
-                chars.next();
-                push(Token::LBracket, line, &mut tokens);
+                cur.bump();
+                push(Token::LBracket, line, col, &mut tokens);
             }
             ']' => {
-                chars.next();
-                push(Token::RBracket, line, &mut tokens);
+                cur.bump();
+                push(Token::RBracket, line, col, &mut tokens);
             }
             ',' => {
-                chars.next();
-                push(Token::Comma, line, &mut tokens);
+                cur.bump();
+                push(Token::Comma, line, col, &mut tokens);
             }
             ':' => {
-                chars.next();
-                push(Token::Colon, line, &mut tokens);
+                cur.bump();
+                push(Token::Colon, line, col, &mut tokens);
             }
             '=' => {
-                chars.next();
-                push(Token::Eq, line, &mut tokens);
+                cur.bump();
+                push(Token::Eq, line, col, &mut tokens);
             }
             '-' => {
-                chars.next();
-                if chars.peek() == Some(&'>') {
-                    chars.next();
-                    push(Token::Arrow, line, &mut tokens);
+                cur.bump();
+                if cur.peek() == Some('>') {
+                    cur.bump();
+                    push(Token::Arrow, line, col, &mut tokens);
                 } else {
                     // Negative number.
-                    let num = lex_number(&mut chars, true, line)?;
-                    push(num, line, &mut tokens);
+                    let num = lex_number(&mut cur, true)?;
+                    push(num, line, col, &mut tokens);
                 }
             }
             '%' => {
-                chars.next();
-                let mut name = String::new();
-                while let Some(&c2) = chars.peek() {
-                    if is_ident_continue(c2) {
-                        name.push(c2);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                if name.is_empty() {
-                    return Err(LexError {
-                        message: "empty local name after '%'".into(),
-                        line,
-                    });
-                }
-                push(Token::Local(name), line, &mut tokens);
+                cur.bump();
+                let name = cur.take_symbol('%')?;
+                push(Token::Local(name), line, col, &mut tokens);
             }
             '@' => {
-                chars.next();
-                let mut name = String::new();
-                while let Some(&c2) = chars.peek() {
-                    if is_ident_continue(c2) {
-                        name.push(c2);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                if name.is_empty() {
-                    return Err(LexError {
-                        message: "empty global name after '@'".into(),
-                        line,
-                    });
-                }
-                push(Token::Global(name), line, &mut tokens);
+                cur.bump();
+                let name = cur.take_symbol('@')?;
+                push(Token::Global(name), line, col, &mut tokens);
             }
             '"' => {
-                chars.next();
-                let mut s = String::new();
-                loop {
-                    match chars.next() {
-                        Some('"') => break,
-                        Some('\n') | None => {
-                            return Err(LexError {
-                                message: "unterminated string".into(),
-                                line,
-                            })
-                        }
-                        Some(c2) => s.push(c2),
-                    }
-                }
-                push(Token::Str(s), line, &mut tokens);
+                cur.bump();
+                let s = cur.take_string()?;
+                push(Token::Str(s), line, col, &mut tokens);
             }
             c if c.is_ascii_digit() => {
-                let num = lex_number(&mut chars, false, line)?;
-                push(num, line, &mut tokens);
+                let num = lex_number(&mut cur, false)?;
+                push(num, line, col, &mut tokens);
             }
             c if is_ident_start(c) => {
-                let mut name = String::new();
-                while let Some(&c2) = chars.peek() {
-                    if is_ident_continue(c2) {
-                        name.push(c2);
-                        chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                push(Token::Ident(name), line, &mut tokens);
+                let name = cur.take_ident();
+                push(Token::Ident(name), line, col, &mut tokens);
             }
             other => {
                 return Err(LexError {
                     message: format!("unexpected character {other:?}"),
                     line,
+                    col,
                 })
             }
         }
     }
     tokens.push(Spanned {
         token: Token::Eof,
-        line,
+        line: cur.line,
+        col: cur.col,
     });
     Ok(tokens)
 }
 
-fn lex_number(
-    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    negative: bool,
-    line: u32,
-) -> Result<Token, LexError> {
+fn lex_number(cur: &mut Cursor<'_>, negative: bool) -> Result<Token, LexError> {
     let mut text = String::new();
     if negative {
         text.push('-');
+    } else if cur.peek() == Some('0') {
+        // Possible `0x...` bit pattern.
+        cur.bump();
+        if cur.peek() == Some('x') {
+            cur.bump();
+            let mut hex = String::new();
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_hexdigit() {
+                    hex.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            return u64::from_str_radix(&hex, 16)
+                .map(Token::HexBits)
+                .map_err(|_| LexError {
+                    message: format!("bad hex literal 0x{hex:?}"),
+                    line: cur.line,
+                    col: cur.col,
+                });
+        }
+        text.push('0');
     }
     let mut is_float = false;
-    while let Some(&c) = chars.peek() {
+    while let Some(c) = cur.peek() {
         if c.is_ascii_digit() {
             text.push(c);
-            chars.next();
+            cur.bump();
         } else if c == '.' || c == 'e' || c == 'E' {
             is_float = true;
             text.push(c);
-            chars.next();
-            if (c == 'e' || c == 'E') && (chars.peek() == Some(&'-') || chars.peek() == Some(&'+'))
-            {
-                text.push(chars.next().unwrap());
+            cur.bump();
+            if (c == 'e' || c == 'E') && (cur.peek() == Some('-') || cur.peek() == Some('+')) {
+                text.push(cur.bump().unwrap());
             }
         } else {
             break;
@@ -310,12 +402,14 @@ fn lex_number(
     if is_float {
         text.parse::<f64>().map(Token::Float).map_err(|_| LexError {
             message: format!("bad float literal {text:?}"),
-            line,
+            line: cur.line,
+            col: cur.col,
         })
     } else {
         text.parse::<i64>().map(Token::Int).map_err(|_| LexError {
             message: format!("bad int literal {text:?}"),
-            line,
+            line: cur.line,
+            col: cur.col,
         })
     }
 }
@@ -361,6 +455,41 @@ mod tests {
     }
 
     #[test]
+    fn hex_bits_and_plain_zero() {
+        assert_eq!(
+            toks("0x7ff8000000000000 0 0.5"),
+            vec![
+                Token::HexBits(0x7ff8000000000000),
+                Token::Int(0),
+                Token::Float(0.5),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            toks(r#""a\"b\\c\n\x41""#),
+            vec![Token::Str("a\"b\\c\nA".into()), Token::Eof]
+        );
+        assert!(lex(r#""\q""#).is_err());
+        assert!(lex(r#""\x4""#).is_err());
+    }
+
+    #[test]
+    fn quoted_symbol_names() {
+        assert_eq!(
+            toks(r#"@"odd name" %"x y""#),
+            vec![
+                Token::Global("odd name".into()),
+                Token::Local("x y".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
     fn newlines_collapse_and_comments_skip() {
         assert_eq!(
             toks("a // comment\n\n\nb"),
@@ -388,10 +517,13 @@ mod tests {
     }
 
     #[test]
-    fn line_numbers_advance() {
-        let spanned = lex("a\nb\nc").unwrap();
-        let lines: Vec<u32> = spanned.iter().map(|s| s.line).collect();
-        // a, newline, b, newline, c, eof
-        assert_eq!(lines, vec![1, 1, 2, 2, 3, 3]);
+    fn line_and_column_numbers_advance() {
+        let spanned = lex("a\nbb cc\nd").unwrap();
+        let pos: Vec<(u32, u32)> = spanned.iter().map(|s| (s.line, s.col)).collect();
+        // a, newline, bb, cc, newline, d, eof
+        assert_eq!(
+            pos,
+            vec![(1, 1), (1, 2), (2, 1), (2, 4), (2, 6), (3, 1), (3, 2)]
+        );
     }
 }

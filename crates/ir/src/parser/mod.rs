@@ -7,7 +7,7 @@
 
 mod lexer;
 
-pub use lexer::{lex, LexError, Token};
+pub use lexer::{is_plain_symbol, lex, LexError, Token};
 
 use std::collections::HashMap;
 use std::fmt;
@@ -28,11 +28,17 @@ pub struct ParseError {
     pub message: String,
     /// 1-based line number.
     pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error at line {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -43,6 +49,7 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            col: e.col,
         }
     }
 }
@@ -66,6 +73,8 @@ enum OperandAst {
     Local(String),
     CInt(TypeId, i64),
     CFloat(TypeId, f64),
+    /// Bit-exact float constant (`0x...` spelling).
+    CFloatBits(TypeId, u64),
     Ref(String),
     Undef(TypeId),
 }
@@ -73,6 +82,7 @@ enum OperandAst {
 #[derive(Debug, Clone)]
 struct InstAst {
     line: u32,
+    col: u32,
     result: Option<String>,
     opcode: Opcode,
     ty: Option<TypeId>,
@@ -94,6 +104,7 @@ struct FuncAst {
     effects: Effects,
     blocks: Vec<(String, Vec<InstAst>)>,
     line: u32,
+    col: u32,
 }
 
 struct Parser {
@@ -110,6 +121,10 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.tokens[self.pos].col
+    }
+
     fn next(&mut self) -> Token {
         let t = self.tokens[self.pos].token.clone();
         if self.pos + 1 < self.tokens.len() {
@@ -122,6 +137,7 @@ impl Parser {
         Err(ParseError {
             message: message.into(),
             line: self.line(),
+            col: self.col(),
         })
     }
 
@@ -217,6 +233,7 @@ impl Parser {
                         let width: u16 = s[1..].parse().map_err(|_| ParseError {
                             message: format!("bad type name {s}"),
                             line: self.line(),
+                            col: self.col(),
                         })?;
                         if !(1..=128).contains(&width) {
                             return self.err(format!("invalid integer width {width}"));
@@ -283,6 +300,14 @@ impl Parser {
                         self.next();
                         Ok(OperandAst::CFloat(ty, v))
                     }
+                    Token::HexBits(bits) => {
+                        self.next();
+                        if module.types.is_float(ty) {
+                            Ok(OperandAst::CFloatBits(ty, bits))
+                        } else {
+                            Ok(OperandAst::CInt(ty, bits as i64))
+                        }
+                    }
                     Token::Ident(s) if s == "undef" => {
                         self.next();
                         Ok(OperandAst::Undef(ty))
@@ -330,6 +355,20 @@ impl Parser {
         // Register every function name first so calls can refer forwards.
         let mut ids = Vec::new();
         for ast in &funcs {
+            if module.func_by_name(&ast.name).is_some() {
+                return Err(ParseError {
+                    message: format!("function @{} defined twice", ast.name),
+                    line: ast.line,
+                    col: ast.col,
+                });
+            }
+            if module.global_by_name(&ast.name).is_some() {
+                return Err(ParseError {
+                    message: format!("@{} defined as both a global and a function", ast.name),
+                    line: ast.line,
+                    col: ast.col,
+                });
+            }
             let decl = Function::declare(
                 ast.name.clone(),
                 ast.param_tys.clone(),
@@ -348,7 +387,15 @@ impl Parser {
     }
 
     fn parse_global(&mut self, module: &mut Module, is_const: bool) -> Result<()> {
+        let (line, col) = (self.line(), self.col());
         let name = self.expect_global()?;
+        if module.global_by_name(&name).is_some() {
+            return Err(ParseError {
+                message: format!("global @{name} defined twice"),
+                line,
+                col,
+            });
+        }
         self.expect(&Token::Colon)?;
         let ty = self.parse_type(module)?;
         self.expect(&Token::Eq)?;
@@ -405,7 +452,7 @@ impl Parser {
     }
 
     fn parse_func_header(&mut self, module: &mut Module, is_decl: bool) -> Result<FuncAst> {
-        let line = self.line();
+        let (line, col) = (self.line(), self.col());
         let name = self.expect_global()?;
         self.expect(&Token::LParen)?;
         let mut param_tys = Vec::new();
@@ -413,7 +460,15 @@ impl Parser {
         if !matches!(self.peek(), Token::RParen) {
             loop {
                 let ty = self.parse_type(module)?;
+                let (pline, pcol) = (self.line(), self.col());
                 let pname = self.expect_local()?;
+                if param_names.contains(&pname) {
+                    return Err(ParseError {
+                        message: format!("parameter %{pname} defined twice"),
+                        line: pline,
+                        col: pcol,
+                    });
+                }
                 param_tys.push(ty);
                 param_names.push(pname);
                 if matches!(self.peek(), Token::Comma) {
@@ -445,6 +500,7 @@ impl Parser {
             effects,
             blocks: Vec::new(),
             line,
+            col,
         })
     }
 
@@ -482,7 +538,7 @@ impl Parser {
     }
 
     fn parse_inst(&mut self, module: &mut Module) -> Result<InstAst> {
-        let line = self.line();
+        let (line, col) = (self.line(), self.col());
         let mut result = None;
         if let Token::Local(name) = self.peek().clone() {
             self.next();
@@ -493,9 +549,11 @@ impl Parser {
         let opcode = Opcode::from_mnemonic(&mnemonic).ok_or_else(|| ParseError {
             message: format!("unknown opcode {mnemonic}"),
             line,
+            col,
         })?;
         let mut ast = InstAst {
             line,
+            col,
             result,
             opcode,
             ty: None,
@@ -518,6 +576,7 @@ impl Parser {
                 ast.ipred = Some(IntPredicate::from_mnemonic(&p).ok_or_else(|| ParseError {
                     message: format!("unknown icmp predicate {p}"),
                     line,
+                    col,
                 })?);
                 ast.operands.push(self.parse_operand(module)?);
                 self.expect(&Token::Comma)?;
@@ -528,6 +587,7 @@ impl Parser {
                 ast.fpred = Some(FloatPredicate::from_mnemonic(&p).ok_or_else(|| ParseError {
                     message: format!("unknown fcmp predicate {p}"),
                     line,
+                    col,
                 })?);
                 ast.operands.push(self.parse_operand(module)?);
                 self.expect(&Token::Comma)?;
@@ -640,15 +700,17 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
             return Err(ParseError {
                 message: format!("duplicate block label {label}"),
                 line: ast.line,
+                col: ast.col,
             });
         }
         let b = func.add_block(label.clone());
         block_map.insert(label.clone(), b);
     }
-    let lookup_block = |name: &str, line: u32| -> Result<BlockId> {
+    let lookup_block = |name: &str, line: u32, col: u32| -> Result<BlockId> {
         block_map.get(name).copied().ok_or_else(|| ParseError {
             message: format!("unknown block label {name}"),
             line,
+            col,
         })
     };
 
@@ -673,22 +735,23 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
                     let callee = module.func_by_name(callee_name).ok_or_else(|| ParseError {
                         message: format!("unknown callee @{callee_name}"),
                         line: inst_ast.line,
+                        col: inst_ast.col,
                     })?;
                     InstExtra::Call { callee }
                 }
                 Opcode::Phi => {
                     let mut incoming = Vec::new();
                     for l in &inst_ast.labels {
-                        incoming.push(lookup_block(l, inst_ast.line)?);
+                        incoming.push(lookup_block(l, inst_ast.line, inst_ast.col)?);
                     }
                     InstExtra::Phi { incoming }
                 }
                 Opcode::Br => InstExtra::Br {
-                    dest: lookup_block(&inst_ast.labels[0], inst_ast.line)?,
+                    dest: lookup_block(&inst_ast.labels[0], inst_ast.line, inst_ast.col)?,
                 },
                 Opcode::CondBr => InstExtra::CondBr {
-                    then_dest: lookup_block(&inst_ast.labels[0], inst_ast.line)?,
-                    else_dest: lookup_block(&inst_ast.labels[1], inst_ast.line)?,
+                    then_dest: lookup_block(&inst_ast.labels[0], inst_ast.line, inst_ast.col)?,
+                    else_dest: lookup_block(&inst_ast.labels[1], inst_ast.line, inst_ast.col)?,
                 },
                 _ => InstExtra::None,
             };
@@ -701,6 +764,7 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
                 _ => inst_ast.ty.ok_or_else(|| ParseError {
                     message: "missing result type".into(),
                     line: inst_ast.line,
+                    col: inst_ast.col,
                 })?,
             };
             let (inst, value) = func.create_inst(InstData {
@@ -716,6 +780,7 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
                     return Err(ParseError {
                         message: format!("value %{name} defined twice"),
                         line: inst_ast.line,
+                        col: inst_ast.col,
                     });
                 }
             }
@@ -733,9 +798,11 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
                 OperandAst::Local(name) => *locals.get(name).ok_or_else(|| ParseError {
                     message: format!("unknown value %{name}"),
                     line: inst_ast.line,
+                    col: inst_ast.col,
                 })?,
                 OperandAst::CInt(ty, v) => func.const_int(*ty, *v),
                 OperandAst::CFloat(ty, v) => func.const_float(*ty, *v),
+                OperandAst::CFloatBits(ty, bits) => func.const_float_bits(*ty, *bits),
                 OperandAst::Ref(name) => {
                     if let Some(g) = module.global_by_name(name) {
                         func.global_addr(g)
@@ -745,6 +812,7 @@ fn build_function(module: &mut Module, ast: &FuncAst) -> Result<Function> {
                         return Err(ParseError {
                             message: format!("unknown reference @{name}"),
                             line: inst_ast.line,
+                            col: inst_ast.col,
                         });
                     }
                 }
@@ -837,6 +905,69 @@ entry:
         let text = "module \"e\"\nfunc @f(i32 %p0) -> void {\nentry:\n  %1 = add i32 %p0, i32 1\n  %1 = add i32 %p0, i32 2\n  ret\n}\n";
         let err = parse_module(text).unwrap_err();
         assert!(err.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn duplicate_global_is_a_spanned_error() {
+        let text = "module \"e\"\nglobal @g : i32 = zero\nglobal @g : i64 = zero\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("global @g defined twice"));
+        assert_eq!((err.line, err.col), (3, 8));
+    }
+
+    #[test]
+    fn duplicate_function_is_a_spanned_error() {
+        let text = "module \"e\"\nfunc @f() -> void {\nentry:\n  ret\n}\nfunc @f() -> void {\nentry:\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("function @f defined twice"));
+        assert_eq!(err.line, 6);
+    }
+
+    #[test]
+    fn global_function_name_clash_is_an_error() {
+        let text = "module \"e\"\nglobal @f : i32 = zero\nfunc @f() -> void {\nentry:\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("both a global and a function"));
+    }
+
+    #[test]
+    fn duplicate_parameter_is_a_spanned_error() {
+        let text = "module \"e\"\nfunc @f(i32 %a, i64 %a) -> void {\nentry:\n  ret\n}\n";
+        let err = parse_module(text).unwrap_err();
+        assert!(err.message.contains("parameter %a defined twice"));
+        assert_eq!((err.line, err.col), (2, 21));
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_bit_exactly() {
+        use crate::value::ValueDef;
+        let text = "module \"f\"\nfunc @f() -> double {\nentry:\n  %0 = fadd double double 0x7ff0000000000000, double 0x7ff8000000000dea\n  ret %0\n}\n";
+        let m = parse_module(text).unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("0x7ff0000000000000"));
+        assert!(printed.contains("0x7ff8000000000dea"));
+        let m2 = parse_module(&printed).unwrap();
+        let f = m2.func(m2.func_by_name("f").unwrap());
+        let bits: Vec<u64> = (0..f.num_values())
+            .filter_map(|i| match f.value(ValueId::from_index(i)) {
+                ValueDef::ConstFloat { bits, .. } => Some(*bits),
+                _ => None,
+            })
+            .collect();
+        assert!(bits.contains(&0x7ff0000000000000));
+        assert!(bits.contains(&0x7ff8000000000dea));
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let mut m = Module::new("has \"quotes\"\nand newline");
+        let ty = m.types.i32();
+        m.add_zero_global("weird name/\\", ty);
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).expect("escaped output must re-parse");
+        assert_eq!(m2.name, m.name);
+        assert!(m2.global_by_name("weird name/\\").is_some());
+        assert_eq!(printed, print_module(&m2));
     }
 
     #[test]

@@ -25,12 +25,58 @@ use std::fmt::Write as _;
 use crate::function::Function;
 use crate::inst::{InstExtra, InstId, Opcode};
 use crate::module::{GlobalInit, Module};
+use crate::parser::is_plain_symbol;
 use crate::value::{ValueDef, ValueId};
+
+/// Escapes a string for a double-quoted literal, inverting the lexer's
+/// escape decoding.
+fn escape_str(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\0' => out.push_str("\\0"),
+            c if (c as u32) < 0x20 || c as u32 == 0x7f => {
+                let _ = write!(out, "\\x{:02x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prints a symbol name for use after `@`/`%`: bare when it is a plain
+/// identifier, quoted (with escapes) otherwise.
+fn sym(name: &str) -> String {
+    if is_plain_symbol(name) {
+        name.to_string()
+    } else {
+        format!("\"{}\"", escape_str(name))
+    }
+}
+
+/// Prints a float constant from its bit pattern. Finite values use the
+/// shortest decimal that round-trips; non-finite values (infinities, NaNs
+/// with payloads) use a bit-exact `0x...` spelling the parser understands.
+fn float_literal(bits: u64) -> String {
+    let value = f64::from_bits(bits);
+    if value.is_finite() {
+        // `{:?}` keeps a trailing `.0` so the parser can tell floats from
+        // ints, and prints the shortest decimal that parses back to the
+        // same bits.
+        format!("{value:?}")
+    } else {
+        format!("0x{bits:016x}")
+    }
+}
 
 /// Prints a whole module as parseable IR text.
 pub fn print_module(module: &Module) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "module \"{}\"", module.name);
+    let _ = writeln!(out, "module \"{}\"", escape_str(&module.name));
     for g in module.global_ids() {
         let data = module.global(g);
         let kind = if data.is_const { "const" } else { "global" };
@@ -52,7 +98,7 @@ pub fn print_module(module: &Module) -> String {
         let _ = writeln!(
             out,
             "{kind} @{} : {} = {init}",
-            data.name,
+            sym(&data.name),
             module.types.display(data.ty)
         );
     }
@@ -77,7 +123,7 @@ pub fn print_function(module: &Module, func: &Function) -> String {
         let _ = writeln!(
             out,
             "declare @{}({}) -> {} {}",
-            func.name,
+            sym(&func.name),
             params.join(", "),
             types.display(func.ret_ty),
             func.effects.mnemonic()
@@ -87,7 +133,7 @@ pub fn print_function(module: &Module, func: &Function) -> String {
     let _ = writeln!(
         out,
         "func @{}({}) -> {} {{",
-        func.name,
+        sym(&func.name),
         params.join(", "),
         types.display(func.ret_ty)
     );
@@ -133,13 +179,10 @@ fn operand(
             format!("{} {}", module.types.display(*ty), value)
         }
         ValueDef::ConstFloat { ty, bits } => {
-            let value = f64::from_bits(*bits);
-            // `{:?}` keeps a trailing `.0` so the parser can tell floats
-            // from ints.
-            format!("{} {:?}", module.types.display(*ty), value)
+            format!("{} {}", module.types.display(*ty), float_literal(*bits))
         }
-        ValueDef::GlobalAddr(g) => format!("@{}", module.global(*g).name),
-        ValueDef::FuncAddr(f) => format!("@{}", module.func(*f).name),
+        ValueDef::GlobalAddr(g) => format!("@{}", sym(&module.global(*g).name)),
+        ValueDef::FuncAddr(f) => format!("@{}", sym(&module.func(*f).name)),
         ValueDef::Undef(ty) => format!("{} undef", module.types.display(*ty)),
     }
 }
@@ -186,7 +229,7 @@ pub fn print_inst(
             format!(
                 "call {} @{}({})",
                 types.display(data.ty),
-                module.func(*callee).name,
+                sym(&module.func(*callee).name),
                 args.join(", ")
             )
         }

@@ -321,17 +321,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let text = match read_input(cli.input.as_deref().expect("validated")) {
+    let input = cli.input.as_deref().expect("validated");
+    let text = match read_input(input) {
         Ok(t) => t,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(1);
         }
     };
+    let display_path = if input == "-" { "<stdin>" } else { input };
     let mut module = match parse_module(&text) {
         Ok(m) => m,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("{display_path}:{}:{}: error: {}", e.line, e.col, e.message);
             return ExitCode::from(1);
         }
     };

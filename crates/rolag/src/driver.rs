@@ -1,6 +1,6 @@
 //! Parallel, memoizing module driver.
 //!
-//! [`roll_module_par`] fans [`roll_function_with`] out over a scoped worker
+//! [`roll_module_par`] fans [`roll_function_rescued`] out over a scoped worker
 //! pool ([`rolag_par`]) and merges the results deterministically, so that a
 //! parallel run produces a **byte-identical printed module and identical
 //! [`RolagStats`]** to the serial [`roll_module`](crate::roll_module) —
@@ -54,7 +54,7 @@ use rolag_par::{effective_jobs, par_map, par_map_with};
 use rolag_transforms::effects_table;
 
 use crate::options::RolagOptions;
-use crate::pass::roll_function_with;
+use crate::pass::roll_function_rescued;
 use crate::stats::RolagStats;
 
 /// Configuration of the parallel driver.
@@ -240,7 +240,7 @@ pub fn roll_module_par(
         },
         |state, _idx, &fid| {
             let before = state.module.num_globals();
-            let stats = roll_function_with(&mut state.module, fid, opts, &effects);
+            let stats = roll_function_rescued(&mut state.module, fid, opts, &effects);
             let changed = stats.rolled > 0 || state.module.num_globals() != before;
             let new_globals = (before..state.module.num_globals())
                 .map(|g| state.module.global(GlobalId::from_index(g)).clone())

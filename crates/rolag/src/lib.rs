@@ -59,8 +59,8 @@ pub use align::{build_candidate_graph, AlignGraph, AlignNode, GraphBuilder, Node
 pub use driver::{roll_module_par, DriverOptions, DriverReport};
 pub use options::RolagOptions;
 pub use pass::{
-    roll_function, roll_function_full_rescan, roll_function_with, roll_module,
-    roll_module_full_rescan,
+    roll_function, roll_function_full_rescan, roll_function_rescued, roll_function_with,
+    roll_module, roll_module_full_rescan,
 };
 pub use schedule::Schedule;
 pub use seeds::{collect_block_candidates, collect_candidates, Candidate};

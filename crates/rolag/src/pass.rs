@@ -16,7 +16,7 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
-use rolag_ir::{BlockId, Effects, FuncId, Function, Module};
+use rolag_ir::{BlockId, Effects, FuncId, Function, GlobalId, Module};
 use rolag_transforms::{cleanup_in_place, effects_table};
 
 use crate::align::{build_candidate_graph, AlignGraph};
@@ -482,9 +482,49 @@ pub fn roll_module(module: &mut Module, opts: &RolagOptions) -> RolagStats {
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = RolagStats::default();
     for id in ids {
-        total += roll_function_with(module, id, opts, &effects);
+        total += roll_function_rescued(module, id, opts, &effects);
     }
     total
+}
+
+/// Runs `engine` on function `id` with per-function panic isolation: if the
+/// engine panics, the module is restored to its pre-call state (the
+/// original function kept verbatim, speculative globals rolled back) and
+/// the returned stats count one `rescued` function. One pathological
+/// function thus degrades into a skipped roll instead of killing the whole
+/// module run.
+pub(crate) fn rescue_panics(
+    module: &mut Module,
+    id: FuncId,
+    engine: impl FnOnce(&mut Module) -> RolagStats,
+) -> RolagStats {
+    let func_snapshot = module.func(id).clone();
+    let globals_snapshot = module.num_globals();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine(module))) {
+        Ok(stats) => stats,
+        Err(_) => {
+            while module.num_globals() > globals_snapshot {
+                module.pop_global(GlobalId::from_index(module.num_globals() - 1));
+            }
+            module.replace_func(id, func_snapshot);
+            RolagStats {
+                rescued: 1,
+                ..Default::default()
+            }
+        }
+    }
+}
+
+/// [`roll_function_with`] wrapped in [`rescue_panics`]: an engine panic
+/// keeps the original function and counts `rescued` instead of unwinding
+/// out of the module driver.
+pub fn roll_function_rescued(
+    module: &mut Module,
+    id: FuncId,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> RolagStats {
+    rescue_panics(module, id, |m| roll_function_with(m, id, opts, effects))
 }
 
 /// [`roll_module`] on the full-rescan reference engine
@@ -495,7 +535,9 @@ pub fn roll_module_full_rescan(module: &mut Module, opts: &RolagOptions) -> Rola
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = RolagStats::default();
     for id in ids {
-        total += roll_function_full_rescan(module, id, opts, &effects);
+        total += rescue_panics(module, id, |m| {
+            roll_function_full_rescan(m, id, opts, &effects)
+        });
     }
     total
 }
@@ -603,5 +645,39 @@ entry:
             "clean blocks must serve sizes from cache: {:?}",
             stats.cache
         );
+    }
+
+    /// A panicking engine must leave the module byte-identical — including
+    /// rolling back any globals it speculatively added — and report the
+    /// function as rescued rather than unwinding.
+    #[test]
+    fn rescue_panics_restores_the_module() {
+        let text = r#"
+module "t"
+global @a : [4 x i32] = zero
+func @f() -> void {
+entry:
+  ret
+}
+"#;
+        let mut module = parse_module(text).unwrap();
+        let id = module.func_ids().next().unwrap();
+        let before = rolag_ir::printer::print_module(&module);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let stats = rescue_panics(&mut module, id, |m| {
+            let word = m.types.int(32);
+            m.add_global(rolag_ir::GlobalData {
+                name: "speculative".into(),
+                ty: word,
+                init: rolag_ir::GlobalInit::Zero,
+                is_const: true,
+            });
+            panic!("boom");
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(stats.rescued, 1);
+        assert_eq!(stats.rolled, 0);
+        assert_eq!(rolag_ir::printer::print_module(&module), before);
     }
 }

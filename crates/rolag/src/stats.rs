@@ -213,6 +213,9 @@ pub struct RolagStats {
     pub size_before: u64,
     /// Estimated text size after the pass.
     pub size_after: u64,
+    /// Functions skipped because the engine panicked on them; the original
+    /// function was kept verbatim (see `roll_function_rescued`).
+    pub rescued: u64,
     /// Per-stage wall-clock breakdown (excluded from equality).
     pub timings: StageTimings,
     /// Incremental-engine cache counters (excluded from equality).
@@ -231,6 +234,7 @@ impl PartialEq for RolagStats {
             && self.nodes == other.nodes
             && self.size_before == other.size_before
             && self.size_after == other.size_after
+            && self.rescued == other.rescued
     }
 }
 
@@ -256,6 +260,7 @@ impl AddAssign for RolagStats {
         self.nodes += rhs.nodes;
         self.size_before += rhs.size_before;
         self.size_after += rhs.size_after;
+        self.rescued += rhs.rescued;
         self.timings += rhs.timings;
         self.cache += rhs.cache;
     }
@@ -274,7 +279,11 @@ impl fmt::Display for RolagStats {
             self.size_before,
             self.size_after,
             -self.reduction_percent()
-        )
+        )?;
+        if self.rescued > 0 {
+            write!(f, ", {} function(s) rescued after a panic", self.rescued)?;
+        }
+        Ok(())
     }
 }
 

@@ -259,10 +259,9 @@ fn unrolled_loop(m: &mut Module, rng: &mut impl Rng, name: &str) {
     rolag_transforms::unroll::unroll_loops_in_function(&mut m.types, &snapshot, &mut f, factor);
     // The unroller leaves dead per-copy step clones behind; sweep them like
     // the surrounding pipeline would.
-    let void_ty = m.types.void();
     loop {
         let mut changed = rolag_ir::fold::simplify_function(&mut f, &mut m.types);
-        changed += rolag_ir::dce::run_dce_with(&mut f, void_ty, &|_| rolag_ir::Effects::ReadWrite);
+        changed += rolag_ir::dce::run_dce_with(&mut f, &m.types, &|_| rolag_ir::Effects::ReadWrite);
         if changed == 0 {
             break;
         }

@@ -23,11 +23,10 @@ pub fn effects_table(module: &Module) -> Vec<Effects> {
 /// [`cleanup_module`], and the RoLAG pass's post-roll cleanup (which holds
 /// the function outside the module while speculating).
 pub fn cleanup_in_place(func: &mut Function, types: &mut TypeStore, effects: &[Effects]) -> usize {
-    let void_ty = types.void();
     let mut total = 0;
     loop {
         let mut changed = simplify_function(func, types);
-        changed += run_dce_with(func, void_ty, &|callee| {
+        changed += run_dce_with(func, types, &|callee| {
             effects.get(callee.index()).copied().unwrap_or_default()
         });
         total += changed;
