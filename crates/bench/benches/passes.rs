@@ -1,0 +1,157 @@
+//! Pass-manager benchmark: the full evaluation pipeline
+//! (`unroll<8>,cse,cleanup,rolag,flatten,cleanup`) over the TSVC kernels,
+//! run once through the legacy direct `*_module` calls and once through
+//! the `rolag-passes` manager, to pin the manager's overhead at (near)
+//! zero and to measure what the cached analysis manager saves.
+//!
+//! Besides the usual min/median/mean table this bench writes
+//! `BENCH_passes.json` at the repository root (per-benchmark nanoseconds,
+//! manager-vs-direct ratio, analysis-cache hit rates) and
+//! `results/passes-analysis.csv` with the per-kind cache counters.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rolag::{roll_module, RolagOptions};
+use rolag_bench::harness::{BenchGroup, Measurement};
+use rolag_bench::pipelines::{analysis_csv_header, analysis_csv_row, run_pipeline};
+use rolag_ir::printer::print_module;
+use rolag_ir::Module;
+use rolag_passes::AnalysisCacheStats;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
+
+const SPEC: &str = "unroll<8>,cse,cleanup,rolag,flatten,cleanup";
+
+fn tsvc_inputs(n: usize) -> Vec<Module> {
+    all_kernels()
+        .iter()
+        .take(n)
+        .map(build_kernel_module)
+        .collect()
+}
+
+/// The legacy spelling of [`SPEC`]: direct entry-point calls, every
+/// analysis recomputed where the transform wants it.
+fn direct_pipeline(m: &mut Module) {
+    unroll_module(m, 8);
+    cse_module(m);
+    cleanup_module(m);
+    roll_module(m, &RolagOptions::default());
+    flatten_module(m);
+    cleanup_module(m);
+}
+
+fn bench_json(m: &Measurement) -> String {
+    format!(
+        "{{\"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+        m.min().as_nanos(),
+        m.median().as_nanos(),
+        m.mean().as_nanos()
+    )
+}
+
+fn cache_json(c: &AnalysisCacheStats) -> String {
+    let mut out = String::from("{");
+    for (counter, n) in c.rows() {
+        let _ = write!(out, "\"{counter}\": {n}, ");
+    }
+    let _ = write!(out, "\"hit_rate\": {:.4}}}", c.hit_rate());
+    out
+}
+
+fn main() {
+    let inputs = tsvc_inputs(24);
+
+    // The two spellings must agree byte-for-byte before timing them.
+    let mut cache_rows = Vec::new();
+    let mut total_cache = AnalysisCacheStats::default();
+    for (i, input) in inputs.iter().enumerate() {
+        let mut direct = input.clone();
+        direct_pipeline(&mut direct);
+        let mut managed = input.clone();
+        let report = run_pipeline(&mut managed, SPEC);
+        assert_eq!(
+            print_module(&direct),
+            print_module(&managed),
+            "manager output diverged from direct calls on kernel {i}"
+        );
+        cache_rows.push(analysis_csv_row(all_kernels()[i].name, &report.cache));
+        total_cache += report.cache;
+    }
+    cache_rows.push(analysis_csv_row("TOTAL", &total_cache));
+
+    let mut group = BenchGroup::new("passes", 10);
+    group.bench_batched(
+        "direct_tsvc24",
+        || inputs.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                direct_pipeline(m);
+            }
+        },
+    );
+    group.bench_batched(
+        "managed_tsvc24",
+        || inputs.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                run_pipeline(m, SPEC);
+            }
+        },
+    );
+    let results = group.finish();
+
+    let by_label = |label: &str| -> &Measurement {
+        results
+            .iter()
+            .find(|m| m.label == label)
+            .expect("measurement exists")
+    };
+    let ratio = by_label("managed_tsvc24").mean().as_nanos() as f64
+        / by_label("direct_tsvc24").mean().as_nanos().max(1) as f64;
+    println!("manager/direct wall ratio: {ratio:.3}x");
+    println!(
+        "analysis cache over tsvc24: {} ({} hits, {} misses)",
+        total_cache,
+        total_cache.total_hits(),
+        total_cache.total_misses()
+    );
+
+    // CARGO_MANIFEST_DIR is crates/bench; reports belong at the repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let csv_dir = root.join("results");
+    let _ = std::fs::create_dir_all(&csv_dir);
+    let csv_path = csv_dir.join("passes-analysis.csv");
+    let mut csv = String::from(analysis_csv_header());
+    csv.push('\n');
+    for row in &cache_rows {
+        csv.push_str(row);
+        csv.push('\n');
+    }
+    match std::fs::write(&csv_path, &csv) {
+        Ok(()) => println!("wrote {}", csv_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", csv_path.display()),
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"passes\",\n  \"samples\": 10,\n");
+    let _ = writeln!(json, "  \"pipeline\": \"{SPEC}\",");
+    json.push_str("  \"benchmarks\": {\n");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {}{sep}", m.label, bench_json(m));
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"manager_over_direct\": {ratio:.4},");
+    let _ = writeln!(json, "  \"analysis_cache\": {}", cache_json(&total_cache));
+    json.push_str("}\n");
+
+    let path = root.join("BENCH_passes.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -9,12 +9,13 @@
 //!
 //! Usage: `cargo run --release -p rolag-bench --bin pass_order`
 
-use rolag::{roll_module, RolagOptions};
+use rolag::RolagStats;
 use rolag_bench::parallel::par_map;
+use rolag_bench::pipelines::{run_pipeline, run_pipeline_with};
 use rolag_bench::report::write_csv;
 use rolag_lower::measure_module;
+use rolag_passes::AnalysisManager;
 use rolag_suites::tsvc::{all_kernels, build_kernel_module, KernelSpec};
-use rolag_transforms::{cleanup_module, cse_module, unroll_module};
 
 struct OrderRow {
     name: &'static str,
@@ -24,27 +25,33 @@ struct OrderRow {
     rolled_after: u64,
 }
 
+/// The rolling stats of the (single) rolag pass in a pipeline run.
+fn rolag_stats(report: &rolag_passes::RunReport) -> RolagStats {
+    report
+        .outcomes
+        .iter()
+        .find_map(|o| o.rolag)
+        .expect("pipeline contains a rolag pass")
+}
+
 fn eval(spec: &KernelSpec) -> OrderRow {
-    let opts = RolagOptions::default();
     let rolled_src = build_kernel_module(spec);
 
     // Common unrolled input, measured after full cleanup for a fair base.
     let mut unrolled = rolled_src.clone();
-    unroll_module(&mut unrolled, 8);
+    run_pipeline(&mut unrolled, "unroll<8>");
 
     // Variant A: RoLAG first, then CSE+cleanup.
     let mut a = unrolled.clone();
-    let stats_a = roll_module(&mut a, &opts);
-    cse_module(&mut a);
-    cleanup_module(&mut a);
+    let stats_a = rolag_stats(&run_pipeline(&mut a, "rolag,cse,cleanup"));
 
-    // Variant B (the paper's order): CSE+cleanup, then RoLAG.
+    // Variant B (the paper's order): CSE+cleanup, then RoLAG. The
+    // analysis manager is shared across the measurement break.
     let mut b = unrolled.clone();
-    cse_module(&mut b);
-    cleanup_module(&mut b);
+    let mut am = AnalysisManager::new();
+    run_pipeline_with(&mut b, "cse,cleanup", &mut am, None);
     let base = measure_module(&b).code_footprint();
-    let stats_b = roll_module(&mut b, &opts);
-    cleanup_module(&mut b);
+    let stats_b = rolag_stats(&run_pipeline_with(&mut b, "rolag,cleanup", &mut am, None));
 
     let pct = |m: &rolag_ir::Module| {
         let after = measure_module(m).code_footprint();

@@ -16,6 +16,7 @@
 pub mod angha_eval;
 pub mod harness;
 pub mod parallel;
+pub mod pipelines;
 pub mod report;
 pub mod table1_eval;
 pub mod tsvc_eval;

@@ -7,13 +7,15 @@
 //!
 //! ```text
 //! rolag-verify [--seed N] [--count N] [--runs N] [--pipelines all|a,b,...]
-//!              [--repro-dir DIR] [--no-shrink] [FILE.rir ...]
+//!              [--repro-dir DIR] [--no-shrink] [--verify-each] [FILE.rir ...]
 //! ```
 //!
-//! With positional files, checks those instead of generating. Exits 0 on
-//! a clean run, 1 on any failure (or bad usage).
+//! With positional files, checks those instead of generating. With
+//! `--verify-each`, the pass manager verifies the module after every pass
+//! of every registry-backed pipeline rather than only at the end. Exits 0
+//! on a clean run, 1 on any failure (or bad usage).
 
-use rolag_difftest::oracle::{check_module, Pipeline};
+use rolag_difftest::oracle::{check_module_opts, Pipeline};
 use rolag_difftest::shrink::shrink_failure;
 use rolag_difftest::{generate, generate_module};
 use rolag_ir::parser::parse_module;
@@ -27,13 +29,15 @@ struct Cli {
     pipelines: Vec<Pipeline>,
     repro_dir: PathBuf,
     shrink: bool,
+    verify_each: bool,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rolag-verify [--seed N] [--count N] [--runs N] \
-         [--pipelines all|name,name,...] [--repro-dir DIR] [--no-shrink] [FILE.rir ...]"
+         [--pipelines all|name,name,...] [--repro-dir DIR] [--no-shrink] \
+         [--verify-each] [FILE.rir ...]"
     );
     eprintln!("pipelines: {}", Pipeline::ALL.map(|p| p.name()).join(", "));
     std::process::exit(1)
@@ -47,6 +51,7 @@ fn parse_cli() -> Cli {
         pipelines: Pipeline::ALL.to_vec(),
         repro_dir: PathBuf::from("tests/repros"),
         shrink: true,
+        verify_each: false,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -69,6 +74,7 @@ fn parse_cli() -> Cli {
             }
             "--repro-dir" => cli.repro_dir = PathBuf::from(value("--repro-dir")),
             "--no-shrink" => cli.shrink = false,
+            "--verify-each" => cli.verify_each = true,
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => {
                 eprintln!("unknown option {arg}");
@@ -112,7 +118,7 @@ fn main() -> ExitCode {
                 }
             };
             checked += 1;
-            if let Err(f) = check_module(&module, &cli.pipelines, cli.runs) {
+            if let Err(f) = check_module_opts(&module, &cli.pipelines, cli.runs, cli.verify_each) {
                 eprintln!("{}: {f}", path.display());
                 failures += 1;
             }
@@ -123,7 +129,8 @@ fn main() -> ExitCode {
     for i in 0..cli.count {
         let text = generate(cli.seed, i);
         let module = generate_module(cli.seed, i);
-        let Err(failure) = check_module(&module, &cli.pipelines, cli.runs) else {
+        let Err(failure) = check_module_opts(&module, &cli.pipelines, cli.runs, cli.verify_each)
+        else {
             continue;
         };
         failures += 1;

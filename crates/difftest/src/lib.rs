@@ -33,5 +33,8 @@ pub mod oracle;
 pub mod shrink;
 
 pub use gen::{args_for, generate, generate_module};
-pub use oracle::{apply_pipeline, check_module, compare_behaviour, Failure, FailureKind, Pipeline};
+pub use oracle::{
+    apply_pipeline, apply_pipeline_checked, check_module, check_module_opts, compare_behaviour,
+    Failure, FailureKind, Pipeline,
+};
 pub use shrink::{shrink, shrink_failure};

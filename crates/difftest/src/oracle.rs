@@ -20,14 +20,15 @@
 //! and a printed module must re-parse to its own fixed point.
 
 use crate::gen::args_for;
-use rolag::{roll_module, roll_module_full_rescan, roll_module_par, DriverOptions, RolagOptions};
+use rolag::RolagStats;
 use rolag_ir::interp::{IValue, Interpreter, Outcome};
 use rolag_ir::parser::parse_module;
 use rolag_ir::printer::print_module;
 use rolag_ir::verify::verify_module;
 use rolag_ir::{Effects, Module};
-use rolag_reroll::reroll_module;
-use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
+use rolag_passes::{
+    AnalysisManager, PassContext, PassManager, PassManagerOptions, PassRegistry, TargetKind,
+};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -84,6 +85,22 @@ impl Pipeline {
             Pipeline::Rolag => "rolag",
             Pipeline::RolagPar => "rolag-par",
             Pipeline::RolagIncremental => "rolag-incremental",
+        }
+    }
+
+    /// The `rolag-passes` pipeline spec this pipeline runs, for the
+    /// single-transform pipelines. `None` for the meta-pipelines
+    /// (round-trip and the engine cross-checks), which compare runs
+    /// rather than apply one.
+    pub fn spec(self) -> Option<&'static str> {
+        match self {
+            Pipeline::Unroll => Some("unroll<4>"),
+            Pipeline::Cse => Some("cse"),
+            Pipeline::Flatten => Some("flatten"),
+            Pipeline::Cleanup => Some("cleanup"),
+            Pipeline::Reroll => Some("reroll"),
+            Pipeline::Rolag => Some("rolag"),
+            Pipeline::RoundTrip | Pipeline::RolagPar | Pipeline::RolagIncremental => None,
         }
     }
 
@@ -147,94 +164,135 @@ impl fmt::Display for Failure {
     }
 }
 
+/// Runs a `rolag-passes` pipeline spec over a copy of `module` through
+/// the shared pass manager — the one piece of dispatch every consumer of
+/// the oracle now goes through. Returns the transformed module plus the
+/// last rolag engine statistics the run produced (for the rescue and
+/// cross-check assertions).
+///
+/// `Err` is `(kind, detail)`: [`FailureKind::Verify`] when `verify_each`
+/// caught a broken module mid-pipeline, never anything else.
+fn run_spec(
+    module: &Module,
+    spec: &str,
+    jobs: Option<usize>,
+    verify_each: bool,
+) -> Result<(Module, Option<RolagStats>), (FailureKind, String)> {
+    let passes = PassRegistry::builtin()
+        .parse_pipeline(spec)
+        .expect("oracle pipeline specs come from the registry");
+    let mut pm = PassManager::with_options(PassManagerOptions {
+        verify_each,
+        print_changed: false,
+    });
+    pm.add_all(passes);
+    let mut m = module.clone();
+    let mut am = AnalysisManager::new();
+    let mut cx = PassContext::new(TargetKind::default());
+    cx.jobs = jobs;
+    match pm.run(&mut m, &mut am, &mut cx) {
+        Ok(report) => {
+            let stats = report.outcomes.iter().rev().find_map(|o| o.rolag);
+            Ok((m, stats))
+        }
+        Err(err) => Err((
+            FailureKind::Verify,
+            format!("verify after `{}`: {}", err.pass, err.errors.join("; ")),
+        )),
+    }
+}
+
 /// Applies `pipeline` to a copy of `module`. `Err` carries an *internal
 /// consistency* divergence (round-trip not a fixed point, parallel/serial
 /// or incremental/full mismatch, engine panic rescued mid-module).
 /// Transform panics unwind out of this function; [`check_module`] catches
 /// them.
 pub fn apply_pipeline(pipeline: Pipeline, module: &Module) -> Result<Module, String> {
-    let mut m = module.clone();
+    apply_pipeline_checked(pipeline, module, false).map_err(|(_, detail)| detail)
+}
+
+/// [`apply_pipeline`] with inter-pass verification control: with
+/// `verify_each` the pass manager verifies the module after every pass of
+/// every registry-backed pipeline (including each engine of the
+/// cross-check meta-pipelines), and a failure comes back as
+/// [`FailureKind::Verify`] naming the pass.
+pub fn apply_pipeline_checked(
+    pipeline: Pipeline,
+    module: &Module,
+    verify_each: bool,
+) -> Result<Module, (FailureKind, String)> {
+    let diverge = |detail: String| Err((FailureKind::Divergence, detail));
     match pipeline {
         Pipeline::RoundTrip => {
             let text = print_module(module);
-            let reparsed =
-                parse_module(&text).map_err(|e| format!("printed module fails to parse: {e}"))?;
+            let reparsed = match parse_module(&text) {
+                Ok(m) => m,
+                Err(e) => return diverge(format!("printed module fails to parse: {e}")),
+            };
             let text2 = print_module(&reparsed);
             if text2 != text {
-                return Err("print is not a fixed point across parse(print(m))".into());
+                return diverge("print is not a fixed point across parse(print(m))".into());
             }
             Ok(reparsed)
         }
-        Pipeline::Unroll => {
-            unroll_module(&mut m, 4);
-            Ok(m)
-        }
-        Pipeline::Cse => {
-            cse_module(&mut m);
-            Ok(m)
-        }
-        Pipeline::Flatten => {
-            flatten_module(&mut m);
-            Ok(m)
-        }
-        Pipeline::Cleanup => {
-            cleanup_module(&mut m);
-            Ok(m)
-        }
-        Pipeline::Reroll => {
-            reroll_module(&mut m);
-            Ok(m)
-        }
         Pipeline::Rolag => {
-            let stats = roll_module(&mut m, &RolagOptions::default());
-            if stats.rescued > 0 {
-                return Err(format!(
-                    "engine panicked on {} function(s) (rescued)",
-                    stats.rescued
+            let (m, stats) = run_spec(module, "rolag", None, verify_each)?;
+            let rescued = stats.map(|s| s.rescued).unwrap_or(0);
+            if rescued > 0 {
+                return diverge(format!(
+                    "engine panicked on {rescued} function(s) (rescued)"
                 ));
             }
             Ok(m)
         }
         Pipeline::RolagPar => {
-            let opts = RolagOptions::default();
-            let mut serial = module.clone();
-            let serial_stats = roll_module(&mut serial, &opts);
-            let driver = DriverOptions {
-                jobs: 2,
-                memoize: true,
-            };
-            let report = roll_module_par(&mut m, &opts, &driver);
-            if report.stats.rescued + serial_stats.rescued > 0 {
-                return Err("engine panicked under the driver (rescued)".into());
+            let (serial, serial_stats) = run_spec(module, "rolag", None, verify_each)?;
+            let (m, par_stats) = run_spec(module, "rolag", Some(2), verify_each)?;
+            let (serial_stats, par_stats) = (
+                serial_stats.unwrap_or_default(),
+                par_stats.unwrap_or_default(),
+            );
+            if par_stats.rescued + serial_stats.rescued > 0 {
+                return diverge("engine panicked under the driver (rescued)".into());
             }
             if print_module(&m) != print_module(&serial) {
-                return Err("parallel driver output differs from the serial pass".into());
+                return diverge("parallel driver output differs from the serial pass".into());
             }
-            if report.stats != serial_stats {
-                return Err(format!(
+            if par_stats != serial_stats {
+                return diverge(format!(
                     "parallel driver stats differ from serial: {} vs {}",
-                    report.stats, serial_stats
+                    par_stats, serial_stats
                 ));
             }
             Ok(m)
         }
         Pipeline::RolagIncremental => {
-            let opts = RolagOptions::default();
-            let mut full = module.clone();
-            let incr_stats = roll_module(&mut m, &opts);
-            let full_stats = roll_module_full_rescan(&mut full, &opts);
+            let (m, incr_stats) = run_spec(module, "rolag", None, verify_each)?;
+            let (full, full_stats) = run_spec(module, "rolag-rescan", None, verify_each)?;
+            let (incr_stats, full_stats) = (
+                incr_stats.unwrap_or_default(),
+                full_stats.unwrap_or_default(),
+            );
             if incr_stats.rescued + full_stats.rescued > 0 {
-                return Err("engine panicked during the incremental cross-check (rescued)".into());
+                return diverge(
+                    "engine panicked during the incremental cross-check (rescued)".into(),
+                );
             }
             if print_module(&m) != print_module(&full) {
-                return Err("incremental engine output differs from the full rescan".into());
+                return diverge("incremental engine output differs from the full rescan".into());
             }
             if incr_stats != full_stats {
-                return Err(format!(
+                return diverge(format!(
                     "incremental stats differ from full rescan: {} vs {}",
                     incr_stats, full_stats
                 ));
             }
+            Ok(m)
+        }
+        // Every single-transform pipeline is pure registry dispatch.
+        _ => {
+            let spec = pipeline.spec().expect("single-transform pipeline");
+            let (m, _) = run_spec(module, spec, None, verify_each)?;
             Ok(m)
         }
     }
@@ -360,13 +418,30 @@ fn interpretable_entries(module: &Module) -> Vec<String> {
 /// [`Failure`] identifies the pipeline, the failure class, and the first
 /// observed mismatch.
 pub fn check_module(module: &Module, pipelines: &[Pipeline], runs: u64) -> Result<(), Failure> {
+    check_module_opts(module, pipelines, runs, false)
+}
+
+/// [`check_module`] with inter-pass verification: with `verify_each`, the
+/// pass manager verifies the module after every pass of every
+/// registry-backed pipeline instead of only at the end.
+pub fn check_module_opts(
+    module: &Module,
+    pipelines: &[Pipeline],
+    runs: u64,
+    verify_each: bool,
+) -> Result<(), Failure> {
     for &pipeline in pipelines {
-        check_pipeline(module, pipeline, runs)?;
+        check_pipeline(module, pipeline, runs, verify_each)?;
     }
     Ok(())
 }
 
-fn check_pipeline(module: &Module, pipeline: Pipeline, runs: u64) -> Result<(), Failure> {
+fn check_pipeline(
+    module: &Module,
+    pipeline: Pipeline,
+    runs: u64,
+    verify_each: bool,
+) -> Result<(), Failure> {
     let fail = |kind, detail| {
         Err(Failure {
             pipeline,
@@ -374,9 +449,11 @@ fn check_pipeline(module: &Module, pipeline: Pipeline, runs: u64) -> Result<(), 
             detail,
         })
     };
-    let transformed = match catch_unwind(AssertUnwindSafe(|| apply_pipeline(pipeline, module))) {
+    let transformed = match catch_unwind(AssertUnwindSafe(|| {
+        apply_pipeline_checked(pipeline, module, verify_each)
+    })) {
         Ok(Ok(m)) => m,
-        Ok(Err(detail)) => return fail(FailureKind::Divergence, detail),
+        Ok(Err((kind, detail))) => return fail(kind, detail),
         Err(payload) => return fail(FailureKind::Panic, panic_message(&payload)),
     };
     if let Err(errors) = verify_module(&transformed) {

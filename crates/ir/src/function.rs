@@ -1,6 +1,16 @@
 //! Functions: arenas of values, instructions, and blocks.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide revision source. Revisions are cache keys, never printed,
+/// so a global atomic keeps them unique across threads (the parallel
+/// driver mutates function clones concurrently) without any coordination.
+static REVISION_COUNTER: AtomicU64 = AtomicU64::new(1);
+
+fn next_revision() -> u64 {
+    REVISION_COUNTER.fetch_add(1, Ordering::Relaxed)
+}
 
 use crate::block::{BlockData, BlockId};
 use crate::inst::{InstData, InstId, Opcode};
@@ -66,6 +76,18 @@ pub struct Function {
     blocks: Vec<BlockData>,
     params: Vec<ValueId>,
     const_map: HashMap<ConstKey, ValueId>,
+    /// Structural revision, used by analysis caches as a validity key.
+    /// Assigned from a process-wide counter on creation and re-assigned by
+    /// every mutator that can change the arenas, so two functions carrying
+    /// the same revision are clones with identical arenas. Cloning keeps
+    /// the revision (a clone *is* the same structure), which lets an
+    /// analysis computed on one clone serve the other — ids are arena
+    /// indices and line up exactly.
+    ///
+    /// The plain metadata fields (`name`, `effects`, …) do not bump the
+    /// revision; revision-keyed caches must only hold analyses derived
+    /// from the arenas (CFG, instructions, values).
+    revision: u64,
 }
 
 impl Function {
@@ -85,6 +107,7 @@ impl Function {
             blocks: Vec::new(),
             params: Vec::new(),
             const_map: HashMap::new(),
+            revision: next_revision(),
         };
         for (i, &ty) in param_tys.iter().enumerate() {
             let v = f.push_value(ValueDef::Param {
@@ -107,6 +130,19 @@ impl Function {
         f.is_declaration = true;
         f.effects = effects;
         f
+    }
+
+    /// Current structural revision. Two functions with equal revisions are
+    /// clones of the same state: analyses computed against one are valid
+    /// for the other. Any arena mutation assigns a globally fresh value,
+    /// so a stale cache entry can never collide with a new state.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Marks the arenas as changed by taking a fresh global revision.
+    fn bump_revision(&mut self) {
+        self.revision = next_revision();
     }
 
     /// Parameter types.
@@ -154,8 +190,11 @@ impl Function {
         &self.insts[i.index()]
     }
 
-    /// Mutable data of instruction `i`.
+    /// Mutable data of instruction `i`. Conservatively counts as a
+    /// structural mutation (the caller may rewrite operands or the
+    /// terminator), so it bumps the revision.
     pub fn inst_mut(&mut self, i: InstId) -> &mut InstData {
+        self.bump_revision();
         &mut self.insts[i.index()]
     }
 
@@ -245,6 +284,7 @@ impl Function {
 
     /// Appends a new empty block.
     pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.bump_revision();
         let id = BlockId(self.blocks.len() as u32);
         self.blocks.push(BlockData::new(name));
         id
@@ -265,8 +305,11 @@ impl Function {
         &self.blocks[b.index()]
     }
 
-    /// Mutable data of block `b`.
+    /// Mutable data of block `b`. Conservatively counts as a structural
+    /// mutation (the caller may edit the instruction list), so it bumps
+    /// the revision.
     pub fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        self.bump_revision();
         &mut self.blocks[b.index()]
     }
 
@@ -292,6 +335,7 @@ impl Function {
     /// attach it to a block with [`Function::append_inst`] or
     /// [`Function::insert_inst`].
     pub fn create_inst(&mut self, data: InstData) -> (InstId, ValueId) {
+        self.bump_revision();
         let id = InstId(self.insts.len() as u32);
         self.insts.push(data);
         self.live.push(false);
@@ -302,6 +346,7 @@ impl Function {
 
     /// Appends an instruction to the end of `block`.
     pub fn append_inst(&mut self, block: BlockId, inst: InstId) {
+        self.bump_revision();
         self.insts[inst.index()].block = block;
         self.live[inst.index()] = true;
         self.blocks[block.index()].insts.push(inst);
@@ -313,6 +358,7 @@ impl Function {
     ///
     /// Panics if `pos` is past the end of the block.
     pub fn insert_inst(&mut self, block: BlockId, pos: usize, inst: InstId) {
+        self.bump_revision();
         self.insts[inst.index()].block = block;
         self.live[inst.index()] = true;
         self.blocks[block.index()].insts.insert(pos, inst);
@@ -324,6 +370,7 @@ impl Function {
         if !self.live[inst.index()] {
             return;
         }
+        self.bump_revision();
         let block = self.insts[inst.index()].block;
         let list = &mut self.blocks[block.index()].insts;
         if let Some(pos) = list.iter().position(|&i| i == inst) {
@@ -346,6 +393,7 @@ impl Function {
 
     /// Replaces every use of `old` with `new` across all live instructions.
     pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
+        self.bump_revision();
         for (idx, inst) in self.insts.iter_mut().enumerate() {
             if !self.live[idx] {
                 continue;
@@ -428,6 +476,7 @@ impl Function {
     /// function is transplanted between modules whose type stores interned
     /// types in a different order.
     pub fn remap_types(&mut self, map: impl Fn(TypeId) -> TypeId) {
+        self.bump_revision();
         for ty in self.param_tys.iter_mut() {
             *ty = map(*ty);
         }
@@ -455,6 +504,7 @@ impl Function {
     /// Rewrites every [`GlobalId`] referenced by this function through
     /// `map`, then rebuilds the constant-interning map.
     pub fn remap_globals(&mut self, map: impl Fn(GlobalId) -> GlobalId) {
+        self.bump_revision();
         for def in self.values.iter_mut() {
             if let ValueDef::GlobalAddr(g) = def {
                 *g = map(*g);
@@ -467,6 +517,7 @@ impl Function {
     /// callees and function-address constants) through `map`, then rebuilds
     /// the constant-interning map.
     pub fn remap_funcs(&mut self, map: impl Fn(FuncId) -> FuncId) {
+        self.bump_revision();
         for def in self.values.iter_mut() {
             if let ValueDef::FuncAddr(f) = def {
                 *f = map(*f);
@@ -635,6 +686,53 @@ mod tests {
         assert_eq!(f.ret_ty, bump(old_ret));
         assert_eq!(f.inst(i).ty, bump(types.i32()));
         assert_eq!(f.const_int(bump(types.i32()), 5), c);
+    }
+
+    #[test]
+    fn revisions_track_structural_mutation() {
+        let (types, mut f) = sample();
+        let r0 = f.revision();
+
+        // A clone is the same structure: identical revision.
+        let clone = f.clone();
+        assert_eq!(clone.revision(), r0);
+
+        // Reading never bumps.
+        let _ = f.params();
+        let _ = f.num_values();
+        assert_eq!(f.revision(), r0);
+
+        // Every structural mutation takes a globally fresh revision.
+        let bb = f.add_block("entry");
+        let r1 = f.revision();
+        assert_ne!(r1, r0);
+        let (i, v) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![f.param(0), f.param(1)],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(bb, i);
+        let r2 = f.revision();
+        assert_ne!(r2, r1);
+        f.replace_all_uses(v, f.param(0));
+        assert_ne!(f.revision(), r2);
+        let r3 = f.revision();
+        f.remove_inst(i);
+        assert_ne!(f.revision(), r3);
+
+        // Removing an already-detached instruction is a no-op.
+        let r4 = f.revision();
+        f.remove_inst(i);
+        assert_eq!(f.revision(), r4);
+
+        // The untouched clone still carries the original revision, and a
+        // mutation on it diverges to a value the original never had.
+        let mut clone = clone;
+        assert_eq!(clone.revision(), r0);
+        clone.add_block("entry");
+        assert_ne!(clone.revision(), f.revision());
     }
 
     #[test]

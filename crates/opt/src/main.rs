@@ -3,26 +3,32 @@
 //!
 //! ```text
 //! rolag-opt [PASS...] [OPTIONS] <input.rir | ->
+//! ```
 //!
-//! Passes (applied in order):
-//!   -rolag             loop rolling (the paper's technique)
-//!   -rolag-ext         loop rolling with the future-work extensions
-//!   -no-special        loop rolling with special nodes disabled
-//!   -reroll            LLVM-style loop rerolling (the baseline)
-//!   -unroll=<N>        partially unroll counted loops by N
-//!   -cse               local common-subexpression elimination
-//!   -simplify          constant folding + algebraic identities
-//!   -dce               dead code elimination
-//!   -flatten           flatten RoLAG's nested loops
+//! Passes come from the `rolag-passes` registry, either as legacy `-name`
+//! flags (`-rolag -unroll=4 -cse ...`, applied in flag order) or as one
+//! `--passes` pipeline spec (`--passes "unroll<4>,cleanup,rolag"`). The
+//! two spellings desugar to the same pipeline and produce byte-identical
+//! output; `--list-passes` prints the registry. The full pass table in
+//! `--help` is generated from the registry, so it cannot drift from the
+//! implementation.
 //!
 //! Options:
+//!
+//! ```text
+//!   --passes <spec>            run a textual pipeline, e.g. "unroll<4>,cleanup,rolag"
+//!   --list-passes              print the registered passes and exit
 //!   --target <x86-64|thumb2>   cost-model target for profitability
 //!   --measure                  print measured section sizes before/after
-//!   --stats                    print pass statistics (with per-stage
-//!                              timings, fixpoint cache counters, and
-//!                              driver cache counters)
-//!   --jobs <N>                 run -rolag through the parallel memoizing
+//!   --stats                    print pass statistics (per-stage timings,
+//!                              fixpoint cache counters, driver cache
+//!                              counters, and analysis-cache hit rates)
+//!   --jobs <N>                 run rolag through the parallel memoizing
 //!                              driver with N workers (0 = all cores)
+//!   --time-passes              print per-pass wall time
+//!   --print-changed            dump the IR after every pass that changed it
+//!   --verify-each              verify between passes (on by default; flag
+//!                              kept for symmetry with rolag-verify)
 //!   --interp <func>            interpret <func>() after the passes
 //!   --check                    interpret before AND after, compare outcomes
 //!   --quiet                    do not print the final module
@@ -37,7 +43,7 @@
 use std::io::Read;
 use std::process::ExitCode;
 
-use rolag::{roll_module, roll_module_par, DriverOptions, RolagOptions};
+use rolag::RolagOptions;
 use rolag_analysis::cost::TargetKind;
 use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
 use rolag_ir::parser::parse_module;
@@ -45,28 +51,24 @@ use rolag_ir::printer::print_module;
 use rolag_ir::verify::verify_module;
 use rolag_ir::Module;
 use rolag_lower::measure_module;
-use rolag_reroll::reroll_module;
-use rolag_transforms::{cleanup_module, cse_module, flatten_module, unroll_module};
-
-#[derive(Debug, Clone)]
-enum Pass {
-    Rolag(RolagOptions),
-    Reroll,
-    Unroll(u32),
-    Cse,
-    Simplify,
-    Dce,
-    Flatten,
-}
+use rolag_passes::{
+    AnalysisManager, PassContext, PassManager, PassManagerOptions, PassOutcome, PassRegistry,
+};
 
 #[derive(Debug, Default)]
 struct Cli {
-    passes: Vec<Pass>,
+    /// Pipeline elements desugared from legacy `-name` flags, in order.
+    legacy: Vec<String>,
+    /// The `--passes` spec, verbatim.
+    spec: Option<String>,
     input: Option<String>,
     target: TargetKind,
     jobs: Option<usize>,
     measure: bool,
     stats: bool,
+    time_passes: bool,
+    print_changed: bool,
+    list_passes: bool,
     interp: Option<String>,
     check: bool,
     quiet: bool,
@@ -74,13 +76,17 @@ struct Cli {
     dump_align: bool,
 }
 
-fn usage() -> &'static str {
-    "usage: rolag-opt [PASS...] [OPTIONS] <input.rir | ->\n\
-     passes: -rolag -rolag-ext -no-special -reroll -unroll=<N> -cse \
-     -simplify -dce -flatten\n\
-     options: --target <x86-64|thumb2> --jobs <N> --measure --stats \
-     --interp <func> --check --quiet --verify-only\n\
-     (run with a .rir file, or `-` to read IR text from stdin)"
+fn usage() -> String {
+    format!(
+        "usage: rolag-opt [PASS...] [OPTIONS] <input.rir | ->\n\
+         passes (as -name flags applied in order, or one --passes spec):\n\
+         {passes}\
+         options: --passes <spec> --list-passes --target <x86-64|thumb2> \
+         --jobs <N> --measure --stats --time-passes --print-changed \
+         --verify-each --interp <func> --check --quiet --verify-only\n\
+         (run with a .rir file, or `-` to read IR text from stdin)",
+        passes = PassRegistry::builtin().help_passes()
+    )
 }
 
 fn parse_cli(args: &[String]) -> Result<Cli, String> {
@@ -88,27 +94,13 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "-rolag" => cli.passes.push(Pass::Rolag(RolagOptions::default())),
-            "-rolag-ext" => cli
-                .passes
-                .push(Pass::Rolag(RolagOptions::with_extensions())),
-            "-no-special" => cli
-                .passes
-                .push(Pass::Rolag(RolagOptions::no_special_nodes())),
-            "-reroll" => cli.passes.push(Pass::Reroll),
-            "-cse" => cli.passes.push(Pass::Cse),
-            "-simplify" => cli.passes.push(Pass::Simplify),
-            "-dce" => cli.passes.push(Pass::Dce),
-            "-flatten" => cli.passes.push(Pass::Flatten),
-            s if s.starts_with("-unroll=") => {
-                let n: u32 = s["-unroll=".len()..]
-                    .parse()
-                    .map_err(|_| format!("bad unroll factor in {s}"))?;
-                if n < 2 {
-                    return Err("unroll factor must be >= 2".into());
+            "--passes" => {
+                let spec = it.next().ok_or("--passes needs a pipeline spec")?;
+                if cli.spec.replace(spec.clone()).is_some() {
+                    return Err("more than one --passes spec".into());
                 }
-                cli.passes.push(Pass::Unroll(n));
             }
+            "--list-passes" => cli.list_passes = true,
             "--target" => {
                 let t = it.next().ok_or("--target needs a value")?;
                 cli.target = match t.as_str() {
@@ -123,6 +115,11 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             }
             "--measure" => cli.measure = true,
             "--stats" => cli.stats = true,
+            "--time-passes" => cli.time_passes = true,
+            "--print-changed" => cli.print_changed = true,
+            // Verification between passes is always on (the legacy
+            // behaviour); accepted so scripts can say it explicitly.
+            "--verify-each" => {}
             "--check" => cli.check = true,
             "--quiet" => cli.quiet = true,
             "--verify-only" => cli.verify_only = true,
@@ -130,7 +127,25 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--interp" => {
                 cli.interp = Some(it.next().ok_or("--interp needs a function")?.clone());
             }
-            "-h" | "--help" => return Err(usage().to_string()),
+            "-h" | "--help" => return Err(usage()),
+            s if s.starts_with("-unroll=") => {
+                // Validated here so legacy spellings keep legacy errors.
+                let raw = &s["-unroll=".len()..];
+                let n: u32 = raw
+                    .parse()
+                    .map_err(|_| format!("bad unroll factor in {s}"))?;
+                if n < 2 {
+                    return Err("unroll factor must be >= 2".into());
+                }
+                cli.legacy.push(format!("unroll<{n}>"));
+            }
+            s if s.len() > 1
+                && s.starts_with('-')
+                && !s.starts_with("--")
+                && PassRegistry::builtin().find(&s[1..]).is_some() =>
+            {
+                cli.legacy.push(s[1..].to_string());
+            }
             s if !s.starts_with('-') || s == "-" => {
                 if cli.input.replace(s.to_string()).is_some() {
                     return Err("more than one input file".into());
@@ -139,8 +154,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
     }
-    if cli.input.is_none() {
-        return Err(usage().to_string());
+    if cli.spec.is_some() && !cli.legacy.is_empty() {
+        return Err(format!(
+            "cannot mix --passes with legacy pass flags (-{} ...)",
+            cli.legacy[0]
+        ));
+    }
+    if cli.input.is_none() && !cli.list_passes {
+        return Err(usage());
     }
     Ok(cli)
 }
@@ -154,94 +175,6 @@ fn read_input(path: &str) -> Result<String, String> {
         Ok(buf)
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
-    }
-}
-
-fn run_pass(
-    module: &mut Module,
-    pass: &Pass,
-    target: TargetKind,
-    jobs: Option<usize>,
-    stats: bool,
-) {
-    match pass {
-        Pass::Rolag(opts) => {
-            let opts = RolagOptions {
-                target,
-                ..opts.clone()
-            };
-            let s = match jobs {
-                Some(n) => {
-                    let report = roll_module_par(
-                        module,
-                        &opts,
-                        &DriverOptions {
-                            jobs: n,
-                            memoize: true,
-                        },
-                    );
-                    if stats {
-                        eprintln!(
-                            "driver: {} functions, {} unique, {} cache hits ({:.1}%), {} workers, {:.2} ms wall",
-                            report.functions,
-                            report.unique,
-                            report.cache_hits,
-                            100.0 * report.cache_hit_rate(),
-                            report.jobs,
-                            report.wall_ns as f64 / 1e6
-                        );
-                    }
-                    report.stats
-                }
-                None => roll_module(module, &opts),
-            };
-            if stats {
-                eprintln!("rolag: {s}");
-                for (stage, ns) in s.timings.rows() {
-                    eprintln!("  stage {stage:<9} {ns:>12} ns");
-                }
-                for (counter, n) in s.cache.rows() {
-                    eprintln!("  cache {counter:<20} {n:>10}");
-                }
-            }
-        }
-        Pass::Reroll => {
-            let s = reroll_module(module);
-            if stats {
-                eprintln!(
-                    "reroll: {} of {} single-block loops rerolled",
-                    s.rerolled, s.examined
-                );
-            }
-        }
-        Pass::Unroll(n) => {
-            let outcomes = unroll_module(module, *n);
-            if stats {
-                let done = outcomes
-                    .iter()
-                    .filter(|o| matches!(o, rolag_transforms::UnrollOutcome::Unrolled { .. }))
-                    .count();
-                eprintln!("unroll: {done} of {} loops unrolled by {n}", outcomes.len());
-            }
-        }
-        Pass::Cse => {
-            let n = cse_module(module);
-            if stats {
-                eprintln!("cse: {n} instructions removed");
-            }
-        }
-        Pass::Simplify | Pass::Dce => {
-            let n = cleanup_module(module);
-            if stats {
-                eprintln!("cleanup: {n} instructions simplified/removed");
-            }
-        }
-        Pass::Flatten => {
-            let n = flatten_module(module);
-            if stats {
-                eprintln!("flatten: {n} nests flattened");
-            }
-        }
     }
 }
 
@@ -311,6 +244,27 @@ fn default_args(module: &Module, entry: &str) -> Vec<IValue> {
         .collect()
 }
 
+/// Prints one pass's recorded stat lines (the exact text the legacy
+/// single-purpose drivers emitted).
+fn print_outcome_stats(outcome: &PassOutcome) {
+    for line in &outcome.lines {
+        eprintln!("{line}");
+    }
+}
+
+fn print_changed_ir(outcome: &PassOutcome, index: usize) {
+    match (&outcome.changed, &outcome.ir_after) {
+        (Some(true), Some(ir)) => {
+            eprintln!("*** IR after pass {index} `{}` ***", outcome.name);
+            eprint!("{ir}");
+        }
+        (Some(false), _) => {
+            eprintln!("*** pass {index} `{}` made no changes ***", outcome.name);
+        }
+        _ => {}
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_cli(&args) {
@@ -318,6 +272,29 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::from(1);
+        }
+    };
+
+    if cli.list_passes {
+        print!("{}", PassRegistry::builtin().help_passes());
+        return ExitCode::SUCCESS;
+    }
+
+    // Resolve the pipeline before touching the input so spec errors are
+    // reported even for a missing file.
+    let spec_text = match &cli.spec {
+        Some(s) => s.clone(),
+        None => cli.legacy.join(","),
+    };
+    let pipeline = if spec_text.is_empty() {
+        Vec::new()
+    } else {
+        match PassRegistry::builtin().parse_pipeline(&spec_text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}", e.render("<passes>", &spec_text));
+                return ExitCode::from(1);
+            }
         }
     };
 
@@ -355,14 +332,61 @@ fn main() -> ExitCode {
     let original = module.clone();
     let before = measure_module(&module);
 
-    for pass in &cli.passes {
-        run_pass(&mut module, pass, cli.target, cli.jobs, cli.stats);
-        if let Err(errors) = verify_module(&module) {
-            for e in &errors {
-                eprintln!("verify after {pass:?}: {e}");
+    let mut pm = PassManager::with_options(PassManagerOptions {
+        verify_each: true,
+        print_changed: cli.print_changed,
+    });
+    pm.add_all(pipeline);
+    let mut am = AnalysisManager::new();
+    let mut cx = PassContext::new(cli.target);
+    cx.jobs = cli.jobs;
+
+    let report = match pm.run(&mut module, &mut am, &mut cx) {
+        Ok(report) => report,
+        Err(err) => {
+            // Stat lines of the passes that did run, then the verifier's
+            // diagnostics for the offending one.
+            if cli.stats {
+                for outcome in &err.completed {
+                    print_outcome_stats(outcome);
+                }
+            }
+            for e in &err.errors {
+                eprintln!("verify after {}: {e}", err.pass);
             }
             return ExitCode::from(1);
         }
+    };
+
+    if cli.stats {
+        for outcome in &report.outcomes {
+            print_outcome_stats(outcome);
+        }
+        eprintln!("analysis: {}", report.cache);
+        for (counter, n) in report.cache.rows() {
+            eprintln!("  analysis {counter:<17} {n:>10}");
+        }
+    }
+    if cli.print_changed {
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            print_changed_ir(outcome, i);
+        }
+    }
+    if cli.time_passes {
+        let total: u128 = report.outcomes.iter().map(|o| o.wall_ns).sum();
+        eprintln!("time-passes:");
+        for outcome in &report.outcomes {
+            eprintln!(
+                "  {name:<12} {ms:>10.3} ms",
+                name = outcome.name,
+                ms = outcome.wall_ns as f64 / 1e6
+            );
+        }
+        eprintln!(
+            "  {name:<12} {ms:>10.3} ms",
+            name = "total",
+            ms = total as f64 / 1e6
+        );
     }
 
     if cli.measure {

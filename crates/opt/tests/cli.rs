@@ -36,12 +36,9 @@ fn run(args: &[&str], stdin: &str) -> (String, String, Option<i32>) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn rolag-opt");
-    child
-        .stdin
-        .as_mut()
-        .unwrap()
-        .write_all(stdin.as_bytes())
-        .unwrap();
+    // Ignore EPIPE: on flag/spec errors the binary exits without
+    // reading stdin.
+    let _ = child.stdin.as_mut().unwrap().write_all(stdin.as_bytes());
     let out = child.wait_with_output().expect("wait");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -158,6 +155,112 @@ fn thumb_target_is_accepted() {
     );
     assert_eq!(code, Some(0), "{stderr}");
     assert!(stderr.contains("rolag:"));
+}
+
+/// Strips the nondeterministic timing numbers from `--stats` output so
+/// two runs can be compared byte-for-byte.
+fn normalize_timings(stderr: &str) -> String {
+    stderr
+        .lines()
+        .map(|l| {
+            if let Some(stage) = l.strip_prefix("  stage ") {
+                let name = stage.split_whitespace().next().unwrap_or("");
+                format!("  stage {name} NS")
+            } else if let Some(i) = l.find(" ms wall") {
+                let head = l[..i].rfind(' ').map(|j| &l[..j]).unwrap_or("");
+                format!("{head} X ms wall")
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn passes_spelling_matches_legacy_flags_byte_for_byte() {
+    let legacy = &[
+        "-unroll=4",
+        "-cse",
+        "-rolag",
+        "-flatten",
+        "-dce",
+        "--stats",
+        "-",
+    ];
+    let spec = &[
+        "--passes",
+        "unroll<4>,cse,rolag,flatten,dce",
+        "--stats",
+        "-",
+    ];
+    let (out_a, err_a, code_a) = run(legacy, SAMPLE);
+    let (out_b, err_b, code_b) = run(spec, SAMPLE);
+    assert_eq!(code_a, Some(0), "legacy: {err_a}");
+    assert_eq!(code_b, Some(0), "spec: {err_b}");
+    assert_eq!(out_a, out_b, "stdout diverged between spellings");
+    assert_eq!(
+        normalize_timings(&err_a),
+        normalize_timings(&err_b),
+        "stats diverged between spellings"
+    );
+}
+
+#[test]
+fn bad_pipeline_specs_fail_with_a_caret_diagnostic() {
+    let (_, stderr, code) = run(&["--passes", "rolag,flattn", "-"], SAMPLE);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("<passes>:1:7: error:"), "{stderr}");
+    assert!(stderr.contains("unknown pass `flattn`"), "{stderr}");
+    assert!(stderr.contains("did you mean `flatten`"), "{stderr}");
+    assert!(stderr.contains('^'), "no caret: {stderr}");
+
+    for (spec, needle) in [
+        ("rolag,", "trailing comma"),
+        ("unroll<0>", "at least 2"),
+        ("unroll<x>", "expected an integer"),
+        ("unroll", "needs a factor"),
+    ] {
+        let (_, stderr, code) = run(&["--passes", spec, "-"], SAMPLE);
+        assert_eq!(code, Some(1), "`{spec}` should be rejected");
+        assert!(stderr.contains(needle), "`{spec}` gave: {stderr}");
+    }
+
+    // Mixing the two spellings is ambiguous and refused.
+    let (_, stderr, code) = run(&["-rolag", "--passes", "cse", "-"], SAMPLE);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("--passes"), "{stderr}");
+}
+
+#[test]
+fn list_passes_prints_the_registry_table() {
+    let (stdout, _, code) = run(&["--list-passes"], "");
+    assert_eq!(code, Some(0));
+    for name in ["rolag", "unroll<N>", "cse", "cleanup", "flatten", "reroll"] {
+        assert!(stdout.contains(name), "`{name}` missing:\n{stdout}");
+    }
+}
+
+#[test]
+fn stats_reports_analysis_cache_counters() {
+    let (_, stderr, code) = run(
+        &["--passes", "cleanup,cse,cleanup", "--stats", "--quiet", "-"],
+        SAMPLE,
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("analysis:"), "{stderr}");
+    assert!(stderr.contains("effects_hits"), "{stderr}");
+}
+
+#[test]
+fn time_passes_prints_per_pass_wall_times() {
+    let (_, stderr, code) = run(
+        &["--passes", "rolag,cleanup", "--time-passes", "--quiet", "-"],
+        SAMPLE,
+    );
+    assert_eq!(code, Some(0), "{stderr}");
+    assert!(stderr.contains("rolag"), "{stderr}");
+    assert!(stderr.contains("ms"), "{stderr}");
 }
 
 #[test]

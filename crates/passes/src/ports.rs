@@ -1,0 +1,316 @@
+//! The built-in passes, ported onto the pass-manager traits.
+//!
+//! Every port wraps (or replicates instruction-for-instruction) the legacy
+//! `*_module` entry point it replaces, so a pipeline run through the
+//! manager produces byte-identical IR and stat lines to the old
+//! hand-rolled drivers. Where a legacy entry point recomputed an analysis
+//! the manager caches (unroll's loop forests, cleanup's effects table),
+//! the port takes the cached copy instead — the differential tests in
+//! `tests/pipeline_spec.rs` pin the equivalence.
+//!
+//! Preservation contracts (derived from the transform sources):
+//!
+//! | pass                    | preserves                          |
+//! |-------------------------|------------------------------------|
+//! | `cse`                   | dominators, loops, effects table   |
+//! | `cleanup`/`simplify`/`dce` | effects table                   |
+//! | `unroll`, `flatten`, `reroll`, `rolag*` | effects table      |
+//!
+//! CSE only removes non-terminator instructions, so the CFG — and with it
+//! the dominator tree and loop forest — survives. Cleanup's DCE seals
+//! unreachable blocks (a CFG edit), so it keeps only the effects table.
+//! No registered pass adds, removes, or re-annotates function
+//! declarations, so the effects table survives everything.
+
+use rolag::{roll_module, roll_module_full_rescan, roll_module_par, DriverOptions, RolagOptions};
+use rolag_ir::{FuncId, Module};
+use rolag_reroll::reroll_module;
+use rolag_transforms::{
+    cleanup_in_place, cse_block, flatten_module, unroll_loops_with, UnrollOutcome,
+};
+
+use crate::analysis::{AnalysisKind, AnalysisManager, PreservedAnalyses};
+use crate::manager::{FuncResult, FunctionPass, ModulePass, PassContext};
+
+/// Block-local common-subexpression elimination
+/// ([`rolag_transforms::cse_module`] per function).
+pub struct CsePass;
+
+impl FunctionPass for CsePass {
+    fn name(&self) -> String {
+        "cse".into()
+    }
+
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        id: FuncId,
+        _am: &mut AnalysisManager,
+        _cx: &mut PassContext,
+    ) -> FuncResult {
+        // Same shape as cse_module: detach a clone, CSE block by block
+        // against the unmodified module, swap it back in.
+        let mut func = module.func(id).clone();
+        let mut removed = 0u64;
+        for block in func.block_ids().collect::<Vec<_>>() {
+            removed += cse_block(module, &mut func, block) as u64;
+        }
+        module.replace_func(id, func);
+        FuncResult {
+            preserved: PreservedAnalyses::none()
+                .preserve(AnalysisKind::Dominators)
+                .preserve(AnalysisKind::Loops)
+                .preserve(AnalysisKind::EffectsTable),
+            changed: removed,
+        }
+    }
+
+    fn summarize(&self, changed: u64, cx: &mut PassContext) {
+        cx.note(format!("cse: {changed} instructions removed"));
+    }
+}
+
+/// Constant folding + DCE to a fixed point
+/// ([`rolag_transforms::cleanup_module`] per function), with the call
+/// effects table served from the analysis cache instead of recomputed per
+/// invocation. Registered as `cleanup`, with `simplify` and `dce` as the
+/// legacy-flag aliases.
+pub struct CleanupPass {
+    name: &'static str,
+}
+
+impl CleanupPass {
+    /// The canonical `cleanup` pass.
+    pub fn new() -> Self {
+        CleanupPass { name: "cleanup" }
+    }
+
+    /// The same pass under a legacy alias (`simplify` or `dce`).
+    pub fn aliased(name: &'static str) -> Self {
+        CleanupPass { name }
+    }
+}
+
+impl Default for CleanupPass {
+    fn default() -> Self {
+        CleanupPass::new()
+    }
+}
+
+impl FunctionPass for CleanupPass {
+    fn name(&self) -> String {
+        self.name.into()
+    }
+
+    fn run_on_function(
+        &self,
+        module: &mut Module,
+        id: FuncId,
+        am: &mut AnalysisManager,
+        _cx: &mut PassContext,
+    ) -> FuncResult {
+        let effects = am.effects(module);
+        let (func, types) = module.func_and_types_mut(id);
+        let changed = cleanup_in_place(func, types, &effects) as u64;
+        FuncResult {
+            preserved: PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable),
+            changed,
+        }
+    }
+
+    fn summarize(&self, changed: u64, cx: &mut PassContext) {
+        cx.note(format!(
+            "cleanup: {changed} instructions simplified/removed"
+        ));
+    }
+}
+
+/// Partial unrolling of counted loops
+/// ([`rolag_transforms::unroll_module`]), with the loop forests served
+/// from the analysis cache. A module pass rather than a function pass
+/// because every function unrolls against one pre-pass module snapshot.
+pub struct UnrollPass {
+    /// The unroll factor (≥ 2).
+    pub factor: u32,
+}
+
+impl ModulePass for UnrollPass {
+    fn name(&self) -> String {
+        format!("unroll<{}>", self.factor)
+    }
+
+    fn run(
+        &self,
+        module: &mut Module,
+        am: &mut AnalysisManager,
+        cx: &mut PassContext,
+    ) -> PreservedAnalyses {
+        let snapshot = module.clone();
+        let ids: Vec<FuncId> = module.func_ids().collect();
+        let mut outcomes = Vec::new();
+        for id in ids {
+            if module.func(id).is_declaration {
+                continue;
+            }
+            let loops = am.loops(module, id);
+            let (func, types) = module.func_and_types_mut(id);
+            outcomes.extend(unroll_loops_with(
+                types,
+                &snapshot,
+                func,
+                self.factor,
+                &loops,
+            ));
+        }
+        let done = outcomes
+            .iter()
+            .filter(|o| matches!(o, UnrollOutcome::Unrolled { .. }))
+            .count();
+        cx.note(format!(
+            "unroll: {done} of {} loops unrolled by {}",
+            outcomes.len(),
+            self.factor
+        ));
+        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+    }
+}
+
+/// Loop-nest flattening ([`rolag_transforms::flatten_module`]).
+pub struct FlattenPass;
+
+impl ModulePass for FlattenPass {
+    fn name(&self) -> String {
+        "flatten".into()
+    }
+
+    fn run(
+        &self,
+        module: &mut Module,
+        _am: &mut AnalysisManager,
+        cx: &mut PassContext,
+    ) -> PreservedAnalyses {
+        let n = flatten_module(module);
+        cx.note(format!("flatten: {n} nests flattened"));
+        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+    }
+}
+
+/// LLVM-style loop rerolling, the paper's baseline
+/// ([`rolag_reroll::reroll_module`]).
+pub struct RerollPass;
+
+impl ModulePass for RerollPass {
+    fn name(&self) -> String {
+        "reroll".into()
+    }
+
+    fn run(
+        &self,
+        module: &mut Module,
+        _am: &mut AnalysisManager,
+        cx: &mut PassContext,
+    ) -> PreservedAnalyses {
+        let s = reroll_module(module);
+        cx.note(format!(
+            "reroll: {} of {} single-block loops rerolled",
+            s.rerolled, s.examined
+        ));
+        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+    }
+}
+
+/// Which rolag fixpoint engine a [`RolagPass`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolagEngine {
+    /// The incremental dirty-block worklist ([`roll_module`]); honours
+    /// [`PassContext::jobs`] by switching to the parallel memoizing
+    /// driver ([`roll_module_par`]).
+    Incremental,
+    /// The non-incremental reference engine
+    /// ([`roll_module_full_rescan`]); always serial.
+    FullRescan,
+}
+
+/// RoLAG loop rolling — the paper's technique.
+pub struct RolagPass {
+    name: &'static str,
+    options: RolagOptions,
+    engine: RolagEngine,
+}
+
+impl RolagPass {
+    /// The default configuration (`rolag`).
+    pub fn new() -> Self {
+        RolagPass::with("rolag", RolagOptions::default(), RolagEngine::Incremental)
+    }
+
+    /// A named configuration. The stored options' target is overridden by
+    /// the [`PassContext`] target at run time, exactly as the legacy
+    /// driver did.
+    pub fn with(name: &'static str, options: RolagOptions, engine: RolagEngine) -> Self {
+        RolagPass {
+            name,
+            options,
+            engine,
+        }
+    }
+}
+
+impl Default for RolagPass {
+    fn default() -> Self {
+        RolagPass::new()
+    }
+}
+
+impl ModulePass for RolagPass {
+    fn name(&self) -> String {
+        self.name.into()
+    }
+
+    fn run(
+        &self,
+        module: &mut Module,
+        _am: &mut AnalysisManager,
+        cx: &mut PassContext,
+    ) -> PreservedAnalyses {
+        let opts = RolagOptions {
+            target: cx.target,
+            ..self.options.clone()
+        };
+        let stats = match (self.engine, cx.jobs) {
+            (RolagEngine::Incremental, Some(n)) => {
+                let report = roll_module_par(
+                    module,
+                    &opts,
+                    &DriverOptions {
+                        jobs: n,
+                        memoize: true,
+                    },
+                );
+                cx.note(format!(
+                    "driver: {} functions, {} unique, {} cache hits ({:.1}%), {} workers, {:.2} ms wall",
+                    report.functions,
+                    report.unique,
+                    report.cache_hits,
+                    100.0 * report.cache_hit_rate(),
+                    report.jobs,
+                    report.wall_ns as f64 / 1e6
+                ));
+                let stats = report.stats;
+                cx.record_driver(report);
+                stats
+            }
+            (RolagEngine::Incremental, None) => roll_module(module, &opts),
+            (RolagEngine::FullRescan, _) => roll_module_full_rescan(module, &opts),
+        };
+        cx.note(format!("rolag: {stats}"));
+        for (stage, ns) in stats.timings.rows() {
+            cx.note(format!("  stage {stage:<9} {ns:>12} ns"));
+        }
+        for (counter, n) in stats.cache.rows() {
+            cx.note(format!("  cache {counter:<20} {n:>10}"));
+        }
+        cx.record_rolag(stats);
+        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+    }
+}

@@ -1,0 +1,284 @@
+//! Textual pipeline specifications.
+//!
+//! A spec is a comma-separated list of pass names, each optionally carrying
+//! a parameter in angle brackets — the grammar used by `rolag-opt --passes`:
+//!
+//! ```text
+//! unroll<4>,cleanup,rolag,flatten,cleanup
+//! ```
+//!
+//! Parsing tracks byte offsets so errors render as `file:line:col`-style
+//! diagnostics with a caret pointing at the offending character; see
+//! [`SpecError::render`].
+
+use std::fmt;
+
+/// One element of a pipeline spec: a pass name plus an optional `<param>`,
+/// with the byte offsets where each appeared in the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecElement {
+    /// The pass name, e.g. `unroll`.
+    pub name: String,
+    /// The text between the angle brackets, if any.
+    pub param: Option<String>,
+    /// Byte offset of the first character of `name` in the spec string.
+    pub offset: usize,
+    /// Byte offset of the first character of `param`, if present.
+    pub param_offset: Option<usize>,
+}
+
+impl SpecElement {
+    /// Convenience for tests and programmatic construction; offsets are
+    /// zeroed.
+    pub fn new(name: &str, param: Option<&str>) -> Self {
+        SpecElement {
+            name: name.to_string(),
+            param: param.map(str::to_string),
+            offset: 0,
+            param_offset: None,
+        }
+    }
+}
+
+impl fmt::Display for SpecElement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.param {
+            Some(p) => write!(f, "{}<{}>", self.name, p),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// A parsed pipeline specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSpec {
+    /// The elements in execution order.
+    pub elements: Vec<SpecElement>,
+}
+
+impl PipelineSpec {
+    /// Parses `text`. Whitespace around elements is ignored; the element
+    /// grammar is `name` or `name<param>` where `name` is
+    /// `[A-Za-z0-9_-]+` and `param` is any run of characters other than
+    /// `>` or `,`.
+    pub fn parse(text: &str) -> Result<PipelineSpec, SpecError> {
+        let bytes = text.as_bytes();
+        let mut elements = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            let start = pos;
+            while pos < bytes.len() && is_name_byte(bytes[pos]) {
+                pos += 1;
+            }
+            if pos == start {
+                let what = if pos >= bytes.len() {
+                    if elements.is_empty() {
+                        "empty pipeline spec"
+                    } else {
+                        "trailing comma in pipeline spec"
+                    }
+                } else if bytes[pos] == b',' {
+                    "empty pipeline element"
+                } else {
+                    "expected a pass name"
+                };
+                return Err(SpecError {
+                    offset: pos.min(text.len()),
+                    message: what.to_string(),
+                });
+            }
+            let name = text[start..pos].to_string();
+            let mut param = None;
+            let mut param_offset = None;
+            if pos < bytes.len() && bytes[pos] == b'<' {
+                let open = pos;
+                pos += 1;
+                let pstart = pos;
+                while pos < bytes.len() && bytes[pos] != b'>' && bytes[pos] != b',' {
+                    pos += 1;
+                }
+                if pos >= bytes.len() || bytes[pos] != b'>' {
+                    return Err(SpecError {
+                        offset: open,
+                        message: format!("unterminated parameter for pass `{name}`: missing `>`"),
+                    });
+                }
+                param = Some(text[pstart..pos].to_string());
+                param_offset = Some(pstart);
+                pos += 1; // consume '>'
+            }
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            elements.push(SpecElement {
+                name,
+                param,
+                offset: start,
+                param_offset,
+            });
+            if pos >= bytes.len() {
+                break;
+            }
+            if bytes[pos] != b',' {
+                return Err(SpecError {
+                    offset: pos,
+                    message: format!(
+                        "unexpected character `{}` after pipeline element",
+                        &text[pos..pos + utf8_len(bytes[pos])]
+                    ),
+                });
+            }
+            pos += 1; // consume ','
+        }
+        Ok(PipelineSpec { elements })
+    }
+}
+
+impl fmt::Display for PipelineSpec {
+    /// The canonical form: elements joined with `,`, no whitespace.
+    /// Parsing the rendered string yields an equal spec (modulo offsets).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.elements.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'-'
+}
+
+fn utf8_len(lead: u8) -> usize {
+    match lead {
+        b if b < 0x80 => 1,
+        b if b >= 0xf0 => 4,
+        b if b >= 0xe0 => 3,
+        _ => 2,
+    }
+}
+
+/// A pipeline-spec error, anchored to a byte offset in the spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// Byte offset into the spec string where the problem starts.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SpecError {
+    /// Renders a compiler-style diagnostic:
+    ///
+    /// ```text
+    /// <passes>:1:9: error: unknown pass `unrol`
+    ///   unroll<4>,unrol,cleanup
+    ///             ^
+    /// ```
+    ///
+    /// `origin` names the source of the spec (e.g. `<passes>` for the
+    /// command line). Specs are single-line, so the line number is
+    /// always 1 and the column is the character count up to `offset`.
+    pub fn render(&self, origin: &str, spec: &str) -> String {
+        let col = spec
+            .char_indices()
+            .take_while(|&(i, _)| i < self.offset)
+            .count()
+            + 1;
+        let caret_pad: String = " ".repeat(col - 1);
+        format!(
+            "{origin}:1:{col}: error: {msg}\n  {spec}\n  {caret_pad}^",
+            msg = self.message
+        )
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at offset {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(spec: &PipelineSpec) -> Vec<(&str, Option<&str>)> {
+        spec.elements
+            .iter()
+            .map(|e| (e.name.as_str(), e.param.as_deref()))
+            .collect()
+    }
+
+    #[test]
+    fn parses_plain_and_parameterised_elements() {
+        let spec = PipelineSpec::parse("unroll<4>, cleanup ,rolag").unwrap();
+        assert_eq!(
+            names(&spec),
+            vec![("unroll", Some("4")), ("cleanup", None), ("rolag", None)]
+        );
+        assert_eq!(spec.elements[0].offset, 0);
+        assert_eq!(spec.elements[0].param_offset, Some(7));
+        assert_eq!(spec.elements[1].offset, 11);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "unroll<4>,cleanup,rolag,flatten,cleanup",
+            "cse",
+            "rolag-ext",
+        ] {
+            let spec = PipelineSpec::parse(text).unwrap();
+            assert_eq!(spec.to_string(), text);
+            let again = PipelineSpec::parse(&spec.to_string()).unwrap();
+            assert_eq!(names(&again), names(&spec));
+        }
+        // Non-canonical input renders canonically and re-parses equal.
+        let spec = PipelineSpec::parse("  unroll<4> ,  cse ").unwrap();
+        assert_eq!(spec.to_string(), "unroll<4>,cse");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        let err = PipelineSpec::parse("").unwrap_err();
+        assert!(err.message.contains("empty pipeline spec"));
+
+        let err = PipelineSpec::parse("cse,").unwrap_err();
+        assert!(err.message.contains("trailing comma"), "{}", err.message);
+        assert_eq!(err.offset, 4);
+
+        let err = PipelineSpec::parse("cse,,dce").unwrap_err();
+        assert!(err.message.contains("empty pipeline element"));
+
+        let err = PipelineSpec::parse("unroll<4,cse").unwrap_err();
+        assert!(err.message.contains("missing `>`"), "{}", err.message);
+        assert_eq!(err.offset, 6);
+
+        let err = PipelineSpec::parse("unroll<4>x,cse").unwrap_err();
+        assert!(err.message.contains("unexpected character `x`"));
+        assert_eq!(err.offset, 9);
+    }
+
+    #[test]
+    fn render_points_at_the_column() {
+        let spec = "unroll<4>,unrol,cleanup";
+        let err = SpecError {
+            offset: 10,
+            message: "unknown pass `unrol`".into(),
+        };
+        let diag = err.render("<passes>", spec);
+        assert_eq!(
+            diag,
+            "<passes>:1:11: error: unknown pass `unrol`\n  unroll<4>,unrol,cleanup\n            ^"
+        );
+    }
+}
