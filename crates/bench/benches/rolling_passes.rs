@@ -38,6 +38,19 @@ fn main() {
         },
     );
 
+    // The same inputs with per-rewrite translation validation on: the gap
+    // against `rolag_tsvc24` is the static proof overhead.
+    group.bench_batched(
+        "rolag_tv_tsvc24",
+        || tsvc.clone(),
+        |mut modules| {
+            let opts = RolagOptions::validated();
+            for m in &mut modules {
+                roll_module(m, &opts);
+            }
+        },
+    );
+
     group.bench_batched(
         "llvm_reroll_tsvc24",
         || tsvc.clone(),

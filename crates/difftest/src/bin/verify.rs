@@ -7,12 +7,17 @@
 //!
 //! ```text
 //! rolag-verify [--seed N] [--count N] [--runs N] [--pipelines all|a,b,...]
-//!              [--repro-dir DIR] [--no-shrink] [--verify-each] [FILE.rir ...]
+//!              [--repro-dir DIR] [--no-shrink] [--verify-each] [--tv]
+//!              [FILE.rir ...]
 //! ```
 //!
 //! With positional files, checks those instead of generating. With
 //! `--verify-each`, the pass manager verifies the module after every pass
-//! of every registry-backed pipeline rather than only at the end. Exits 0
+//! of every registry-backed pipeline rather than only at the end. `--tv`
+//! is shorthand for `--pipelines rolag-tv`: every module runs through the
+//! validated rolling pass, so the static translation validator's verdict
+//! is cross-checked against the dynamic interpreting oracle (and
+//! disagreements shrink into repros like any other divergence). Exits 0
 //! on a clean run, 1 on any failure (or bad usage).
 
 use rolag_difftest::oracle::{check_module_opts, Pipeline};
@@ -37,7 +42,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rolag-verify [--seed N] [--count N] [--runs N] \
          [--pipelines all|name,name,...] [--repro-dir DIR] [--no-shrink] \
-         [--verify-each] [FILE.rir ...]"
+         [--verify-each] [--tv] [FILE.rir ...]"
     );
     eprintln!("pipelines: {}", Pipeline::ALL.map(|p| p.name()).join(", "));
     std::process::exit(1)
@@ -75,6 +80,7 @@ fn parse_cli() -> Cli {
             "--repro-dir" => cli.repro_dir = PathBuf::from(value("--repro-dir")),
             "--no-shrink" => cli.shrink = false,
             "--verify-each" => cli.verify_each = true,
+            "--tv" => cli.pipelines = vec![Pipeline::RolagTv],
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => {
                 eprintln!("unknown option {arg}");

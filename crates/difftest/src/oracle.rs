@@ -57,11 +57,19 @@ pub enum Pipeline {
     RolagPar,
     /// The incremental engine cross-checked against the full rescan.
     RolagIncremental,
+    /// The rolling pass gated by the `rolag-tv` static translation
+    /// validator, cross-checked against the unvalidated pass: the
+    /// validator must accept every rewrite the engine accepts (zero
+    /// static false rejects) and the validated module must be
+    /// byte-identical to the unvalidated one — then the usual dynamic
+    /// comparison against the original module cross-checks the static
+    /// verdict against the interpreting oracle.
+    RolagTv,
 }
 
 impl Pipeline {
     /// Every pipeline, in the order `--pipelines all` runs them.
-    pub const ALL: [Pipeline; 9] = [
+    pub const ALL: [Pipeline; 10] = [
         Pipeline::RoundTrip,
         Pipeline::Unroll,
         Pipeline::Cse,
@@ -71,6 +79,7 @@ impl Pipeline {
         Pipeline::Rolag,
         Pipeline::RolagPar,
         Pipeline::RolagIncremental,
+        Pipeline::RolagTv,
     ];
 
     /// Stable command-line name.
@@ -85,6 +94,7 @@ impl Pipeline {
             Pipeline::Rolag => "rolag",
             Pipeline::RolagPar => "rolag-par",
             Pipeline::RolagIncremental => "rolag-incremental",
+            Pipeline::RolagTv => "rolag-tv",
         }
     }
 
@@ -100,7 +110,10 @@ impl Pipeline {
             Pipeline::Cleanup => Some("cleanup"),
             Pipeline::Reroll => Some("reroll"),
             Pipeline::Rolag => Some("rolag"),
-            Pipeline::RoundTrip | Pipeline::RolagPar | Pipeline::RolagIncremental => None,
+            Pipeline::RoundTrip
+            | Pipeline::RolagPar
+            | Pipeline::RolagIncremental
+            | Pipeline::RolagTv => None,
         }
     }
 
@@ -286,6 +299,27 @@ pub fn apply_pipeline_checked(
                     "incremental stats differ from full rescan: {} vs {}",
                     incr_stats, full_stats
                 ));
+            }
+            Ok(m)
+        }
+        Pipeline::RolagTv => {
+            let (plain, plain_stats) = run_spec(module, "rolag", None, verify_each)?;
+            let (m, tv_stats) = run_spec(module, "tv", None, verify_each)?;
+            let (plain_stats, tv_stats) = (
+                plain_stats.unwrap_or_default(),
+                tv_stats.unwrap_or_default(),
+            );
+            if plain_stats.rescued + tv_stats.rescued > 0 {
+                return diverge("engine panicked during the validated run (rescued)".into());
+            }
+            if tv_stats.tv_rejected > 0 {
+                return diverge(format!(
+                    "static validator rejected {} rewrite(s) the engine accepted",
+                    tv_stats.tv_rejected
+                ));
+            }
+            if print_module(&m) != print_module(&plain) {
+                return diverge("validated pass output differs from the unvalidated pass".into());
             }
             Ok(m)
         }

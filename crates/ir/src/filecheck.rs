@@ -12,23 +12,38 @@
 //!
 //! Matching is substring-based after whitespace normalization (runs of
 //! spaces collapse), which keeps checks robust against formatting drift.
+//!
+//! Every failure carries the 1-based line and column of the offending
+//! directive in the script, and [`CheckError::render`] produces a
+//! caret diagnostic in the same `origin:line:col: error:` shape the
+//! pipeline-spec parser uses — so a failing lit golden points straight
+//! at the directive that missed.
 
-/// Outcome of a check run.
+/// Outcome of a check run. Every variant records the 1-based `line` and
+/// `col` of the directive in the check script.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CheckError {
     /// A `CHECK`/`CHECK-NEXT` directive found no matching line.
     NotFound {
         /// The directive text.
         directive: String,
-        /// 0-based index of the line where the search started.
+        /// 0-based index of the input line where the search started.
         from_line: usize,
+        /// 1-based script line of the directive.
+        line: usize,
+        /// 1-based script column of the directive.
+        col: usize,
     },
     /// A `CHECK-NOT` pattern appeared in the forbidden region.
     Forbidden {
         /// The directive text.
         directive: String,
         /// The offending input line.
-        line: String,
+        input_line: String,
+        /// 1-based script line of the directive.
+        line: usize,
+        /// 1-based script column of the directive.
+        col: usize,
     },
     /// A `CHECK-COUNT-n` directive counted a different number.
     WrongCount {
@@ -38,28 +53,90 @@ pub enum CheckError {
         expected: usize,
         /// Found occurrences.
         found: usize,
+        /// 1-based script line of the directive.
+        line: usize,
+        /// 1-based script column of the directive.
+        col: usize,
     },
     /// A malformed directive in the script.
-    BadDirective(String),
+    BadDirective {
+        /// The directive text.
+        directive: String,
+        /// 1-based script line of the directive.
+        line: usize,
+        /// 1-based script column of the directive.
+        col: usize,
+    },
 }
 
-impl std::fmt::Display for CheckError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl CheckError {
+    /// 1-based script line of the failed directive.
+    pub fn line(&self) -> usize {
+        match self {
+            CheckError::NotFound { line, .. }
+            | CheckError::Forbidden { line, .. }
+            | CheckError::WrongCount { line, .. }
+            | CheckError::BadDirective { line, .. } => *line,
+        }
+    }
+
+    /// 1-based script column of the failed directive.
+    pub fn col(&self) -> usize {
+        match self {
+            CheckError::NotFound { col, .. }
+            | CheckError::Forbidden { col, .. }
+            | CheckError::WrongCount { col, .. }
+            | CheckError::BadDirective { col, .. } => *col,
+        }
+    }
+
+    /// The failure message without position information (the body of
+    /// [`std::fmt::Display`] and [`CheckError::render`]).
+    pub fn message(&self) -> String {
         match self {
             CheckError::NotFound {
                 directive,
                 from_line,
-            } => write!(f, "no match for {directive:?} after line {from_line}"),
-            CheckError::Forbidden { directive, line } => {
-                write!(f, "{directive:?} matched forbidden line {line:?}")
-            }
+                ..
+            } => format!("no match for {directive:?} after input line {from_line}"),
+            CheckError::Forbidden {
+                directive,
+                input_line,
+                ..
+            } => format!("{directive:?} matched forbidden line {input_line:?}"),
             CheckError::WrongCount {
                 directive,
                 expected,
                 found,
-            } => write!(f, "{directive:?}: expected {expected}, found {found}"),
-            CheckError::BadDirective(d) => write!(f, "bad directive {d:?}"),
+                ..
+            } => format!("{directive:?}: expected {expected}, found {found}"),
+            CheckError::BadDirective { directive, .. } => format!("bad directive {directive:?}"),
         }
+    }
+
+    /// A caret diagnostic pointing at the directive in `script`, in the
+    /// pipeline-spec parser's `origin:line:col: error:` shape:
+    ///
+    /// ```text
+    /// tests/lit/sum.rir:7:3: error: no match for "CHECK: rolag.loop" after input line 4
+    ///   ; CHECK: rolag.loop
+    ///     ^
+    /// ```
+    pub fn render(&self, origin: &str, script: &str) -> String {
+        let raw = script.lines().nth(self.line() - 1).unwrap_or("");
+        let pad = " ".repeat(self.col().saturating_sub(1));
+        format!(
+            "{origin}:{}:{}: error: {}\n  {raw}\n  {pad}^",
+            self.line(),
+            self.col(),
+            self.message()
+        )
+    }
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.line(), self.col(), self.message())
     }
 }
 
@@ -69,24 +146,34 @@ fn normalize(s: &str) -> String {
     s.split_whitespace().collect::<Vec<_>>().join(" ")
 }
 
+/// A `CHECK-NOT` pattern pending its closing positive match, with the
+/// script position of the directive that introduced it.
+struct PendingNot {
+    pattern: String,
+    line: usize,
+    col: usize,
+}
+
 /// Runs `script` against `input`.
 ///
 /// # Errors
 ///
-/// Returns the first failed directive.
+/// Returns the first failed directive, carrying its script line/column.
 pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
     let lines: Vec<String> = input.lines().map(normalize).collect();
     let mut pos = 0usize; // next line index eligible for matching
-    let mut pending_nots: Vec<String> = Vec::new();
+    let mut pending_nots: Vec<PendingNot> = Vec::new();
 
     let check_nots =
-        |nots: &[String], lines: &[String], lo: usize, hi: usize| -> Result<(), CheckError> {
+        |nots: &[PendingNot], lines: &[String], lo: usize, hi: usize| -> Result<(), CheckError> {
             for not in nots {
                 for line in &lines[lo..hi.min(lines.len())] {
-                    if line.contains(not.as_str()) {
+                    if line.contains(not.pattern.as_str()) {
                         return Err(CheckError::Forbidden {
-                            directive: format!("CHECK-NOT: {not}"),
-                            line: line.clone(),
+                            directive: format!("CHECK-NOT: {}", not.pattern),
+                            input_line: line.clone(),
+                            line: not.line,
+                            col: not.col,
                         });
                     }
                 }
@@ -94,11 +181,14 @@ pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
             Ok(())
         };
 
-    for raw in script.lines() {
+    for (line_idx, raw) in script.lines().enumerate() {
         let directive = raw.trim();
         if directive.is_empty() || directive.starts_with("//") {
             continue;
         }
+        // 1-based position of the directive within the raw script line.
+        let line_no = line_idx + 1;
+        let col_no = raw.chars().take_while(|c| c.is_whitespace()).count() + 1;
         if let Some(pat) = directive.strip_prefix("CHECK-NEXT:") {
             let pat = normalize(pat);
             check_nots(&pending_nots, &lines, pos, pos)?;
@@ -107,19 +197,25 @@ pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
                 return Err(CheckError::NotFound {
                     directive: directive.to_string(),
                     from_line: pos,
+                    line: line_no,
+                    col: col_no,
                 });
             }
             pos += 1;
         } else if let Some(pat) = directive.strip_prefix("CHECK-NOT:") {
-            pending_nots.push(normalize(pat));
+            pending_nots.push(PendingNot {
+                pattern: normalize(pat),
+                line: line_no,
+                col: col_no,
+            });
         } else if let Some(rest) = directive.strip_prefix("CHECK-COUNT-") {
-            let (n, pat) = rest
-                .split_once(':')
-                .ok_or_else(|| CheckError::BadDirective(directive.to_string()))?;
-            let expected: usize = n
-                .trim()
-                .parse()
-                .map_err(|_| CheckError::BadDirective(directive.to_string()))?;
+            let bad = || CheckError::BadDirective {
+                directive: directive.to_string(),
+                line: line_no,
+                col: col_no,
+            };
+            let (n, pat) = rest.split_once(':').ok_or_else(bad)?;
+            let expected: usize = n.trim().parse().map_err(|_| bad())?;
             let pat = normalize(pat);
             let found = lines.iter().filter(|l| l.contains(pat.as_str())).count();
             if found != expected {
@@ -127,6 +223,8 @@ pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
                     directive: directive.to_string(),
                     expected,
                     found,
+                    line: line_no,
+                    col: col_no,
                 });
             }
         } else if let Some(pat) = directive.strip_prefix("CHECK:") {
@@ -145,11 +243,17 @@ pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
                     return Err(CheckError::NotFound {
                         directive: directive.to_string(),
                         from_line: pos,
+                        line: line_no,
+                        col: col_no,
                     })
                 }
             }
         } else {
-            return Err(CheckError::BadDirective(directive.to_string()));
+            return Err(CheckError::BadDirective {
+                directive: directive.to_string(),
+                line: line_no,
+                col: col_no,
+            });
         }
     }
     check_nots(&pending_nots, &lines, pos, lines.len())?;
@@ -163,7 +267,10 @@ pub fn filecheck(input: &str, script: &str) -> Result<(), CheckError> {
 /// Panics with a diagnostic when any directive fails.
 pub fn assert_filecheck(input: &str, script: &str) {
     if let Err(e) = filecheck(input, script) {
-        panic!("FileCheck failed: {e}\n--- input ---\n{input}\n--- script ---\n{script}");
+        panic!(
+            "FileCheck failed: {}\n--- input ---\n{input}\n--- script ---\n{script}",
+            e.render("<script>", script)
+        );
     }
 }
 
@@ -231,11 +338,39 @@ entry:
     fn bad_directives_error() {
         assert!(matches!(
             filecheck(INPUT, "CHEK: add"),
-            Err(CheckError::BadDirective(_))
+            Err(CheckError::BadDirective { .. })
         ));
         assert!(matches!(
             filecheck(INPUT, "CHECK-COUNT-x: add"),
-            Err(CheckError::BadDirective(_))
+            Err(CheckError::BadDirective { .. })
         ));
+    }
+
+    #[test]
+    fn errors_carry_script_line_and_column() {
+        // Directive on script line 3, indented two spaces -> column 3.
+        let script = "CHECK: func @f\n\n  CHECK: sub i64";
+        let err = filecheck(INPUT, script).unwrap_err();
+        assert_eq!((err.line(), err.col()), (3, 3));
+
+        // A failing CHECK-NOT points at the NOT directive, not the
+        // positive match that closed its region.
+        let script = "CHECK: entry:\nCHECK-NOT: mul\nCHECK: ret";
+        let err = filecheck(INPUT, script).unwrap_err();
+        assert_eq!((err.line(), err.col()), (2, 1));
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_directive() {
+        let script = "CHECK: func @f\n  CHECK: sub i64";
+        let err = filecheck(INPUT, script).unwrap_err();
+        let rendered = err.render("golden.rir", script);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(
+            lines[0],
+            "golden.rir:2:3: error: no match for \"CHECK: sub i64\" after input line 1"
+        );
+        assert_eq!(lines[1], "    CHECK: sub i64");
+        assert_eq!(lines[2], "    ^", "caret sits under the directive");
     }
 }

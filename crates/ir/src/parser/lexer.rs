@@ -215,7 +215,9 @@ impl Cursor<'_> {
 }
 
 /// Tokenizes `input`. Consecutive newlines collapse into one
-/// [`Token::Newline`]; `//` comments run to end of line.
+/// [`Token::Newline`]; `//` and `;` comments run to end of line (the
+/// latter is the LLVM-style spelling the lit golden tests use for their
+/// `; RUN:` and `; CHECK:` directives).
 pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
     let mut tokens = Vec::new();
     let mut cur = Cursor {
@@ -266,6 +268,14 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, LexError> {
                         line,
                         col,
                     });
+                }
+            }
+            ';' => {
+                while let Some(c2) = cur.peek() {
+                    if c2 == '\n' {
+                        break;
+                    }
+                    cur.bump();
                 }
             }
             '(' => {
@@ -493,6 +503,19 @@ mod tests {
     fn newlines_collapse_and_comments_skip() {
         assert_eq!(
             toks("a // comment\n\n\nb"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Newline,
+                Token::Ident("b".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn semicolon_comments_skip_to_end_of_line() {
+        assert_eq!(
+            toks("; RUN: rolag\na ; trailing\n; CHECK: b\nb"),
             vec![
                 Token::Ident("a".into()),
                 Token::Newline,

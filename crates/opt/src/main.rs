@@ -25,6 +25,9 @@
 //!                              counters, and analysis-cache hit rates)
 //!   --jobs <N>                 run rolag through the parallel memoizing
 //!                              driver with N workers (0 = all cores)
+//!   --validate-rewrites        prove every rolling rewrite with the
+//!                              rolag-tv translation validator before the
+//!                              cost model may commit it
 //!   --time-passes              print per-pass wall time
 //!   --print-changed            dump the IR after every pass that changed it
 //!   --verify-each              verify between passes (on by default; flag
@@ -64,6 +67,7 @@ struct Cli {
     input: Option<String>,
     target: TargetKind,
     jobs: Option<usize>,
+    validate_rewrites: bool,
     measure: bool,
     stats: bool,
     time_passes: bool,
@@ -82,8 +86,9 @@ fn usage() -> String {
          passes (as -name flags applied in order, or one --passes spec):\n\
          {passes}\
          options: --passes <spec> --list-passes --target <x86-64|thumb2> \
-         --jobs <N> --measure --stats --time-passes --print-changed \
-         --verify-each --interp <func> --check --quiet --verify-only\n\
+         --jobs <N> --validate-rewrites --measure --stats --time-passes \
+         --print-changed --verify-each --interp <func> --check --quiet \
+         --verify-only\n\
          (run with a .rir file, or `-` to read IR text from stdin)",
         passes = PassRegistry::builtin().help_passes()
     )
@@ -113,6 +118,7 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = Some(v.parse().map_err(|_| format!("bad job count {v}"))?);
             }
+            "--validate-rewrites" => cli.validate_rewrites = true,
             "--measure" => cli.measure = true,
             "--stats" => cli.stats = true,
             "--time-passes" => cli.time_passes = true,
@@ -340,6 +346,7 @@ fn main() -> ExitCode {
     let mut am = AnalysisManager::new();
     let mut cx = PassContext::new(cli.target);
     cx.jobs = cli.jobs;
+    cx.validate_rewrites = cli.validate_rewrites;
 
     let report = match pm.run(&mut module, &mut am, &mut cx) {
         Ok(report) => report,

@@ -36,6 +36,10 @@ pub struct PassContext {
     pub target: TargetKind,
     /// Worker count for passes with a parallel driver (`None` = serial).
     pub jobs: Option<usize>,
+    /// Force per-rewrite translation validation in every rolag engine run
+    /// (the `rolag-opt --validate-rewrites` flag); `tv`-flavoured passes
+    /// validate regardless.
+    pub validate_rewrites: bool,
     lines: Vec<String>,
     rolag: Option<RolagStats>,
     driver: Option<DriverReport>,
@@ -47,6 +51,7 @@ impl PassContext {
         PassContext {
             target,
             jobs: None,
+            validate_rewrites: false,
             lines: Vec::new(),
             rolag: None,
             driver: None,

@@ -275,6 +275,7 @@ impl ModulePass for RolagPass {
     ) -> PreservedAnalyses {
         let opts = RolagOptions {
             target: cx.target,
+            validate: self.options.validate || cx.validate_rewrites,
             ..self.options.clone()
         };
         let stats = match (self.engine, cx.jobs) {

@@ -137,6 +137,15 @@ impl PassRegistry {
                     ),
                 },
                 PassInfo {
+                    name: "tv",
+                    param: None,
+                    summary: "loop rolling with per-rewrite translation validation",
+                    build: simple!(
+                        "tv",
+                        RolagPass::with("tv", RolagOptions::validated(), RolagEngine::Incremental)
+                    ),
+                },
+                PassInfo {
                     name: "reroll",
                     param: None,
                     summary: "LLVM-style loop rerolling (the baseline)",

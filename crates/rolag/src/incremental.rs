@@ -45,6 +45,9 @@ pub(crate) enum MemoVerdict {
     Schedule,
     /// The candidate generated code but the size delta was not profitable.
     Unprofitable,
+    /// The candidate generated code but the translation validator refused
+    /// to prove the rewrite (`RolagOptions::validate`).
+    Validator,
 }
 
 /// One memoized verdict plus the blocks it depends on.

@@ -34,6 +34,11 @@ pub struct RolagOptions {
     pub enable_mismatch: bool,
     /// Run simplify+DCE on functions changed by the pass.
     pub cleanup: bool,
+    /// Statically validate every generated rewrite with the `rolag-tv`
+    /// translation validator before the cost model may commit it; rewrites
+    /// that fail to validate are rejected and counted in
+    /// `RolagStats::tv_rejected`.
+    pub validate: bool,
     /// EXTENSION (paper future work, §V-C / Fig. 20b): seed alignment from
     /// chains of `select`s and non-associative binops, enabling select-based
     /// min/max reductions to roll. Off by default to match the paper's
@@ -58,6 +63,7 @@ impl Default for RolagOptions {
             enable_joint: true,
             enable_mismatch: true,
             cleanup: true,
+            validate: false,
             enable_value_chains: false,
             target: TargetKind::default(),
         }
@@ -89,6 +95,15 @@ impl RolagOptions {
             enable_joint: false,
             // Mismatching nodes are one of the two *base* kinds (Fig. 7b),
             // not a special node, so the ablation keeps them.
+            ..RolagOptions::default()
+        }
+    }
+
+    /// The default configuration with per-rewrite translation validation
+    /// switched on (the `tv` pass spelling).
+    pub fn validated() -> Self {
+        RolagOptions {
+            validate: true,
             ..RolagOptions::default()
         }
     }

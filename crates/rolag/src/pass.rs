@@ -102,7 +102,16 @@ pub fn roll_function_with(
                 stats.cache.memo_hits += 1;
                 match entry.verdict {
                     MemoVerdict::Schedule => stats.rejected_schedule += 1,
-                    MemoVerdict::Unprofitable => stats.rejected_profit += 1,
+                    MemoVerdict::Unprofitable => {
+                        stats.rejected_profit += 1;
+                        // The executed attempt validated before the cost
+                        // model rejected it; the reference engine re-runs
+                        // (and re-validates) it every sweep.
+                        if opts.validate {
+                            stats.tv_validated += 1;
+                        }
+                    }
+                    MemoVerdict::Validator => stats.tv_rejected += 1,
                 }
                 continue;
             }
@@ -143,6 +152,19 @@ pub fn roll_function_with(
                         MemoEntry {
                             verdict: MemoVerdict::Unprofitable,
                             deps,
+                        },
+                    );
+                }
+                IncrAttempt::ValidatorRejected => {
+                    stats.tv_rejected += 1;
+                    // The validator reads other blocks only through
+                    // def-use edges, the same cross-block inputs as the
+                    // scheduling verdict, so the dirty closure covers it.
+                    cache.memo.insert(
+                        cand,
+                        MemoEntry {
+                            verdict: MemoVerdict::Validator,
+                            deps: vec![block],
                         },
                     );
                 }
@@ -208,6 +230,7 @@ pub fn roll_function_full_rescan(
                 }
                 Attempt::LanesRejected => stats.rejected_lanes += 1,
                 Attempt::ScheduleRejected => stats.rejected_schedule += 1,
+                Attempt::ValidatorRejected => stats.tv_rejected += 1,
                 Attempt::Unprofitable => stats.rejected_profit += 1,
             }
         }
@@ -231,6 +254,7 @@ enum Attempt {
     },
     LanesRejected,
     ScheduleRejected,
+    ValidatorRejected,
     Unprofitable,
 }
 
@@ -245,6 +269,7 @@ enum IncrAttempt {
     },
     LanesRejected,
     ScheduleRejected,
+    ValidatorRejected,
     Unprofitable {
         /// Blocks the profitability verdict depends on.
         deps: Vec<BlockId>,
@@ -279,11 +304,47 @@ fn analyze_schedule(
     })
 }
 
-/// Codegen + cleanup stage on the cloned attempt, shared by both engines.
-/// Rolls back any globals the generator created before bailing.
+/// Why [`generate_and_cleanup`] bailed on an attempt.
+enum GenReject {
+    /// The code generator refused the schedule.
+    Codegen,
+    /// The translation validator refused to prove the generated rewrite.
+    Validator,
+}
+
+/// Builds the untrusted hint packet [`validate_rewrite`] needs: the lane
+/// count, the generated block ids, the first rewrite-created global, and
+/// the lane every claimed instruction was assigned to.
+fn rewrite_hints(
+    graph: &AlignGraph,
+    block: BlockId,
+    outcome: &RollOutcome,
+    opts: &RolagOptions,
+    before_globals: usize,
+) -> rolag_tv::RewriteHints {
+    rolag_tv::RewriteHints {
+        lanes: graph.lanes,
+        block,
+        loop_block: outcome.loop_block,
+        exit_block: outcome.exit_block,
+        first_new_global: before_globals,
+        fast_math: opts.fast_math,
+        claimed_lanes: graph
+            .claimed
+            .iter()
+            .map(|(&i, &(_, lane))| (i, lane))
+            .collect(),
+    }
+}
+
+/// Codegen + (optional) translation validation + cleanup on the cloned
+/// attempt, shared by both engines. Rolls back any globals the generator
+/// created before bailing. Validation runs on the raw generated code,
+/// before cleanup, so the validator sees exactly what codegen emitted.
 #[allow(clippy::too_many_arguments)] // one slot per pipeline stage input
 fn generate_and_cleanup(
     module: &mut Module,
+    orig: &Function,
     attempt: &mut Function,
     block: BlockId,
     graph: &AlignGraph,
@@ -292,20 +353,33 @@ fn generate_and_cleanup(
     effects: &[Effects],
     stats: &mut RolagStats,
     before_globals: usize,
-) -> Option<RollOutcome> {
+) -> Result<RollOutcome, GenReject> {
     let outcome = timed(&mut stats.timings.codegen_ns, || {
         codegen::generate(module, attempt, block, graph, sched)
     });
     let Some(outcome) = outcome else {
         rollback_globals(module, before_globals);
-        return None;
+        return Err(GenReject::Codegen);
     };
+    if opts.validate {
+        let hints = rewrite_hints(graph, block, &outcome, opts, before_globals);
+        let verdict = timed(&mut stats.timings.tv_ns, || {
+            rolag_tv::validate_rewrite(module, orig, attempt, &hints)
+        });
+        match verdict {
+            Ok(()) => stats.tv_validated += 1,
+            Err(_) => {
+                rollback_globals(module, before_globals);
+                return Err(GenReject::Validator);
+            }
+        }
+    }
     if opts.cleanup {
         timed(&mut stats.timings.cleanup_ns, || {
             cleanup_in_place(attempt, &mut module.types, effects)
         });
     }
-    Some(outcome)
+    Ok(outcome)
 }
 
 fn try_candidate(
@@ -335,8 +409,9 @@ fn try_candidate(
 
     let mut attempt = work.clone();
     let before_globals = module.num_globals();
-    let Some(outcome) = generate_and_cleanup(
+    let outcome = match generate_and_cleanup(
         module,
+        work,
         &mut attempt,
         block,
         &graph,
@@ -345,8 +420,10 @@ fn try_candidate(
         effects,
         stats,
         before_globals,
-    ) else {
-        return Attempt::ScheduleRejected;
+    ) {
+        Ok(outcome) => outcome,
+        Err(GenReject::Codegen) => return Attempt::ScheduleRejected,
+        Err(GenReject::Validator) => return Attempt::ValidatorRejected,
     };
 
     // Profitability (§IV-F): text estimate plus the constant data the roll
@@ -402,8 +479,9 @@ fn try_candidate_incremental(
 
     let mut attempt = work.clone();
     let before_globals = module.num_globals();
-    let Some(outcome) = generate_and_cleanup(
+    let outcome = match generate_and_cleanup(
         module,
+        work,
         &mut attempt,
         block,
         &graph,
@@ -412,8 +490,10 @@ fn try_candidate_incremental(
         effects,
         stats,
         before_globals,
-    ) else {
-        return IncrAttempt::ScheduleRejected;
+    ) {
+        Ok(outcome) => outcome,
+        Err(GenReject::Codegen) => return IncrAttempt::ScheduleRejected,
+        Err(GenReject::Validator) => return IncrAttempt::ValidatorRejected,
     };
 
     // Delta profitability: `new_size` sums the attempt's per-block
@@ -645,6 +725,39 @@ entry:
             "clean blocks must serve sizes from cache: {:?}",
             stats.cache
         );
+    }
+
+    /// With validation on, every committed (and cost-rejected) rewrite is
+    /// proven by the translation validator, output is byte-identical to a
+    /// validation-off run, and the `tv` timer ticks.
+    #[test]
+    fn validation_gates_every_commit() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nfunc @f() -> void {\nentry:\n",
+        );
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  ret\n}\n");
+
+        let mut plain = parse_module(&text).unwrap();
+        let plain_stats = roll_module(&mut plain, &RolagOptions::default());
+
+        let mut validated = parse_module(&text).unwrap();
+        let stats = roll_module(&mut validated, &RolagOptions::validated());
+
+        assert_eq!(stats.rolled, plain_stats.rolled);
+        assert_eq!(stats.tv_rejected, 0, "false reject on a clean roll");
+        assert!(stats.tv_validated >= stats.rolled);
+        assert!(stats.timings.tv_ns > 0, "validation time was not recorded");
+        assert_eq!(
+            rolag_ir::printer::print_module(&plain),
+            rolag_ir::printer::print_module(&validated),
+            "validation must not change the output"
+        );
+        let shown = stats.to_string();
+        assert!(shown.contains("tv 1 validated / 0 rejected"), "{shown}");
     }
 
     /// A panicking engine must leave the module byte-identical — including

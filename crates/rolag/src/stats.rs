@@ -82,6 +82,8 @@ pub struct StageTimings {
     pub schedule_ns: u64,
     /// Speculative loop code generation.
     pub codegen_ns: u64,
+    /// Per-rewrite translation validation (`rolag-tv`), when enabled.
+    pub tv_ns: u64,
     /// Cost-model size estimates (profitability decisions).
     pub cost_ns: u64,
     /// Post-roll simplify + DCE cleanup.
@@ -95,6 +97,7 @@ impl StageTimings {
             + self.align_ns
             + self.schedule_ns
             + self.codegen_ns
+            + self.tv_ns
             + self.cost_ns
             + self.cleanup_ns
     }
@@ -106,6 +109,7 @@ impl StageTimings {
             ("align", self.align_ns),
             ("schedule", self.schedule_ns),
             ("codegen", self.codegen_ns),
+            ("tv", self.tv_ns),
             ("cost", self.cost_ns),
             ("cleanup", self.cleanup_ns),
         ]
@@ -118,6 +122,7 @@ impl AddAssign for StageTimings {
         self.align_ns += rhs.align_ns;
         self.schedule_ns += rhs.schedule_ns;
         self.codegen_ns += rhs.codegen_ns;
+        self.tv_ns += rhs.tv_ns;
         self.cost_ns += rhs.cost_ns;
         self.cleanup_ns += rhs.cleanup_ns;
     }
@@ -205,6 +210,12 @@ pub struct RolagStats {
     pub rejected_schedule: u64,
     /// Graphs generated but rejected by the profitability analysis.
     pub rejected_profit: u64,
+    /// Generated rewrites proven correct by the translation validator
+    /// (only counted when `RolagOptions::validate` is on).
+    pub tv_validated: u64,
+    /// Generated rewrites the translation validator refused to prove;
+    /// these are rejected before the cost model sees them.
+    pub tv_rejected: u64,
     /// Loops committed (successful rolls).
     pub rolled: u64,
     /// Node-kind breakdown over committed (profitable) graphs.
@@ -230,6 +241,8 @@ impl PartialEq for RolagStats {
             && self.rejected_lanes == other.rejected_lanes
             && self.rejected_schedule == other.rejected_schedule
             && self.rejected_profit == other.rejected_profit
+            && self.tv_validated == other.tv_validated
+            && self.tv_rejected == other.tv_rejected
             && self.rolled == other.rolled
             && self.nodes == other.nodes
             && self.size_before == other.size_before
@@ -256,6 +269,8 @@ impl AddAssign for RolagStats {
         self.rejected_lanes += rhs.rejected_lanes;
         self.rejected_schedule += rhs.rejected_schedule;
         self.rejected_profit += rhs.rejected_profit;
+        self.tv_validated += rhs.tv_validated;
+        self.tv_rejected += rhs.tv_rejected;
         self.rolled += rhs.rolled;
         self.nodes += rhs.nodes;
         self.size_before += rhs.size_before;
@@ -280,6 +295,13 @@ impl fmt::Display for RolagStats {
             self.size_after,
             -self.reduction_percent()
         )?;
+        if self.tv_validated > 0 || self.tv_rejected > 0 {
+            write!(
+                f,
+                ", tv {} validated / {} rejected",
+                self.tv_validated, self.tv_rejected
+            )?;
+        }
         if self.rescued > 0 {
             write!(f, ", {} function(s) rescued after a panic", self.rescued)?;
         }
@@ -344,12 +366,13 @@ mod tests {
             align_ns: 2,
             schedule_ns: 3,
             codegen_ns: 4,
+            tv_ns: 7,
             cost_ns: 5,
             cleanup_ns: 6,
         };
-        assert_eq!(t.total_ns(), 21);
+        assert_eq!(t.total_ns(), 28);
         let rows = t.rows();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         assert_eq!(rows.iter().map(|&(_, v)| v).sum::<u64>(), t.total_ns());
     }
 

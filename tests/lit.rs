@@ -1,0 +1,178 @@
+//! A lit-style golden-test suite over `tests/lit/*.rir`.
+//!
+//! Every file in the suite is a self-contained golden: a textual IR
+//! module whose comment lines carry the test. One `; RUN: <spec>` line
+//! names the `rolag-passes` pipeline to run (the same spec grammar as
+//! `rolag-opt --passes`), and `; CHECK...` lines are FileCheck-style
+//! directives matched against the printed post-pipeline module:
+//!
+//! ```text
+//! ; RUN: cleanup,rolag
+//! ; CHECK: rolag.loop
+//! ; CHECK-COUNT-1: store
+//! module "example"
+//! ...
+//! ```
+//!
+//! The harness runs the whole directory in one test so a red run lists
+//! every broken golden. Directive failures render as caret diagnostics
+//! anchored to the original file — the check script is derived from the
+//! golden line-for-line and column-for-column (the leading `;` becomes a
+//! space, non-directive lines go blank), so `file:line:col` points at
+//! the exact `; CHECK` line that missed.
+
+use std::path::{Path, PathBuf};
+
+use rolag_ir::filecheck::filecheck;
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_passes::{
+    AnalysisManager, PassContext, PassManager, PassManagerOptions, PassRegistry, TargetKind,
+};
+
+fn lit_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("lit")
+}
+
+/// Every golden in the suite, sorted for deterministic ordering.
+fn discover() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(lit_dir())
+        .expect("tests/lit exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rir"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Extracts the single `; RUN:` pipeline spec of a golden.
+fn run_spec(text: &str) -> Result<String, String> {
+    let specs: Vec<&str> = text
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("; RUN:"))
+        .map(str::trim)
+        .collect();
+    match specs.as_slice() {
+        [spec] => Ok((*spec).to_string()),
+        [] => Err("no `; RUN:` line".into()),
+        _ => Err(format!("{} `; RUN:` lines, expected one", specs.len())),
+    }
+}
+
+/// Derives the check script: `; CHECK...` lines keep their line number
+/// and column (the `;` becomes a space), everything else goes blank.
+fn check_script(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            if l.trim_start().starts_with("; CHECK") {
+                l.replacen(';', " ", 1)
+            } else {
+                String::new()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs one golden end to end. `Err` is the full diagnostic to report.
+fn run_golden(origin: &str, text: &str) -> Result<(), String> {
+    let spec = run_spec(text).map_err(|e| format!("{origin}: {e}"))?;
+    let passes = PassRegistry::builtin()
+        .parse_pipeline(&spec)
+        .map_err(|e| e.render(origin, &spec))?;
+    let mut module =
+        parse_module(text).map_err(|e| format!("{origin}:{}:{}: {}", e.line, e.col, e.message))?;
+    let mut pm = PassManager::with_options(PassManagerOptions {
+        verify_each: true,
+        print_changed: false,
+    });
+    pm.add_all(passes);
+    let mut am = AnalysisManager::new();
+    let mut cx = PassContext::new(TargetKind::default());
+    pm.run(&mut module, &mut am, &mut cx).map_err(|e| {
+        format!(
+            "{origin}: verify failed after `{}`: {}",
+            e.pass,
+            e.errors.join("; ")
+        )
+    })?;
+    let printed = print_module(&module);
+    let script = check_script(text);
+    filecheck(&printed, &script).map_err(|e| {
+        format!(
+            "{}\n--- output of `{spec}` ---\n{printed}",
+            e.render(origin, &script)
+        )
+    })
+}
+
+#[test]
+fn lit_goldens_pass() {
+    let files = discover();
+    assert!(!files.is_empty(), "no goldens in {}", lit_dir().display());
+    let mut failures = Vec::new();
+    for path in &files {
+        let origin = format!("tests/lit/{}", path.file_name().unwrap().to_string_lossy());
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        if let Err(diag) = run_golden(&origin, &text) {
+            failures.push(diag);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} lit golden(s) failed:\n\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn lit_suite_is_seeded() {
+    let files = discover();
+    assert!(
+        files.len() >= 12,
+        "the lit suite should hold at least 12 goldens, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn run_line_is_mandatory_and_unique() {
+    let module = "module \"m\"\nfunc @f() -> void {\nentry:\n  ret\n}\n";
+    let err = run_golden("a.rir", module).unwrap_err();
+    assert!(err.contains("no `; RUN:` line"), "got: {err}");
+
+    let two = format!("; RUN: cleanup\n; RUN: cse\n{module}");
+    let err = run_golden("b.rir", &two).unwrap_err();
+    assert!(err.contains("2 `; RUN:` lines"), "got: {err}");
+}
+
+#[test]
+fn bad_pipeline_specs_render_spec_diagnostics() {
+    let text = "; RUN: cleanupp\nmodule \"m\"\nfunc @f() -> void {\nentry:\n  ret\n}\n";
+    let err = run_golden("c.rir", text).unwrap_err();
+    assert!(
+        err.contains("unknown pass `cleanupp`") && err.contains("did you mean `cleanup`?"),
+        "got: {err}"
+    );
+}
+
+#[test]
+fn failed_directives_point_at_the_golden_line() {
+    let text = "\
+; RUN: cleanup
+module \"m\"
+; CHECK: sub i64
+func @f() -> void {
+entry:
+  ret
+}
+";
+    let err = run_golden("d.rir", text).unwrap_err();
+    assert!(err.starts_with("d.rir:3:3: error:"), "got: {err}");
+    assert!(err.contains('^'), "caret diagnostic expected, got: {err}");
+}

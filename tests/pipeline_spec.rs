@@ -215,3 +215,18 @@ fn every_registered_pass_is_documented() {
         );
     }
 }
+
+/// The translation validator's declared abstractions are API: DESIGN.md
+/// documents each one by name, and this guard keeps the list and the
+/// docs from drifting apart.
+#[test]
+fn every_tv_abstraction_is_documented() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    for name in rolag_tv::ABSTRACTIONS {
+        assert!(
+            design.contains(name),
+            "validator abstraction `{name}` is not documented in DESIGN.md"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Soundness-direction property tests for the `rolag-tv` translation
+//! validator. The validator is one-sided: it may only *reject*, so the
+//! property worth sweeping is the absence of false rejects — every
+//! rewrite the engine accepts must be proven, on generated corpora and
+//! on the paper's benchmark suites alike, and turning validation on
+//! must never change what the pass produces.
+
+use rolag::{roll_module, roll_module_full_rescan, RolagOptions};
+use rolag_difftest::generate_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::Module;
+use rolag_suites::angha::{generate, AnghaConfig};
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+
+/// Rolls `module` twice — validation off and on — and asserts the
+/// validated run proves every accepted rewrite and commits exactly the
+/// same result. Returns `(tv_validated, rolled)` for corpus totals.
+fn assert_no_false_rejects(module: &Module, what: &str) -> (u64, u64) {
+    let mut plain = module.clone();
+    let plain_stats = roll_module(&mut plain, &RolagOptions::default());
+
+    let mut validated = module.clone();
+    let stats = roll_module(&mut validated, &RolagOptions::validated());
+
+    assert_eq!(
+        stats.tv_rejected, 0,
+        "{what}: the validator rejected an engine-accepted rewrite: {stats}"
+    );
+    assert!(
+        stats.tv_validated >= stats.rolled,
+        "{what}: every committed roll must have been validated: {stats}"
+    );
+    assert_eq!(
+        stats.rolled, plain_stats.rolled,
+        "{what}: validation changed the number of commits"
+    );
+    assert_eq!(
+        print_module(&validated),
+        print_module(&plain),
+        "{what}: validation changed the produced module"
+    );
+    (stats.tv_validated, stats.rolled)
+}
+
+#[test]
+fn generator_corpus_has_zero_static_false_rejects() {
+    let mut validated = 0u64;
+    let mut rolled = 0u64;
+    for i in 0..256 {
+        let module = generate_module(0, i);
+        let (v, r) = assert_no_false_rejects(&module, &format!("module (0,{i})"));
+        validated += v;
+        rolled += r;
+    }
+    // The corpus must actually exercise the validator, not vacuously pass.
+    assert!(
+        rolled >= 32,
+        "corpus too tame: only {rolled} rolls across 256 modules"
+    );
+    assert!(validated >= rolled);
+}
+
+#[test]
+fn validated_incremental_engine_matches_full_rescan() {
+    // The tv counters are part of RolagStats equality, so this pins the
+    // incremental engine's memo replay to the full rescan's re-validation
+    // behaviour (including tv_validated on unprofitable replays).
+    let opts = RolagOptions::validated();
+    for i in 0..64 {
+        let module = generate_module(1, i);
+        let mut incr = module.clone();
+        let incr_stats = roll_module(&mut incr, &opts);
+        let mut full = module.clone();
+        let full_stats = roll_module_full_rescan(&mut full, &opts);
+        assert_eq!(
+            print_module(&incr),
+            print_module(&full),
+            "module (1,{i}): engines diverge under validation"
+        );
+        assert_eq!(
+            incr_stats, full_stats,
+            "module (1,{i}): engine stats diverge under validation"
+        );
+    }
+}
+
+#[test]
+fn tsvc_kernels_have_zero_static_false_rejects() {
+    let mut rolled = 0u64;
+    for spec in all_kernels() {
+        let module = build_kernel_module(&spec);
+        let (_, r) = assert_no_false_rejects(&module, &format!("tsvc.{}", spec.name));
+        rolled += r;
+    }
+    assert!(rolled >= 1, "no TSVC kernel rolled at all");
+}
+
+#[test]
+fn angha_slice_has_zero_static_false_rejects() {
+    let corpus = generate(&AnghaConfig {
+        functions: 128,
+        ..AnghaConfig::default()
+    });
+    let mut rolled = 0u64;
+    for (name, _, module) in &corpus.entries {
+        let (_, r) = assert_no_false_rejects(module, &format!("angha @{name}"));
+        rolled += r;
+    }
+    assert!(rolled >= 8, "angha slice too tame: {rolled} rolls");
+}
