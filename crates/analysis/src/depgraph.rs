@@ -125,7 +125,7 @@ impl PosSet {
 }
 
 /// Dependence information for one basic block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockDeps {
     /// Instructions in block order.
     pub insts: Vec<InstId>,

@@ -3,7 +3,12 @@
 use rolag_ir::{BlockId, Function};
 
 /// Immediate-dominator tree for a function's CFG.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares the full computed structure (idoms, RPO numbers,
+/// entry), so equality with a freshly computed tree means a cached copy is
+/// still exact — the pass manager's debug-mode invalidation checker relies
+/// on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DomTree {
     /// `idom[b]` is the immediate dominator of block `b` (`None` for the
     /// entry and for unreachable blocks).

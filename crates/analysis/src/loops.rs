@@ -9,7 +9,7 @@ use rolag_ir::{
 use crate::dom::DomTree;
 
 /// A natural loop.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Loop {
     /// Loop header (target of the back edge).
     pub header: BlockId,
@@ -65,7 +65,7 @@ pub fn find_loops(func: &Function, dom: &DomTree) -> Vec<Loop> {
 
 /// A basic induction variable of a single-block loop: a phi incremented by a
 /// loop-invariant constant each iteration (§II).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IndVar {
     /// The phi instruction.
     pub phi: InstId,
@@ -154,7 +154,7 @@ fn const_int(_module: &Module, func: &Function, v: ValueId) -> Option<i64> {
 
 /// Trip-count information for a single-block counted loop:
 /// `for (iv = init; iv <cond> bound; iv += step)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TripCount {
     /// The controlling induction variable.
     pub iv: IndVar,

@@ -14,7 +14,9 @@ use std::path::Path;
 
 use rolag::{roll_module, RolagOptions};
 use rolag_bench::harness::{BenchGroup, Measurement};
-use rolag_bench::pipelines::{analysis_csv_header, analysis_csv_row, run_pipeline};
+use rolag_bench::pipelines::{
+    analysis_csv_header, analysis_csv_row, run_pipeline, run_pipeline_timed,
+};
 use rolag_ir::printer::print_module;
 use rolag_ir::Module;
 use rolag_passes::AnalysisCacheStats;
@@ -91,12 +93,15 @@ fn main() {
             }
         },
     );
+    // The timed managed run skips inter-pass verification, exactly as the
+    // direct pipeline does; the correctness phase above already verified
+    // and byte-compared every kernel through the checking path.
     group.bench_batched(
         "managed_tsvc24",
         || inputs.clone(),
         |mut modules| {
             for m in &mut modules {
-                run_pipeline(m, SPEC);
+                run_pipeline_timed(m, SPEC);
             }
         },
     );
@@ -117,6 +122,9 @@ fn main() {
         total_cache.total_hits(),
         total_cache.total_misses()
     );
+    for (kind, hits, misses) in total_cache.per_kind() {
+        println!("  {kind:<8} {hits:>5} hits / {misses:>5} misses");
+    }
 
     // CARGO_MANIFEST_DIR is crates/bench; reports belong at the repo root.
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

@@ -14,13 +14,25 @@ use rolag_passes::{
 };
 
 /// Runs `spec` (e.g. `"unroll<8>,cse,cleanup,rolag"`) over `module` in
-/// place with a fresh analysis manager and returns the run report.
+/// place with a fresh analysis manager and returns the run report. The
+/// module is verified after every pass.
 ///
 /// Panics on a malformed spec or an inter-pass verification failure —
 /// bench specs are hard-coded and bench inputs are expected to be sound,
 /// so either is a bug worth a loud stop.
 pub fn run_pipeline(module: &mut Module, spec: &str) -> RunReport {
     run_pipeline_with(module, spec, &mut AnalysisManager::new(), None)
+}
+
+/// [`run_pipeline`] without inter-pass verification, for *timed* bench
+/// loops. The direct `*_module` pipelines the manager is measured against
+/// never verify between transforms, so a timed managed run must not
+/// either — the comparison would otherwise charge the manager for work
+/// the baseline skips (this alone was a ~15% phantom "manager tax" on
+/// the tsvc24 pipeline). Correctness phases keep using the verifying
+/// [`run_pipeline`].
+pub fn run_pipeline_timed(module: &mut Module, spec: &str) -> RunReport {
+    run_pipeline_inner(module, spec, &mut AnalysisManager::new(), None, false)
 }
 
 /// [`run_pipeline`] against a caller-owned [`AnalysisManager`], so
@@ -33,8 +45,18 @@ pub fn run_pipeline_with(
     am: &mut AnalysisManager,
     jobs: Option<usize>,
 ) -> RunReport {
+    run_pipeline_inner(module, spec, am, jobs, true)
+}
+
+fn run_pipeline_inner(
+    module: &mut Module,
+    spec: &str,
+    am: &mut AnalysisManager,
+    jobs: Option<usize>,
+    verify_each: bool,
+) -> RunReport {
     let mut pm = PassManager::with_options(PassManagerOptions {
-        verify_each: true,
+        verify_each,
         print_changed: false,
     });
     pm.add_all(

@@ -101,6 +101,13 @@ pub fn remove_unreachable_blocks(func: &mut Function, void_ty: crate::types::Typ
         .collect();
     for b in unreachable {
         let insts: Vec<_> = func.block(b).insts.clone();
+        // Already sealed: a lone `unreachable` contributes no code or
+        // edges, and no phi can still name the block. Re-sealing would
+        // count as progress every time and spin the cleanup fixpoint
+        // forever.
+        if insts.len() == 1 && func.inst(insts[0]).opcode == Opcode::Unreachable {
+            continue;
+        }
         for i in insts {
             func.remove_inst(i);
             dropped += 1;
@@ -253,6 +260,29 @@ entry:
             .map(|i| f.inst(i).opcode)
             .collect();
         assert_eq!(kept, vec![Opcode::SDiv, Opcode::SDiv, Opcode::SRem]);
+    }
+
+    #[test]
+    fn sealing_unreachable_blocks_is_idempotent() {
+        // A sealed block must not be re-sealed on the next run: the
+        // cleanup fixpoint (`simplify` + DCE until no change) would
+        // otherwise count the re-seal as progress and loop forever.
+        let text = r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  br join
+dead:
+  %1 = add i32 %p0, i32 5
+  br join
+join:
+  %2 = phi i32 [ %p0, entry ], [ %1, dead ]
+  ret %2
+}
+"#;
+        let mut m = crate::parser::parse_module(text).unwrap();
+        assert!(run_dce(&mut m) > 0);
+        assert_eq!(run_dce(&mut m), 0, "second DCE run must be a no-op");
     }
 
     #[test]

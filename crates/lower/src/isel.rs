@@ -147,10 +147,37 @@ fn address_bytes(module: &Module, func: &Function, ptr: ValueId, folded: &HashSe
     }
 }
 
-/// Selects machine instructions for `func`.
-pub fn select_function(module: &Module, func: &Function) -> MachineFunction {
-    let folded = folded_geps(module, func);
-    let mut reg_class: HashMap<ValueId, RegClass> = HashMap::new();
+/// Function-wide context instruction selection needs beyond one block's
+/// content: the set of folded geps and the layout position of every block
+/// (for jump sizing). Both are derivable from the function alone, so a
+/// caller re-selecting a single block (see [`crate::sketch`]) can rebuild
+/// this without re-selecting the rest.
+pub(crate) struct SelectCx {
+    pub(crate) folded: HashSet<InstId>,
+    pub(crate) block_pos: HashMap<BlockId, usize>,
+}
+
+/// Builds the cross-block selection context for `func`.
+pub(crate) fn select_context(module: &Module, func: &Function) -> SelectCx {
+    SelectCx {
+        folded: folded_geps(module, func),
+        block_pos: func.block_ids().enumerate().map(|(i, b)| (b, i)).collect(),
+    }
+}
+
+/// Selects machine instructions for one block at layout position `bpos`.
+/// Returns the selected block and whether it forces a stack frame (allocas).
+/// Defined values are classified into `reg_class` as a side effect.
+pub(crate) fn select_block(
+    module: &Module,
+    func: &Function,
+    cx: &SelectCx,
+    bpos: usize,
+    b: BlockId,
+    reg_class: &mut HashMap<ValueId, RegClass>,
+) -> (MachineBlock, bool) {
+    let folded = &cx.folded;
+    let block_pos = &cx.block_pos;
     let classify = |func: &Function, v: ValueId| {
         let ty = func.value_ty(v, &module.types);
         let class = if module.types.is_float(ty) {
@@ -162,12 +189,8 @@ pub fn select_function(module: &Module, func: &Function) -> MachineFunction {
     };
 
     let mut needs_frame = false;
-    let mut blocks = Vec::new();
-    let block_pos: HashMap<BlockId, usize> =
-        func.block_ids().enumerate().map(|(i, b)| (b, i)).collect();
-
-    for (bpos, b) in func.block_ids().enumerate() {
-        let mut insts: Vec<MachineInst> = Vec::new();
+    let mut insts: Vec<MachineInst> = Vec::new();
+    {
         let ir_insts = &func.block(b).insts;
         for (pos, &i) in ir_insts.iter().enumerate() {
             let data = func.inst(i);
@@ -246,11 +269,11 @@ pub fn select_function(module: &Module, func: &Function) -> MachineFunction {
                     push(4, "lea", &mut insts);
                 }
                 Opcode::Load => {
-                    let addr = address_bytes(module, func, data.operands[0], &folded);
+                    let addr = address_bytes(module, func, data.operands[0], folded);
                     push(2 + addr, "mov.load", &mut insts);
                 }
                 Opcode::Store => {
-                    let addr = address_bytes(module, func, data.operands[1], &folded);
+                    let addr = address_bytes(module, func, data.operands[1], folded);
                     let size = match const_int(func, data.operands[0]) {
                         Some(c) => 2 + addr + imm_size(c).max(1),
                         None => 2 + addr,
@@ -300,9 +323,21 @@ pub fn select_function(module: &Module, func: &Function) -> MachineFunction {
             }
             let _ = pos;
         }
-        blocks.push(MachineBlock { block: b, insts });
     }
+    (MachineBlock { block: b, insts }, needs_frame)
+}
 
+/// Selects machine instructions for `func`.
+pub fn select_function(module: &Module, func: &Function) -> MachineFunction {
+    let cx = select_context(module, func);
+    let mut reg_class: HashMap<ValueId, RegClass> = HashMap::new();
+    let mut needs_frame = false;
+    let mut blocks = Vec::new();
+    for (bpos, b) in func.block_ids().enumerate() {
+        let (mb, frame) = select_block(module, func, &cx, bpos, b, &mut reg_class);
+        needs_frame |= frame;
+        blocks.push(mb);
+    }
     MachineFunction {
         blocks,
         needs_frame,

@@ -28,47 +28,53 @@ pub struct AllocResult {
     pub forces_frame: bool,
 }
 
+/// A live interval over the flat instruction index space.
 #[derive(Debug, Clone)]
-struct Interval {
-    start: usize,
-    end: usize,
-    uses: u32,
-    class: RegClass,
+pub(crate) struct Interval {
+    pub(crate) start: usize,
+    pub(crate) end: usize,
+    pub(crate) uses: u32,
+    pub(crate) class: RegClass,
 }
 
 /// Computes spill cost for one machine function.
 pub fn allocate(mf: &MachineFunction) -> AllocResult {
-    // Build intervals over the flat instruction index space.
-    let mut intervals: HashMap<ValueId, Interval> = HashMap::new();
+    // Build intervals over the flat instruction index space, in first-event
+    // order so the scan below is deterministic across processes (a HashMap
+    // iteration order here would make same-start tie-breaking depend on the
+    // hasher seed).
+    let mut index: HashMap<ValueId, usize> = HashMap::new();
+    let mut ivs: Vec<Interval> = Vec::new();
     let mut idx = 0usize;
     for block in &mf.blocks {
         for inst in &block.insts {
             if let Some(def) = inst.def {
-                let class = mf.reg_class.get(&def).copied().unwrap_or(RegClass::Gpr);
-                intervals.entry(def).or_insert(Interval {
-                    start: idx,
-                    end: idx,
-                    uses: 0,
-                    class,
-                });
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(def) {
+                    let class = mf.reg_class.get(&def).copied().unwrap_or(RegClass::Gpr);
+                    e.insert(ivs.len());
+                    ivs.push(Interval {
+                        start: idx,
+                        end: idx,
+                        uses: 0,
+                        class,
+                    });
+                }
             }
             for &u in &inst.uses {
-                if let Some(iv) = intervals.get_mut(&u) {
-                    iv.end = idx;
-                    iv.uses += 1;
+                if let Some(&slot) = index.get(&u) {
+                    ivs[slot].end = idx;
+                    ivs[slot].uses += 1;
                 } else {
                     // Used before any def in layout order (params, or values
                     // live around a loop): live from function entry.
                     let class = mf.reg_class.get(&u).copied().unwrap_or(RegClass::Gpr);
-                    intervals.insert(
-                        u,
-                        Interval {
-                            start: 0,
-                            end: idx,
-                            uses: 1,
-                            class,
-                        },
-                    );
+                    index.insert(u, ivs.len());
+                    ivs.push(Interval {
+                        start: 0,
+                        end: idx,
+                        uses: 1,
+                        class,
+                    });
                 }
             }
             idx += 1;
@@ -79,8 +85,14 @@ pub fn allocate(mf: &MachineFunction) -> AllocResult {
     // (The map above already extends ends monotonically; starts stay at the
     // first event, which over-approximates pressure slightly — fine for
     // sizing.)
+    spill_scan(ivs)
+}
 
-    let mut ivs: Vec<Interval> = intervals.into_values().collect();
+/// Linear scan over the intervals, charging spill bytes whenever a class
+/// exceeds its budget. Shared by [`allocate`] and the incremental
+/// [`crate::sketch`] recombiner — both must produce identical results, so
+/// the interval list must arrive in first-event order.
+pub(crate) fn spill_scan(mut ivs: Vec<Interval>) -> AllocResult {
     ivs.sort_by_key(|iv| iv.start);
 
     let mut result = AllocResult::default();

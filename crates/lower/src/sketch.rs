@@ -1,0 +1,395 @@
+//! Persistent per-block lowering sketch: incremental [`measure_function`].
+//!
+//! [`measure_function`] re-runs instruction selection and the linear-scan
+//! spill sizing over the whole function on every call. The RoLAG fixpoint
+//! wants that number after every speculative rewrite, where a rewrite only
+//! touches a small neighbourhood of blocks — so re-selecting the unchanged
+//! blocks is pure waste. The [`SizeSketch`] keeps a per-block summary of
+//! everything the measurement needs:
+//!
+//! * the block's encoded code bytes,
+//! * whether it forces a stack frame (allocas),
+//! * a compressed *pressure fragment* per value touched in the block —
+//!   enough to rebuild the value's live interval without replaying the
+//!   machine instruction stream.
+//!
+//! [`SizeSketch::measure`] re-selects only blocks with no summary (new or
+//! invalidated), then recombines the fragments into the exact interval list
+//! [`allocate`](crate::regalloc::allocate) would have built and runs the
+//! same spill scan — the result is bit-equal to a fresh
+//! [`measure_function`], enforced by tests here and by the rolag test
+//! suite's measured-mode equivalence gates.
+//!
+//! Like `BlockSizeCache` on the estimate side, the sketch records the
+//! [`Function::revision`] it describes: a lookup against a mutated function
+//! that bypassed [`invalidate`](SizeSketch::invalidate) drops all summaries
+//! instead of silently recombining stale ones, and
+//! [`carry_to`](SizeSketch::carry_to) re-keys surviving summaries after a
+//! caller has invalidated a commit's dirty neighbourhood.
+//!
+//! Two cross-block caveats, mirrored from the selector:
+//!
+//! * gep addressing-mode folding couples a block to its one-hop def-use
+//!   neighbours *in both directions* (the gep's block charges 0 bytes when
+//!   its users fold it; the users' load/store sizes embed the gep's
+//!   displacement) — callers must invalidate that neighbourhood;
+//! * jump sizes depend on block layout positions, which are append-only
+//!   stable, so cached branch bytes survive new blocks.
+//!
+//! [`measure_function`]: crate::measure::measure_function
+
+use std::collections::HashMap;
+
+use rolag_ir::{BlockId, Function, Module, ValueDef, ValueId};
+
+use crate::isel::{select_block, select_context, MachineBlock, RegClass};
+use crate::regalloc::{spill_scan, Interval};
+
+/// One value's liveness contribution within a single block, relative to the
+/// block's first instruction.
+#[derive(Debug, Clone)]
+struct Fragment {
+    value: ValueId,
+    class: RegClass,
+    /// Instruction offset of the value's first event in this block.
+    first_rel: usize,
+    /// Whether that first event is the value's definition (else a use,
+    /// which — if globally first — pins the interval to function entry).
+    first_is_def: bool,
+    /// Offset of the last *use* event, if the block uses the value.
+    last_use_rel: Option<usize>,
+    /// Number of use events in this block (spill reloads are priced per use).
+    use_count: u32,
+}
+
+/// Everything [`SizeSketch::measure`] needs from one selected block.
+#[derive(Debug, Clone)]
+pub struct BlockSummary {
+    code_bytes: u32,
+    needs_frame: bool,
+    inst_count: usize,
+    frags: Vec<Fragment>,
+}
+
+/// The register class `allocate` would look up for `v`: instruction results
+/// are classified by type; anything else (params) falls back to GPR, exactly
+/// like the allocator's missing-entry default.
+fn class_of(module: &Module, func: &Function, v: ValueId) -> RegClass {
+    match func.value(v) {
+        ValueDef::Inst(_) => {
+            if module.types.is_float(func.value_ty(v, &module.types)) {
+                RegClass::Xmm
+            } else {
+                RegClass::Gpr
+            }
+        }
+        _ => RegClass::Gpr,
+    }
+}
+
+/// Compresses a selected block into its measurement summary.
+fn summarize(
+    module: &Module,
+    func: &Function,
+    mb: &MachineBlock,
+    needs_frame: bool,
+) -> BlockSummary {
+    let mut code_bytes = 0u32;
+    let mut frags: Vec<Fragment> = Vec::new();
+    let mut index: HashMap<ValueId, usize> = HashMap::new();
+    let touch = |v: ValueId,
+                 rel: usize,
+                 is_def: bool,
+                 frags: &mut Vec<Fragment>,
+                 index: &mut HashMap<ValueId, usize>| {
+        match index.get(&v) {
+            Some(&slot) => {
+                if !is_def {
+                    frags[slot].last_use_rel = Some(rel);
+                    frags[slot].use_count += 1;
+                }
+            }
+            None => {
+                index.insert(v, frags.len());
+                frags.push(Fragment {
+                    value: v,
+                    class: class_of(module, func, v),
+                    first_rel: rel,
+                    first_is_def: is_def,
+                    last_use_rel: if is_def { None } else { Some(rel) },
+                    use_count: u32::from(!is_def),
+                });
+            }
+        }
+    };
+    for (rel, inst) in mb.insts.iter().enumerate() {
+        code_bytes += inst.size;
+        if let Some(def) = inst.def {
+            touch(def, rel, true, &mut frags, &mut index);
+        }
+        for &u in &inst.uses {
+            touch(u, rel, false, &mut frags, &mut index);
+        }
+    }
+    BlockSummary {
+        code_bytes,
+        needs_frame,
+        inst_count: mb.insts.len(),
+        frags,
+    }
+}
+
+/// Revision-aware per-block store of [`BlockSummary`]s with an incremental,
+/// bit-exact [`measure`](SizeSketch::measure).
+#[derive(Debug, Clone, Default)]
+pub struct SizeSketch {
+    revision: Option<u64>,
+    blocks: Vec<Option<BlockSummary>>,
+    /// Blocks whose summary was served from the sketch.
+    pub hits: u64,
+    /// Blocks that were (re-)selected and summarized.
+    pub misses: u64,
+}
+
+impl SizeSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every summary if `func`'s revision does not match the recorded
+    /// one, then binds the sketch to `func`'s revision.
+    fn sync(&mut self, func: &Function) {
+        if self.revision != Some(func.revision()) {
+            self.blocks.clear();
+            self.revision = Some(func.revision());
+        }
+    }
+
+    /// Drops the summary of `block`.
+    pub fn invalidate(&mut self, block: BlockId) {
+        let i = block.index();
+        if i < self.blocks.len() {
+            self.blocks[i] = None;
+        }
+    }
+
+    /// Re-keys the surviving summaries to `revision`, asserting the caller
+    /// has already invalidated every block whose selection inputs changed —
+    /// the changed blocks themselves plus their one-hop def-use
+    /// neighbourhood (gep folding couples both directions).
+    pub fn carry_to(&mut self, revision: u64) {
+        self.revision = Some(revision);
+    }
+
+    /// Measured byte size of `func`: bit-equal to
+    /// [`measure_function`](crate::measure::measure_function), re-selecting
+    /// only blocks without a cached summary.
+    pub fn measure(&mut self, module: &Module, func: &Function) -> u32 {
+        if func.is_declaration {
+            return 0;
+        }
+        self.sync(func);
+        let n = func.num_blocks();
+        if self.blocks.len() < n {
+            self.blocks.resize(n, None);
+        }
+
+        // Re-select missing blocks, sharing one cross-block context.
+        let missing: Vec<(usize, BlockId)> = func
+            .block_ids()
+            .enumerate()
+            .filter(|&(i, _)| self.blocks[i].is_none())
+            .collect();
+        self.hits += (n - missing.len()) as u64;
+        self.misses += missing.len() as u64;
+        if !missing.is_empty() {
+            let cx = select_context(module, func);
+            let mut scratch_classes = HashMap::new();
+            for (bpos, b) in missing {
+                let (mb, frame) = select_block(module, func, &cx, bpos, b, &mut scratch_classes);
+                self.blocks[bpos] = Some(summarize(module, func, &mb, frame));
+            }
+        }
+
+        // Recombine: merge per-block fragments into the flat interval list
+        // `allocate` would build (same first-event order, so the spill
+        // scan's tie-breaking agrees), then price frame and alignment like
+        // `measure_function`.
+        let mut index: HashMap<ValueId, usize> = HashMap::new();
+        let mut ivs: Vec<Interval> = Vec::new();
+        let mut base = 0usize;
+        let mut code_bytes = 0u32;
+        let mut needs_frame = false;
+        for i in 0..n {
+            let s = self.blocks[i].as_ref().expect("summary just populated");
+            code_bytes += s.code_bytes;
+            needs_frame |= s.needs_frame;
+            for fr in &s.frags {
+                match index.get(&fr.value) {
+                    Some(&slot) => {
+                        if let Some(r) = fr.last_use_rel {
+                            ivs[slot].end = base + r;
+                        }
+                        ivs[slot].uses += fr.use_count;
+                    }
+                    None => {
+                        index.insert(fr.value, ivs.len());
+                        ivs.push(Interval {
+                            start: if fr.first_is_def {
+                                base + fr.first_rel
+                            } else {
+                                0
+                            },
+                            end: base + fr.last_use_rel.unwrap_or(fr.first_rel),
+                            uses: fr.use_count,
+                            class: fr.class,
+                        });
+                    }
+                }
+            }
+            base += s.inst_count;
+        }
+        let alloc = spill_scan(ivs);
+        let frame = if needs_frame || alloc.forces_frame {
+            8
+        } else {
+            0
+        };
+        code_bytes + alloc.spill_bytes + frame + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure_function;
+    use rolag_ir::parser::parse_module;
+
+    fn check(text: &str) {
+        let m = parse_module(text).unwrap();
+        for id in m.func_ids() {
+            let f = m.func(id);
+            let mut sketch = SizeSketch::new();
+            assert_eq!(
+                sketch.measure(&m, f),
+                measure_function(&m, f),
+                "cold sketch differs for @{}",
+                f.name
+            );
+            // A second measure is served entirely from summaries.
+            let misses = sketch.misses;
+            assert_eq!(sketch.measure(&m, f), measure_function(&m, f));
+            assert_eq!(sketch.misses, misses);
+        }
+    }
+
+    #[test]
+    fn matches_measure_function_on_varied_shapes() {
+        check(
+            r#"
+module "t"
+global @a : [16 x i32] = zero
+func @f(i32 %p0) -> i32 {
+entry:
+  br loop
+loop:
+  %1 = phi i32 [ i32 0, entry ], [ %2, loop ]
+  %2 = add i32 %1, i32 1
+  %q = gep i32, @a, %1
+  store %2, %q
+  %3 = icmp slt %2, %p0
+  condbr %3, loop, exit
+exit:
+  ret %2
+}
+func @g(double %p0) -> double {
+entry:
+  %a = fmul double %p0, double 2.0
+  %b = fadd double %a, %p0
+  ret %b
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn matches_under_register_pressure() {
+        // 20 simultaneously live sums force spills; the recombined interval
+        // order must agree with `allocate` or spill choices diverge.
+        let mut text = String::from("module \"t\"\nfunc @f(i32 %p0) -> i32 {\nentry:\n");
+        for i in 0..20 {
+            text.push_str(&format!("  %v{i} = add i32 %p0, i32 {}\n", i + 1000));
+        }
+        text.push_str("  %s0 = add i32 %v0, %v1\n");
+        for i in 1..19 {
+            text.push_str(&format!("  %s{i} = add i32 %s{}, %v{}\n", i - 1, i + 1));
+        }
+        text.push_str("  ret %s18\n}\n");
+        check(&text);
+    }
+
+    #[test]
+    fn stale_revision_drops_summaries() {
+        let mut m = parse_module(
+            r#"
+module "t"
+func @f(i32 %p0) -> i32 {
+entry:
+  %1 = add i32 %p0, %p0
+  %2 = mul i32 %1, %1
+  ret %2
+}
+"#,
+        )
+        .unwrap();
+        let id = m.func_by_name("f").unwrap();
+        let mut sketch = SizeSketch::new();
+        let before = sketch.measure(&m, m.func(id));
+        // Mutate without invalidating: the revision check must recompute.
+        let entry = rolag_ir::BlockId::from_index(0);
+        let mul = m.func(id).block(entry).insts[1];
+        m.func_mut(id).remove_inst(mul);
+        let after = sketch.measure(&m, m.func(id));
+        assert_eq!(after, measure_function(&m, m.func(id)));
+        assert!(after < before);
+    }
+
+    #[test]
+    fn invalidate_and_carry_reuse_clean_blocks() {
+        let mut m = parse_module(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+global @b : [8 x i32] = zero
+func @f(i32 %p0) -> void {
+entry:
+  %q = gep i32, @a, i64 0
+  store %p0, %q
+  br next
+next:
+  %r = gep i32, @b, i64 1
+  store %p0, %r
+  ret
+}
+"#,
+        )
+        .unwrap();
+        let id = m.func_by_name("f").unwrap();
+        let mut sketch = SizeSketch::new();
+        sketch.measure(&m, m.func(id));
+        // Drop the store in `next`; entry is disconnected from it except
+        // through %p0 (a param, classless), so only `next` needs re-selection.
+        let next = rolag_ir::BlockId::from_index(1);
+        let store = m.func(id).block(next).insts[1];
+        m.func_mut(id).remove_inst(store);
+        sketch.invalidate(next);
+        sketch.carry_to(m.func(id).revision());
+        let misses = sketch.misses;
+        assert_eq!(
+            sketch.measure(&m, m.func(id)),
+            measure_function(&m, m.func(id))
+        );
+        assert_eq!(sketch.misses, misses + 1, "only the dirty block re-selects");
+    }
+}

@@ -247,6 +247,13 @@ impl AnalysisManager {
         if let Some((cached_rev, tree)) = self.dom.get(&id) {
             if *cached_rev == rev {
                 self.stats.dom_hits += 1;
+                debug_assert_eq!(
+                    **tree,
+                    DomTree::compute(module.func(id)),
+                    "stale dominator tree served for `{}` — a pass over-claimed \
+                     PreservedAnalyses::Dominators",
+                    module.func(id).name
+                );
                 return Rc::clone(tree);
             }
         }
@@ -263,6 +270,13 @@ impl AnalysisManager {
         if let Some((cached_rev, loops)) = self.loops.get(&id) {
             if *cached_rev == rev {
                 self.stats.loops_hits += 1;
+                debug_assert_eq!(
+                    **loops,
+                    find_loops(module.func(id), &DomTree::compute(module.func(id))),
+                    "stale loop forest served for `{}` — a pass over-claimed \
+                     PreservedAnalyses::Loops",
+                    module.func(id).name
+                );
                 return Rc::clone(loops);
             }
         }
@@ -279,6 +293,13 @@ impl AnalysisManager {
         if let Some((cached_rev, deps)) = self.deps.get(&(id, block)) {
             if *cached_rev == rev {
                 self.stats.deps_hits += 1;
+                debug_assert_eq!(
+                    **deps,
+                    BlockDeps::compute(module, module.func(id), block),
+                    "stale dependence graph served for `{}` — a pass over-claimed \
+                     PreservedAnalyses::DepGraph",
+                    module.func(id).name
+                );
                 return Rc::clone(deps);
             }
         }
@@ -294,6 +315,13 @@ impl AnalysisManager {
         if let Some((cached_rev, info)) = self.alias.get(&(id, v)) {
             if *cached_rev == rev {
                 self.stats.alias_hits += 1;
+                debug_assert_eq!(
+                    **info,
+                    resolve_pointer(module, module.func(id), v),
+                    "stale pointer resolution served for `{}` — a pass over-claimed \
+                     PreservedAnalyses::Alias",
+                    module.func(id).name
+                );
                 return Rc::clone(info);
             }
         }
@@ -308,12 +336,106 @@ impl AnalysisManager {
     pub fn effects(&mut self, module: &Module) -> Rc<Vec<Effects>> {
         if let Some(table) = &self.effects {
             self.stats.effects_hits += 1;
+            debug_assert_eq!(
+                **table,
+                effects_table(module),
+                "stale effects table served — a pass over-claimed \
+                 PreservedAnalyses::EffectsTable"
+            );
             return Rc::clone(table);
         }
         self.stats.effects_misses += 1;
         let table = Rc::new(effects_table(module));
         self.effects = Some(Rc::clone(&table));
         table
+    }
+
+    /// Verifies every cached entry that would currently be *served* (its
+    /// revision matches the function's) against a fresh recomputation,
+    /// returning the first divergence as an error message.
+    ///
+    /// This is the release-mode twin of the hit-path `debug_assert_eq!`
+    /// checks: the preserved-contract test primes the cache, runs a pass,
+    /// lets [`AnalysisManager::invalidate`] apply its contract, and then
+    /// calls this to prove every surviving entry is bit-equal to a
+    /// recomputation. Entries whose revision no longer matches are skipped
+    /// — the revision guard means they can never be served.
+    pub fn verify_cached(&self, module: &Module) -> Result<(), String> {
+        let nfuncs = module.num_funcs();
+        for (&id, (rev, tree)) in &self.dom {
+            if id.index() >= nfuncs || module.func(id).revision() != *rev {
+                continue;
+            }
+            if **tree != DomTree::compute(module.func(id)) {
+                return Err(format!(
+                    "dominator tree cached for `{}` diverges from recomputation",
+                    module.func(id).name
+                ));
+            }
+        }
+        for (&id, (rev, loops)) in &self.loops {
+            if id.index() >= nfuncs || module.func(id).revision() != *rev {
+                continue;
+            }
+            let fresh = find_loops(module.func(id), &DomTree::compute(module.func(id)));
+            if **loops != fresh {
+                return Err(format!(
+                    "loop forest cached for `{}` diverges from recomputation",
+                    module.func(id).name
+                ));
+            }
+        }
+        for (&(id, block), (rev, deps)) in &self.deps {
+            if id.index() >= nfuncs
+                || module.func(id).revision() != *rev
+                || block.index() >= module.func(id).num_blocks()
+            {
+                continue;
+            }
+            if **deps != BlockDeps::compute(module, module.func(id), block) {
+                return Err(format!(
+                    "dependence graph cached for `{}` block {} diverges from recomputation",
+                    module.func(id).name,
+                    block.index()
+                ));
+            }
+        }
+        for (&(id, v), (rev, info)) in &self.alias {
+            if id.index() >= nfuncs
+                || module.func(id).revision() != *rev
+                || v.index() >= module.func(id).num_values()
+            {
+                continue;
+            }
+            if **info != resolve_pointer(module, module.func(id), v) {
+                return Err(format!(
+                    "pointer resolution cached for `{}` value {} diverges from recomputation",
+                    module.func(id).name,
+                    v.index()
+                ));
+            }
+        }
+        if let Some(table) = &self.effects {
+            if **table != effects_table(module) {
+                return Err("effects table cache diverges from recomputation".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// How many per-function/per-key entries are currently cached, per
+    /// analysis kind (`dom`, `loops`, `deps`, `alias`, `effects`). Test
+    /// observability: the contract test uses it to prove a preserved
+    /// analysis actually *survived* invalidation rather than being
+    /// silently dropped.
+    pub fn cached_counts(&self) -> [(&'static str, usize); 5] {
+        [
+            ("dom", self.dom.len()),
+            ("loops", self.loops.len()),
+            ("deps", self.deps.len()),
+            ("alias", self.alias.len()),
+            ("effects", usize::from(self.effects.is_some())),
+        ]
     }
 
     /// Applies a pass's [`PreservedAnalyses`] contract: preserved

@@ -8,29 +8,75 @@
 //! the port takes the cached copy instead — the differential tests in
 //! `tests/pipeline_spec.rs` pin the equivalence.
 //!
-//! Preservation contracts (derived from the transform sources):
+//! Preservation contracts (derived from the transform sources; every
+//! claim is checked against recomputation by the analysis manager's
+//! debug-mode hit checker and by `tests/preserved_contracts.rs`):
 //!
-//! | pass                    | preserves                          |
-//! |-------------------------|------------------------------------|
-//! | `cse`                   | dominators, loops, effects table   |
-//! | `cleanup`/`simplify`/`dce` | effects table                   |
-//! | `unroll`, `flatten`, `reroll`, `rolag*` | effects table      |
+//! | pass                    | preserves when it changed something     |
+//! |-------------------------|-----------------------------------------|
+//! | `cse`                   | dominators, loops, effects table        |
+//! | `cleanup`/`simplify`/`dce` | dominators, loops, effects table     |
+//! | `unroll`                | dominators, loops, effects table        |
+//! | `reroll`                | dominators, loops, effects table        |
+//! | `flatten`, `rolag*`     | effects table                           |
 //!
-//! CSE only removes non-terminator instructions, so the CFG — and with it
-//! the dominator tree and loop forest — survives. Cleanup's DCE seals
-//! unreachable blocks (a CFG edit), so it keeps only the effects table.
+//! A pass that changed **nothing** reports [`PreservedAnalyses::all`]:
+//! the module is byte-identical, so every cached analysis still describes
+//! it.
+//!
+//! Why the CFG claims hold:
+//!
+//! * CSE only removes non-terminator instructions — blocks and edges are
+//!   untouched.
+//! * Cleanup folds non-terminator computations (`fold.rs` never rewrites
+//!   branches) and DCE never deletes a terminator. Its unreachable-block
+//!   sealing swaps a dead block's terminator for `unreachable`, but the
+//!   dominator tree and loop forest are computed from a reachable-only
+//!   traversal rooted at the entry: unreachable blocks map to "no idom /
+//!   skipped" both before and after sealing, and `find_loops` filters
+//!   unreachable predecessors, so both results are bit-identical.
+//! * Unroll replicates the loop body *inside* the single loop block and
+//!   re-appends the original terminator — same blocks, same edges.
+//! * Reroll deletes replica instructions and rewrites operands in place —
+//!   again no terminator or block changes.
+//! * Flatten rewrites the outer latch's `condbr` into a `br` (a real CFG
+//!   edit) and RoLAG splits blocks and introduces back edges, so both
+//!   invalidate the CFG analyses whenever they fire.
+//!
 //! No registered pass adds, removes, or re-annotates function
 //! declarations, so the effects table survives everything.
 
-use rolag::{roll_module, roll_module_full_rescan, roll_module_par, DriverOptions, RolagOptions};
+use rolag::{
+    roll_module_full_rescan_with, roll_module_par, roll_module_with, DriverOptions, RolagOptions,
+};
+use rolag_analysis::{find_loops, DomTree};
 use rolag_ir::{FuncId, Module};
 use rolag_reroll::reroll_module;
 use rolag_transforms::{
-    cleanup_in_place, cse_block, flatten_module, unroll_loops_with, UnrollOutcome,
+    cleanup_in_place, cse_block, flatten_step, unroll_loops_with, UnrollOutcome,
 };
 
 use crate::analysis::{AnalysisKind, AnalysisManager, PreservedAnalyses};
 use crate::manager::{FuncResult, FunctionPass, ModulePass, PassContext};
+
+/// The contract of a pass that mutates instructions but never blocks or
+/// edges: the CFG-derived analyses and the effects table survive.
+fn cfg_preserving() -> PreservedAnalyses {
+    PreservedAnalyses::none()
+        .preserve(AnalysisKind::Dominators)
+        .preserve(AnalysisKind::Loops)
+        .preserve(AnalysisKind::EffectsTable)
+}
+
+/// `cfg_preserving` when the pass changed something, `all` when the
+/// module is untouched (every cached analysis trivially still exact).
+fn preserved_for(changed: bool) -> PreservedAnalyses {
+    if changed {
+        cfg_preserving()
+    } else {
+        PreservedAnalyses::all()
+    }
+}
 
 /// Block-local common-subexpression elimination
 /// ([`rolag_transforms::cse_module`] per function).
@@ -57,10 +103,7 @@ impl FunctionPass for CsePass {
         }
         module.replace_func(id, func);
         FuncResult {
-            preserved: PreservedAnalyses::none()
-                .preserve(AnalysisKind::Dominators)
-                .preserve(AnalysisKind::Loops)
-                .preserve(AnalysisKind::EffectsTable),
+            preserved: preserved_for(removed > 0),
             changed: removed,
         }
     }
@@ -113,7 +156,7 @@ impl FunctionPass for CleanupPass {
         let (func, types) = module.func_and_types_mut(id);
         let changed = cleanup_in_place(func, types, &effects) as u64;
         FuncResult {
-            preserved: PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable),
+            preserved: preserved_for(changed > 0),
             changed,
         }
     }
@@ -171,11 +214,17 @@ impl ModulePass for UnrollPass {
             outcomes.len(),
             self.factor
         ));
-        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        // Unrolling replicates the body inside the loop block and re-uses
+        // the original terminator, so blocks and edges never change.
+        preserved_for(done > 0)
     }
 }
 
-/// Loop-nest flattening ([`rolag_transforms::flatten_module`]).
+/// Loop-nest flattening ([`rolag_transforms::flatten_module`]), with the
+/// first dominator tree / loop forest of every function served from the
+/// analysis cache. Later fixpoint iterations recompute locally: the
+/// function is detached from the module while it mutates, so the shared
+/// cache cannot describe the intermediate states.
 pub struct FlattenPass;
 
 impl ModulePass for FlattenPass {
@@ -186,12 +235,43 @@ impl ModulePass for FlattenPass {
     fn run(
         &self,
         module: &mut Module,
-        _am: &mut AnalysisManager,
+        am: &mut AnalysisManager,
         cx: &mut PassContext,
     ) -> PreservedAnalyses {
-        let n = flatten_module(module);
+        let ids: Vec<FuncId> = module.func_ids().collect();
+        let mut n = 0usize;
+        for id in ids {
+            if module.func(id).is_declaration {
+                continue;
+            }
+            // Same analysis shape as flatten_function's first iteration,
+            // through the cache: the dominator tree feeds the loop-forest
+            // computation (or both hit outright when a preserving pass
+            // kept them alive).
+            let _dom = am.dom(module, id);
+            let loops = am.loops(module, id);
+            let mut func = module.func(id).clone();
+            if flatten_step(module, &mut func, &loops) {
+                n += 1;
+                loop {
+                    let dom = DomTree::compute(&func);
+                    let fresh = find_loops(&func, &dom);
+                    if !flatten_step(module, &mut func, &fresh) {
+                        break;
+                    }
+                    n += 1;
+                }
+            }
+            module.replace_func(id, func);
+        }
         cx.note(format!("flatten: {n} nests flattened"));
-        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        if n == 0 {
+            PreservedAnalyses::all()
+        } else {
+            // Flattening rewrites the outer latch's condbr into a br: a
+            // real CFG edit.
+            PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        }
     }
 }
 
@@ -215,7 +295,9 @@ impl ModulePass for RerollPass {
             "reroll: {} of {} single-block loops rerolled",
             s.rerolled, s.examined
         ));
-        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        // Rerolling deletes replica instructions and rewrites operands in
+        // place; terminators and blocks never change.
+        preserved_for(s.rerolled > 0)
     }
 }
 
@@ -270,7 +352,7 @@ impl ModulePass for RolagPass {
     fn run(
         &self,
         module: &mut Module,
-        _am: &mut AnalysisManager,
+        am: &mut AnalysisManager,
         cx: &mut PassContext,
     ) -> PreservedAnalyses {
         let opts = RolagOptions {
@@ -301,8 +383,14 @@ impl ModulePass for RolagPass {
                 cx.record_driver(report);
                 stats
             }
-            (RolagEngine::Incremental, None) => roll_module(module, &opts),
-            (RolagEngine::FullRescan, _) => roll_module_full_rescan(module, &opts),
+            (RolagEngine::Incremental, None) => {
+                let effects = am.effects(module);
+                roll_module_with(module, &opts, &effects)
+            }
+            (RolagEngine::FullRescan, _) => {
+                let effects = am.effects(module);
+                roll_module_full_rescan_with(module, &opts, &effects)
+            }
         };
         cx.note(format!("rolag: {stats}"));
         for (stage, ns) in stats.timings.rows() {
@@ -311,7 +399,16 @@ impl ModulePass for RolagPass {
         for (counter, n) in stats.cache.rows() {
             cx.note(format!("  cache {counter:<20} {n:>10}"));
         }
+        let rolled = stats.rolled;
         cx.record_rolag(stats);
-        PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        if rolled == 0 {
+            // No commit anywhere: uncommitted speculation happens on
+            // detached clones and rolled-back globals, so the module is
+            // byte-identical to its pre-pass state.
+            PreservedAnalyses::all()
+        } else {
+            // Commits split blocks and introduce back edges.
+            PreservedAnalyses::none().preserve(AnalysisKind::EffectsTable)
+        }
     }
 }

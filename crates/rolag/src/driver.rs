@@ -43,6 +43,17 @@
 //! [`FixpointCacheStats`](crate::stats::FixpointCacheStats) — duplicates
 //! report the same fixpoint cache counters their representative's actual
 //! run produced, keeping aggregate counters identical to a serial run.
+//!
+//! Local value names never block sharing: the printer renumbers temps
+//! canonically (`%0`, `%1`, ...), so two functions that differ only in
+//! source-level temp names produce identical keys — and replaying one's
+//! body onto the other is still byte-identical, for the same reason.
+//! Beyond that the key is deliberately byte-strict: any structural
+//! difference (an opcode, a constant, a referenced global) separates the
+//! slots, because replay splices the representative's rolled body verbatim
+//! and anything looser would diverge from what a serial run produces. The
+//! TSVC kernels therefore never share — they are structurally distinct,
+//! not spuriously split by naming.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -391,6 +402,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression for the tsvc24 memo cold-miss investigation: the driver
+    /// key is NOT "too strict" about local value names — the printer
+    /// renumbers temps canonically, so functions differing only in
+    /// source-level temp names unify, and replaying one body onto the
+    /// other stays byte-identical to serial. The TSVC kernels fail to
+    /// share because they are structurally distinct, and the per-function
+    /// fixpoint memo behaviour is pinned by
+    /// `single_commit_fixpoints_report_zero_memo_hits` in `pass.rs`.
+    #[test]
+    fn value_renamed_twins_share_a_cache_slot() {
+        let mut text = String::from("module \"twins\"\nglobal @a : [8 x i32] = zero\n");
+        for (f, temp) in [(0, "g"), (1, "h")] {
+            text.push_str(&format!("func @f{f}() -> void {{\nentry:\n"));
+            for i in 0..8 {
+                text.push_str(&format!("  %{temp}{i} = gep i32, @a, i64 {i}\n"));
+                text.push_str(&format!("  store i32 {}, %{temp}{i}\n", i * 7));
+            }
+            text.push_str("  ret\n}\n");
+        }
+        let original = rolag_ir::parser::parse_module(&text).unwrap();
+        let key0 = canonical_key(&original, original.func_by_name("f0").unwrap());
+        let key1 = canonical_key(&original, original.func_by_name("f1").unwrap());
+        assert_eq!(key0, key1, "canonical printing erases temp names");
+
+        let opts = RolagOptions::default();
+        let mut serial = original.clone();
+        roll_module(&mut serial, &opts);
+        let mut par = original.clone();
+        let report = roll_module_par(&mut par, &opts, &DriverOptions::default());
+        assert_eq!(report.cache_hits, 1, "@f1 replays @f0's roll");
+        assert_eq!(report.unique, 1);
+        assert_eq!(
+            print_module(&serial),
+            print_module(&par),
+            "replay across renamed twins stays byte-identical"
+        );
     }
 
     #[test]

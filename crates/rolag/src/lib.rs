@@ -60,7 +60,7 @@ pub use driver::{roll_module_par, DriverOptions, DriverReport};
 pub use options::RolagOptions;
 pub use pass::{
     roll_function, roll_function_full_rescan, roll_function_rescued, roll_function_with,
-    roll_module, roll_module_full_rescan,
+    roll_module, roll_module_full_rescan, roll_module_full_rescan_with, roll_module_with,
 };
 pub use schedule::Schedule;
 pub use seeds::{collect_block_candidates, collect_candidates, Candidate};

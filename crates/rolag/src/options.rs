@@ -47,6 +47,12 @@ pub struct RolagOptions {
     /// Lowering target whose size model drives profitability (§IV-F uses
     /// "the compiler's target-specific cost model").
     pub target: TargetKind,
+    /// Use the `rolag-lower` binary-size simulator (isel + regalloc spill
+    /// sizing) instead of the cheap TTI-style estimate when judging
+    /// profitability. Closes the estimate/measurement gap of §V-A at the
+    /// price of re-lowering changed blocks; the incremental engine keeps a
+    /// per-block regalloc sketch so unchanged blocks are never re-selected.
+    pub measured_cost: bool,
 }
 
 impl Default for RolagOptions {
@@ -66,6 +72,7 @@ impl Default for RolagOptions {
             validate: false,
             enable_value_chains: false,
             target: TargetKind::default(),
+            measured_cost: false,
         }
     }
 }
@@ -104,6 +111,15 @@ impl RolagOptions {
     pub fn validated() -> Self {
         RolagOptions {
             validate: true,
+            ..RolagOptions::default()
+        }
+    }
+
+    /// The default configuration with the lowered-size simulator driving
+    /// profitability instead of the TTI estimate.
+    pub fn measured() -> Self {
+        RolagOptions {
+            measured_cost: true,
             ..RolagOptions::default()
         }
     }

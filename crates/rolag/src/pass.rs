@@ -13,7 +13,6 @@
 //! outcome-stats-identical to the retained full-rescan reference
 //! ([`roll_function_full_rescan`]), enforced by `tests/incremental_fixpoint.rs`.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use rolag_ir::{BlockId, Effects, FuncId, Function, GlobalId, Module};
@@ -22,7 +21,8 @@ use rolag_transforms::{cleanup_in_place, effects_table};
 use crate::align::{build_candidate_graph, AlignGraph};
 use crate::codegen::{self, RollOutcome};
 use crate::incremental::{
-    changed_blocks, dirty_closure, size_affected_blocks, FunctionCache, MemoEntry, MemoVerdict,
+    changed_blocks, dirty_closure, measure_affected_blocks, size_affected_blocks, FunctionCache,
+    MemoEntry, MemoVerdict,
 };
 use crate::options::RolagOptions;
 use crate::schedule::{self, Schedule};
@@ -35,6 +35,45 @@ fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
     let result = f();
     *slot += start.elapsed().as_nanos() as u64;
     result
+}
+
+/// The sweep-boundary function size under the engine's cost regime:
+/// the incremental caches in release, cross-checked against a fresh
+/// full computation in debug builds — every debug-mode test corpus
+/// thereby audits the incremental engine's bookkeeping for free.
+fn cached_function_size(
+    module: &Module,
+    work: &Function,
+    opts: &RolagOptions,
+    cache: &mut FunctionCache,
+) -> u64 {
+    if opts.measured_cost {
+        let size = cache.sketch.measure(module, work) as u64;
+        debug_assert_eq!(
+            size,
+            rolag_lower::measure_function(module, work) as u64,
+            "incremental size sketch diverged from a full lowering"
+        );
+        size
+    } else {
+        let size = cache.sizes.function_estimate(opts.target, module, work) as u64;
+        debug_assert_eq!(
+            size,
+            opts.target.function_estimate(module, work) as u64,
+            "block size cache diverged from a fresh estimate"
+        );
+        size
+    }
+}
+
+/// The full-rescan reference engine's function size: always computed from
+/// scratch.
+fn fresh_function_size(module: &Module, work: &Function, opts: &RolagOptions) -> u64 {
+    if opts.measured_cost {
+        rolag_lower::measure_function(module, work) as u64
+    } else {
+        opts.target.function_estimate(module, work) as u64
+    }
 }
 
 /// Runs RoLAG on one function. Returns per-function statistics.
@@ -68,7 +107,7 @@ pub fn roll_function_with(
     let mut cache = FunctionCache::default();
 
     let cost_start = Instant::now();
-    stats.size_before = cache.sizes.function_estimate(opts.target, module, &work) as u64;
+    stats.size_before = cached_function_size(module, &work, opts, &mut cache);
     stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
     let mut old_size = stats.size_before;
 
@@ -124,9 +163,18 @@ pub fn roll_function_with(
                     func,
                     kinds,
                     changed,
+                    sketch,
                 } => {
+                    let track_start = Instant::now();
                     let dirty = dirty_closure(&work, &func, &changed);
-                    cache.invalidate(&dirty);
+                    if let Some(s) = sketch {
+                        // The attempt's trial sketch is exact for the
+                        // committed function; adopt it instead of
+                        // re-selecting the changed blocks next sweep.
+                        cache.sketch = s;
+                    }
+                    cache.invalidate(&dirty, func.revision());
+                    stats.timings.track_ns += track_start.elapsed().as_nanos() as u64;
                     work = func;
                     stats.rolled += 1;
                     stats.nodes += kinds;
@@ -174,15 +222,15 @@ pub fn roll_function_with(
             break;
         }
         let cost_start = Instant::now();
-        old_size = cache.sizes.function_estimate(opts.target, module, &work) as u64;
+        old_size = cached_function_size(module, &work, opts, &mut cache);
         stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
     }
 
     // `work` did not change since `old_size` was last computed (constant
     // interning during rejected graph builds never alters block content).
     stats.size_after = old_size;
-    stats.cache.size_blocks_reused += cache.sizes.hits;
-    stats.cache.size_blocks_computed += cache.sizes.misses;
+    stats.cache.size_blocks_reused += cache.sizes.hits + cache.sketch.hits;
+    stats.cache.size_blocks_computed += cache.sizes.misses + cache.sketch.misses;
     module.replace_func(id, work);
     stats
 }
@@ -203,7 +251,7 @@ pub fn roll_function_full_rescan(
     }
     let mut work = module.func(id).clone();
     stats.size_before = timed(&mut stats.timings.cost_ns, || {
-        opts.target.function_estimate(module, &work) as u64
+        fresh_function_size(module, &work, opts)
     });
 
     loop {
@@ -213,7 +261,7 @@ pub fn roll_function_full_rescan(
         // `work` is invariant within a sweep, so the profitability baseline
         // is too: compute it once per sweep, not once per candidate.
         let old_size = timed(&mut stats.timings.cost_ns, || {
-            opts.target.function_estimate(module, &work) as u64
+            fresh_function_size(module, &work, opts)
         });
         let mut committed = false;
         for cand in candidates {
@@ -240,7 +288,7 @@ pub fn roll_function_full_rescan(
     }
 
     stats.size_after = timed(&mut stats.timings.cost_ns, || {
-        opts.target.function_estimate(module, &work) as u64
+        fresh_function_size(module, &work, opts)
     });
     module.replace_func(id, work);
     stats
@@ -266,6 +314,9 @@ enum IncrAttempt {
         /// Blocks of `work` the attempt changed, plus the attempt's new
         /// blocks (the commit's change set, reused for invalidation).
         changed: Vec<BlockId>,
+        /// `measured_cost` only: the trial size sketch, already exact for
+        /// `func` (the commit adopts it wholesale).
+        sketch: Option<rolag_lower::SizeSketch>,
     },
     LanesRejected,
     ScheduleRejected,
@@ -426,7 +477,7 @@ fn try_candidate(
         Err(GenReject::Validator) => return Attempt::ValidatorRejected,
     };
 
-    // Profitability (§IV-F): text estimate plus the constant data the roll
+    // Profitability (§IV-F): text size plus the constant data the roll
     // added to `.rodata`. The baseline `old_size` comes in from the sweep.
     let profitable = timed(&mut stats.timings.cost_ns, || {
         let rodata: u64 = outcome
@@ -434,7 +485,7 @@ fn try_candidate(
             .iter()
             .map(|&g| module.global_size(g))
             .sum();
-        let new_size = opts.target.function_estimate(module, &attempt) as u64 + rodata;
+        let new_size = fresh_function_size(module, &attempt, opts) + rodata;
         new_size < old_size
     });
 
@@ -496,31 +547,65 @@ fn try_candidate_incremental(
         Err(GenReject::Validator) => return IncrAttempt::ValidatorRejected,
     };
 
-    // Delta profitability: `new_size` sums the attempt's per-block
-    // estimates, recomputing only blocks the attempt changed (plus the
-    // one-hop gep-folding neighbourhood) and reusing the sweep's cached
-    // estimates for everything else. Equal to the full walk by
-    // construction: `function_estimate` is itself that per-block sum.
+    // Change tracking: which blocks the attempt rewrote, and which clean
+    // blocks the cost regime's one-hop couplings drag in.
+    let track_start = Instant::now();
+    let changed = changed_blocks(work, &attempt);
+    let affected = if opts.measured_cost {
+        measure_affected_blocks(work, &attempt, &changed)
+    } else {
+        size_affected_blocks(work, &attempt, &changed)
+    };
+    stats.timings.track_ns += track_start.elapsed().as_nanos() as u64;
+
     let cost_start = Instant::now();
     let rodata: u64 = outcome
         .new_globals
         .iter()
         .map(|&g| module.global_size(g))
         .sum();
-    let changed = changed_blocks(work, &attempt);
-    let affected = size_affected_blocks(work, &attempt, &changed);
-    let changed_set: HashSet<BlockId> = changed.iter().copied().collect();
-    let mut new_size = 0u64;
-    for b in attempt.block_ids() {
-        if changed_set.contains(&b) || affected.contains(&b) {
-            stats.cache.size_blocks_computed += 1;
-            new_size += opts.target.block_estimate(module, &attempt, b) as u64;
-        } else {
-            new_size += cache.sizes.get(opts.target, module, work, b) as u64;
+    let num_work_blocks = work.num_blocks();
+    let (profitable, trial_sketch) = if opts.measured_cost {
+        // Measured delta: clone the sweep's sketch, drop exactly the
+        // summaries the attempt can have perturbed, and recombine. Clean
+        // blocks keep their machine code verbatim; the global spill scan
+        // reruns over the recombined intervals, so non-local register
+        // pressure effects are priced exactly.
+        let mut trial = cache.sketch.clone();
+        for &b in changed.iter().chain(affected.iter()) {
+            trial.invalidate(b);
         }
-    }
-    new_size += opts.target.function_overhead() as u64 + rodata;
-    let profitable = new_size < old_size;
+        trial.carry_to(attempt.revision());
+        let new_size = trial.measure(module, &attempt) as u64 + rodata;
+        (new_size < old_size, Some(trial))
+    } else {
+        // Estimated delta: `new_size = old_size − Σ old(changed ∪ affected)
+        // + Σ new(changed ∪ affected) + rodata`. Blocks outside the two
+        // sets have identical content and an unchanged one-hop gep-folding
+        // neighbourhood, so their estimates cancel exactly — the sum never
+        // walks them. The old-side terms come from the sweep cache (`work`
+        // is sweep-invariant, so repeated attempts hit); the new-side
+        // terms share one use map of the attempt.
+        let uses = attempt.compute_uses();
+        let mut delta = 0i64;
+        for &b in changed.iter().filter(|b| b.index() < num_work_blocks) {
+            delta -= cache.sizes.get(opts.target, module, work, b) as i64;
+        }
+        for &b in &affected {
+            delta -= cache.sizes.get(opts.target, module, work, b) as i64;
+        }
+        for &b in changed.iter().chain(affected.iter()) {
+            stats.cache.size_blocks_computed += 1;
+            delta += opts.target.block_estimate_with(module, &attempt, &uses, b) as i64;
+        }
+        let new_size = (old_size as i64 + delta + rodata as i64) as u64;
+        debug_assert_eq!(
+            new_size,
+            opts.target.function_estimate(module, &attempt) as u64 + rodata,
+            "per-block size delta diverged from the full walk"
+        );
+        (new_size < old_size, None)
+    };
     stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
 
     if profitable {
@@ -528,21 +613,31 @@ fn try_candidate_incremental(
             func: attempt,
             kinds: graph.count_kinds(),
             changed,
+            sketch: trial_sketch,
         }
     } else {
         rollback_globals(module, before_globals);
-        // The verdict depends on the candidate block, every pre-existing
-        // block the attempt rewrote, and every block whose size fed the
-        // delta outside the cache.
-        let num_work_blocks = work.num_blocks();
-        let mut deps = vec![block];
-        deps.extend(
-            changed
-                .iter()
-                .copied()
-                .filter(|b| b.index() < num_work_blocks && *b != block),
-        );
-        deps.extend(affected.iter().copied().filter(|b| *b != block));
+        let deps = if opts.measured_cost {
+            // The measured verdict hangs off the *global* spill scan: a
+            // content change anywhere in the function can shift register
+            // pressure under the attempt. Depend on every block.
+            work.block_ids().collect()
+        } else {
+            // The estimated verdict depends on the candidate block, every
+            // pre-existing block the attempt rewrote, and every block
+            // whose size fed the delta: `old_size` and the would-be
+            // `new_size` shift by the same amount under commits outside
+            // these blocks, so the sign of the delta is stable.
+            let mut deps = vec![block];
+            deps.extend(
+                changed
+                    .iter()
+                    .copied()
+                    .filter(|b| b.index() < num_work_blocks && *b != block),
+            );
+            deps.extend(affected.iter().copied().filter(|b| *b != block));
+            deps
+        };
         IncrAttempt::Unprofitable { deps }
     }
 }
@@ -559,10 +654,22 @@ fn rollback_globals(module: &mut Module, keep: usize) {
 /// all functions.
 pub fn roll_module(module: &mut Module, opts: &RolagOptions) -> RolagStats {
     let effects = effects_table(module);
+    roll_module_with(module, opts, &effects)
+}
+
+/// [`roll_module`] with a caller-supplied call-effects table, e.g. one
+/// served from a pass manager's analysis cache. No registered pass changes
+/// a function's effects annotation, so a table computed earlier in the
+/// pipeline stays exact.
+pub fn roll_module_with(
+    module: &mut Module,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> RolagStats {
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = RolagStats::default();
     for id in ids {
-        total += roll_function_rescued(module, id, opts, &effects);
+        total += roll_function_rescued(module, id, opts, effects);
     }
     total
 }
@@ -612,11 +719,21 @@ pub fn roll_function_rescued(
 /// `fixpoint` bench.
 pub fn roll_module_full_rescan(module: &mut Module, opts: &RolagOptions) -> RolagStats {
     let effects = effects_table(module);
+    roll_module_full_rescan_with(module, opts, &effects)
+}
+
+/// [`roll_module_full_rescan`] with a caller-supplied call-effects table
+/// (the full-rescan twin of [`roll_module_with`]).
+pub fn roll_module_full_rescan_with(
+    module: &mut Module,
+    opts: &RolagOptions,
+    effects: &[Effects],
+) -> RolagStats {
     let ids: Vec<FuncId> = module.func_ids().collect();
     let mut total = RolagStats::default();
     for id in ids {
         total += rescue_panics(module, id, |m| {
-            roll_function_full_rescan(m, id, opts, &effects)
+            roll_function_full_rescan(m, id, opts, effects)
         });
     }
     total
@@ -673,6 +790,97 @@ mod tests {
         assert!(stats.timings.codegen_ns > 0);
         assert!(stats.timings.cost_ns > 0);
         assert!(stats.timings.cleanup_ns > 0);
+        assert!(stats.timings.track_ns > 0);
+    }
+
+    /// Regression (BENCH_fixpoint tsvc24 `memo_hit_rate: 0.0`): a
+    /// single-block function whose fixpoint commits once legitimately
+    /// reports zero memo hits. The commit rewrites the only block, so
+    /// every verdict memoized against it dies with the commit's dirty set,
+    /// and the verdicts of the final (commit-free) sweep have no later
+    /// sweep to replay in. The TSVC kernels are exactly this shape. This
+    /// is not a keying bug: a reject in a block untouched by the commit
+    /// survives and replays (`rejects_outside_the_commit_replay_from_memo`).
+    #[test]
+    fn single_commit_single_block_fixpoints_report_zero_memo_hits() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nglobal @t : [2 x i32] = zero\n\
+             func @f() -> void {\nentry:\n",
+        );
+        // One block holding an unprofitable pair and a profitable run of 8:
+        // sweep 1 commits the run (larger groups go first), sweep 2 rejects
+        // the pair and memoizes a verdict nothing ever reads back.
+        text.push_str("  %t0 = gep i32, @t, i64 0\n  store i32 1, %t0\n");
+        text.push_str("  %t1 = gep i32, @t, i64 1\n  store i32 8, %t1\n");
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  ret\n}\n");
+        let (_, stats) = roll_and_check(&text, &[("f", vec![])]);
+        assert_eq!(stats.rolled, 1, "fixture must commit exactly once");
+        assert_eq!(
+            stats.cache.memo_hits, 0,
+            "the commit rewrote the only block; nothing survives to replay"
+        );
+        assert!(stats.cache.memo_misses > 0, "verdicts were still memoized");
+    }
+
+    /// Counterpart: with the directed dirty set, a reject memoized in a
+    /// block the commit does not touch survives the commit and is replayed
+    /// in the next sweep — the undirected closure used to kill it whenever
+    /// the blocks shared any definition chain.
+    #[test]
+    fn rejects_outside_the_commit_replay_from_memo() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nglobal @t : [2 x i32] = zero\n\
+             func @f() -> void {\nentry:\n",
+        );
+        // The pair lives in its own block, value-disconnected from the run.
+        text.push_str("  %t0 = gep i32, @t, i64 0\n  store i32 1, %t0\n");
+        text.push_str("  %t1 = gep i32, @t, i64 1\n  store i32 8, %t1\n  br big\nbig:\n");
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  ret\n}\n");
+        let (_, stats) = roll_and_check(&text, &[("f", vec![])]);
+        assert_eq!(stats.rolled, 1);
+        assert!(
+            stats.cache.memo_hits > 0,
+            "the pair's sweep-1 reject must replay in sweep 2: {:?}",
+            stats.cache
+        );
+    }
+
+    /// Measured-cost mode rolls and the committed output stays behaviourally
+    /// correct; the sketch counters surface through the size-cache rows.
+    #[test]
+    fn measured_cost_mode_rolls_profitably() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nfunc @f() -> void {\nentry:\n",
+        );
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  ret\n}\n");
+        let orig = parse_module(&text).unwrap();
+        let mut rolled = orig.clone();
+        let stats = roll_module(&mut rolled, &RolagOptions::measured());
+        verify_module(&rolled).expect("rolled module verifies");
+        assert_eq!(stats.rolled, 1);
+        assert!(
+            stats.size_after < stats.size_before,
+            "measured sizes must shrink: {} -> {}",
+            stats.size_before,
+            stats.size_after
+        );
+        let mut ia = Interpreter::new(&orig);
+        let mut ib = Interpreter::new(&rolled);
+        let oa = ia.run("f", &[]).unwrap();
+        let ob = ib.run("f", &[]).unwrap();
+        assert!(equivalent(&oa, &ob));
     }
 
     #[test]

@@ -84,10 +84,17 @@ pub struct StageTimings {
     pub codegen_ns: u64,
     /// Per-rewrite translation validation (`rolag-tv`), when enabled.
     pub tv_ns: u64,
-    /// Cost-model size estimates (profitability decisions).
+    /// Cost-model size lookups and delta sums (profitability decisions).
+    /// Every `BlockSizeCache` / size-sketch query the engine issues is
+    /// inside this window — sweep-baseline walks included — so the stage
+    /// breakdown attributes *all* size-model time here.
     pub cost_ns: u64,
     /// Post-roll simplify + DCE cleanup.
     pub cleanup_ns: u64,
+    /// Incremental change tracking: structural block diffs, affected-set
+    /// and dirty-closure computation, and cache invalidation after a
+    /// commit. Zero on the full-rescan reference engine.
+    pub track_ns: u64,
 }
 
 impl StageTimings {
@@ -100,6 +107,7 @@ impl StageTimings {
             + self.tv_ns
             + self.cost_ns
             + self.cleanup_ns
+            + self.track_ns
     }
 
     /// `(stage, nanoseconds)` rows in pipeline order, for CSV dumps.
@@ -112,6 +120,7 @@ impl StageTimings {
             ("tv", self.tv_ns),
             ("cost", self.cost_ns),
             ("cleanup", self.cleanup_ns),
+            ("track", self.track_ns),
         ]
     }
 }
@@ -125,6 +134,7 @@ impl AddAssign for StageTimings {
         self.tv_ns += rhs.tv_ns;
         self.cost_ns += rhs.cost_ns;
         self.cleanup_ns += rhs.cleanup_ns;
+        self.track_ns += rhs.track_ns;
     }
 }
 
@@ -369,10 +379,11 @@ mod tests {
             tv_ns: 7,
             cost_ns: 5,
             cleanup_ns: 6,
+            track_ns: 8,
         };
-        assert_eq!(t.total_ns(), 28);
+        assert_eq!(t.total_ns(), 36);
         let rows = t.rows();
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         assert_eq!(rows.iter().map(|&(_, v)| v).sum::<u64>(), t.total_ns());
     }
 

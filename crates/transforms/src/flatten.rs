@@ -31,6 +31,27 @@ pub enum FlattenOutcome {
     NotApplicable,
 }
 
+/// One flattening step against a caller-supplied loop forest (e.g. served
+/// from a pass manager's analysis cache): tries every candidate nest pair
+/// in the same order as [`flatten_function`] and rewrites the first match.
+/// Returns `true` when a nest was flattened — the forest is then stale and
+/// must be recomputed before the next step.
+pub fn flatten_step(module: &Module, func: &mut Function, loops: &[rolag_analysis::Loop]) -> bool {
+    // Candidate inner loops: single-block, nested inside a 3-block outer
+    // loop.
+    for inner in loops.iter().filter(|l| l.is_single_block()) {
+        for outer in loops.iter().filter(|l| l.blocks.len() == 3) {
+            if !outer.blocks.contains(&inner.header) || outer.header == inner.header {
+                continue;
+            }
+            if try_flatten(module, func, outer, inner) == FlattenOutcome::Flattened {
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Flattens every matching two-level nest in `func`. Returns the number of
 /// nests flattened.
 pub fn flatten_function(module: &Module, func: &mut Function) -> usize {
@@ -38,27 +59,10 @@ pub fn flatten_function(module: &Module, func: &mut Function) -> usize {
     loop {
         let dom = DomTree::compute(func);
         let loops = find_loops(func, &dom);
-        let mut changed = false;
-        // Candidate inner loops: single-block, nested inside a 3-block
-        // outer loop.
-        for inner in loops.iter().filter(|l| l.is_single_block()) {
-            for outer in loops.iter().filter(|l| l.blocks.len() == 3) {
-                if !outer.blocks.contains(&inner.header) || outer.header == inner.header {
-                    continue;
-                }
-                if try_flatten(module, func, outer, inner) == FlattenOutcome::Flattened {
-                    count += 1;
-                    changed = true;
-                    break;
-                }
-            }
-            if changed {
-                break;
-            }
-        }
-        if !changed {
+        if !flatten_step(module, func, &loops) {
             break;
         }
+        count += 1;
     }
     count
 }

@@ -45,6 +45,6 @@ pub mod pipeline;
 pub mod unroll;
 
 pub use cse::{cse_block, cse_module};
-pub use flatten::{flatten_function, flatten_module, FlattenOutcome};
+pub use flatten::{flatten_function, flatten_module, flatten_step, FlattenOutcome};
 pub use pipeline::{cleanup_function, cleanup_in_place, cleanup_module, effects_table};
 pub use unroll::{unroll_loops_in_function, unroll_loops_with, unroll_module, UnrollOutcome};

@@ -15,18 +15,20 @@ use rolag_suites::angha::{build_pattern, PatternKind};
 use rolag_suites::tsvc::build_suite_module;
 use rolag_transforms::{cleanup_module, cse_module, unroll_module};
 
-/// Rolls `module` with both engines and asserts byte-identical output and
-/// equal statistics. Returns the incremental engine's stats for further
-/// cache-counter assertions.
-fn assert_engines_agree(module: &Module, label: &str) -> rolag::RolagStats {
-    let opts = RolagOptions::default();
-
+/// Rolls `module` with both engines under `opts` and asserts byte-identical
+/// output and equal statistics. Returns the incremental engine's stats for
+/// further cache-counter assertions.
+fn assert_engines_agree_with(
+    module: &Module,
+    opts: &RolagOptions,
+    label: &str,
+) -> rolag::RolagStats {
     let mut reference = module.clone();
-    let ref_stats = roll_module_full_rescan(&mut reference, &opts);
+    let ref_stats = roll_module_full_rescan(&mut reference, opts);
     verify_module(&reference).expect("reference output verifies");
 
     let mut incremental = module.clone();
-    let inc_stats = roll_module(&mut incremental, &opts);
+    let inc_stats = roll_module(&mut incremental, opts);
     verify_module(&incremental).expect("incremental output verifies");
 
     assert_eq!(
@@ -36,6 +38,11 @@ fn assert_engines_agree(module: &Module, label: &str) -> rolag::RolagStats {
     );
     assert_eq!(inc_stats, ref_stats, "stats diverged ({label})");
     inc_stats
+}
+
+/// [`assert_engines_agree_with`] under the default options.
+fn assert_engines_agree(module: &Module, label: &str) -> rolag::RolagStats {
+    assert_engines_agree_with(module, &RolagOptions::default(), label)
 }
 
 /// The whole TSVC suite, raw and after the unroll→CSE→cleanup pipeline
@@ -50,6 +57,50 @@ fn engines_agree_on_tsvc_suite() {
     cse_module(&mut pipelined);
     cleanup_module(&mut pipelined);
     assert_engines_agree(&pipelined, "tsvc unroll8+cse+cleanup");
+}
+
+/// Measured-cost mode (profitability from the `rolag-lower` binary-size
+/// simulator, incremental via the per-block regalloc sketch) must agree
+/// with the full-rescan reference — which re-lowers the whole function
+/// from scratch on every decision — on the entire TSVC suite. In debug
+/// builds every sweep additionally cross-checks the sketch against a full
+/// `measure_function` via `debug_assert_eq!`.
+#[test]
+fn engines_agree_on_tsvc_suite_measured() {
+    let opts = RolagOptions::measured();
+    let raw = build_suite_module();
+    assert_engines_agree_with(&raw, &opts, "tsvc raw (measured)");
+
+    let mut pipelined = raw.clone();
+    unroll_module(&mut pipelined, 8);
+    cse_module(&mut pipelined);
+    cleanup_module(&mut pipelined);
+    let stats = assert_engines_agree_with(&pipelined, &opts, "tsvc unroll8+cse+cleanup (measured)");
+    assert!(stats.rolled > 0, "measured mode must still commit rolls");
+}
+
+/// Measured-cost mode over random pattern mixes: the trial-sketch delta
+/// path (clone, invalidate changed ∪ one-hop fold neighbourhood, re-select,
+/// recombine) must equal full re-lowering on every profitability decision.
+#[test]
+fn engines_agree_on_random_modules_measured() {
+    let opts = RolagOptions::measured();
+    run_cases(
+        "engines_agree_on_random_modules_measured",
+        12,
+        0x0603,
+        |rng, case| {
+            let mut m = Module::new("incr.measured");
+            let kinds = PatternKind::all();
+            let n = rng.gen_range(1usize..5);
+            for i in 0..n {
+                let kind = kinds[rng.gen_range(0usize..kinds.len())];
+                build_pattern(&mut m, rng, kind, i);
+            }
+            verify_module(&m).expect("generated module verifies");
+            assert_engines_agree_with(&m, &opts, &format!("measured random case {case}"));
+        },
+    );
 }
 
 /// A multi-function AnghaBench-like module mixing every pattern family.
