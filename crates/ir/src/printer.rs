@@ -78,35 +78,41 @@ pub fn print_module(module: &Module) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "module \"{}\"", escape_str(&module.name));
     for g in module.global_ids() {
-        let data = module.global(g);
-        let kind = if data.is_const { "const" } else { "global" };
-        let init = match &data.init {
-            GlobalInit::Zero => "zero".to_string(),
-            GlobalInit::Ints { elem_ty, values } => {
-                let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
-                format!(
-                    "ints {} [{}]",
-                    module.types.display(*elem_ty),
-                    vals.join(", ")
-                )
-            }
-            GlobalInit::Bytes(bytes) => {
-                let vals: Vec<String> = bytes.iter().map(|b| b.to_string()).collect();
-                format!("bytes [{}]", vals.join(", "))
-            }
-        };
-        let _ = writeln!(
-            out,
-            "{kind} @{} : {} = {init}",
-            sym(&data.name),
-            module.types.display(data.ty)
-        );
+        let _ = writeln!(out, "{}", print_global(module, g));
     }
     for f in module.func_ids() {
         out.push('\n');
         out.push_str(&print_function(module, module.func(f)));
     }
     out
+}
+
+/// Prints one global definition as a single parseable IR line (no trailing
+/// newline). Stable by construction — cache keys content-address globals
+/// through this rendering.
+pub fn print_global(module: &Module, g: crate::GlobalId) -> String {
+    let data = module.global(g);
+    let kind = if data.is_const { "const" } else { "global" };
+    let init = match &data.init {
+        GlobalInit::Zero => "zero".to_string(),
+        GlobalInit::Ints { elem_ty, values } => {
+            let vals: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+            format!(
+                "ints {} [{}]",
+                module.types.display(*elem_ty),
+                vals.join(", ")
+            )
+        }
+        GlobalInit::Bytes(bytes) => {
+            let vals: Vec<String> = bytes.iter().map(|b| b.to_string()).collect();
+            format!("bytes [{}]", vals.join(", "))
+        }
+    };
+    format!(
+        "{kind} @{} : {} = {init}",
+        sym(&data.name),
+        module.types.display(data.ty)
+    )
 }
 
 /// Prints one function (or declaration) as parseable IR text.

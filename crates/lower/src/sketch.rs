@@ -39,6 +39,7 @@
 //! [`measure_function`]: crate::measure::measure_function
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rolag_ir::{BlockId, Function, Module, ValueDef, ValueId};
 
@@ -141,10 +142,15 @@ fn summarize(
 
 /// Revision-aware per-block store of [`BlockSummary`]s with an incremental,
 /// bit-exact [`measure`](SizeSketch::measure).
+/// Summaries are [`Arc`]-shared: cloning a sketch to trial a speculative
+/// rewrite copies one pointer per block, so the fixpoint can fork a trial
+/// sketch per candidate and adopt the winner's on commit without ever
+/// duplicating fragment vectors. `invalidate` replaces the slot wholesale,
+/// so shared summaries are never mutated in place.
 #[derive(Debug, Clone, Default)]
 pub struct SizeSketch {
     revision: Option<u64>,
-    blocks: Vec<Option<BlockSummary>>,
+    blocks: Vec<Option<Arc<BlockSummary>>>,
     /// Blocks whose summary was served from the sketch.
     pub hits: u64,
     /// Blocks that were (re-)selected and summarized.
@@ -208,7 +214,7 @@ impl SizeSketch {
             let mut scratch_classes = HashMap::new();
             for (bpos, b) in missing {
                 let (mb, frame) = select_block(module, func, &cx, bpos, b, &mut scratch_classes);
-                self.blocks[bpos] = Some(summarize(module, func, &mb, frame));
+                self.blocks[bpos] = Some(Arc::new(summarize(module, func, &mb, frame)));
             }
         }
 

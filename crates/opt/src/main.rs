@@ -25,6 +25,11 @@
 //!                              counters, and analysis-cache hit rates)
 //!   --jobs <N>                 run rolag through the parallel memoizing
 //!                              driver with N workers (0 = all cores)
+//!   --serve <socket>           client mode: submit the module to a running
+//!                              rolag-serve daemon instead of rolling
+//!                              locally, and print the returned module
+//!   --serve-options <preset>   options preset for --serve (default,
+//!                              extended, no-special, validated, measured)
 //!   --validate-rewrites        prove every rolling rewrite with the
 //!                              rolag-tv translation validator before the
 //!                              cost model may commit it
@@ -67,6 +72,8 @@ struct Cli {
     input: Option<String>,
     target: TargetKind,
     jobs: Option<usize>,
+    serve: Option<String>,
+    serve_options: Option<String>,
     validate_rewrites: bool,
     measure: bool,
     stats: bool,
@@ -86,7 +93,8 @@ fn usage() -> String {
          passes (as -name flags applied in order, or one --passes spec):\n\
          {passes}\
          options: --passes <spec> --list-passes --target <x86-64|thumb2> \
-         --jobs <N> --validate-rewrites --measure --stats --time-passes \
+         --jobs <N> --serve <socket> --serve-options <preset> \
+         --validate-rewrites --measure --stats --time-passes \
          --print-changed --verify-each --interp <func> --check --quiet \
          --verify-only\n\
          (run with a .rir file, or `-` to read IR text from stdin)",
@@ -117,6 +125,16 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = Some(v.parse().map_err(|_| format!("bad job count {v}"))?);
+            }
+            "--serve" => {
+                cli.serve = Some(it.next().ok_or("--serve needs a socket path")?.clone());
+            }
+            "--serve-options" => {
+                let preset = it.next().ok_or("--serve-options needs a preset")?;
+                if rolag_serve::proto::options_preset(preset).is_none() {
+                    return Err(format!("unknown options preset {preset}"));
+                }
+                cli.serve_options = Some(preset.clone());
             }
             "--validate-rewrites" => cli.validate_rewrites = true,
             "--measure" => cli.measure = true,
@@ -166,6 +184,14 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             cli.legacy[0]
         ));
     }
+    if cli.serve.is_some() && (cli.spec.is_some() || !cli.legacy.is_empty()) {
+        return Err("--serve submits to the daemon's rolag pipeline; \
+                    it cannot be combined with local passes"
+            .into());
+    }
+    if cli.serve_options.is_some() && cli.serve.is_none() {
+        return Err("--serve-options needs --serve".into());
+    }
     if cli.input.is_none() && !cli.list_passes {
         return Err(usage());
     }
@@ -182,6 +208,46 @@ fn read_input(path: &str) -> Result<String, String> {
     } else {
         std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
     }
+}
+
+/// Client mode: submit the module text to a running `rolag-serve` daemon
+/// over its unix socket and return the rolled module text plus the
+/// request's stat line.
+fn serve_client(socket: &str, text: &str, options: &str) -> Result<(String, String), String> {
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::os::unix::net::UnixStream;
+
+    let mut stream =
+        UnixStream::connect(socket).map_err(|e| format!("connecting {socket}: {e}"))?;
+    let request = rolag_serve::proto::Request::Roll {
+        id: "rolag-opt".into(),
+        module: text.to_string(),
+        options: options.to_string(),
+        client: Some("rolag-opt".into()),
+    };
+    stream
+        .write_all(format!("{}\n", request.render()).as_bytes())
+        .map_err(|e| format!("writing request: {e}"))?;
+    let mut line = String::new();
+    BufReader::new(&stream)
+        .read_line(&mut line)
+        .map_err(|e| format!("reading response: {e}"))?;
+    let reply = rolag_serve::proto::parse_reply(&line)?;
+    if !reply.ok {
+        return Err(reply.error.unwrap_or_else(|| "request failed".into()));
+    }
+    let module = reply.module.ok_or("response has no module")?;
+    let stats = format!(
+        "serve: {} functions, {} store hits, {} misses, rolled {}, {:.2} ms \
+         (cumulative hit rate {:.1}%)",
+        reply.functions,
+        reply.store_hits,
+        reply.store_misses,
+        reply.rolled,
+        reply.wall_ns as f64 / 1e6,
+        100.0 * reply.cumulative_hit_rate
+    );
+    Ok((module, stats))
 }
 
 /// Builds and prints the alignment graph of every rolling candidate in the
@@ -333,6 +399,25 @@ fn main() -> ExitCode {
     if cli.dump_align {
         dump_alignment_graphs(&module);
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(socket) = &cli.serve {
+        let preset = cli.serve_options.as_deref().unwrap_or("default");
+        match serve_client(socket, &text, preset) {
+            Ok((rolled, stats)) => {
+                if cli.stats {
+                    eprintln!("{stats}");
+                }
+                if !cli.quiet {
+                    print!("{rolled}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("serve: error: {e}");
+                return ExitCode::from(1);
+            }
+        }
     }
 
     let original = module.clone();

@@ -22,8 +22,11 @@
 
 #![warn(missing_docs)]
 
-use std::panic::resume_unwind;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Number of workers to use for `len` items when the caller asked for
 /// `jobs` (`0` = one per available core). Always in `1..=len.max(1)`.
@@ -131,10 +134,227 @@ where
     (results, states)
 }
 
+/// A queued unit of work. `'static` because pool threads outlive any one
+/// submission; [`WorkerPool::map_with`] erases shorter borrow lifetimes and
+/// restores soundness by blocking until every erased task has finished.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    ready: Condvar,
+}
+
+/// A persistent worker pool: threads are spawned once and reused across
+/// any number of [`map_with`](WorkerPool::map_with) calls, avoiding the
+/// per-batch spawn/join cost of [`par_map_with`] for long-lived processes
+/// (the `rolag-serve` daemon keeps one pool for its whole lifetime).
+///
+/// Multiple caller threads may submit maps concurrently; their tasks share
+/// the queue and drain on whichever workers free up first. Do **not** call
+/// [`map_with`](WorkerPool::map_with) from inside a pool task — a full
+/// queue would then deadlock waiting on its own worker.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One worker's contribution to a map: its private state plus the
+/// `(item index, result)` pairs it computed.
+type WorkerYield<S, R> = (S, Vec<(usize, R)>);
+
+impl WorkerPool {
+    /// Spawns a pool of `jobs` workers (`0` = one per available core).
+    pub fn new(jobs: usize) -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let count = if jobs == 0 { hw } else { jobs };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+        });
+        let workers = (0..count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let mut st = shared.state.lock().unwrap();
+                        loop {
+                            if let Some(t) = st.queue.pop_front() {
+                                break Some(t);
+                            }
+                            if st.shutdown {
+                                break None;
+                            }
+                            st = shared.ready.wait(st).unwrap();
+                        }
+                    };
+                    match task {
+                        Some(t) => t(),
+                        None => break,
+                    }
+                })
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// [`par_map_with`] semantics on the persistent pool: ordered results,
+    /// per-worker states handed back for canonical merging, first panic
+    /// payload re-raised on the caller after every task has stopped.
+    pub fn map_with<T, R, S, I, F>(&self, items: &[T], init: I, job: F) -> (Vec<R>, Vec<S>)
+    where
+        T: Sync,
+        R: Send,
+        S: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return (Vec::new(), Vec::new());
+        }
+        let tasks = self.workers.len().min(items.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<WorkerYield<S, R>>> = Mutex::new(Vec::with_capacity(tasks));
+        let panic_slot: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        let latch = Latch {
+            remaining: Mutex::new(tasks),
+            done: Condvar::new(),
+        };
+
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            for _ in 0..tasks {
+                let run = || {
+                    // The guard decrements the latch even if anything below
+                    // unwinds, so the submitting thread can never hang.
+                    let _guard = LatchGuard { latch: &latch };
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut state = init();
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, job(&mut state, i, &items[i])));
+                        }
+                        (state, out)
+                    }));
+                    match result {
+                        Ok(pair) => collected.lock().unwrap().push(pair),
+                        Err(payload) => {
+                            let mut slot = panic_slot.lock().unwrap();
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            // Drain remaining work so sibling tasks stop early.
+                            next.store(items.len(), Ordering::Relaxed);
+                        }
+                    }
+                };
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(run);
+                // SAFETY: the task borrows stack locals of this call frame
+                // (`next`, `collected`, `panic_slot`, `latch`, plus `items`,
+                // `init`, `job`). We transmute the borrow lifetime away to
+                // fit the queue's `'static` task type, and re-establish
+                // soundness by blocking on `latch` below: this function does
+                // not return (or unwind — the waits cannot panic) until every
+                // task queued here has run its `LatchGuard` destructor, so no
+                // borrow outlives its referent.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+                st.queue.push_back(task);
+            }
+            drop(st);
+            self.shared.ready.notify_all();
+        }
+
+        latch.wait();
+
+        if let Some(payload) = panic_slot.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+
+        let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut states = Vec::with_capacity(tasks);
+        for (state, pairs) in collected.into_inner().unwrap() {
+            states.push(state);
+            for (i, r) in pairs {
+                debug_assert!(results[i].is_none(), "item {i} produced twice");
+                results[i] = Some(r);
+            }
+        }
+        let results = results
+            .into_iter()
+            .map(|r| r.expect("work counter covered every item"))
+            .collect();
+        (results, states)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn wait(&self) {
+        let mut left = self.remaining.lock().unwrap();
+        while *left > 0 {
+            left = self.done.wait(left).unwrap();
+        }
+    }
+}
+
+/// Decrements the latch on drop — including during an unwind — so a
+/// panicking task can never leave the submitter blocked.
+struct LatchGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        let mut left = match self.latch.remaining.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *left -= 1;
+        if *left == 0 {
+            self.latch.done.notify_all();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn preserves_order_and_covers_all_items() {
@@ -186,6 +406,75 @@ mod tests {
         assert_eq!(results, (1..=100).collect::<Vec<_>>());
         assert_eq!(states.iter().sum::<usize>(), 100, "every item counted once");
         assert!(states.len() <= 4);
+    }
+
+    #[test]
+    fn pool_matches_par_map_with_and_is_reusable() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 4);
+        let items: Vec<usize> = (0..500).collect();
+        for _ in 0..3 {
+            let (results, states) = pool.map_with(
+                &items,
+                || 0usize,
+                |count, _i, &x| {
+                    *count += 1;
+                    x * 3
+                },
+            );
+            assert_eq!(results, (0..500).map(|x| x * 3).collect::<Vec<_>>());
+            assert_eq!(states.iter().sum::<usize>(), 500);
+            assert!(states.len() <= 4);
+        }
+        let (empty, states) = pool.map_with(&[] as &[u8], || (), |(), _, &x| x);
+        assert!(empty.is_empty() && states.is_empty());
+    }
+
+    #[test]
+    fn pool_propagates_panics_and_survives_them() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<u32> = (0..64).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_with(
+                &items,
+                || (),
+                |(), _, &x| {
+                    if x == 21 {
+                        panic!("unlucky item 21");
+                    }
+                    x
+                },
+            );
+        }));
+        let payload = result.expect_err("must panic");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-string payload>");
+        assert!(msg.contains("unlucky item 21"), "payload lost: {msg}");
+        // The pool is still serviceable after a panicking batch.
+        let (ok, _) = pool.map_with(&items, || (), |(), _, &x| x + 1);
+        assert_eq!(ok, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pool_serves_concurrent_submitters() {
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let handles: Vec<_> = (0..4u64)
+                .map(|k| {
+                    scope.spawn(move || {
+                        let items: Vec<u64> = (0..200).collect();
+                        let (out, _) = pool.map_with(&items, || (), |(), _, &x| x + k);
+                        assert_eq!(out, (k..200 + k).collect::<Vec<_>>());
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
     }
 
     #[test]

@@ -494,6 +494,76 @@ impl AnalysisManager {
             self.effects = None;
         }
     }
+
+    /// Applies one function's [`PreservedAnalyses`] contract without
+    /// touching any other function's entries — the per-function
+    /// counterpart of [`AnalysisManager::invalidate`]. A
+    /// [`FunctionPass`](crate::FunctionPass) only mutates the definition
+    /// it was handed, so dropping just that function's entries keeps the
+    /// neighbours' cached dominator trees and dependence graphs serving
+    /// hits instead of paying for one changed function with a module-wide
+    /// flush.
+    ///
+    /// Preserved per-function entries keyed by `id` are re-keyed to its
+    /// current revision; non-preserved ones are dropped for `id` only.
+    /// The module-wide effects table has no per-function slice, so
+    /// declining to preserve [`AnalysisKind::EffectsTable`] drops it
+    /// outright.
+    pub fn invalidate_function(
+        &mut self,
+        module: &Module,
+        id: FuncId,
+        preserved: &PreservedAnalyses,
+    ) {
+        let rev = module.func(id).revision();
+        if preserved.preserves(AnalysisKind::Dominators) {
+            if let Some(entry) = self.dom.get_mut(&id) {
+                entry.0 = rev;
+            }
+        } else {
+            self.dom.remove(&id);
+        }
+        if preserved.preserves(AnalysisKind::Loops) {
+            if let Some(entry) = self.loops.get_mut(&id) {
+                entry.0 = rev;
+            }
+        } else {
+            self.loops.remove(&id);
+        }
+        if preserved.preserves(AnalysisKind::DepGraph) {
+            let nblocks = module.func(id).num_blocks();
+            self.deps.retain(|&(f, block), entry| {
+                if f != id {
+                    return true;
+                }
+                let keep = block.index() < nblocks;
+                if keep {
+                    entry.0 = rev;
+                }
+                keep
+            });
+        } else {
+            self.deps.retain(|&(f, _), _| f != id);
+        }
+        if preserved.preserves(AnalysisKind::Alias) {
+            let nvalues = module.func(id).num_values();
+            self.alias.retain(|&(f, v), entry| {
+                if f != id {
+                    return true;
+                }
+                let keep = v.index() < nvalues;
+                if keep {
+                    entry.0 = rev;
+                }
+                keep
+            });
+        } else {
+            self.alias.retain(|&(f, _), _| f != id);
+        }
+        if !preserved.preserves(AnalysisKind::EffectsTable) {
+            self.effects = None;
+        }
+    }
 }
 
 #[cfg(test)]

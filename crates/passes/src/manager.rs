@@ -7,9 +7,9 @@
 //!   directly.
 //! * [`FunctionPass`] — runs over one definition at a time. The
 //!   [`ForEach`] adapter lifts it to a [`ModulePass`] by iterating
-//!   definitions in id order, intersecting the per-function
-//!   [`PreservedAnalyses`], and aggregating a change count for the pass's
-//!   summary line.
+//!   definitions in id order, applying each function's
+//!   [`PreservedAnalyses`] contract to that function's cache entries
+//!   alone, and aggregating a change count for the pass's summary line.
 //!
 //! The [`PassManager`] threads one [`AnalysisManager`] through the whole
 //! pipeline, applies each pass's preservation contract after it runs, and
@@ -27,7 +27,7 @@ use rolag_ir::printer::print_module;
 use rolag_ir::verify::verify_module;
 use rolag_ir::{FuncId, Module};
 
-use crate::analysis::{AnalysisCacheStats, AnalysisManager, PreservedAnalyses};
+use crate::analysis::{AnalysisCacheStats, AnalysisKind, AnalysisManager, PreservedAnalyses};
 
 /// Shared state handed to every pass: target configuration plus the
 /// note/stat sinks the manager drains into the pass's [`PassOutcome`].
@@ -128,7 +128,10 @@ pub trait FunctionPass {
 }
 
 /// Lifts a [`FunctionPass`] to a [`ModulePass`]: definitions in id order,
-/// preserved sets intersected, change counts summed into one summary.
+/// each function's preserved set applied to its own cache entries via
+/// [`AnalysisManager::invalidate_function`] (so one changed function does
+/// not drop its neighbours' cached analyses), change counts summed into
+/// one summary.
 pub struct ForEach<P>(pub P);
 
 impl<P: FunctionPass> ModulePass for ForEach<P> {
@@ -143,17 +146,35 @@ impl<P: FunctionPass> ModulePass for ForEach<P> {
         cx: &mut PassContext,
     ) -> PreservedAnalyses {
         let ids: Vec<FuncId> = module.func_ids().collect();
-        let mut preserved = PreservedAnalyses::all();
+        let mut effects_preserved = true;
         let mut changed = 0u64;
         for id in ids {
             if module.func(id).is_declaration {
                 continue;
             }
             let result = self.0.run_on_function(module, id, am, cx);
-            preserved = preserved.intersect(result.preserved);
+            // A function pass only mutates the definition it was handed,
+            // so its contract binds that function alone: apply it right
+            // here, per function, instead of intersecting into one
+            // module-wide set. One changed function must not flush its
+            // neighbours' caches.
+            am.invalidate_function(module, id, &result.preserved);
+            effects_preserved &= result.preserved.preserves(AnalysisKind::EffectsTable);
             changed += result.changed;
         }
         self.0.summarize(changed, cx);
+        // Per-function kinds are settled above, so report them preserved —
+        // the manager's module-wide sweep must not drop the entries that
+        // survived. The effects table is module-wide: it survives only if
+        // every function's run preserved it.
+        let mut preserved = PreservedAnalyses::none()
+            .preserve(AnalysisKind::Dominators)
+            .preserve(AnalysisKind::Loops)
+            .preserve(AnalysisKind::DepGraph)
+            .preserve(AnalysisKind::Alias);
+        if effects_preserved {
+            preserved = preserved.preserve(AnalysisKind::EffectsTable);
+        }
         preserved
     }
 }

@@ -57,13 +57,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use rolag_ir::printer::print_function;
 use rolag_ir::{FuncId, Function, GlobalData, GlobalId, Module};
-use rolag_par::{effective_jobs, par_map, par_map_with};
+use rolag_par::{effective_jobs, par_map_with, WorkerPool};
 use rolag_transforms::effects_table;
 
+use crate::memo::{store_key, store_key_from, MemoStore, StoreEntry};
 use crate::options::RolagOptions;
 use crate::pass::roll_function_rescued;
 use crate::stats::RolagStats;
@@ -98,6 +100,12 @@ pub struct DriverReport {
     pub unique: usize,
     /// Definitions served from the memoization cache.
     pub cache_hits: u64,
+    /// Definitions replayed from a cross-request [`MemoStore`] (always `0`
+    /// without one).
+    pub store_hits: u64,
+    /// Definitions rolled because the cross-request store missed (always
+    /// `0` without one).
+    pub store_misses: u64,
     /// Worker count actually used.
     pub jobs: usize,
     /// End-to-end wall-clock of the driver, in nanoseconds.
@@ -112,6 +120,15 @@ impl DriverReport {
         }
         self.cache_hits as f64 / self.functions as f64
     }
+
+    /// Fraction of definitions replayed from the cross-request store, in
+    /// `0.0..=1.0`.
+    pub fn store_hit_rate(&self) -> f64 {
+        if self.functions == 0 {
+            return 0.0;
+        }
+        self.store_hits as f64 / self.functions as f64
+    }
 }
 
 /// Canonical cache key of a definition: its printed form with the
@@ -122,7 +139,7 @@ impl DriverReport {
 /// If a *global* shares the function's name, `@name` tokens in the body are
 /// ambiguous and normalization is skipped — the function simply won't
 /// share a cache slot, which is always safe.
-fn canonical_key(module: &Module, id: FuncId) -> String {
+pub(crate) fn canonical_key(module: &Module, id: FuncId) -> String {
     let func = module.func(id);
     let printed = print_function(module, func);
     if module.global_by_name(&func.name).is_some() {
@@ -155,7 +172,7 @@ fn normalize_own_name(printed: &str, name: &str) -> String {
 
 /// `prefix` such that `fresh_global_name(prefix)` can reproduce `name`:
 /// the name with a trailing `.<digits>` counter stripped.
-fn name_prefix(name: &str) -> &str {
+pub(crate) fn name_prefix(name: &str) -> &str {
     match name.rfind('.') {
         Some(pos)
             if pos > 0
@@ -188,6 +205,29 @@ struct WorkerState {
     id: usize,
 }
 
+/// Fans `job` out over `items`: on the persistent `pool` when one is given
+/// (the `rolag-serve` daemon reuses its threads across requests), else on a
+/// fresh scoped pool of `jobs` workers.
+fn fan_out<T, R, S, I, F>(
+    pool: Option<&WorkerPool>,
+    items: &[T],
+    jobs: usize,
+    init: I,
+    job: F,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    match pool {
+        Some(p) => p.map_with(items, init, job),
+        None => par_map_with(items, jobs, init, job),
+    }
+}
+
 /// Rolls every function of the module on a worker pool, memoizing
 /// structurally identical definitions, and merges the results so the
 /// printed module and the statistics are identical to a serial
@@ -196,6 +236,26 @@ pub fn roll_module_par(
     module: &mut Module,
     opts: &RolagOptions,
     driver: &DriverOptions,
+) -> DriverReport {
+    roll_module_par_with(module, opts, driver, None, None)
+}
+
+/// [`roll_module_par`] with service hooks: an optional persistent
+/// [`WorkerPool`] (reused across calls instead of spawning a scoped pool
+/// per module) and an optional cross-request [`MemoStore`].
+///
+/// With a store, each group representative's closure key
+/// ([`store_key`]) is consulted first: hits replay a previously rolled body
+/// into this module — byte-identical to rolling it cold, because replay
+/// re-mints constant-array names through the same serial-order
+/// [`Module::fresh_global_name`] walk — and only misses are rolled. Freshly
+/// rolled representatives are captured back into the store after the merge.
+pub fn roll_module_par_with(
+    module: &mut Module,
+    opts: &RolagOptions,
+    driver: &DriverOptions,
+    pool: Option<&WorkerPool>,
+    store: Option<&MemoStore>,
 ) -> DriverReport {
     let start = Instant::now();
     let ids: Vec<FuncId> = module
@@ -208,19 +268,31 @@ pub fn roll_module_par(
 
     // Group definitions by canonical key (everything is its own group when
     // memoization is off). Representatives keep the lowest function id so
-    // the merge below walks them in serial order.
+    // the merge below walks them in serial order. The printed keys are kept
+    // alive past grouping: the store-key pass below reuses each
+    // representative's canonical text instead of printing it a second time.
     let shared: &Module = module;
     let mut groups: Vec<(FuncId, Vec<FuncId>)> = Vec::new();
+    let mut canon_keys: Vec<String> = Vec::new();
+    let mut rep_canon: Vec<usize> = Vec::new();
     if driver.memoize {
-        let keys = par_map(ids.clone(), |&id| canonical_key(shared, id));
-        let mut by_key: HashMap<String, usize> = HashMap::new();
-        for (&id, key) in ids.iter().zip(keys) {
-            match by_key.entry(key) {
+        canon_keys = fan_out(
+            pool,
+            &ids,
+            driver.jobs,
+            || (),
+            |(), _, &id| canonical_key(shared, id),
+        )
+        .0;
+        let mut by_key: HashMap<&str, usize> = HashMap::new();
+        for (i, &id) in ids.iter().enumerate() {
+            match by_key.entry(canon_keys[i].as_str()) {
                 std::collections::hash_map::Entry::Occupied(slot) => {
                     groups[*slot.get()].1.push(id);
                 }
                 std::collections::hash_map::Entry::Vacant(slot) => {
                     slot.insert(groups.len());
+                    rep_canon.push(i);
                     groups.push((id, Vec::new()));
                 }
             }
@@ -235,15 +307,68 @@ pub fn roll_module_par(
             std::iter::once((*rep, gi)).chain(dups.iter().map(move |&d| (d, gi)))
         })
         .collect();
-
-    // Roll one representative per group, each worker inside its own module
-    // clone. Dynamic scheduling decides *which* worker rolls *what*, but
-    // every result is independent of that choice.
     let reps: Vec<FuncId> = groups.iter().map(|&(rep, _)| rep).collect();
-    let jobs = effective_jobs(driver.jobs, reps.len());
+
+    // Cross-request store: closure-key every representative and consult the
+    // store before rolling anything. A hit retires the whole group. With
+    // memoization on, the grouping pass already printed each representative
+    // canonically — only the context sections remain to be rendered.
+    let store_keys: Vec<String> = match store {
+        Some(_) if driver.memoize => {
+            let canon: Vec<&str> = rep_canon.iter().map(|&i| canon_keys[i].as_str()).collect();
+            fan_out(
+                pool,
+                &canon,
+                driver.jobs,
+                || (),
+                |(), gi, &text| store_key_from(text, shared, reps[gi], opts),
+            )
+            .0
+        }
+        Some(_) => {
+            fan_out(
+                pool,
+                &reps,
+                driver.jobs,
+                || (),
+                |(), _, &fid| store_key(shared, fid, opts),
+            )
+            .0
+        }
+        None => Vec::new(),
+    };
+    let store_entries: Vec<Option<Arc<StoreEntry>>> = match store {
+        Some(s) => store_keys.iter().map(|k| s.get(k)).collect(),
+        None => vec![None; reps.len()],
+    };
+    let to_roll: Vec<FuncId> = reps
+        .iter()
+        .enumerate()
+        .filter(|&(gi, _)| store_entries[gi].is_none())
+        .map(|(_, &fid)| fid)
+        .collect();
+    let mut roll_of: Vec<Option<usize>> = vec![None; reps.len()];
+    {
+        let mut next = 0;
+        for (gi, entry) in store_entries.iter().enumerate() {
+            if entry.is_none() {
+                roll_of[gi] = Some(next);
+                next += 1;
+            }
+        }
+    }
+
+    // Roll one representative per store-missed group, each worker inside
+    // its own module clone. Dynamic scheduling decides *which* worker rolls
+    // *what*, but every result is independent of that choice.
+    let jobs = match pool {
+        Some(p) => p.worker_count().clamp(1, reps.len().max(1)),
+        None => effective_jobs(driver.jobs, reps.len()),
+    };
     let worker_tag = AtomicUsize::new(0);
-    let (rolls, states) = par_map_with(
-        &reps,
+    let (rolls, states) = fan_out(
+        pool,
+        &to_roll,
         driver.jobs,
         || WorkerState {
             module: shared.clone(),
@@ -278,20 +403,32 @@ pub fn roll_module_par(
         .collect();
 
     // Merge serially in function-id order — the order the serial pass
-    // walks — so fresh global names come out identical.
+    // walks — so fresh global names come out identical, whether a body is
+    // spliced from this request's rolls or replayed from the store.
     let mut report = DriverReport {
         functions: ids.len(),
         unique: reps.len(),
         jobs,
         ..Default::default()
     };
+    let mut minted_for_rep: Vec<Vec<GlobalId>> = vec![Vec::new(); reps.len()];
     for &fid in &ids {
-        let roll = &rolls[group_of[&fid]];
-        report.stats += roll.stats;
-        let rep = reps[group_of[&fid]];
+        let gi = group_of[&fid];
+        let rep = reps[gi];
         if fid != rep {
             report.cache_hits += 1;
         }
+        if let Some(entry) = &store_entries[gi] {
+            report.stats += entry.stats;
+            report.store_hits += 1;
+            entry.replay(module, fid);
+            continue;
+        }
+        if store.is_some() {
+            report.store_misses += 1;
+        }
+        let roll = &rolls[roll_of[gi].expect("missed groups were rolled")];
+        report.stats += roll.stats;
         // Nothing committed: the input body (and any duplicate of it) is
         // already what the serial pass would produce.
         let Some(rolled) = &roll.func else {
@@ -303,12 +440,14 @@ pub fn roll_module_par(
         // Mint this function's constant arrays with serial-order names and
         // point the body at them.
         let mut global_map: HashMap<GlobalId, GlobalId> = HashMap::new();
+        let mut minted: Vec<GlobalId> = Vec::with_capacity(roll.new_globals.len());
         for (offset, data) in roll.new_globals.iter().enumerate() {
             let name = module.fresh_global_name(name_prefix(&data.name));
             let mut data = data.clone();
             data.ty = type_map[data.ty.index()];
             data.name = name;
             let merged_id = module.add_global(data);
+            minted.push(merged_id);
             global_map.insert(
                 GlobalId::from_index(roll.first_new_global + offset),
                 merged_id,
@@ -335,8 +474,32 @@ pub fn roll_module_par(
             // show; keep the duplicate's own.
             func.effects = target.effects;
             func.remap_funcs(|f| if f == rep { fid } else { f });
+        } else {
+            minted_for_rep[gi] = minted;
         }
         module.replace_func(fid, func);
+    }
+
+    // Capture freshly rolled representatives into the store, in their
+    // final merged form (so replay needs no per-request translation state
+    // beyond the entry itself).
+    if let Some(s) = store {
+        let types = Arc::new(module.types.clone());
+        for (gi, &rep) in reps.iter().enumerate() {
+            if store_entries[gi].is_some() {
+                continue;
+            }
+            let roll = &rolls[roll_of[gi].expect("missed groups were rolled")];
+            let entry = StoreEntry::capture(
+                module,
+                rep,
+                &minted_for_rep[gi],
+                roll.func.is_some(),
+                roll.stats,
+                &types,
+            );
+            s.insert(store_keys[gi].clone(), Arc::new(entry));
+        }
     }
     report.wall_ns = start.elapsed().as_nanos() as u64;
     report
@@ -440,6 +603,79 @@ mod tests {
             print_module(&par),
             "replay across renamed twins stays byte-identical"
         );
+    }
+
+    /// Cross-request store: a second request with structurally identical
+    /// functions must replay entirely from the store and still be
+    /// byte-identical (and outcome-stats-identical) to a cold serial roll.
+    #[test]
+    fn store_replay_is_byte_identical_to_cold_roll() {
+        let opts = RolagOptions::default();
+        let store = crate::memo::MemoStore::new(64);
+
+        let first = duplicated_module(3);
+        let mut warmup = first.clone();
+        let warm_report = roll_module_par_with(
+            &mut warmup,
+            &opts,
+            &DriverOptions::default(),
+            None,
+            Some(&store),
+        );
+        assert_eq!(warm_report.store_hits, 0);
+        assert_eq!(warm_report.store_misses, 4, "every definition missed");
+        assert!(!store.is_empty());
+
+        // Same functions arriving from a "different client": new module
+        // name, same bodies.
+        let mut second_text = print_module(&duplicated_module(3)).replace("\"dup\"", "\"client2\"");
+        second_text.push('\n');
+        let second = rolag_ir::parser::parse_module(&second_text).unwrap();
+
+        let mut cold = second.clone();
+        let cold_stats = roll_module(&mut cold, &opts);
+
+        let mut warm = second.clone();
+        let report = roll_module_par_with(
+            &mut warm,
+            &opts,
+            &DriverOptions::default(),
+            None,
+            Some(&store),
+        );
+        verify_module(&warm).expect("replayed module verifies");
+        assert_eq!(report.store_hits, 4, "all definitions replay: {report:?}");
+        assert_eq!(report.store_misses, 0);
+        assert_eq!(report.stats, cold_stats, "replayed stats diverged");
+        assert_eq!(
+            print_module(&cold),
+            print_module(&warm),
+            "store replay must be byte-identical to a cold roll"
+        );
+        assert!(store.stats().hit_rate() > 0.0);
+    }
+
+    /// The persistent pool path produces the same bytes and stats as the
+    /// scoped-pool path.
+    #[test]
+    fn persistent_pool_matches_scoped_pool() {
+        let original = duplicated_module(4);
+        let opts = RolagOptions::default();
+        let mut scoped = original.clone();
+        let scoped_report = roll_module_par(&mut scoped, &opts, &DriverOptions::default());
+
+        let pool = rolag_par::WorkerPool::new(3);
+        let mut pooled = original.clone();
+        let report = roll_module_par_with(
+            &mut pooled,
+            &opts,
+            &DriverOptions::default(),
+            Some(&pool),
+            None,
+        );
+        assert_eq!(print_module(&scoped), print_module(&pooled));
+        assert_eq!(report.stats, scoped_report.stats);
+        assert_eq!(report.jobs, 2, "3 pool workers clamped to 2 unique groups");
     }
 
     #[test]

@@ -105,15 +105,26 @@ impl FunctionCache {
     /// revision-aware caches would self-heal by dropping *everything* on
     /// their next sync (any structural mutation bumps the counter), which
     /// is safe but defeats the point of computing a dirty set at all.
-    pub fn invalidate(&mut self, dirty: &HashSet<BlockId>, revision: u64) {
+    ///
+    /// `sketch_adopted` says whether the commit installed the attempt's
+    /// trial sketch (measured-cost mode): its changed blocks were already
+    /// re-selected against the committed function, so per-block sketch
+    /// invalidation would only throw that work away and re-keying suffices.
+    /// Without an adopted sketch the dirty blocks' summaries are dropped —
+    /// sound because `dirty` ⊇ changed ∪ measure-affected (the def→use
+    /// closure plus the one-hop use→def hop covers both one-hop couplings
+    /// of the lowered size).
+    pub fn invalidate(&mut self, dirty: &HashSet<BlockId>, revision: u64, sketch_adopted: bool) {
         for &b in dirty {
             self.sizes.invalidate(b);
             self.cands.remove(&b);
         }
         self.sizes.carry_to(revision);
-        // The sketch is NOT invalidated per block: a commit always adopts
-        // the attempt's trial sketch, whose changed blocks were already
-        // re-selected against the committed function. Re-keying suffices.
+        if !sketch_adopted {
+            for &b in dirty {
+                self.sketch.invalidate(b);
+            }
+        }
         self.sketch.carry_to(revision);
         self.memo.retain(|cand, entry| {
             !dirty.contains(&cand.block()) && entry.deps.iter().all(|d| !dirty.contains(d))

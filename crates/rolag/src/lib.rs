@@ -49,6 +49,7 @@ pub mod align;
 pub mod codegen;
 pub mod driver;
 mod incremental;
+pub mod memo;
 pub mod options;
 pub mod pass;
 pub mod schedule;
@@ -56,7 +57,8 @@ pub mod seeds;
 pub mod stats;
 
 pub use align::{build_candidate_graph, AlignGraph, AlignNode, GraphBuilder, NodeId, NodeKind};
-pub use driver::{roll_module_par, DriverOptions, DriverReport};
+pub use driver::{roll_module_par, roll_module_par_with, DriverOptions, DriverReport};
+pub use memo::{store_key, MemoStore, MemoStoreStats, StoreEntry};
 pub use options::RolagOptions;
 pub use pass::{
     roll_function, roll_function_full_rescan, roll_function_rescued, roll_function_with,

@@ -1,0 +1,547 @@
+//! Cross-request content-addressed rolling cache.
+//!
+//! [`roll_module_par`](crate::driver::roll_module_par) memoizes structurally
+//! identical functions *within* one module; everything it learns dies with
+//! the call. The [`MemoStore`] generalizes that memo across requests: a
+//! sharded, capacity-bounded (clock / second-chance eviction) map from a
+//! function's **closure key** to its rolled body, [`RolagStats`], and — via
+//! those stats — its translation-validation verdict, so a long-lived service
+//! (`rolag-serve`) compiles identical code from different clients once.
+//!
+//! # Soundness: the closure key
+//!
+//! The per-module memo can key on the canonical printed function alone
+//! because duplicates live in the *same* module — every `@symbol` in the
+//! body resolves to the same definition. Across requests that assumption is
+//! gone: two clients can both define `@tab` with different initializers.
+//! [`store_key`] therefore extends the canonical text with everything the
+//! pass is allowed to read outside the function
+//! ([`crate::driver`] invariant: shared context only, never another
+//! function's body):
+//!
+//! * the printed definition of every global the function references,
+//! * the name, signature, and effects annotation of every callee,
+//! * the function's own effects annotation (self-calls read it),
+//! * a fingerprint of the [`RolagOptions`] in force.
+//!
+//! A hit therefore guarantees the requesting module contains identically
+//! defined referenced symbols, which makes replay sound — and byte-identical
+//! to a cold roll, because replay re-mints constant-array names with the
+//! same [`fresh_global_name`](Module::fresh_global_name) walk a cold run
+//! would perform (enforced by `tests/serve_determinism.rs`).
+//!
+//! Keys are compared as full strings, never as hashes, so a (astronomically
+//! unlikely, but catastrophic) hash collision degrades into shard imbalance
+//! rather than a wrong replay.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rolag_ir::printer::print_global;
+use rolag_ir::{
+    FuncId, Function, GlobalData, GlobalId, InstExtra, Module, TypeStore, ValueDef, ValueId,
+};
+
+use crate::driver::{canonical_key, name_prefix};
+use crate::options::RolagOptions;
+use crate::stats::RolagStats;
+
+/// Globals and functions a function's value/instruction arenas reference.
+/// Walks the full value arena (dead entries included — replay splices the
+/// arena verbatim, so every id it holds must be remappable) and the live
+/// instruction stream for call sites.
+fn referenced_symbols(func: &Function) -> (HashSet<GlobalId>, HashSet<FuncId>) {
+    let mut globals = HashSet::new();
+    let mut funcs = HashSet::new();
+    for i in 0..func.num_values() {
+        match func.value(ValueId::from_index(i)) {
+            ValueDef::GlobalAddr(g) => {
+                globals.insert(*g);
+            }
+            ValueDef::FuncAddr(f) => {
+                funcs.insert(*f);
+            }
+            _ => {}
+        }
+    }
+    for b in func.block_ids() {
+        for &i in &func.block(b).insts {
+            if let InstExtra::Call { callee } = func.inst(i).extra {
+                funcs.insert(callee);
+            }
+        }
+    }
+    (globals, funcs)
+}
+
+/// One callee's caller-visible surface, rendered for the key.
+fn callee_line(module: &Module, f: FuncId) -> String {
+    let callee = module.func(f);
+    let params: Vec<String> = callee
+        .param_tys()
+        .iter()
+        .map(|&t| module.types.display(t))
+        .collect();
+    format!(
+        "callee @{}({}) -> {} {}",
+        callee.name,
+        params.join(", "),
+        module.types.display(callee.ret_ty),
+        callee.effects.mnemonic()
+    )
+}
+
+/// The cross-request closure key of function `id` under `opts`: canonical
+/// function text plus the referenced-context and options sections described
+/// in the module docs. Deterministic for structurally identical functions
+/// regardless of arena layout (context sections are name-sorted).
+pub fn store_key(module: &Module, id: FuncId, opts: &RolagOptions) -> String {
+    store_key_from(&canonical_key(module, id), module, id, opts)
+}
+
+/// [`store_key`] with the canonical function text already in hand. The
+/// driver's grouping pass prints every function once to build its memo
+/// groups; threading that text through here means the service's warm path
+/// prints each function once per request instead of twice — the context
+/// sections appended below are cheap next to a full function print.
+pub(crate) fn store_key_from(
+    canonical: &str,
+    module: &Module,
+    id: FuncId,
+    opts: &RolagOptions,
+) -> String {
+    let func = module.func(id);
+    let (globals, funcs) = referenced_symbols(func);
+
+    let mut key = String::with_capacity(canonical.len() + 256);
+    key.push_str(canonical);
+    key.push_str("\n--context--\nself ");
+    key.push_str(func.effects.mnemonic());
+    key.push('\n');
+    let global_lines: BTreeMap<&str, GlobalId> = globals
+        .iter()
+        .map(|&g| (module.global(g).name.as_str(), g))
+        .collect();
+    for (_, g) in global_lines {
+        key.push_str(&print_global(module, g));
+        key.push('\n');
+    }
+    let callee_lines: BTreeMap<&str, FuncId> = funcs
+        .iter()
+        .filter(|&&f| f != id)
+        .map(|&f| (module.func(f).name.as_str(), f))
+        .collect();
+    for (_, f) in callee_lines {
+        key.push_str(&callee_line(module, f));
+        key.push('\n');
+    }
+    key.push_str("--options--\n");
+    key.push_str(&format!("{opts:?}"));
+    key
+}
+
+/// A rolled function body in its donor module's id spaces, plus the name
+/// maps replay needs to re-target it into an arbitrary module that matched
+/// the same closure key.
+#[derive(Debug, Clone)]
+pub struct RolledBody {
+    /// The rolled function (donor value/type/global/function id spaces).
+    func: Function,
+    /// Snapshot of the donor module's type store (shared across the
+    /// entries captured from one request).
+    types: Arc<TypeStore>,
+    /// Pre-existing globals the body references: donor id → name. The key
+    /// guarantees a hit's module defines each name identically.
+    base_globals: Vec<(GlobalId, String)>,
+    /// Globals the roll minted, in minting order (name reproduction
+    /// depends on the order): donor id plus full data.
+    new_globals: Vec<(GlobalId, GlobalData)>,
+    /// Referenced functions other than itself: donor id → name.
+    callees: Vec<(FuncId, String)>,
+    /// The donor id of the function itself (self-calls re-target to the
+    /// replay destination).
+    self_id: FuncId,
+}
+
+/// One store entry: the replayable outcome of rolling a function.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// `None` when the roll committed nothing — the input body is already
+    /// the output, and replay only has to account the stats.
+    pub(crate) body: Option<RolledBody>,
+    /// The donor roll's statistics. Outcome fields are what a cold roll of
+    /// the same closure would report (wall-clock timings excluded from
+    /// [`RolagStats`] equality as always).
+    pub stats: RolagStats,
+}
+
+impl StoreEntry {
+    /// Captures a replayable entry for `id` from a *merged* module (the
+    /// function already holds its final body and global references).
+    /// `minted` are the globals the roll created for this function, in
+    /// minting order; `rolled` distinguishes a committed roll from a
+    /// no-change run.
+    pub(crate) fn capture(
+        module: &Module,
+        id: FuncId,
+        minted: &[GlobalId],
+        rolled: bool,
+        stats: RolagStats,
+        types: &Arc<TypeStore>,
+    ) -> StoreEntry {
+        if !rolled {
+            return StoreEntry { body: None, stats };
+        }
+        let func = module.func(id).clone();
+        let (globals, funcs) = referenced_symbols(&func);
+        let minted_set: HashSet<GlobalId> = minted.iter().copied().collect();
+        let base_globals = globals
+            .iter()
+            .filter(|g| !minted_set.contains(g))
+            .map(|&g| (g, module.global(g).name.clone()))
+            .collect();
+        let new_globals = minted
+            .iter()
+            .map(|&g| (g, module.global(g).clone()))
+            .collect();
+        let callees = funcs
+            .iter()
+            .filter(|&&f| f != id)
+            .map(|&f| (f, module.func(f).name.clone()))
+            .collect();
+        StoreEntry {
+            body: Some(RolledBody {
+                func,
+                types: Arc::clone(types),
+                base_globals,
+                new_globals,
+                callees,
+                self_id: id,
+            }),
+            stats,
+        }
+    }
+
+    /// Replays this entry onto function `id` of `module`, which must have
+    /// matched the entry's closure key. Mints fresh constant-array names
+    /// against `module` in donor order, so the result is byte-identical to
+    /// a cold roll of the same module. Returns `true` when a body was
+    /// spliced (`false` = no-change entry).
+    pub(crate) fn replay(&self, module: &mut Module, id: FuncId) -> bool {
+        let Some(body) = &self.body else {
+            return false;
+        };
+        let type_map = module.types.absorb(&body.types, 0);
+        let identity = type_map.iter().enumerate().all(|(i, t)| t.index() == i);
+        let mut func = body.func.clone();
+
+        let mut global_map: HashMap<GlobalId, GlobalId> = HashMap::new();
+        for (donor, name) in &body.base_globals {
+            let target = module
+                .global_by_name(name)
+                .expect("closure key guarantees every referenced global");
+            global_map.insert(*donor, target);
+        }
+        for (donor, data) in &body.new_globals {
+            let mut data = data.clone();
+            data.ty = type_map[data.ty.index()];
+            data.name = module.fresh_global_name(name_prefix(&data.name));
+            let merged = module.add_global(data);
+            global_map.insert(*donor, merged);
+        }
+        func.remap_globals(|g| {
+            *global_map
+                .get(&g)
+                .expect("replayed body references an unmapped global")
+        });
+        if !identity {
+            func.remap_types(|t| type_map[t.index()]);
+        }
+
+        let mut func_map: HashMap<FuncId, FuncId> = HashMap::new();
+        func_map.insert(body.self_id, id);
+        for (donor, name) in &body.callees {
+            let target = module
+                .func_by_name(name)
+                .expect("closure key guarantees every callee");
+            func_map.insert(*donor, target);
+        }
+        // Dead arena entries can reference call sites outside the live
+        // instruction stream; they never print, so identity is safe.
+        func.remap_funcs(|f| func_map.get(&f).copied().unwrap_or(f));
+
+        let target = module.func(id);
+        func.name = target.name.clone();
+        func.effects = target.effects;
+        module.replace_func(id, func);
+        true
+    }
+}
+
+/// Cumulative counters of a [`MemoStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStoreStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted (including replacements).
+    pub inserts: u64,
+    /// Entries evicted by the clock hand.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+}
+
+impl MemoStoreStats {
+    /// Fraction of lookups served from the store, in `0.0..=1.0`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+struct Slot {
+    entry: Arc<StoreEntry>,
+    /// Second-chance bit: set on every hit, cleared when the clock hand
+    /// passes over the slot.
+    referenced: bool,
+}
+
+#[derive(Default)]
+struct Shard {
+    slots: HashMap<String, Slot>,
+    /// Clock ring over resident keys.
+    ring: VecDeque<String>,
+}
+
+/// Sharded, capacity-bounded cross-request cache of rolled functions.
+///
+/// Lookup and insert lock one shard; the shard is chosen by key hash, so
+/// concurrent connections rarely contend. Eviction is clock (second
+/// chance): a hit sets the slot's referenced bit, and an insert into a full
+/// shard sweeps the ring, demoting referenced slots and evicting the first
+/// unreferenced one.
+pub struct MemoStore {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl MemoStore {
+    /// A store holding at most (approximately) `capacity` entries across
+    /// 16 shards. A zero capacity is promoted to one entry per shard.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, 16)
+    }
+
+    /// [`MemoStore::new`] with an explicit shard count (tests use 1 to make
+    /// eviction order deterministic).
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let shard_capacity = capacity.div_ceil(shards).max(1);
+        MemoStore {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks `key` up, marking the entry recently used on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<StoreEntry>> {
+        let mut shard = self.shard_of(key).lock().unwrap();
+        match shard.slots.get_mut(key) {
+            Some(slot) => {
+                slot.referenced = true;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.entry))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) `key`, evicting with second chance if the
+    /// shard is full.
+    pub fn insert(&self, key: String, entry: Arc<StoreEntry>) {
+        let mut shard = self.shard_of(&key).lock().unwrap();
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = shard.slots.get_mut(&key) {
+            slot.entry = entry;
+            slot.referenced = true;
+            return;
+        }
+        while shard.slots.len() >= self.shard_capacity {
+            let Some(victim) = shard.ring.pop_front() else {
+                break;
+            };
+            let slot = shard
+                .slots
+                .get_mut(&victim)
+                .expect("ring tracks resident keys");
+            if slot.referenced {
+                slot.referenced = false;
+                shard.ring.push_back(victim);
+            } else {
+                shard.slots.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.ring.push_back(key.clone());
+        shard.slots.insert(
+            key,
+            Slot {
+                entry,
+                referenced: false,
+            },
+        );
+    }
+
+    /// Entries currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().slots.len())
+            .sum()
+    }
+
+    /// True when no entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> MemoStoreStats {
+        MemoStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len(),
+            capacity: self.shard_capacity * self.shards.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::parser::parse_module;
+
+    fn entry(n: u64) -> Arc<StoreEntry> {
+        Arc::new(StoreEntry {
+            body: None,
+            stats: RolagStats {
+                attempted: n,
+                ..Default::default()
+            },
+        })
+    }
+
+    #[test]
+    fn second_chance_evicts_cold_entries_first() {
+        let store = MemoStore::with_shards(2, 1);
+        store.insert("a".into(), entry(1));
+        store.insert("b".into(), entry(2));
+        assert!(store.get("a").is_some(), "a is now referenced");
+        store.insert("c".into(), entry(3));
+        // b was unreferenced: the clock demotes a and evicts b.
+        assert!(store.get("b").is_none());
+        assert!(store.get("a").is_some());
+        assert!(store.get("c").is_some());
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.inserts, 3);
+    }
+
+    #[test]
+    fn replacement_does_not_grow_the_ring() {
+        let store = MemoStore::with_shards(2, 1);
+        store.insert("a".into(), entry(1));
+        store.insert("a".into(), entry(2));
+        store.insert("b".into(), entry(3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a").unwrap().stats.attempted, 2);
+        assert_eq!(store.stats().evictions, 0);
+    }
+
+    #[test]
+    fn hit_rate_counts_lookups() {
+        let store = MemoStore::new(8);
+        store.insert("k".into(), entry(0));
+        assert!(store.get("k").is_some());
+        assert!(store.get("absent").is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    /// Same canonical body, different context: the closure key must keep
+    /// the slots apart when a referenced global's *definition* differs,
+    /// when a callee's effects differ, and when the options differ.
+    #[test]
+    fn store_key_pins_referenced_context() {
+        let base = r#"
+module "a"
+global @tab : [4 x i32] = ints i32 [1, 2, 3, 4]
+declare @ext(i32 %p0) -> i32 readnone
+func @f(i32 %p0) -> i32 {
+entry:
+  %g = gep i32, @tab, i64 0
+  %v = load i32, %g
+  %c = call i32 @ext(%v)
+  ret %c
+}
+"#;
+        let m1 = parse_module(base).unwrap();
+        let m2 = parse_module(&base.replace("[1, 2, 3, 4]", "[9, 2, 3, 4]")).unwrap();
+        let m3 = parse_module(&base.replace("readnone", "readwrite")).unwrap();
+        let opts = RolagOptions::default();
+        let key = |m: &Module| store_key(m, m.func_by_name("f").unwrap(), &opts);
+        assert_ne!(key(&m1), key(&m2), "global initializer must split slots");
+        assert_ne!(key(&m1), key(&m3), "callee effects must split slots");
+        assert_ne!(
+            key(&m1),
+            store_key(
+                &m1,
+                m1.func_by_name("f").unwrap(),
+                &RolagOptions::measured()
+            ),
+            "options fingerprint must split slots"
+        );
+
+        // Same closure under a different module/function name: identical.
+        let renamed = base
+            .replace("module \"a\"", "module \"b\"")
+            .replace("@f(", "@h(");
+        let m4 = parse_module(&renamed).unwrap();
+        assert_eq!(
+            key(&m1),
+            store_key(&m4, m4.func_by_name("h").unwrap(), &opts),
+            "own name must not split slots"
+        );
+    }
+}

@@ -167,13 +167,31 @@ pub fn roll_function_with(
                 } => {
                     let track_start = Instant::now();
                     let dirty = dirty_closure(&work, &func, &changed);
+                    let sketch_adopted = sketch.is_some();
                     if let Some(s) = sketch {
                         // The attempt's trial sketch is exact for the
                         // committed function; adopt it instead of
-                        // re-selecting the changed blocks next sweep.
+                        // re-selecting the changed blocks next sweep. Its
+                        // clean-block summaries are Arc-shared with the
+                        // sweep sketch, so the carry copies pointers, not
+                        // fragment vectors.
                         cache.sketch = s;
+                        #[cfg(debug_assertions)]
+                        {
+                            // Counters are saved around the audit so debug
+                            // and release report identical cache stats.
+                            let (hits, misses) = (cache.sketch.hits, cache.sketch.misses);
+                            let carried = cache.sketch.measure(module, &func);
+                            debug_assert_eq!(
+                                carried,
+                                rolag_lower::measure_function(module, &func),
+                                "sketch carried across a commit diverged from a full lowering"
+                            );
+                            cache.sketch.hits = hits;
+                            cache.sketch.misses = misses;
+                        }
                     }
-                    cache.invalidate(&dirty, func.revision());
+                    cache.invalidate(&dirty, func.revision(), sketch_adopted);
                     stats.timings.track_ns += track_start.elapsed().as_nanos() as u64;
                     work = func;
                     stats.rolled += 1;
@@ -881,6 +899,48 @@ mod tests {
         let oa = ia.run("f", &[]).unwrap();
         let ob = ib.run("f", &[]).unwrap();
         assert!(equivalent(&oa, &ob));
+    }
+
+    /// Measured-cost mode, two profitable rolls in value-disconnected
+    /// blocks: the sketch adopted at the first commit must carry the clean
+    /// block's summaries into the second commit's sweeps (served as hits,
+    /// not re-selected), and the result must stay byte-identical and
+    /// outcome-identical to the full-rescan reference.
+    #[test]
+    fn measured_sketch_carries_across_disjoint_commits() {
+        let mut text = String::from(
+            "module \"t\"\nglobal @a : [8 x i32] = zero\nglobal @b : [8 x i32] = zero\n\
+             func @f() -> void {\nentry:\n",
+        );
+        for i in 0..8 {
+            text.push_str(&format!("  %g{i} = gep i32, @a, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %g{i}\n", i * 7));
+        }
+        text.push_str("  br next\nnext:\n");
+        for i in 0..8 {
+            text.push_str(&format!("  %h{i} = gep i32, @b, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %h{i}\n", i * 3));
+        }
+        text.push_str("  ret\n}\n");
+        let opts = RolagOptions::measured();
+
+        let mut incremental = parse_module(&text).unwrap();
+        let stats = roll_module(&mut incremental, &opts);
+        let mut reference = parse_module(&text).unwrap();
+        let ref_stats = roll_module_full_rescan(&mut reference, &opts);
+
+        assert_eq!(stats.rolled, 2, "both blocks must roll: {stats:?}");
+        assert_eq!(stats, ref_stats, "outcome stats diverged from reference");
+        assert_eq!(
+            rolag_ir::printer::print_module(&incremental),
+            rolag_ir::printer::print_module(&reference),
+            "incremental output diverged from full rescan"
+        );
+        assert!(
+            stats.cache.size_blocks_reused > 0,
+            "carried sketch summaries must serve measured sizes: {:?}",
+            stats.cache
+        );
     }
 
     #[test]

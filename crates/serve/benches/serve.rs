@@ -1,0 +1,170 @@
+//! Serve bench: replays a many-client workload against one [`Server`]
+//! and writes `BENCH_serve.json` at the repository root.
+//!
+//! The workload is the evaluation corpus with controlled duplication:
+//! every module (unrolled TSVC kernels plus an AnghaBench-like slice) is
+//! submitted three times — one cold round, two warm rounds — as if three
+//! clients compiled the same code, under the `validated` preset (the
+//! service's home turf: a cold roll pays per-rewrite translation
+//! validation, a store hit replays the already-validated body and its
+//! verdict). The report separates cold and warm per-request latency
+//! (p50/p99/mean), throughput (funcs/sec of service time), and the
+//! cross-request cache hit rate; `rolag-serve --check-bench` validates
+//! the schema and the acceptance floors (hit rate ≥ 0.5, warm p50 ≥ 2x
+//! better than cold).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use rolag_ir::printer::print_module;
+use rolag_serve::proto::{parse_reply, Request};
+use rolag_serve::{Server, ServerConfig};
+use rolag_suites::angha::{generate, AnghaConfig};
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+/// The workload: one textual module per entry, pre-unrolled TSVC kernels
+/// first, then the angha slice.
+fn workload_modules() -> Vec<String> {
+    let mut modules = Vec::new();
+    for spec in all_kernels().iter().take(24) {
+        let mut m = build_kernel_module(spec);
+        unroll_module(&mut m, 8);
+        cse_module(&mut m);
+        cleanup_module(&mut m);
+        modules.push(print_module(&m));
+    }
+    let corpus = generate(&AnghaConfig {
+        seed: 0x5e7e,
+        functions: 40,
+    });
+    for (_, _, m) in &corpus.entries {
+        modules.push(print_module(m));
+    }
+    modules
+}
+
+struct Phase {
+    latencies_ns: Vec<u64>,
+    functions: u64,
+}
+
+impl Phase {
+    fn percentile(&self, pct: f64) -> u64 {
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    fn mean_ns(&self) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        (self.latencies_ns.iter().map(|&n| n as u128).sum::<u128>()
+            / self.latencies_ns.len() as u128) as u64
+    }
+
+    fn funcs_per_sec(&self) -> f64 {
+        let secs = self.latencies_ns.iter().map(|&n| n as u128).sum::<u128>() as f64 / 1e9;
+        if secs > 0.0 {
+            self.functions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"p50_ns\": {}, \"p99_ns\": {}, \"mean_ns\": {}, \"funcs_per_sec\": {:.1}}}",
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.mean_ns(),
+            self.funcs_per_sec()
+        )
+    }
+}
+
+/// Submits every module once, as `client`, and collects per-request
+/// latency. Panics on any protocol-level failure — a bench over a broken
+/// service would report nonsense.
+fn run_round(server: &Server, modules: &[String], client: &str) -> Phase {
+    let mut phase = Phase {
+        latencies_ns: Vec::with_capacity(modules.len()),
+        functions: 0,
+    };
+    for (i, text) in modules.iter().enumerate() {
+        let line = Request::Roll {
+            id: format!("{client}-{i}"),
+            module: text.clone(),
+            options: "validated".into(),
+            client: Some(client.into()),
+        }
+        .render();
+        let start = Instant::now();
+        let (response, _) = server.handle_line(&line);
+        phase.latencies_ns.push(start.elapsed().as_nanos() as u64);
+        let reply = parse_reply(&response).expect("well-formed response");
+        assert!(reply.ok, "request {client}-{i} failed: {:?}", reply.error);
+        phase.functions += reply.functions;
+    }
+    phase
+}
+
+fn main() {
+    let modules = workload_modules();
+    let server = Server::new(&ServerConfig {
+        jobs: 0,
+        capacity: 4096,
+    });
+
+    // Three clients submit the identical corpus: one cold round, two warm.
+    let cold = run_round(&server, &modules, "client-cold");
+    let warm1 = run_round(&server, &modules, "client-warm1");
+    let warm2 = run_round(&server, &modules, "client-warm2");
+    let warm = Phase {
+        latencies_ns: [warm1.latencies_ns, warm2.latencies_ns].concat(),
+        functions: warm1.functions + warm2.functions,
+    };
+
+    let snap = server.snapshot();
+    let hit_rate = snap.store.hit_rate();
+    let warm_speedup_p50 = cold.percentile(50.0) as f64 / warm.percentile(50.0).max(1) as f64;
+    println!(
+        "serve: {} modules x3, hit rate {:.3}, cold p50 {:.2} ms, warm p50 {:.2} ms ({warm_speedup_p50:.1}x)",
+        modules.len(),
+        hit_rate,
+        cold.percentile(50.0) as f64 / 1e6,
+        warm.percentile(50.0) as f64 / 1e6,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"modules\": {}, \"functions\": {}, \"requests\": {}, \"duplication\": 3.0}},",
+        modules.len(),
+        cold.functions,
+        3 * modules.len()
+    );
+    let _ = writeln!(json, "  \"cold\": {},", cold.to_json());
+    let _ = writeln!(json, "  \"warm\": {},", warm.to_json());
+    let _ = writeln!(json, "  \"hit_rate\": {hit_rate:.4},");
+    let _ = writeln!(json, "  \"warm_speedup_p50\": {warm_speedup_p50:.3},");
+    let _ = writeln!(json, "  \"cumulative\": {}", snap.to_json());
+    json.push_str("}\n");
+
+    // CARGO_MANIFEST_DIR is crates/serve; the JSON belongs at the repo root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_serve.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

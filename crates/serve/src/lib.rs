@@ -1,0 +1,47 @@
+//! # rolag-serve
+//!
+//! A persistent compilation service for the RoLAG IR: a long-lived daemon
+//! that accepts streams of textual-IR modules — over a unix socket or as
+//! a stdin batch — rolls them through the parallel memoizing driver, and
+//! **content-addresses every function** so structurally identical code
+//! arriving from different clients (or different requests of the same
+//! client) compiles exactly once.
+//!
+//! The pieces, each its own module:
+//!
+//! * [`json`] — a hand-rolled JSON codec (the workspace has no external
+//!   dependencies).
+//! * [`proto`] — the newline-delimited JSON request/response protocol and
+//!   the options presets.
+//! * [`server`] — the [`Server`]: one persistent
+//!   [`WorkerPool`](rolag_par::WorkerPool) plus one bounded
+//!   [`MemoStore`](rolag::MemoStore) shared by every connection, and the
+//!   cumulative metrics (per-request and cumulative hit rates, funcs/sec,
+//!   p50/p99 latency).
+//!
+//! The cache is keyed by the *closure key* of [`rolag::store_key`]:
+//! canonical function text plus the printed definitions of every
+//! referenced global, the signature/effects of every callee, and the
+//! options fingerprint. A hit therefore guarantees the cached rolled body
+//! is byte-identical to what rolling the request cold would produce —
+//! the property `tests/serve_determinism.rs` pins over the repro corpus
+//! and a generator sweep.
+//!
+//! ```
+//! use rolag_serve::{Server, ServerConfig};
+//! use rolag_serve::proto::parse_reply;
+//!
+//! let server = Server::new(&ServerConfig { jobs: 2, capacity: 64 });
+//! let line = r#"{"id": "r1", "module": "module \"m\"\nfunc @f() -> void {\nentry:\n  ret\n}\n"}"#;
+//! let (response, shutdown) = server.handle_line(line);
+//! assert!(!shutdown);
+//! assert!(parse_reply(&response).unwrap().ok);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use server::{Server, ServerConfig, Snapshot};

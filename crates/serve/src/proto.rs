@@ -1,0 +1,253 @@
+//! The newline-delimited JSON request/response protocol.
+//!
+//! One request per line, one response line per request, in order. A
+//! connection (or the stdin batch) is a stream of requests:
+//!
+//! ```text
+//! {"id": "r1", "module": "<IR text>", "options": "default", "client": "a"}
+//! {"id": "r2", "cmd": "stats"}
+//! {"id": "r3", "cmd": "shutdown"}
+//! ```
+//!
+//! * A **roll** request carries a full textual-IR module. The service
+//!   parses, verifies, rolls it through the shared worker pool and
+//!   cross-request store, and answers with the transformed module plus
+//!   per-request and cumulative metrics. `options` names a preset
+//!   ([`options_preset`]); absent means `default`. `client` is an opaque
+//!   label echoed in logs — content addressing makes the cache shared
+//!   across clients by construction, so it carries no semantics.
+//! * `{"cmd": "stats"}` answers with cumulative metrics only.
+//! * `{"cmd": "shutdown"}` acknowledges and closes the server loop
+//!   (socket mode exits the process; batch mode stops reading).
+//!
+//! Responses are single-line JSON objects echoing `id`, with `"ok"`
+//! telling the two shapes apart: `{"id", "ok": true, "module", "stats":
+//! {...}, "request": {...}, "cumulative": {...}}` on success and
+//! `{"id", "ok": false, "error": "..."}` on failure. Malformed request
+//! lines get an error response with `"id": null`.
+
+use rolag::RolagOptions;
+
+use crate::json::{escaped, parse, Json};
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Roll a textual-IR module.
+    Roll {
+        /// Echo token for the response.
+        id: String,
+        /// Textual IR of the module to roll.
+        module: String,
+        /// Options preset name (see [`options_preset`]).
+        options: String,
+        /// Opaque client label.
+        client: Option<String>,
+    },
+    /// Report cumulative service metrics.
+    Stats {
+        /// Echo token for the response.
+        id: String,
+    },
+    /// Acknowledge and stop serving.
+    Shutdown {
+        /// Echo token for the response.
+        id: String,
+    },
+}
+
+impl Request {
+    /// The request's echo token.
+    pub fn id(&self) -> &str {
+        match self {
+            Request::Roll { id, .. } | Request::Stats { id } | Request::Shutdown { id } => id,
+        }
+    }
+
+    /// Renders the request as one NDJSON line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Roll {
+                id,
+                module,
+                options,
+                client,
+            } => {
+                let mut out = format!(
+                    "{{\"id\": {}, \"module\": {}, \"options\": {}",
+                    escaped(id),
+                    escaped(module),
+                    escaped(options)
+                );
+                if let Some(client) = client {
+                    out.push_str(&format!(", \"client\": {}", escaped(client)));
+                }
+                out.push('}');
+                out
+            }
+            Request::Stats { id } => format!("{{\"id\": {}, \"cmd\": \"stats\"}}", escaped(id)),
+            Request::Shutdown { id } => {
+                format!("{{\"id\": {}, \"cmd\": \"shutdown\"}}", escaped(id))
+            }
+        }
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = parse(line)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .ok_or("request is missing a string \"id\"")?
+        .to_string();
+    if let Some(cmd) = doc.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "stats" => Ok(Request::Stats { id }),
+            "shutdown" => Ok(Request::Shutdown { id }),
+            other => Err(format!("unknown cmd {other:?}")),
+        };
+    }
+    let module = doc
+        .get("module")
+        .and_then(Json::as_str)
+        .ok_or("request has neither \"cmd\" nor a string \"module\"")?
+        .to_string();
+    let options = doc
+        .get("options")
+        .and_then(Json::as_str)
+        .unwrap_or("default")
+        .to_string();
+    let client = doc.get("client").and_then(Json::as_str).map(str::to_string);
+    Ok(Request::Roll {
+        id,
+        module,
+        options,
+        client,
+    })
+}
+
+/// Resolves an options preset name. The presets are the same spellings the
+/// pass registry exposes, so a service request and a `rolag-opt` run agree
+/// on what e.g. `"extended"` means.
+pub fn options_preset(name: &str) -> Option<RolagOptions> {
+    match name {
+        "default" => Some(RolagOptions::default()),
+        "extended" => Some(RolagOptions::with_extensions()),
+        "no-special" => Some(RolagOptions::no_special_nodes()),
+        "validated" | "tv" => Some(RolagOptions::validated()),
+        "measured" => Some(RolagOptions::measured()),
+        _ => None,
+    }
+}
+
+/// A parsed response line — the client-side view of what the server sent.
+#[derive(Debug, Clone, Default)]
+pub struct Reply {
+    /// Echoed request id (empty for malformed-line errors).
+    pub id: String,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// Error message, for `ok == false`.
+    pub error: Option<String>,
+    /// The rolled module text, for successful roll requests.
+    pub module: Option<String>,
+    /// Loops committed in this request.
+    pub rolled: u64,
+    /// Function definitions in this request.
+    pub functions: u64,
+    /// Definitions replayed from the cross-request store.
+    pub store_hits: u64,
+    /// Definitions rolled because the store missed.
+    pub store_misses: u64,
+    /// This request's wall-clock in the server, nanoseconds.
+    pub wall_ns: u64,
+    /// Cumulative store hit rate after this request, `0.0..=1.0`.
+    pub cumulative_hit_rate: f64,
+}
+
+fn num(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_num).unwrap_or(0.0) as u64
+}
+
+/// Parses one response line.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let doc = parse(line)?;
+    let ok = doc
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("response is missing \"ok\"")?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let request = doc.get("request");
+    let cumulative = doc.get("cumulative");
+    Ok(Reply {
+        id,
+        ok,
+        error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+        module: doc.get("module").and_then(Json::as_str).map(str::to_string),
+        rolled: doc
+            .get("stats")
+            .map(|s| num(s, "rolled"))
+            .unwrap_or_default(),
+        functions: request.map(|r| num(r, "functions")).unwrap_or_default(),
+        store_hits: request.map(|r| num(r, "store_hits")).unwrap_or_default(),
+        store_misses: request.map(|r| num(r, "store_misses")).unwrap_or_default(),
+        wall_ns: request.map(|r| num(r, "wall_ns")).unwrap_or_default(),
+        cumulative_hit_rate: cumulative
+            .and_then(|c| c.get("hit_rate"))
+            .and_then(Json::as_num)
+            .unwrap_or(0.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Roll {
+                id: "r1".into(),
+                module: "module \"m\"\n".into(),
+                options: "measured".into(),
+                client: Some("ci".into()),
+            },
+            Request::Roll {
+                id: "r2".into(),
+                module: "module \"m\"\n".into(),
+                options: "default".into(),
+                client: None,
+            },
+            Request::Stats { id: "r3".into() },
+            Request::Shutdown { id: "r4".into() },
+        ];
+        for req in reqs {
+            let line = req.render();
+            assert!(!line.contains('\n'), "one request per line");
+            assert_eq!(parse_request(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn bad_requests_are_rejected_with_reasons() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"module\": \"m\"}").is_err(), "missing id");
+        assert!(parse_request("{\"id\": \"x\"}").is_err(), "missing body");
+        assert!(parse_request("{\"id\": \"x\", \"cmd\": \"reboot\"}").is_err());
+    }
+
+    #[test]
+    fn presets_cover_the_registry_spellings() {
+        for name in ["default", "extended", "no-special", "validated", "measured"] {
+            assert!(options_preset(name).is_some(), "{name}");
+        }
+        assert!(options_preset("turbo").is_none());
+        assert!(options_preset("measured").unwrap().measured_cost);
+        assert!(options_preset("validated").unwrap().validate);
+    }
+}

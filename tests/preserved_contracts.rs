@@ -301,6 +301,84 @@ fn no_change_runs_preserve_everything() {
     );
 }
 
+/// Per-function preservation: a function pass that rewrites only one
+/// function must not drop its neighbours' cached analyses. `@cold` here is
+/// already CSE-clean, so after a `cse` run that rewrites only `@hot`,
+/// `@cold`'s dominator tree, loop forest, dependence graph, and pointer
+/// resolutions all keep serving hits — while `@hot` pays exactly its own
+/// contract (CFG analyses survive, instruction-level ones are dropped).
+#[test]
+fn function_pass_keeps_neighbour_caches() {
+    let text = r#"
+module "pf"
+global @a : [4 x i32] = zero
+func @hot(i32 %p0) -> i32 {
+entry:
+  %1 = add i32 %p0, i32 5
+  %2 = add i32 %p0, i32 5
+  %3 = mul i32 %1, %2
+  ret %3
+}
+func @cold() -> i32 {
+entry:
+  %p = gep i32, @a, i64 2
+  %v = load i32, %p
+  ret %v
+}
+"#;
+    let mut m = parse_module(text).unwrap();
+    let (changed, mut am) = run_one("cse", None, &mut m);
+    assert!(changed, "cse fixture did not fire");
+    let hot = m.func_by_name("hot").unwrap();
+    let cold = m.func_by_name("cold").unwrap();
+
+    let before = am.stats;
+    am.dom(&m, cold);
+    am.loops(&m, cold);
+    am.deps(&m, cold, m.func(cold).entry_block());
+    let cold_gep = {
+        let f = m.func(cold);
+        f.live_insts()
+            .find(|&i| f.inst(i).opcode == Opcode::Gep)
+            .map(|i| f.inst_result(i))
+            .expect("cold has a gep")
+    };
+    am.pointer(&m, cold, cold_gep);
+    assert_eq!(
+        (
+            am.stats.dom_misses,
+            am.stats.loops_misses,
+            am.stats.deps_misses,
+            am.stats.alias_misses,
+        ),
+        (
+            before.dom_misses,
+            before.loops_misses,
+            before.deps_misses,
+            before.alias_misses,
+        ),
+        "the untouched neighbour's analyses must all survive a cse run \
+         that changed only @hot"
+    );
+
+    // The changed function's instruction-level entries were dropped by its
+    // own contract...
+    am.deps(&m, hot, m.func(hot).entry_block());
+    assert_eq!(
+        am.stats.deps_misses,
+        before.deps_misses + 1,
+        "@hot's dependence graph must be recomputed after cse rewrote it"
+    );
+    // ...while its CFG analyses survived (cse never touches blocks/edges).
+    am.dom(&m, hot);
+    am.loops(&m, hot);
+    assert_eq!(
+        (am.stats.dom_misses, am.stats.loops_misses),
+        (before.dom_misses, before.loops_misses),
+        "@hot's CFG analyses are preserved by cse's own contract"
+    );
+}
+
 /// The full evaluation pipeline over the TSVC suite, pass by pass: prime
 /// every analysis before each pass, apply its contract after, and verify
 /// each surviving entry against recomputation. This exercises the
