@@ -5,11 +5,47 @@
 //!
 //! Besides the usual min/median/mean table this bench writes
 //! `BENCH_fixpoint.json` at the repository root: per-benchmark mean
-//! nanoseconds, per-stage timings, cache hit-rates, and the
+//! nanoseconds, heap allocation counts per engine run (via a counting
+//! global allocator — the number the snapshot/rollback engine is meant
+//! to crush), per-stage timings, cache hit-rates, and the
 //! incremental-over-full speedups.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every heap allocation so the JSON can report how many the
+/// speculative-rewrite path performs (clone-per-candidate showed up here;
+/// the journal engine must not).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by `job()` (single-threaded benches, so the
+/// global counter attributes cleanly).
+fn count_allocs(job: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    job();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
 
 use rolag::{roll_module, roll_module_full_rescan, RolagOptions, RolagStats};
 use rolag_bench::harness::{BenchGroup, Measurement};
@@ -167,6 +203,42 @@ fn main() {
     println!("speedup tsvc24:      {tsvc_speedup:.2}x");
     println!("speedup many_commit: {synth_speedup:.2}x");
 
+    // Allocation counts for one engine run per input (clone excluded: the
+    // input copy is setup, not engine work).
+    let allocs = [
+        ("full_rescan_tsvc24", {
+            let mut modules = tsvc.clone();
+            count_allocs(|| {
+                for m in &mut modules {
+                    roll_module_full_rescan(m, &opts);
+                }
+            })
+        }),
+        ("incremental_tsvc24", {
+            let mut modules = tsvc.clone();
+            count_allocs(|| {
+                for m in &mut modules {
+                    roll_module(m, &opts);
+                }
+            })
+        }),
+        ("full_rescan_many_commit", {
+            let mut m = synth.clone();
+            count_allocs(|| {
+                roll_module_full_rescan(&mut m, &opts);
+            })
+        }),
+        ("incremental_many_commit", {
+            let mut m = synth.clone();
+            count_allocs(|| {
+                roll_module(&mut m, &opts);
+            })
+        }),
+    ];
+    for (label, n) in &allocs {
+        println!("allocations {label}: {n}");
+    }
+
     let mut json = String::from("{\n  \"bench\": \"fixpoint\",\n  \"samples\": 10,\n");
     json.push_str("  \"benchmarks\": {\n");
     for (i, m) in results.iter().enumerate() {
@@ -178,6 +250,12 @@ fn main() {
         json,
         "  \"speedup\": {{\"tsvc24\": {tsvc_speedup:.3}, \"many_commit\": {synth_speedup:.3}}},"
     );
+    json.push_str("  \"allocations\": {");
+    for (i, (label, n)) in allocs.iter().enumerate() {
+        let sep = if i + 1 < allocs.len() { ", " } else { "" };
+        let _ = write!(json, "\"{label}\": {n}{sep}");
+    }
+    json.push_str("},\n");
     json.push_str("  \"incremental_stats\": {\n");
     let _ = writeln!(json, "    \"tsvc24\": {},", stats_json(&tsvc_stats));
     let _ = writeln!(json, "    \"many_commit\": {}", stats_json(&synth_stats));

@@ -17,7 +17,9 @@
 //! Meta-pipelines also cross-check the engine against itself: the parallel
 //! driver and the incremental fixpoint must produce byte-identical printed
 //! modules and equal statistics to the serial / full-rescan references,
-//! and a printed module must re-parse to its own fixed point.
+//! a printed module must re-parse to its own fixed point, and the compact
+//! binary serialization must round-trip print-identically and
+//! re-encode byte-stably.
 
 use crate::gen::args_for;
 use rolag::RolagStats;
@@ -41,6 +43,12 @@ const MAX_STEPS: u64 = 2_000_000;
 pub enum Pipeline {
     /// `parse(print(m))`, plus the print-fixed-point cross-check.
     RoundTrip,
+    /// `decode(encode(m))` through the compact binary serialization,
+    /// cross-checked three ways: the decoded module must print
+    /// byte-identically to the original, re-encoding it must reproduce
+    /// the exact bytes, and the decoded module then runs through the
+    /// usual behavioural comparison.
+    BinaryRoundTrip,
     /// Partial unrolling (factor 4) of counted loops.
     Unroll,
     /// Block-local common-subexpression elimination.
@@ -69,8 +77,9 @@ pub enum Pipeline {
 
 impl Pipeline {
     /// Every pipeline, in the order `--pipelines all` runs them.
-    pub const ALL: [Pipeline; 10] = [
+    pub const ALL: [Pipeline; 11] = [
         Pipeline::RoundTrip,
+        Pipeline::BinaryRoundTrip,
         Pipeline::Unroll,
         Pipeline::Cse,
         Pipeline::Flatten,
@@ -86,6 +95,7 @@ impl Pipeline {
     pub fn name(self) -> &'static str {
         match self {
             Pipeline::RoundTrip => "roundtrip",
+            Pipeline::BinaryRoundTrip => "binary-roundtrip",
             Pipeline::Unroll => "unroll",
             Pipeline::Cse => "cse",
             Pipeline::Flatten => "flatten",
@@ -111,6 +121,7 @@ impl Pipeline {
             Pipeline::Reroll => Some("reroll"),
             Pipeline::Rolag => Some("rolag"),
             Pipeline::RoundTrip
+            | Pipeline::BinaryRoundTrip
             | Pipeline::RolagPar
             | Pipeline::RolagIncremental
             | Pipeline::RolagTv => None,
@@ -247,6 +258,20 @@ pub fn apply_pipeline_checked(
                 return diverge("print is not a fixed point across parse(print(m))".into());
             }
             Ok(reparsed)
+        }
+        Pipeline::BinaryRoundTrip => {
+            let bytes = rolag_ir::encode_module(module);
+            let decoded = match rolag_ir::decode_module(&bytes) {
+                Ok(m) => m,
+                Err(e) => return diverge(format!("encoded module fails to decode: {e}")),
+            };
+            if print_module(&decoded) != print_module(module) {
+                return diverge("binary round-trip is not print-identical".into());
+            }
+            if rolag_ir::encode_module(&decoded) != bytes {
+                return diverge("re-encoding the decoded module is not byte-stable".into());
+            }
+            Ok(decoded)
         }
         Pipeline::Rolag => {
             let (m, stats) = run_spec(module, "rolag", None, verify_each)?;

@@ -57,8 +57,11 @@ impl Effects {
 ///
 /// All values, instructions, and blocks of the function live in arenas owned
 /// by the function and are referred to by ids, so cloning a function (for
-/// speculative transformation) is a plain deep copy.
-#[derive(Debug, Clone)]
+/// speculative transformation) is a plain deep copy — but speculative
+/// rewrites should not clone at all: [`Function::snapshot`] opens a
+/// journaled speculation window whose [`Function::rollback`] restores the
+/// pre-speculation state in O(touched).
+#[derive(Debug)]
 pub struct Function {
     /// Symbol name, unique within the module.
     pub name: String,
@@ -88,6 +91,99 @@ pub struct Function {
     /// revision; revision-keyed caches must only hold analyses derived
     /// from the arenas (CFG, instructions, values).
     revision: u64,
+    /// Active speculation journal (see [`Function::snapshot`]), boxed so
+    /// the common non-speculating function stays one pointer wider.
+    journal: Option<Box<Journal>>,
+}
+
+/// Undo journal for one speculation window. Arenas are append-only, so the
+/// window is fully described by the base arena lengths plus the *first
+/// touched* state of every pre-existing instruction and block the window
+/// mutated, and the constant keys it interned.
+#[derive(Debug)]
+struct Journal {
+    /// Revision at `snapshot()`, restored by `rollback` (the restored
+    /// arenas are bit-identical to that revision's, and the global counter
+    /// guarantees retired speculation-era revisions never collide).
+    base_revision: u64,
+    base_values: usize,
+    base_insts: usize,
+    base_blocks: usize,
+    /// Per-instruction first-touch state is split into two facets so the
+    /// hot paths stay allocation-free. The bitmaps make the first-touch
+    /// check a test-and-set instead of a hash probe — the journal sits on
+    /// every mutator, and a speculative rewrite touches most of a block,
+    /// so per-touch overhead decides whether speculating in place beats
+    /// the clone it replaced.
+    ///
+    /// *Placement* facet: block membership + liveness, the only state the
+    /// detach/attach mutators change. Saving it is a 12-byte push, which
+    /// matters because codegen tears down and rebuilds whole blocks.
+    placement_bits: Vec<u64>,
+    /// `(index, pre-window block, pre-window live)`, in touch order
+    /// (`index < base_insts` only; new instructions are covered by arena
+    /// truncation).
+    saved_placements: Vec<(u32, BlockId, bool)>,
+    /// *Payload* facet: the full pre-mutation [`InstData`] for
+    /// instructions whose body may change (operand rewrites, phi
+    /// patching via `inst_mut`).
+    payload_bits: Vec<u64>,
+    /// `(index, pre-window data)`, in touch order (`index < base_insts`).
+    saved_payloads: Vec<(u32, InstData)>,
+    /// One bit per pre-existing block, set once saved.
+    block_saved_bits: Vec<u64>,
+    /// First-touch copies of mutated pre-existing blocks
+    /// (`index < base_blocks`), in touch order.
+    saved_blocks: Vec<(u32, BlockData)>,
+    /// Constant keys interned during the window, removed on rollback.
+    interned: Vec<ConstKey>,
+}
+
+/// Proof that a speculation window is open; returned by
+/// [`Function::snapshot`] and consumed by [`Function::rollback`] or
+/// [`Function::commit`].
+#[derive(Debug)]
+#[must_use = "a snapshot must be resolved by rollback() or commit()"]
+pub struct SnapshotToken {
+    revision: u64,
+}
+
+/// What a committed speculation window changed, in arena terms. Lets a
+/// clone that still holds the pre-window state catch up in O(touched) via
+/// [`Function::apply_log`], instead of re-cloning the whole function.
+#[derive(Debug, Clone)]
+pub struct SpeculationLog {
+    base_values: usize,
+    base_insts: usize,
+    base_blocks: usize,
+    /// Pre-existing instructions the window touched (sorted).
+    touched_insts: Vec<u32>,
+    /// Pre-existing blocks the window touched (sorted).
+    touched_blocks: Vec<u32>,
+}
+
+impl Clone for Function {
+    /// A deep copy of the current arena state. Any active speculation
+    /// journal stays with the original: the clone is a copy of the state,
+    /// not of the speculation window, so it starts with no snapshot open.
+    fn clone(&self) -> Self {
+        Function {
+            name: self.name.clone(),
+            param_tys: self.param_tys.clone(),
+            ret_ty: self.ret_ty,
+            is_declaration: self.is_declaration,
+            effects: self.effects,
+            values: self.values.clone(),
+            insts: self.insts.clone(),
+            inst_results: self.inst_results.clone(),
+            live: self.live.clone(),
+            blocks: self.blocks.clone(),
+            params: self.params.clone(),
+            const_map: self.const_map.clone(),
+            revision: self.revision,
+            journal: None,
+        }
+    }
 }
 
 impl Function {
@@ -108,6 +204,7 @@ impl Function {
             params: Vec::new(),
             const_map: HashMap::new(),
             revision: next_revision(),
+            journal: None,
         };
         for (i, &ty) in param_tys.iter().enumerate() {
             let v = f.push_value(ValueDef::Param {
@@ -143,6 +240,361 @@ impl Function {
     /// Marks the arenas as changed by taking a fresh global revision.
     fn bump_revision(&mut self) {
         self.revision = next_revision();
+    }
+
+    // ---- generational snapshots -------------------------------------------
+
+    /// Opens a speculation window: subsequent mutations are journaled so
+    /// [`Function::rollback`] can restore the exact pre-snapshot state in
+    /// O(touched), without the caller ever cloning the body. The window is
+    /// closed by `rollback` (discard) or [`Function::commit`] (keep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a window is already open; windows do not nest.
+    pub fn snapshot(&mut self) -> SnapshotToken {
+        assert!(
+            self.journal.is_none(),
+            "speculation snapshots do not nest ({})",
+            self.name
+        );
+        self.journal = Some(Box::new(Journal {
+            base_revision: self.revision,
+            base_values: self.values.len(),
+            base_insts: self.insts.len(),
+            base_blocks: self.blocks.len(),
+            placement_bits: vec![0; self.insts.len().div_ceil(64)],
+            saved_placements: Vec::new(),
+            payload_bits: vec![0; self.insts.len().div_ceil(64)],
+            saved_payloads: Vec::new(),
+            block_saved_bits: vec![0; self.blocks.len().div_ceil(64)],
+            saved_blocks: Vec::new(),
+            interned: Vec::new(),
+        }));
+        SnapshotToken {
+            revision: self.revision,
+        }
+    }
+
+    /// True while a speculation window is open.
+    pub fn in_speculation(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Discards the speculation window: every journaled mutation is undone,
+    /// the arenas are truncated back to their snapshot lengths, interned
+    /// constants are un-interned, and the revision returns to the token's.
+    /// The restored state is bit-identical to the snapshot state, so
+    /// reusing its revision is sound — analyses cached against it stay
+    /// valid, and the speculation-era revisions are globally retired.
+    ///
+    /// Cost is O(touched): proportional to what the window mutated, not to
+    /// the function size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open or `token` is not the window's token.
+    pub fn rollback(&mut self, token: SnapshotToken) {
+        let j = self
+            .journal
+            .take()
+            .expect("rollback without an open snapshot");
+        assert_eq!(token.revision, j.base_revision, "stale snapshot token");
+        // Entries are first-touch copies, each index saved at most once per
+        // facet. Payload restores first: a payload snapshot taken after a
+        // placement move carries that moved `block` field, so the placement
+        // restore (which holds the true pre-window placement) must win.
+        // Moving the saved data back avoids a second clone.
+        for (idx, data) in j.saved_payloads {
+            self.insts[idx as usize] = data;
+        }
+        for (idx, block, live) in j.saved_placements {
+            self.insts[idx as usize].block = block;
+            self.live[idx as usize] = live;
+        }
+        for (idx, data) in j.saved_blocks {
+            self.blocks[idx as usize] = data;
+        }
+        self.values.truncate(j.base_values);
+        self.insts.truncate(j.base_insts);
+        self.inst_results.truncate(j.base_insts);
+        self.live.truncate(j.base_insts);
+        self.blocks.truncate(j.base_blocks);
+        for key in &j.interned {
+            self.const_map.remove(key);
+        }
+        self.revision = j.base_revision;
+    }
+
+    /// Keeps the speculation window's mutations and closes it, returning a
+    /// [`SpeculationLog`] describing the touched arena entries (for
+    /// [`Function::apply_log`] on a pre-window clone).
+    ///
+    /// The revision is left bumped exactly when observable state changed:
+    /// if every journaled entry still equals its saved copy and no
+    /// instructions or blocks were added, the base revision is restored, so
+    /// revision-keyed caches are not invalidated by a no-op window. (Pure
+    /// constant interning grows the value arena without counting as a
+    /// structural change, matching the non-speculative interning contract.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open or `token` is not the window's token.
+    pub fn commit(&mut self, token: SnapshotToken) -> SpeculationLog {
+        let j = self
+            .journal
+            .take()
+            .expect("commit without an open snapshot");
+        assert_eq!(token.revision, j.base_revision, "stale snapshot token");
+        let grew = self.insts.len() > j.base_insts || self.blocks.len() > j.base_blocks;
+        let changed = grew
+            || j.saved_payloads
+                .iter()
+                .any(|(idx, data)| self.insts[*idx as usize] != *data)
+            || j.saved_placements.iter().any(|(idx, block, live)| {
+                self.insts[*idx as usize].block != *block || self.live[*idx as usize] != *live
+            })
+            || j.saved_blocks
+                .iter()
+                .any(|(idx, data)| self.blocks[*idx as usize] != *data);
+        if !changed {
+            self.revision = j.base_revision;
+        }
+        let mut touched_insts: Vec<u32> = j
+            .saved_placements
+            .iter()
+            .map(|(idx, ..)| *idx)
+            .chain(j.saved_payloads.iter().map(|(idx, _)| *idx))
+            .collect();
+        touched_insts.sort_unstable();
+        touched_insts.dedup();
+        let mut touched_blocks: Vec<u32> = j.saved_blocks.iter().map(|(idx, _)| *idx).collect();
+        touched_blocks.sort_unstable();
+        SpeculationLog {
+            base_values: j.base_values,
+            base_insts: j.base_insts,
+            base_blocks: j.base_blocks,
+            touched_insts,
+            touched_blocks,
+        }
+    }
+
+    /// Brings a clone holding the pre-window state up to the committed
+    /// state in O(touched): copies the touched pre-existing entries from
+    /// `src`, appends the new arena tail, re-interns the new constants, and
+    /// adopts `src`'s revision. After this, `self` and `src` are clones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` has an open window or its arena lengths do not
+    /// match the log's snapshot lengths (i.e. it is not a pre-window clone).
+    pub fn apply_log(&mut self, src: &Function, log: &SpeculationLog) {
+        assert!(self.journal.is_none(), "apply_log during open snapshot");
+        assert_eq!(self.values.len(), log.base_values, "not a pre-window clone");
+        assert_eq!(self.insts.len(), log.base_insts, "not a pre-window clone");
+        assert_eq!(self.blocks.len(), log.base_blocks, "not a pre-window clone");
+        for &idx in &log.touched_insts {
+            self.insts[idx as usize] = src.insts[idx as usize].clone();
+            self.live[idx as usize] = src.live[idx as usize];
+        }
+        for &idx in &log.touched_blocks {
+            self.blocks[idx as usize] = src.blocks[idx as usize].clone();
+        }
+        self.values
+            .extend(src.values[log.base_values..].iter().cloned());
+        self.insts
+            .extend(src.insts[log.base_insts..].iter().cloned());
+        self.inst_results
+            .extend_from_slice(&src.inst_results[log.base_insts..]);
+        self.live.extend_from_slice(&src.live[log.base_insts..]);
+        self.blocks
+            .extend(src.blocks[log.base_blocks..].iter().cloned());
+        for idx in log.base_values..self.values.len() {
+            if let Some(key) = const_key_of(&self.values[idx]) {
+                self.const_map.insert(key, ValueId(idx as u32));
+            }
+        }
+        self.revision = src.revision;
+    }
+
+    /// Blocks the open speculation window may have changed: every saved
+    /// pre-existing block, the old and current blocks of every saved
+    /// instruction, and all blocks added since the snapshot. A superset of
+    /// the truly changed blocks (sorted, deduplicated); the caller filters
+    /// with a content compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is open.
+    pub fn speculated_blocks(&self) -> Vec<BlockId> {
+        let j = self
+            .journal
+            .as_deref()
+            .expect("speculated_blocks without an open snapshot");
+        let mut set: Vec<u32> = j.saved_blocks.iter().map(|(idx, _)| *idx).collect();
+        for (idx, block, _) in &j.saved_placements {
+            set.push(block.0);
+            set.push(self.insts[*idx as usize].block.0);
+        }
+        for (idx, data) in &j.saved_payloads {
+            set.push(data.block.0);
+            set.push(self.insts[*idx as usize].block.0);
+        }
+        set.extend(j.base_blocks as u32..self.blocks.len() as u32);
+        set.sort_unstable();
+        set.dedup();
+        set.into_iter().map(BlockId).collect()
+    }
+
+    /// Catches a clone up with constants `src` interned since the clone was
+    /// taken. Outside of interning the two must still be clones (same
+    /// revision, same instruction arena); afterwards they are clones again.
+    /// Interning never counts as a structural change, so no revision moves.
+    pub fn absorb_interned_values(&mut self, src: &Function) {
+        debug_assert_eq!(self.revision, src.revision, "not clones");
+        assert_eq!(self.insts.len(), src.insts.len(), "not clones");
+        assert!(self.values.len() <= src.values.len());
+        for idx in self.values.len()..src.values.len() {
+            let def = src.values[idx].clone();
+            let key = const_key_of(&def)
+                .expect("absorb_interned_values: appended value is not an interned constant");
+            self.const_map.insert(key, ValueId(idx as u32));
+            self.values.push(def);
+        }
+    }
+
+    // ---- raw arena access for the binary serializer -----------------------
+
+    /// The value arena, in slot order.
+    pub(crate) fn raw_values(&self) -> &[ValueDef] {
+        &self.values
+    }
+
+    /// The instruction arena, in slot order (including detached slots).
+    pub(crate) fn raw_insts(&self) -> &[InstData] {
+        &self.insts
+    }
+
+    /// The per-instruction liveness flags.
+    pub(crate) fn raw_live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// The block arena, in layout order.
+    pub(crate) fn raw_blocks(&self) -> &[BlockData] {
+        &self.blocks
+    }
+
+    /// Reassembles a function from decoded arenas. The constant-interning
+    /// map and per-instruction result values are derived (every instruction
+    /// slot must have exactly one `ValueDef::Inst` result in `values`); the
+    /// revision is freshly minted — a decoded function is a new structure.
+    ///
+    /// Returns `None` when an instruction slot has no result value, a
+    /// second result value, or `live`'s length disagrees with the arena.
+    #[allow(clippy::too_many_arguments)] // one slot per serialized section
+    pub(crate) fn from_raw_parts(
+        name: String,
+        param_tys: Vec<TypeId>,
+        ret_ty: TypeId,
+        is_declaration: bool,
+        effects: Effects,
+        values: Vec<ValueDef>,
+        insts: Vec<InstData>,
+        live: Vec<bool>,
+        blocks: Vec<BlockData>,
+        params: Vec<ValueId>,
+    ) -> Option<Self> {
+        if live.len() != insts.len() {
+            return None;
+        }
+        let mut inst_results = vec![ValueId(u32::MAX); insts.len()];
+        for (idx, def) in values.iter().enumerate() {
+            if let ValueDef::Inst(i) = def {
+                let slot = inst_results.get_mut(i.index())?;
+                if *slot != ValueId(u32::MAX) {
+                    return None;
+                }
+                *slot = ValueId(idx as u32);
+            }
+        }
+        if inst_results.contains(&ValueId(u32::MAX)) {
+            return None;
+        }
+        let mut f = Function {
+            name,
+            param_tys,
+            ret_ty,
+            is_declaration,
+            effects,
+            values,
+            insts,
+            inst_results,
+            live,
+            blocks,
+            params,
+            const_map: HashMap::new(),
+            revision: next_revision(),
+            journal: None,
+        };
+        f.rebuild_const_map();
+        Some(f)
+    }
+
+    /// Journals the pre-mutation placement (block membership + liveness)
+    /// of instruction `idx` (first touch only; new instructions are
+    /// covered by arena truncation). Allocation-free — this is the hot
+    /// save on the codegen teardown/rebuild path.
+    fn journal_save_placement(&mut self, idx: usize) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            if idx < j.base_insts {
+                let bit = 1u64 << (idx % 64);
+                let word = &mut j.placement_bits[idx / 64];
+                if *word & bit == 0 {
+                    *word |= bit;
+                    j.saved_placements
+                        .push((idx as u32, self.insts[idx].block, self.live[idx]));
+                }
+            }
+        }
+    }
+
+    /// Journals the full pre-mutation [`InstData`] of instruction `idx`
+    /// (first touch only), for mutators that hand out or rewrite the
+    /// instruction body.
+    fn journal_save_payload(&mut self, idx: usize) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            if idx < j.base_insts {
+                let bit = 1u64 << (idx % 64);
+                let word = &mut j.payload_bits[idx / 64];
+                if *word & bit == 0 {
+                    *word |= bit;
+                    j.saved_payloads.push((idx as u32, self.insts[idx].clone()));
+                }
+            }
+        }
+    }
+
+    /// Journals the pre-mutation state of block `idx` (first touch only;
+    /// new blocks are covered by arena truncation).
+    fn journal_save_block(&mut self, idx: usize) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            if idx < j.base_blocks {
+                let bit = 1u64 << (idx % 64);
+                let word = &mut j.block_saved_bits[idx / 64];
+                if *word & bit == 0 {
+                    *word |= bit;
+                    j.saved_blocks.push((idx as u32, self.blocks[idx].clone()));
+                }
+            }
+        }
+    }
+
+    /// Records a constant key newly interned during the window.
+    fn journal_note_interned(&mut self, key: ConstKey) {
+        if let Some(j) = self.journal.as_deref_mut() {
+            j.interned.push(key);
+        }
     }
 
     /// Parameter types.
@@ -194,6 +646,11 @@ impl Function {
     /// structural mutation (the caller may rewrite operands or the
     /// terminator), so it bumps the revision.
     pub fn inst_mut(&mut self, i: InstId) -> &mut InstData {
+        // Both facets: the returned reference can rewrite the body *and*
+        // the `block` field, and a pristine placement snapshot must exist
+        // before any such move (rollback restores placement last).
+        self.journal_save_payload(i.index());
+        self.journal_save_placement(i.index());
         self.bump_revision();
         &mut self.insts[i.index()]
     }
@@ -215,7 +672,8 @@ impl Function {
             return v;
         }
         let v = self.push_value(ValueDef::ConstInt { ty, value });
-        self.const_map.insert(key, v);
+        self.const_map.insert(key.clone(), v);
+        self.journal_note_interned(key);
         v
     }
 
@@ -233,7 +691,8 @@ impl Function {
             return v;
         }
         let v = self.push_value(ValueDef::ConstFloat { ty, bits });
-        self.const_map.insert(key, v);
+        self.const_map.insert(key.clone(), v);
+        self.journal_note_interned(key);
         v
     }
 
@@ -244,7 +703,8 @@ impl Function {
             return v;
         }
         let v = self.push_value(ValueDef::GlobalAddr(g));
-        self.const_map.insert(key, v);
+        self.const_map.insert(key.clone(), v);
+        self.journal_note_interned(key);
         v
     }
 
@@ -255,7 +715,8 @@ impl Function {
             return v;
         }
         let v = self.push_value(ValueDef::FuncAddr(f));
-        self.const_map.insert(key, v);
+        self.const_map.insert(key.clone(), v);
+        self.journal_note_interned(key);
         v
     }
 
@@ -266,7 +727,8 @@ impl Function {
             return v;
         }
         let v = self.push_value(ValueDef::Undef(ty));
-        self.const_map.insert(key, v);
+        self.const_map.insert(key.clone(), v);
+        self.journal_note_interned(key);
         v
     }
 
@@ -309,6 +771,7 @@ impl Function {
     /// mutation (the caller may edit the instruction list), so it bumps
     /// the revision.
     pub fn block_mut(&mut self, b: BlockId) -> &mut BlockData {
+        self.journal_save_block(b.index());
         self.bump_revision();
         &mut self.blocks[b.index()]
     }
@@ -346,6 +809,8 @@ impl Function {
 
     /// Appends an instruction to the end of `block`.
     pub fn append_inst(&mut self, block: BlockId, inst: InstId) {
+        self.journal_save_placement(inst.index());
+        self.journal_save_block(block.index());
         self.bump_revision();
         self.insts[inst.index()].block = block;
         self.live[inst.index()] = true;
@@ -358,6 +823,8 @@ impl Function {
     ///
     /// Panics if `pos` is past the end of the block.
     pub fn insert_inst(&mut self, block: BlockId, pos: usize, inst: InstId) {
+        self.journal_save_placement(inst.index());
+        self.journal_save_block(block.index());
         self.bump_revision();
         self.insts[inst.index()].block = block;
         self.live[inst.index()] = true;
@@ -370,8 +837,10 @@ impl Function {
         if !self.live[inst.index()] {
             return;
         }
-        self.bump_revision();
         let block = self.insts[inst.index()].block;
+        self.journal_save_placement(inst.index());
+        self.journal_save_block(block.index());
+        self.bump_revision();
         let list = &mut self.blocks[block.index()].insts;
         if let Some(pos) = list.iter().position(|&i| i == inst) {
             list.remove(pos);
@@ -394,11 +863,15 @@ impl Function {
     /// Replaces every use of `old` with `new` across all live instructions.
     pub fn replace_all_uses(&mut self, old: ValueId, new: ValueId) {
         self.bump_revision();
-        for (idx, inst) in self.insts.iter_mut().enumerate() {
+        for idx in 0..self.insts.len() {
             if !self.live[idx] {
                 continue;
             }
-            for op in inst.operands.iter_mut() {
+            if !self.insts[idx].operands.contains(&old) {
+                continue;
+            }
+            self.journal_save_payload(idx);
+            for op in self.insts[idx].operands.iter_mut() {
                 if *op == old {
                     *op = new;
                 }
@@ -476,6 +949,7 @@ impl Function {
     /// function is transplanted between modules whose type stores interned
     /// types in a different order.
     pub fn remap_types(&mut self, map: impl Fn(TypeId) -> TypeId) {
+        assert!(self.journal.is_none(), "remap during open snapshot");
         self.bump_revision();
         for ty in self.param_tys.iter_mut() {
             *ty = map(*ty);
@@ -504,6 +978,7 @@ impl Function {
     /// Rewrites every [`GlobalId`] referenced by this function through
     /// `map`, then rebuilds the constant-interning map.
     pub fn remap_globals(&mut self, map: impl Fn(GlobalId) -> GlobalId) {
+        assert!(self.journal.is_none(), "remap during open snapshot");
         self.bump_revision();
         for def in self.values.iter_mut() {
             if let ValueDef::GlobalAddr(g) = def {
@@ -517,6 +992,7 @@ impl Function {
     /// callees and function-address constants) through `map`, then rebuilds
     /// the constant-interning map.
     pub fn remap_funcs(&mut self, map: impl Fn(FuncId) -> FuncId) {
+        assert!(self.journal.is_none(), "remap during open snapshot");
         self.bump_revision();
         for def in self.values.iter_mut() {
             if let ValueDef::FuncAddr(f) = def {
@@ -551,6 +1027,19 @@ impl Function {
             self.const_map.insert(key, ValueId(idx as u32));
         }
     }
+}
+
+/// The interning key a constant value definition corresponds to, or `None`
+/// for instruction results and parameters.
+fn const_key_of(def: &ValueDef) -> Option<ConstKey> {
+    Some(match def {
+        ValueDef::ConstInt { ty, value } => ConstKey::Int(*ty, *value),
+        ValueDef::ConstFloat { ty, bits } => ConstKey::Float(*ty, *bits),
+        ValueDef::GlobalAddr(g) => ConstKey::Global(*g),
+        ValueDef::FuncAddr(f) => ConstKey::Func(*f),
+        ValueDef::Undef(ty) => ConstKey::Undef(*ty),
+        ValueDef::Inst(_) | ValueDef::Param { .. } => return None,
+    })
 }
 
 /// Def-use information computed by [`Function::compute_uses`].
@@ -733,6 +1222,175 @@ mod tests {
         assert_eq!(clone.revision(), r0);
         clone.add_block("entry");
         assert_ne!(clone.revision(), f.revision());
+    }
+
+    /// Builds a one-block function `entry: %v = add %a, %b; ret` for the
+    /// speculation tests.
+    fn speculation_sample() -> (TypeStore, Function, InstId, ValueId) {
+        let (types, mut f) = sample();
+        let bb = f.add_block("entry");
+        let (i, v) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![f.param(0), f.param(1)],
+            block: bb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(bb, i);
+        (types, f, i, v)
+    }
+
+    /// Captures every observable facet of a function for equality checks.
+    fn fingerprint(f: &Function) -> (u64, usize, usize, usize, Vec<String>, Vec<Vec<InstId>>) {
+        (
+            f.revision(),
+            f.num_values(),
+            f.num_insts(),
+            f.num_blocks(),
+            f.block_ids().map(|b| f.block(b).name.clone()).collect(),
+            f.block_ids().map(|b| f.block(b).insts.clone()).collect(),
+        )
+    }
+
+    #[test]
+    fn rollback_restores_the_exact_presnapshot_state() {
+        let (types, mut f, i, v) = speculation_sample();
+        let before_const = f.const_int(types.i32(), 1); // pre-existing intern
+        let before = fingerprint(&f);
+
+        let token = f.snapshot();
+        assert!(f.in_speculation());
+        // Mutate everything a speculative rewrite would: detach, rewrite
+        // operands, add blocks/instructions, intern constants.
+        let bb = f.entry_block();
+        f.remove_inst(i);
+        let nb = f.add_block("spec");
+        let c = f.const_int(types.i32(), 42);
+        assert_ne!(c, before_const);
+        let (ni, nv) = f.create_inst(InstData {
+            opcode: Opcode::Mul,
+            ty: types.i32(),
+            operands: vec![f.param(0), c],
+            block: nb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(nb, ni);
+        f.replace_all_uses(v, nv);
+        f.inst_mut(ni).operands[0] = f.param(1);
+        f.block_mut(bb).name = "renamed".into();
+        assert_ne!(f.revision(), before.0);
+
+        f.rollback(token);
+        assert!(!f.in_speculation());
+        assert_eq!(fingerprint(&f), before);
+        assert!(f.is_live(i));
+        // The speculative intern was removed; re-interning 42 takes a fresh
+        // slot while the pre-existing constant still hits its old slot.
+        assert_eq!(f.const_int(types.i32(), 1), before_const);
+        assert_eq!(f.const_int(types.i32(), 42).index(), f.num_values() - 1);
+    }
+
+    #[test]
+    fn commit_keeps_changes_and_apply_log_syncs_a_clone() {
+        let (types, mut f, i, _v) = speculation_sample();
+        let mut shadow = f.clone();
+        let r0 = f.revision();
+
+        let token = f.snapshot();
+        let bb = f.entry_block();
+        f.remove_inst(i);
+        let nb = f.add_block("spec");
+        let c = f.const_int(types.i32(), 7);
+        let (ni, _nv) = f.create_inst(InstData {
+            opcode: Opcode::Sub,
+            ty: types.i32(),
+            operands: vec![f.param(0), c],
+            block: nb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(nb, ni);
+        let _ = bb;
+        let log = f.commit(token);
+        assert_ne!(f.revision(), r0, "observable change must keep the bump");
+
+        shadow.apply_log(&f, &log);
+        assert_eq!(fingerprint(&shadow), fingerprint(&f));
+        // The clone's interning map learned the committed constant.
+        assert_eq!(shadow.const_int(types.i32(), 7), c);
+    }
+
+    #[test]
+    fn commit_of_a_noop_window_restores_the_base_revision() {
+        let (types, mut f, i, _v) = speculation_sample();
+        let r0 = f.revision();
+
+        // Detach and re-attach at the same position: revision bumps happen
+        // inside the window, but the net state is unchanged.
+        let token = f.snapshot();
+        let bb = f.inst(i).block;
+        let pos = f.position_in_block(i).unwrap();
+        f.remove_inst(i);
+        f.insert_inst(bb, pos, i);
+        // Interning alone is also not an observable structural change.
+        let _ = f.const_int(types.i32(), 99);
+        let log = f.commit(token);
+        assert_eq!(f.revision(), r0, "no-op window must restore the revision");
+        assert!(log.touched_insts.contains(&(i.index() as u32)));
+
+        // A window that does change state keeps its bumped revision.
+        let token = f.snapshot();
+        f.remove_inst(i);
+        let _ = f.commit(token);
+        assert_ne!(f.revision(), r0);
+    }
+
+    #[test]
+    fn speculated_blocks_cover_touched_and_new_blocks() {
+        let (types, mut f, i, _v) = speculation_sample();
+        let entry = f.entry_block();
+        let other = f.add_block("other");
+
+        let token = f.snapshot();
+        f.remove_inst(i);
+        let nb = f.add_block("spec");
+        let (ni, _) = f.create_inst(InstData {
+            opcode: Opcode::Add,
+            ty: types.i32(),
+            operands: vec![f.param(0), f.param(1)],
+            block: nb,
+            extra: crate::inst::InstExtra::None,
+        });
+        f.append_inst(nb, ni);
+        let touched = f.speculated_blocks();
+        assert!(touched.contains(&entry));
+        assert!(touched.contains(&nb));
+        assert!(!touched.contains(&other), "untouched block reported");
+        f.rollback(token);
+    }
+
+    #[test]
+    fn absorb_interned_values_catches_a_clone_up() {
+        let (types, mut f, _i, _v) = speculation_sample();
+        let mut shadow = f.clone();
+        let a = f.const_int(types.i64(), 5);
+        let b = f.undef(types.i32());
+        shadow.absorb_interned_values(&f);
+        assert_eq!(shadow.num_values(), f.num_values());
+        assert_eq!(shadow.const_int(types.i64(), 5), a);
+        assert_eq!(shadow.undef(types.i32()), b);
+    }
+
+    #[test]
+    fn clone_does_not_carry_an_open_snapshot() {
+        let (_types, mut f, i, _v) = speculation_sample();
+        let token = f.snapshot();
+        f.remove_inst(i);
+        let clone = f.clone();
+        assert!(!clone.in_speculation());
+        f.rollback(token);
+        // The clone keeps the speculative state it was copied from.
+        assert!(!clone.is_live(i));
+        assert!(f.is_live(i));
     }
 
     #[test]

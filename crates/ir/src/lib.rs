@@ -56,14 +56,16 @@ pub mod interp;
 pub mod module;
 pub mod parser;
 pub mod printer;
+pub mod serialization;
 pub mod types;
 pub mod value;
 pub mod verify;
 
 pub use block::{BlockData, BlockId};
 pub use builder::{Builder, FuncBuilder};
-pub use function::{Effects, Function, UseMap};
+pub use function::{Effects, Function, SnapshotToken, SpeculationLog, UseMap};
 pub use inst::{FloatPredicate, InstData, InstExtra, InstId, IntPredicate, NeutralElement, Opcode};
 pub use module::{GlobalData, GlobalInit, Module};
+pub use serialization::{decode_module, encode_module, DecodeError};
 pub use types::{TypeId, TypeKind, TypeStore};
 pub use value::{FuncId, GlobalId, ValueDef, ValueId};

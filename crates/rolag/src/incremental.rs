@@ -175,6 +175,25 @@ pub(crate) fn changed_blocks(old: &Function, new: &Function) -> Vec<BlockId> {
     out
 }
 
+/// [`changed_blocks`] computed in O(touched) from `new`'s open speculation
+/// journal instead of a whole-function walk: the journal names every block
+/// the window may have touched (a superset), and a content compare against
+/// `old` — the pre-window clone — filters blocks the window restored
+/// verbatim. Debug builds cross-check against the full walk.
+pub(crate) fn speculated_changed_blocks(old: &Function, new: &Function) -> Vec<BlockId> {
+    let out: Vec<BlockId> = new
+        .speculated_blocks()
+        .into_iter()
+        .filter(|&b| b.index() >= old.num_blocks() || !block_content_equal(old, new, b))
+        .collect();
+    debug_assert_eq!(
+        out,
+        changed_blocks(old, new),
+        "journal-filtered changed set diverged from the full walk"
+    );
+    out
+}
+
 /// Records the directed block-level def-use edges of `f`: `users[d]` holds
 /// the blocks with an instruction whose operand is defined in block `d`,
 /// and `defs[b]` the defining blocks of block `b`'s operands.

@@ -367,9 +367,22 @@ impl MemoStore {
         &self.shards[(hasher.finish() as usize) % self.shards.len()]
     }
 
+    /// Locks `shard`, recovering from poisoning. A request thread that
+    /// panics while holding a shard (after running out of memory, say)
+    /// poisons it; treating that as fatal would fail every later request
+    /// hashing into the shard. Recovery is sound because the critical
+    /// sections keep `slots` coherent at every step — the one structure
+    /// a panic can leave stale is the clock `ring`, and the eviction
+    /// sweep skips ring entries with no resident slot.
+    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Looks `key` up, marking the entry recently used on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<StoreEntry>> {
-        let mut shard = self.shard_of(key).lock().unwrap();
+        let mut shard = Self::lock(self.shard_of(key));
         match shard.slots.get_mut(key) {
             Some(slot) => {
                 slot.referenced = true;
@@ -386,7 +399,7 @@ impl MemoStore {
     /// Inserts (or replaces) `key`, evicting with second chance if the
     /// shard is full.
     pub fn insert(&self, key: String, entry: Arc<StoreEntry>) {
-        let mut shard = self.shard_of(&key).lock().unwrap();
+        let mut shard = Self::lock(self.shard_of(&key));
         self.inserts.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = shard.slots.get_mut(&key) {
             slot.entry = entry;
@@ -397,10 +410,13 @@ impl MemoStore {
             let Some(victim) = shard.ring.pop_front() else {
                 break;
             };
-            let slot = shard
-                .slots
-                .get_mut(&victim)
-                .expect("ring tracks resident keys");
+            let Some(slot) = shard.slots.get_mut(&victim) else {
+                // A panic between the ring push and the slot insert of a
+                // previous call (recovered above) leaves a ring entry with
+                // no resident slot; drop it and keep sweeping. Panicking
+                // here instead would poison the shard all over again.
+                continue;
+            };
             if slot.referenced {
                 slot.referenced = false;
                 shard.ring.push_back(victim);
@@ -421,10 +437,7 @@ impl MemoStore {
 
     /// Entries currently resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().unwrap().slots.len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock(s).slots.len()).sum()
     }
 
     /// True when no entry is resident.
@@ -486,6 +499,67 @@ mod tests {
         assert_eq!(store.len(), 2);
         assert_eq!(store.get("a").unwrap().stats.attempted, 2);
         assert_eq!(store.stats().evictions, 0);
+    }
+
+    /// Cycle a working set three times larger than the store through one
+    /// shard: the counters must stay mutually consistent (every insert is
+    /// resident or evicted, every lookup is a hit or a miss) and a key
+    /// re-inserted after eviction must serve its *new* entry.
+    #[test]
+    fn counters_stay_consistent_under_eviction_pressure() {
+        let capacity = 4;
+        let store = MemoStore::with_shards(capacity, 1);
+        let key = |i: usize| format!("k{i}");
+        for round in 0..3u64 {
+            for i in 0..3 * capacity {
+                if store.get(&key(i)).is_none() {
+                    store.insert(key(i), entry(round * 100 + i as u64));
+                }
+            }
+        }
+        let stats = store.stats();
+        assert_eq!(stats.entries, capacity, "store stays at capacity");
+        assert_eq!(
+            stats.inserts - stats.evictions,
+            stats.entries as u64,
+            "inserted minus evicted is resident: {stats:?}"
+        );
+        assert_eq!(
+            stats.hits + stats.misses,
+            (3 * 3 * capacity) as u64,
+            "every lookup is a hit or a miss: {stats:?}"
+        );
+        assert!(stats.evictions >= (2 * capacity) as u64, "{stats:?}");
+
+        // Evict k0 for sure (sweep the whole ring with cold keys), then
+        // re-insert it: the slot must hold the fresh entry, not a stale
+        // resurrection.
+        for i in 100..100 + 2 * capacity {
+            store.insert(key(i), entry(0));
+        }
+        assert!(store.get(&key(0)).is_none(), "k0 was evicted");
+        store.insert(key(0), entry(777));
+        assert_eq!(store.get(&key(0)).unwrap().stats.attempted, 777);
+    }
+
+    /// A thread that panics while holding a shard must not take the store
+    /// down with it: later lookups and inserts on the same shard succeed.
+    #[test]
+    fn store_survives_a_poisoned_shard() {
+        let store = MemoStore::with_shards(4, 1);
+        store.insert("before".into(), entry(1));
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = store.shards[0].lock().unwrap();
+                panic!("injected panic under the shard lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(store.shards[0].lock().is_err(), "shard is poisoned");
+        assert!(store.get("before").is_some());
+        store.insert("after".into(), entry(2));
+        assert_eq!(store.get("after").unwrap().stats.attempted, 2);
+        assert_eq!(store.len(), 2);
     }
 
     #[test]

@@ -21,8 +21,8 @@ use rolag_transforms::{cleanup_in_place, effects_table};
 use crate::align::{build_candidate_graph, AlignGraph};
 use crate::codegen::{self, RollOutcome};
 use crate::incremental::{
-    changed_blocks, dirty_closure, measure_affected_blocks, size_affected_blocks, FunctionCache,
-    MemoEntry, MemoVerdict,
+    dirty_closure, measure_affected_blocks, size_affected_blocks, speculated_changed_blocks,
+    FunctionCache, MemoEntry, MemoVerdict,
 };
 use crate::options::RolagOptions;
 use crate::schedule::{self, Schedule};
@@ -104,6 +104,19 @@ pub fn roll_function_with(
         return stats;
     }
     let mut work = module.func(id).clone();
+    // At most one more clone per *function* (not per candidate): candidates
+    // speculate on `work` in place under a snapshot journal, and the shadow
+    // stays byte-identical to the pre-candidate state — the validator's
+    // reference and the old side of change tracking and size deltas. A
+    // commit syncs it from the journal's log in O(touched). Materialized
+    // lazily by the first candidate that reaches codegen, so functions
+    // whose candidates never pass the cheap gates stay clone-free — and the
+    // post-commit sync is deferred the same way: the commit stashes its log
+    // in `pending_log`, and the next codegen-reaching candidate replays it
+    // before opening its window. A function whose sweep ends after a commit
+    // never pays for the sync at all.
+    let mut shadow: Option<Function> = None;
+    let mut pending_log: Option<rolag_ir::SpeculationLog> = None;
     let mut cache = FunctionCache::default();
 
     let cost_start = Instant::now();
@@ -157,16 +170,32 @@ pub fn roll_function_with(
             stats.cache.memo_misses += 1;
             let block = cand.block();
             match try_candidate_incremental(
-                module, &mut work, &cand, opts, effects, &mut stats, old_size, &mut cache,
+                module,
+                &mut work,
+                &mut shadow,
+                &mut pending_log,
+                &cand,
+                opts,
+                effects,
+                &mut stats,
+                old_size,
+                &mut cache,
             ) {
                 IncrAttempt::Committed {
-                    func,
+                    log,
                     kinds,
                     changed,
                     sketch,
                 } => {
+                    // `work` already holds the committed state; the shadow
+                    // still holds the pre-candidate state until the stashed
+                    // log is replayed onto it lazily, which is exactly the
+                    // old/new pair the dirty closure wants.
+                    let shadow = shadow
+                        .as_mut()
+                        .expect("a committed attempt materialized the shadow");
                     let track_start = Instant::now();
-                    let dirty = dirty_closure(&work, &func, &changed);
+                    let dirty = dirty_closure(shadow, &work, &changed);
                     let sketch_adopted = sketch.is_some();
                     if let Some(s) = sketch {
                         // The attempt's trial sketch is exact for the
@@ -181,19 +210,19 @@ pub fn roll_function_with(
                             // Counters are saved around the audit so debug
                             // and release report identical cache stats.
                             let (hits, misses) = (cache.sketch.hits, cache.sketch.misses);
-                            let carried = cache.sketch.measure(module, &func);
+                            let carried = cache.sketch.measure(module, &work);
                             debug_assert_eq!(
                                 carried,
-                                rolag_lower::measure_function(module, &func),
+                                rolag_lower::measure_function(module, &work),
                                 "sketch carried across a commit diverged from a full lowering"
                             );
                             cache.sketch.hits = hits;
                             cache.sketch.misses = misses;
                         }
                     }
-                    cache.invalidate(&dirty, func.revision(), sketch_adopted);
+                    cache.invalidate(&dirty, work.revision(), sketch_adopted);
+                    pending_log = Some(log);
                     stats.timings.track_ns += track_start.elapsed().as_nanos() as u64;
-                    work = func;
                     stats.rolled += 1;
                     stats.nodes += kinds;
                     committed = true;
@@ -324,16 +353,19 @@ enum Attempt {
     Unprofitable,
 }
 
-#[allow(clippy::large_enum_variant)] // transient, one per candidate
 enum IncrAttempt {
     Committed {
-        func: Function,
+        /// The committed speculation window's touch set: `work` already
+        /// holds the new state in place; the caller replays the log onto
+        /// the shadow clone.
+        log: rolag_ir::SpeculationLog,
         kinds: crate::stats::NodeKindCounts,
-        /// Blocks of `work` the attempt changed, plus the attempt's new
-        /// blocks (the commit's change set, reused for invalidation).
+        /// Blocks of the pre-candidate state the attempt changed, plus the
+        /// attempt's new blocks (the commit's change set, reused for
+        /// invalidation).
         changed: Vec<BlockId>,
         /// `measured_cost` only: the trial size sketch, already exact for
-        /// `func` (the commit adopts it wholesale).
+        /// the committed state (the commit adopts it wholesale).
         sketch: Option<rolag_lower::SizeSketch>,
     },
     LanesRejected,
@@ -519,13 +551,21 @@ fn try_candidate(
 }
 
 /// The incremental engine's candidate attempt: identical stages and
-/// decisions to [`try_candidate`], but profitability is computed as a
+/// decisions to [`try_candidate`], but the speculative rewrite mutates
+/// `work` **in place** under a [`rolag_ir::Function::snapshot`] journal —
+/// no body clone per candidate — with `shadow` (a clone of the pre-candidate
+/// state, maintained by the caller via [`rolag_ir::Function::apply_log`])
+/// standing in for the original wherever both versions are needed at once:
+/// the translation validator's reference, the old side of the change
+/// tracking, and the old-side terms of the size delta. Profitability is a
 /// per-block size delta against the sweep's cached estimates, and rejects
 /// report the blocks their verdict depends on for memoization.
 #[allow(clippy::too_many_arguments)] // mirror of try_candidate + cache
 fn try_candidate_incremental(
     module: &mut Module,
     work: &mut Function,
+    shadow: &mut Option<Function>,
+    pending_log: &mut Option<rolag_ir::SpeculationLog>,
     cand: &Candidate,
     opts: &RolagOptions,
     effects: &[Effects],
@@ -546,12 +586,34 @@ fn try_candidate_incremental(
         return IncrAttempt::ScheduleRejected;
     };
 
-    let mut attempt = work.clone();
+    // Graph builds intern synthetic constants into the shared `work` —
+    // inert, and deliberately persistent across rejected candidates (memo
+    // replay relies on it). Materialize the shadow on first use (a fresh
+    // clone already carries them); on reuse, catch it up so the two are
+    // exact clones when the speculation window opens: replaying a stashed
+    // commit log brings over the commit's touches *and* everything interned
+    // since (apply_log copies the whole appended value tail), otherwise
+    // only the interned constants need absorbing. Rejected candidates roll
+    // `work` back in full, so a single pending log always bridges the gap.
+    match shadow.as_mut() {
+        Some(s) => match pending_log.take() {
+            Some(log) => s.apply_log(work, &log),
+            None => s.absorb_interned_values(work),
+        },
+        None => {
+            *pending_log = None;
+            *shadow = Some(work.clone());
+        }
+    }
+    let shadow = shadow.as_mut().expect("just materialized");
+    let num_work_blocks = work.num_blocks();
+
     let before_globals = module.num_globals();
+    let token = work.snapshot();
     let outcome = match generate_and_cleanup(
         module,
+        shadow,
         work,
-        &mut attempt,
         block,
         &graph,
         &sched,
@@ -561,18 +623,25 @@ fn try_candidate_incremental(
         before_globals,
     ) {
         Ok(outcome) => outcome,
-        Err(GenReject::Codegen) => return IncrAttempt::ScheduleRejected,
-        Err(GenReject::Validator) => return IncrAttempt::ValidatorRejected,
+        Err(GenReject::Codegen) => {
+            work.rollback(token);
+            return IncrAttempt::ScheduleRejected;
+        }
+        Err(GenReject::Validator) => {
+            work.rollback(token);
+            return IncrAttempt::ValidatorRejected;
+        }
     };
 
-    // Change tracking: which blocks the attempt rewrote, and which clean
-    // blocks the cost regime's one-hop couplings drag in.
+    // Change tracking: which blocks the attempt rewrote (read off the
+    // journal in O(touched)), and which clean blocks the cost regime's
+    // one-hop couplings drag in.
     let track_start = Instant::now();
-    let changed = changed_blocks(work, &attempt);
+    let changed = speculated_changed_blocks(shadow, work);
     let affected = if opts.measured_cost {
-        measure_affected_blocks(work, &attempt, &changed)
+        measure_affected_blocks(shadow, work, &changed)
     } else {
-        size_affected_blocks(work, &attempt, &changed)
+        size_affected_blocks(shadow, work, &changed)
     };
     stats.timings.track_ns += track_start.elapsed().as_nanos() as u64;
 
@@ -582,7 +651,6 @@ fn try_candidate_incremental(
         .iter()
         .map(|&g| module.global_size(g))
         .sum();
-    let num_work_blocks = work.num_blocks();
     let (profitable, trial_sketch) = if opts.measured_cost {
         // Measured delta: clone the sweep's sketch, drop exactly the
         // summaries the attempt can have perturbed, and recombine. Clean
@@ -593,33 +661,33 @@ fn try_candidate_incremental(
         for &b in changed.iter().chain(affected.iter()) {
             trial.invalidate(b);
         }
-        trial.carry_to(attempt.revision());
-        let new_size = trial.measure(module, &attempt) as u64 + rodata;
+        trial.carry_to(work.revision());
+        let new_size = trial.measure(module, work) as u64 + rodata;
         (new_size < old_size, Some(trial))
     } else {
         // Estimated delta: `new_size = old_size − Σ old(changed ∪ affected)
         // + Σ new(changed ∪ affected) + rodata`. Blocks outside the two
         // sets have identical content and an unchanged one-hop gep-folding
         // neighbourhood, so their estimates cancel exactly — the sum never
-        // walks them. The old-side terms come from the sweep cache (`work`
-        // is sweep-invariant, so repeated attempts hit); the new-side
-        // terms share one use map of the attempt.
-        let uses = attempt.compute_uses();
+        // walks them. The old-side terms come from the sweep cache against
+        // the shadow (sweep-invariant revision, so repeated attempts hit);
+        // the new-side terms share one use map of the speculative state.
+        let uses = work.compute_uses();
         let mut delta = 0i64;
         for &b in changed.iter().filter(|b| b.index() < num_work_blocks) {
-            delta -= cache.sizes.get(opts.target, module, work, b) as i64;
+            delta -= cache.sizes.get(opts.target, module, shadow, b) as i64;
         }
         for &b in &affected {
-            delta -= cache.sizes.get(opts.target, module, work, b) as i64;
+            delta -= cache.sizes.get(opts.target, module, shadow, b) as i64;
         }
         for &b in changed.iter().chain(affected.iter()) {
             stats.cache.size_blocks_computed += 1;
-            delta += opts.target.block_estimate_with(module, &attempt, &uses, b) as i64;
+            delta += opts.target.block_estimate_with(module, work, &uses, b) as i64;
         }
         let new_size = (old_size as i64 + delta + rodata as i64) as u64;
         debug_assert_eq!(
             new_size,
-            opts.target.function_estimate(module, &attempt) as u64 + rodata,
+            opts.target.function_estimate(module, work) as u64 + rodata,
             "per-block size delta diverged from the full walk"
         );
         (new_size < old_size, None)
@@ -627,13 +695,15 @@ fn try_candidate_incremental(
     stats.timings.cost_ns += cost_start.elapsed().as_nanos() as u64;
 
     if profitable {
+        let log = work.commit(token);
         IncrAttempt::Committed {
-            func: attempt,
+            log,
             kinds: graph.count_kinds(),
             changed,
             sketch: trial_sketch,
         }
     } else {
+        work.rollback(token);
         rollback_globals(module, before_globals);
         let deps = if opts.measured_cost {
             // The measured verdict hangs off the *global* spill scan: a

@@ -48,6 +48,9 @@ fn workload_modules() -> Vec<String> {
 struct Phase {
     latencies_ns: Vec<u64>,
     functions: u64,
+    /// Rolled module text per request, for byte-identity checks between
+    /// rounds (a store hit must reproduce the cold output exactly).
+    outputs: Vec<String>,
 }
 
 impl Phase {
@@ -96,6 +99,7 @@ fn run_round(server: &Server, modules: &[String], client: &str) -> Phase {
     let mut phase = Phase {
         latencies_ns: Vec::with_capacity(modules.len()),
         functions: 0,
+        outputs: Vec::with_capacity(modules.len()),
     };
     for (i, text) in modules.iter().enumerate() {
         let line = Request::Roll {
@@ -111,6 +115,7 @@ fn run_round(server: &Server, modules: &[String], client: &str) -> Phase {
         let reply = parse_reply(&response).expect("well-formed response");
         assert!(reply.ok, "request {client}-{i} failed: {:?}", reply.error);
         phase.functions += reply.functions;
+        phase.outputs.push(reply.module.unwrap_or_default());
     }
     phase
 }
@@ -126,10 +131,42 @@ fn main() {
     let cold = run_round(&server, &modules, "client-cold");
     let warm1 = run_round(&server, &modules, "client-warm1");
     let warm2 = run_round(&server, &modules, "client-warm2");
+    assert_eq!(warm1.outputs, cold.outputs, "warm replay diverged");
+    assert_eq!(warm2.outputs, cold.outputs, "warm replay diverged");
     let warm = Phase {
         latencies_ns: [warm1.latencies_ns, warm2.latencies_ns].concat(),
         functions: warm1.functions + warm2.functions,
+        outputs: Vec::new(),
     };
+
+    // Eviction pressure: the same corpus against a store much smaller
+    // than the working set, three rounds, so the clock hand sweeps every
+    // shard and keys are evicted and re-inserted. The outputs must stay
+    // byte-identical to the well-provisioned server's cold round — a
+    // replayed re-inserted entry is indistinguishable from a cold roll.
+    let pressure_capacity = 16;
+    let small = Server::new(&ServerConfig {
+        jobs: 0,
+        capacity: pressure_capacity,
+    });
+    let mut pressure_rounds = Vec::new();
+    for round in 1..=3 {
+        pressure_rounds.push(run_round(&small, &modules, &format!("pressure-{round}")));
+    }
+    let pressure_snap = small.snapshot();
+    assert!(
+        pressure_snap.store.evictions > 0,
+        "capacity {pressure_capacity} must evict under a {}-module working set",
+        modules.len()
+    );
+    for (round, phase) in pressure_rounds.iter().enumerate() {
+        assert_eq!(
+            phase.outputs,
+            cold.outputs,
+            "pressure round {} diverged from the cold outputs",
+            round + 1
+        );
+    }
 
     let snap = server.snapshot();
     let hit_rate = snap.store.hit_rate();
@@ -140,6 +177,11 @@ fn main() {
         hit_rate,
         cold.percentile(50.0) as f64 / 1e6,
         warm.percentile(50.0) as f64 / 1e6,
+    );
+    println!(
+        "pressure: capacity {pressure_capacity}, hit rate {:.3}, {} evictions, outputs byte-identical",
+        pressure_snap.store.hit_rate(),
+        pressure_snap.store.evictions,
     );
 
     let mut json = String::from("{\n  \"bench\": \"serve\",\n");
@@ -154,6 +196,16 @@ fn main() {
     let _ = writeln!(json, "  \"warm\": {},", warm.to_json());
     let _ = writeln!(json, "  \"hit_rate\": {hit_rate:.4},");
     let _ = writeln!(json, "  \"warm_speedup_p50\": {warm_speedup_p50:.3},");
+    let _ = writeln!(
+        json,
+        "  \"pressure\": {{\"capacity\": {}, \"requests\": {}, \"hit_rate\": {:.4}, \
+         \"evictions\": {}, \"entries\": {}, \"byte_identical\": true}},",
+        pressure_capacity,
+        3 * modules.len(),
+        pressure_snap.store.hit_rate(),
+        pressure_snap.store.evictions,
+        pressure_snap.store.entries
+    );
     let _ = writeln!(json, "  \"cumulative\": {}", snap.to_json());
     json.push_str("}\n");
 

@@ -200,6 +200,28 @@ fn check_bench(path: &str) -> Result<(), String> {
                 .ok_or(format!("{path}: missing numeric {phase}.{key}"))?;
         }
     }
+    let pressure = doc
+        .get("pressure")
+        .ok_or(format!("{path}: missing \"pressure\""))?;
+    let evictions = pressure
+        .get("evictions")
+        .and_then(Json::as_num)
+        .ok_or(format!("{path}: missing numeric pressure.evictions"))?;
+    if evictions < 1.0 {
+        return Err(format!(
+            "{path}: pressure.evictions {evictions} — the pressure phase must \
+             actually exercise clock eviction"
+        ));
+    }
+    let pressure_hit_rate = pressure
+        .get("hit_rate")
+        .and_then(Json::as_num)
+        .ok_or(format!("{path}: missing numeric pressure.hit_rate"))?;
+    if !(0.0..=1.0).contains(&pressure_hit_rate) {
+        return Err(format!(
+            "{path}: pressure.hit_rate {pressure_hit_rate} out of range"
+        ));
+    }
     let hit_rate = num("hit_rate")?;
     let speedup = num("warm_speedup_p50")?;
     if !(0.0..=1.0).contains(&hit_rate) {

@@ -125,6 +125,17 @@ impl Server {
         }
     }
 
+    /// The metrics guard, recovering from a poisoned mutex. A request
+    /// thread that panics while holding the lock poisons it; treating that
+    /// as fatal would fail every later request on a healthy server. The
+    /// counters are monotone totals, so the worst a mid-update panic can
+    /// leave behind is one half-recorded request.
+    fn metrics(&self) -> std::sync::MutexGuard<'_, Metrics> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Worker threads in the persistent pool.
     pub fn worker_count(&self) -> usize {
         self.pool.worker_count()
@@ -178,7 +189,7 @@ impl Server {
         let start = Instant::now();
         let result = self.roll_inner(text, options);
         let wall_ns = start.elapsed().as_nanos();
-        let mut m = self.metrics.lock().expect("metrics lock");
+        let mut m = self.metrics();
         m.requests += 1;
         m.busy_ns += wall_ns;
         m.latency_ns.push(wall_ns as u64);
@@ -244,7 +255,7 @@ impl Server {
 
     /// Current cumulative metrics.
     pub fn snapshot(&self) -> Snapshot {
-        let m = self.metrics.lock().expect("metrics lock");
+        let m = self.metrics();
         let secs = m.busy_ns as f64 / 1e9;
         Snapshot {
             requests: m.requests,
@@ -370,6 +381,43 @@ entry:
         let (resp, stop) = server.handle_line("{\"id\": \"q\", \"cmd\": \"shutdown\"}");
         assert!(stop, "shutdown must stop the serving loop");
         assert!(parse_reply(&resp).unwrap().ok);
+    }
+
+    #[test]
+    fn requests_survive_a_poisoned_metrics_lock() {
+        let server = Server::new(&ServerConfig {
+            jobs: 1,
+            capacity: 8,
+        });
+        let (resp, _) = server.handle_line(&roll_request("before"));
+        assert!(parse_reply(&resp).unwrap().ok);
+
+        // A request thread that panics while holding the metrics lock —
+        // the mid-request failure mode that used to take down every
+        // later request with a "metrics lock" panic.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = server.metrics.lock().unwrap();
+                panic!("injected mid-request panic");
+            });
+            assert!(handle.join().is_err(), "injection thread must panic");
+        });
+        assert!(server.metrics.lock().is_err(), "lock must be poisoned");
+
+        // Later roll and stats requests on the same server still succeed.
+        let (resp, stop) = server.handle_line(&roll_request("after"));
+        assert!(!stop);
+        let reply = parse_reply(&resp).unwrap();
+        assert!(reply.ok, "{:?}", reply.error);
+        assert_eq!(reply.rolled, 1);
+
+        let (resp, stop) = server.handle_line("{\"id\": \"s\", \"cmd\": \"stats\"}");
+        assert!(!stop);
+        assert!(parse_reply(&resp).unwrap().ok);
+
+        let snap = server.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.errors, 0);
     }
 
     #[test]

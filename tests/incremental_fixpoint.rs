@@ -229,3 +229,109 @@ fn caches_are_effective_on_many_commit_input() {
         stats.cache
     );
 }
+
+/// A function whose only candidate is rejected every sweep: the discarded
+/// speculation must leave *no* observable trace on the function that lands
+/// back in the module. The engine speculates in place under a snapshot
+/// journal, so this pins rollback exactness — bytes, value-arena length
+/// (rejected graph builds intern constants that rollback must un-intern),
+/// and the revision counter (a bump would poison downstream
+/// revision-keyed caches as if the function had changed).
+#[test]
+fn discarded_speculation_leaves_no_observable_trace() {
+    let text = r#"
+module "reject"
+global @t : [2 x i32] = zero
+func @f() -> void {
+entry:
+  %t0 = gep i32, @t, i64 0
+  store i32 1, %t0
+  %t1 = gep i32, @t, i64 1
+  store i32 8, %t1
+  ret
+}
+"#;
+    let module = parse_module(text).unwrap();
+    let id = module.func_ids().next().unwrap();
+    let before_print = print_module(&module);
+    let before_revision = module.func(id).revision();
+    let before_values = module.func(id).num_values();
+
+    for opts in [RolagOptions::default(), RolagOptions::measured()] {
+        let mut rolled = module.clone();
+        let stats = roll_module(&mut rolled, &opts);
+        assert!(stats.attempted > 0, "the candidate must at least be tried");
+        assert_eq!(stats.rolled, 0, "the candidate must be rejected");
+        assert_eq!(print_module(&rolled), before_print, "bytes changed");
+        assert_eq!(
+            rolled.func(id).revision(),
+            before_revision,
+            "a discarded candidate must not bump the revision counter"
+        );
+        assert_eq!(
+            rolled.func(id).num_values(),
+            before_values,
+            "rollback must un-intern speculative constants"
+        );
+    }
+}
+
+/// Rejections interleaved with commits: each sweep of the many-commit
+/// input rejects the short block's candidate *before* committing a roll,
+/// so the per-block size state (`BlockSizeCache`, and the regalloc
+/// `SizeSketch` under measured costs) carries across a rollback into the
+/// very next profitability decision. Any stale carry diverges from the
+/// full-rescan reference byte-for-byte or trips the debug parity asserts
+/// that cross-check the sketch against a from-scratch `measure_function`
+/// every sweep. The cache counters prove the carried state was *used*
+/// after rollbacks rather than conservatively rebuilt.
+#[test]
+fn rejects_before_commits_reuse_carried_size_state() {
+    let blocks = 6;
+    let mut text = String::from("module \"mix\"\nglobal @t : [2 x i32] = zero\n");
+    for b in 0..blocks {
+        text.push_str(&format!("global @g{b} : [8 x i32] = zero\n"));
+    }
+    text.push_str(
+        "func @f() -> void {\nentry:\n  br short\nshort:\n\
+         \x20 %t0 = gep i32, @t, i64 0\n  store i32 1, %t0\n\
+         \x20 %t1 = gep i32, @t, i64 1\n  store i32 8, %t1\n  br b0\n",
+    );
+    for b in 0..blocks {
+        text.push_str(&format!("b{b}:\n"));
+        for i in 0..8 {
+            text.push_str(&format!("  %p{b}_{i} = gep i32, @g{b}, i64 {i}\n"));
+            text.push_str(&format!("  store i32 {}, %p{b}_{i}\n", b * 100 + i * 7));
+        }
+        if b + 1 < blocks {
+            text.push_str(&format!("  br b{}\n", b + 1));
+        } else {
+            text.push_str("  ret\n");
+        }
+    }
+    text.push_str("}\n");
+    let module = parse_module(&text).unwrap();
+    verify_module(&module).expect("generated module verifies");
+
+    for (opts, label) in [
+        (RolagOptions::default(), "mix default"),
+        (RolagOptions::measured(), "mix measured"),
+    ] {
+        let stats = assert_engines_agree_with(&module, &opts, label);
+        assert_eq!(stats.rolled as usize, blocks, "{label}: all blocks roll");
+        assert!(
+            stats.rejected_profit > 0,
+            "{label}: the short block must be rejected each sweep"
+        );
+        assert!(
+            stats.cache.size_blocks_reused > 0,
+            "{label}: size state must be served from carry after rollbacks: {:?}",
+            stats.cache
+        );
+        assert!(
+            stats.cache.cand_blocks_reused > 0,
+            "{label}: candidate lists must be served from carry: {:?}",
+            stats.cache
+        );
+    }
+}

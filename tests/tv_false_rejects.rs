@@ -108,3 +108,41 @@ fn angha_slice_has_zero_static_false_rejects() {
     }
     assert!(rolled >= 8, "angha slice too tame: {rolled} rolls");
 }
+
+/// The binary codec rebuilds a module's arenas from scratch
+/// (`from_raw_parts`: re-derived instruction results, fresh constant map,
+/// fresh revision), so a decoded module is the arena-backend's
+/// worst-case input: any engine behaviour that secretly depended on
+/// arena construction history — rather than on the IR the arenas
+/// describe — diverges here. Rolling a decoded module under validation
+/// must match rolling the parsed original bit for bit, stats included.
+#[test]
+fn decoded_modules_roll_identically_to_their_originals() {
+    let opts = RolagOptions::validated();
+    let mut corpus: Vec<(String, Module)> = (0..64)
+        .map(|i| (format!("module (2,{i})"), generate_module(2, i)))
+        .collect();
+    for spec in all_kernels() {
+        corpus.push((format!("tsvc.{}", spec.name), build_kernel_module(&spec)));
+    }
+    let mut rolled = 0u64;
+    for (what, module) in &corpus {
+        let decoded = rolag_ir::decode_module(&rolag_ir::encode_module(module))
+            .unwrap_or_else(|e| panic!("{what}: decode failed: {e}"));
+        let mut original = module.clone();
+        let original_stats = roll_module(&mut original, &opts);
+        let mut from_binary = decoded;
+        let binary_stats = roll_module(&mut from_binary, &opts);
+        assert_eq!(
+            print_module(&from_binary),
+            print_module(&original),
+            "{what}: rolling the decoded module diverged"
+        );
+        assert_eq!(
+            binary_stats, original_stats,
+            "{what}: stats diverged on the decoded module"
+        );
+        rolled += original_stats.rolled;
+    }
+    assert!(rolled >= 8, "corpus too tame: {rolled} rolls");
+}
