@@ -8,7 +8,7 @@
 //! ```text
 //! rolag-verify [--seed N] [--count N] [--runs N] [--pipelines all|a,b,...]
 //!              [--repro-dir DIR] [--no-shrink] [--verify-each] [--tv]
-//!              [FILE.rir ...]
+//!              [--llvm-roundtrip] [FILE.rir ...]
 //! ```
 //!
 //! With positional files, checks those instead of generating. With
@@ -17,8 +17,13 @@
 //! is shorthand for `--pipelines rolag-tv`: every module runs through the
 //! validated rolling pass, so the static translation validator's verdict
 //! is cross-checked against the dynamic interpreting oracle (and
-//! disagreements shrink into repros like any other divergence). Exits 0
-//! on a clean run, 1 on any failure (or bad usage).
+//! disagreements shrink into repros like any other divergence).
+//! `--llvm-roundtrip` sweeps generator modules through the LLVM frontend
+//! instead of the pipeline matrix: each module is rendered to LLVM
+//! textual IR, imported back, and rolled, and the roll must be
+//! byte-identical to rolling the native text round-trip of the same
+//! module — nothing may fall out of the import subset on the way. Exits
+//! 0 on a clean run, 1 on any failure (or bad usage).
 
 use rolag_difftest::oracle::{check_module_opts, Pipeline};
 use rolag_difftest::shrink::shrink_failure;
@@ -35,6 +40,7 @@ struct Cli {
     repro_dir: PathBuf,
     shrink: bool,
     verify_each: bool,
+    llvm_roundtrip: bool,
     files: Vec<PathBuf>,
 }
 
@@ -42,7 +48,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rolag-verify [--seed N] [--count N] [--runs N] \
          [--pipelines all|name,name,...] [--repro-dir DIR] [--no-shrink] \
-         [--verify-each] [--tv] [FILE.rir ...]"
+         [--verify-each] [--tv] [--llvm-roundtrip] [FILE.rir ...]"
     );
     eprintln!("pipelines: {}", Pipeline::ALL.map(|p| p.name()).join(", "));
     std::process::exit(1)
@@ -57,6 +63,7 @@ fn parse_cli() -> Cli {
         repro_dir: PathBuf::from("tests/repros"),
         shrink: true,
         verify_each: false,
+        llvm_roundtrip: false,
         files: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -81,6 +88,7 @@ fn parse_cli() -> Cli {
             "--no-shrink" => cli.shrink = false,
             "--verify-each" => cli.verify_each = true,
             "--tv" => cli.pipelines = vec![Pipeline::RolagTv],
+            "--llvm-roundtrip" => cli.llvm_roundtrip = true,
             "--help" | "-h" => usage(),
             _ if arg.starts_with('-') => {
                 eprintln!("unknown option {arg}");
@@ -99,10 +107,93 @@ fn parse_num(s: &str) -> u64 {
     })
 }
 
+/// Rolls `module` and returns its canonical print.
+fn rolled_print(mut module: rolag_ir::Module) -> String {
+    rolag::roll_module(&mut module, &rolag::RolagOptions::default());
+    rolag_ir::printer::print_module(&module)
+}
+
+/// Sweeps generator modules through `emit-llvm -> import -> roll`,
+/// requiring byte-identity with the native text round-trip's roll.
+/// Both sides pass through text, so the comparison is symmetric in
+/// what a textual round-trip cannot carry.
+fn llvm_roundtrip_sweep(cli: &Cli) -> ExitCode {
+    use rolag_frontend::{emit::emit_llvm, llvm::LlvmFrontend, Frontend};
+    use rolag_ir::printer::print_module;
+
+    let mut failures = 0u64;
+    for i in 0..cli.count {
+        let module = generate_module(cli.seed, i);
+        let origin = format!("gen-{}-{i}.ll", cli.seed);
+        let ll = emit_llvm(&module);
+        let imported = match LlvmFrontend.parse(ll.as_bytes(), &origin) {
+            Ok(res) => res,
+            Err(d) => {
+                eprintln!("FAIL module (seed {}, index {i}): import: {d}", cli.seed);
+                failures += 1;
+                continue;
+            }
+        };
+        if !imported.skips.is_empty() {
+            eprintln!(
+                "FAIL module (seed {}, index {i}): {} function(s) fell out of \
+                 the import subset: {:?}",
+                cli.seed,
+                imported.skips.len(),
+                imported
+                    .skips
+                    .iter()
+                    .map(|s| format!("@{} [{}]", s.symbol, s.code.code()))
+                    .collect::<Vec<_>>()
+            );
+            failures += 1;
+            continue;
+        }
+        let native = match parse_module(&print_module(&module)) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!(
+                    "FAIL module (seed {}, index {i}): native re-parse: {e}",
+                    cli.seed
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        let want = rolled_print(native);
+        let got = rolled_print(imported.module);
+        if want != got {
+            eprintln!(
+                "FAIL module (seed {}, index {i}): rolled import diverges from \
+                 rolled native round-trip",
+                cli.seed
+            );
+            for (l, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+                if w != g {
+                    eprintln!("  first divergence at line {}:", l + 1);
+                    eprintln!("    native: {w}");
+                    eprintln!("    import: {g}");
+                    break;
+                }
+            }
+            failures += 1;
+        }
+    }
+    summarize(cli.count, 1, failures)
+}
+
 fn main() -> ExitCode {
     let cli = parse_cli();
     let mut failures = 0u64;
     let mut checked = 0u64;
+
+    if cli.llvm_roundtrip {
+        if !cli.files.is_empty() {
+            eprintln!("--llvm-roundtrip generates its own corpus; drop the positional files");
+            usage()
+        }
+        return llvm_roundtrip_sweep(&cli);
+    }
 
     // Explicit files: regression mode.
     if !cli.files.is_empty() {

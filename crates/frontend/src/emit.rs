@@ -1,0 +1,362 @@
+//! Renders a module as LLVM textual IR.
+//!
+//! The output stays inside the subset [`crate::llvm::LlvmFrontend`]
+//! imports, so `import(emit_llvm(m))` round-trips every construct the
+//! project IR can express: scalar integer/float/pointer arithmetic,
+//! `alloca`/`load`/`store`/`getelementptr`, comparisons, casts, direct
+//! calls, `phi`/`br`/`ret`, and constant-array globals. Declaration
+//! memory effects map to `readnone`/`readonly` attributes; definitions
+//! carry no effect attribute (matching the native printer, which also
+//! drops definition effects).
+//!
+//! Float constants are always spelled as bit-exact `0x...` doubles so
+//! the round trip preserves NaN payloads and signed zeros.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use rolag_ir::inst::{InstExtra, Opcode};
+use rolag_ir::module::GlobalInit;
+use rolag_ir::types::TypeKind;
+use rolag_ir::{Effects, Function, Module, ValueDef, ValueId};
+
+/// True when `name` is a plain LLVM identifier (`[a-zA-Z$._][a-zA-Z$._0-9-]*`)
+/// and can follow `@`/`%` unquoted.
+fn is_llvm_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '$' || c == '.' || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '$' || c == '.' || c == '_' || c == '-')
+}
+
+/// Symbol/label spelling: bare when a plain identifier, quoted with
+/// LLVM `\XX` escapes otherwise.
+fn sym(name: &str) -> String {
+    if is_llvm_ident(name) {
+        return name.to_string();
+    }
+    let mut out = String::from("\"");
+    for b in name.bytes() {
+        match b {
+            b'"' | b'\\' => {
+                let _ = write!(out, "\\{b:02X}");
+            }
+            0x20..=0x7e => out.push(b as char),
+            _ => {
+                let _ = write!(out, "\\{b:02X}");
+            }
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits one module as LLVM textual IR.
+pub fn emit_llvm(module: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; ModuleID = '{}'", module.name);
+    for g in module.global_ids() {
+        let data = module.global(g);
+        let kind = if data.is_const { "constant" } else { "global" };
+        let ty = module.types.display(data.ty);
+        let init = match &data.init {
+            GlobalInit::Zero => "zeroinitializer".to_string(),
+            GlobalInit::Ints { elem_ty, values } => {
+                if matches!(module.types.kind(data.ty), TypeKind::Array { .. }) {
+                    let elem = module.types.display(*elem_ty);
+                    let vals: Vec<String> = values.iter().map(|v| format!("{elem} {v}")).collect();
+                    format!("[{}]", vals.join(", "))
+                } else {
+                    // Scalar global: `@g = global i32 5`.
+                    values.first().copied().unwrap_or(0).to_string()
+                }
+            }
+            GlobalInit::Bytes(bytes) => {
+                let mut s = String::from("c\"");
+                for &b in bytes {
+                    match b {
+                        b'"' | b'\\' => {
+                            let _ = write!(s, "\\{b:02X}");
+                        }
+                        0x20..=0x7e => s.push(b as char),
+                        _ => {
+                            let _ = write!(s, "\\{b:02X}");
+                        }
+                    }
+                }
+                s.push('"');
+                s
+            }
+        };
+        let _ = writeln!(out, "@{} = {kind} {ty} {init}", sym(&data.name));
+    }
+    for f in module.func_ids() {
+        out.push('\n');
+        emit_function(module, module.func(f), &mut out);
+    }
+    out
+}
+
+fn emit_function(module: &Module, func: &Function, out: &mut String) {
+    let types = &module.types;
+    let ret = types.display(func.ret_ty);
+    if func.is_declaration {
+        let params: Vec<String> = func
+            .param_tys()
+            .iter()
+            .map(|&ty| types.display(ty))
+            .collect();
+        let attr = match func.effects {
+            Effects::ReadNone => " readnone",
+            Effects::ReadOnly => " readonly",
+            Effects::ReadWrite => "",
+        };
+        let _ = writeln!(
+            out,
+            "declare {ret} @{}({}){attr}",
+            sym(&func.name),
+            params.join(", ")
+        );
+        return;
+    }
+    let params: Vec<String> = func
+        .param_tys()
+        .iter()
+        .enumerate()
+        .map(|(i, &ty)| format!("{} %p{i}", types.display(ty)))
+        .collect();
+    let _ = writeln!(
+        out,
+        "define {ret} @{}({}) {{",
+        sym(&func.name),
+        params.join(", ")
+    );
+
+    // `%pN` for parameters, `%vN` for results; `%vN` numbering continues
+    // after the parameters so names line up with the native printer's.
+    let mut names: HashMap<ValueId, String> = HashMap::new();
+    for (i, &p) in func.params().iter().enumerate() {
+        names.insert(p, format!("%p{i}"));
+    }
+    let mut next = func.params().len();
+    for b in func.block_ids() {
+        for &i in &func.block(b).insts {
+            if !matches!(types.kind(func.inst(i).ty), TypeKind::Void) {
+                names.insert(func.inst_result(i), format!("%v{next}"));
+                next += 1;
+            }
+        }
+    }
+
+    let val = |v: ValueId| -> String {
+        match func.value(v) {
+            ValueDef::Inst(_) | ValueDef::Param { .. } => names
+                .get(&v)
+                .cloned()
+                .unwrap_or_else(|| format!("%?{}", v.index())),
+            ValueDef::ConstInt { value, .. } => value.to_string(),
+            ValueDef::ConstFloat { bits, .. } => format!("0x{bits:016X}"),
+            ValueDef::GlobalAddr(g) => format!("@{}", sym(&module.global(*g).name)),
+            ValueDef::FuncAddr(f) => format!("@{}", sym(&module.func(*f).name)),
+            ValueDef::Undef(_) => "undef".to_string(),
+        }
+    };
+    let vty = |v: ValueId| types.display(func.value_ty(v, types));
+    let tyval = |v: ValueId| format!("{} {}", vty(v), val(v));
+
+    for b in func.block_ids() {
+        let block = func.block(b);
+        let label = &block.name;
+        if is_llvm_ident(label) {
+            let _ = writeln!(out, "{label}:");
+        } else {
+            let _ = writeln!(out, "{}:", sym(label));
+        }
+        for &i in &block.insts {
+            let data = func.inst(i);
+            let prefix = match names.get(&func.inst_result(i)) {
+                Some(name) if !matches!(types.kind(data.ty), TypeKind::Void) => {
+                    format!("{name} = ")
+                }
+                _ => String::new(),
+            };
+            let body = match (&data.opcode, &data.extra) {
+                (Opcode::Icmp, InstExtra::Icmp(p)) => format!(
+                    "icmp {} {}, {}",
+                    p.mnemonic(),
+                    tyval(data.operands[0]),
+                    val(data.operands[1])
+                ),
+                (Opcode::Fcmp, InstExtra::Fcmp(p)) => format!(
+                    "fcmp {} {}, {}",
+                    p.mnemonic(),
+                    tyval(data.operands[0]),
+                    val(data.operands[1])
+                ),
+                (Opcode::Gep, InstExtra::Gep { elem_ty }) => {
+                    let idx: Vec<String> = data.operands[1..].iter().map(|&v| tyval(v)).collect();
+                    format!(
+                        "getelementptr {}, ptr {}, {}",
+                        types.display(*elem_ty),
+                        val(data.operands[0]),
+                        idx.join(", ")
+                    )
+                }
+                (Opcode::Call, InstExtra::Call { callee }) => {
+                    let args: Vec<String> = data.operands.iter().map(|&v| tyval(v)).collect();
+                    format!(
+                        "call {} @{}({})",
+                        types.display(data.ty),
+                        sym(&module.func(*callee).name),
+                        args.join(", ")
+                    )
+                }
+                (Opcode::Phi, InstExtra::Phi { incoming }) => {
+                    let arms: Vec<String> = data
+                        .operands
+                        .iter()
+                        .zip(incoming)
+                        .map(|(&v, &b)| format!("[ {}, %{} ]", val(v), sym(&func.block(b).name)))
+                        .collect();
+                    format!("phi {} {}", types.display(data.ty), arms.join(", "))
+                }
+                (Opcode::Br, InstExtra::Br { dest }) => {
+                    format!("br label %{}", sym(&func.block(*dest).name))
+                }
+                (
+                    Opcode::CondBr,
+                    InstExtra::CondBr {
+                        then_dest,
+                        else_dest,
+                    },
+                ) => format!(
+                    "br i1 {}, label %{}, label %{}",
+                    val(data.operands[0]),
+                    sym(&func.block(*then_dest).name),
+                    sym(&func.block(*else_dest).name)
+                ),
+                (Opcode::Alloca, InstExtra::Alloca { elem_ty }) => {
+                    if data.operands.is_empty() {
+                        format!("alloca {}", types.display(*elem_ty))
+                    } else {
+                        format!(
+                            "alloca {}, {}",
+                            types.display(*elem_ty),
+                            tyval(data.operands[0])
+                        )
+                    }
+                }
+                (Opcode::Load, _) => format!(
+                    "load {}, ptr {}",
+                    types.display(data.ty),
+                    val(data.operands[0])
+                ),
+                (Opcode::Store, _) => format!(
+                    "store {}, ptr {}",
+                    tyval(data.operands[0]),
+                    val(data.operands[1])
+                ),
+                (Opcode::Select, _) => format!(
+                    "select i1 {}, {} {}, {} {}",
+                    val(data.operands[0]),
+                    types.display(data.ty),
+                    val(data.operands[1]),
+                    types.display(data.ty),
+                    val(data.operands[2])
+                ),
+                (Opcode::Ret, _) => {
+                    if data.operands.is_empty() {
+                        "ret void".to_string()
+                    } else {
+                        format!(
+                            "ret {} {}",
+                            types.display(func.ret_ty),
+                            val(data.operands[0])
+                        )
+                    }
+                }
+                (Opcode::Unreachable, _) => "unreachable".to_string(),
+                (opcode, _) if opcode.is_cast() => format!(
+                    "{} {} to {}",
+                    opcode.mnemonic(),
+                    tyval(data.operands[0]),
+                    types.display(data.ty)
+                ),
+                (opcode, _) if opcode.is_binop() => format!(
+                    "{} {} {}, {}",
+                    opcode.mnemonic(),
+                    types.display(data.ty),
+                    val(data.operands[0]),
+                    val(data.operands[1])
+                ),
+                (opcode, extra) => panic!("cannot emit {opcode:?} with extra {extra:?}"),
+            };
+            let _ = writeln!(out, "  {prefix}{body}");
+        }
+    }
+    out.push_str("}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::builder::FuncBuilder;
+    use rolag_ir::inst::IntPredicate;
+    use rolag_ir::module::GlobalData;
+
+    #[test]
+    fn emit_covers_core_shapes() {
+        let mut m = Module::new("demo");
+        let i32t = m.types.i32();
+        let ptr = m.types.ptr();
+        let void = m.types.void();
+        let arr = m.types.array(i32t, 3);
+        m.add_global(GlobalData {
+            name: "tab".into(),
+            ty: arr,
+            init: GlobalInit::Ints {
+                elem_ty: i32t,
+                values: vec![1, 2, 3],
+            },
+            is_const: true,
+        });
+        m.declare_func("ext", vec![ptr], void, Effects::ReadOnly);
+        let mut fb = FuncBuilder::new(&mut m, "f", vec![i32t, ptr], i32t);
+        let a = fb.param(0);
+        let p = fb.param(1);
+        fb.block("entry");
+        let (ext, ext_ret) = fb.callee("ext");
+        fb.ins(|b| {
+            let one = b.i32_const(1);
+            let s = b.add(a, one);
+            let g = b.gep(b.types.i32(), p, &[s]);
+            b.store(s, g);
+            b.call(ext, ext_ret, &[p]);
+            let c = b.icmp(IntPredicate::Slt, s, a);
+            let sel = b.select(c, s, a);
+            b.ret(Some(sel));
+        });
+        fb.finish();
+        let text = emit_llvm(&m);
+        assert!(text.contains("; ModuleID = 'demo'"));
+        assert!(text.contains("@tab = constant [3 x i32] [i32 1, i32 2, i32 3]"));
+        assert!(text.contains("declare void @ext(ptr) readonly"));
+        assert!(text.contains("define i32 @f(i32 %p0, ptr %p1) {"));
+        assert!(text.contains("%v2 = add i32 %p0, 1"));
+        assert!(text.contains("%v3 = getelementptr i32, ptr %p1, i32 %v2"));
+        assert!(text.contains("store i32 %v2, ptr %v3"));
+        assert!(text.contains("call void @ext(ptr %p1)"));
+        assert!(text.contains("%v4 = icmp slt i32 %v2, %p0"));
+        assert!(text.contains("%v5 = select i1 %v4, i32 %v2, i32 %p0"));
+        assert!(text.contains("ret i32 %v5"));
+    }
+
+    #[test]
+    fn quoted_symbols_escape() {
+        assert_eq!(sym("plain.name"), "plain.name");
+        assert_eq!(sym("has space"), "\"has space\"");
+        assert_eq!(sym("q\"uote"), "\"q\\22uote\"");
+    }
+}

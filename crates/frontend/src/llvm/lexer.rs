@@ -1,0 +1,443 @@
+//! Lexer for the LLVM textual IR subset.
+//!
+//! Tokens carry 1-based line/column spans. Comments (`;` to end of
+//! line) are dropped; newlines are significant (statement separators),
+//! matching the native lexer's conventions.
+
+/// One LLVM token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare word: keywords, opcodes, type names, attribute words.
+    Word(String),
+    /// `%name` local value or label reference (quotes decoded).
+    Local(String),
+    /// `@name` global/function reference (quotes decoded).
+    Global(String),
+    /// Integer literal that fits `i64`.
+    Int(i64),
+    /// Integer literal wider than `i64` (kept for a clean skip).
+    BigInt,
+    /// `0x` + up to 16 hex digits: IEEE-754 double bits.
+    HexBits(u64),
+    /// `0xK`/`0xL`/`0xM`/`0xH`/`0xR` wide-float payloads (unsupported).
+    WideHex,
+    /// Decimal float literal.
+    Float(f64),
+    /// `"..."` string (escapes decoded to bytes).
+    Str(Vec<u8>),
+    /// `c"..."` constant byte string.
+    CStr(Vec<u8>),
+    /// `#N` attribute-group reference.
+    AttrRef(u64),
+    /// `!name` / `!N` metadata reference (payload ignored).
+    Meta,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+    /// `...`
+    Ellipsis,
+    /// End of line.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone)]
+pub struct Sp {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+/// Lex error with a position.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    /// Message.
+    pub message: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b'$' | b'.' | b'_' | b'-')
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || matches!(c, b'$' | b'.' | b'_')
+}
+
+/// Lexes LLVM IR text into spanned tokens.
+pub fn lex(input: &str) -> Result<Vec<Sp>, LexError> {
+    let b = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! push {
+        ($t:expr, $l:expr, $c:expr) => {
+            toks.push(Sp {
+                tok: $t,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+    while i < b.len() {
+        let (l0, c0) = (line, col);
+        let c = b[i];
+        match c {
+            b'\n' => {
+                if !matches!(toks.last().map(|s: &Sp| &s.tok), Some(Tok::Newline) | None) {
+                    push!(Tok::Newline, l0, c0);
+                }
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b';' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                    col += 1;
+                }
+            }
+            b'%' | b'@' => {
+                let global = c == b'@';
+                i += 1;
+                col += 1;
+                let name = if i < b.len() && b[i] == b'"' {
+                    let (s, ni, nc) = lex_string(b, i, line, col)?;
+                    i = ni;
+                    col = nc;
+                    String::from_utf8_lossy(&s).into_owned()
+                } else {
+                    let start = i;
+                    while i < b.len() && is_ident_char(b[i]) {
+                        i += 1;
+                        col += 1;
+                    }
+                    if i == start {
+                        return Err(LexError {
+                            message: format!("empty {} name", if global { "@" } else { "%" }),
+                            line: l0,
+                            col: c0,
+                        });
+                    }
+                    String::from_utf8_lossy(&b[start..i]).into_owned()
+                };
+                push!(
+                    if global {
+                        Tok::Global(name)
+                    } else {
+                        Tok::Local(name)
+                    },
+                    l0,
+                    c0
+                );
+            }
+            b'"' => {
+                let (s, ni, nc) = lex_string(b, i, line, col)?;
+                i = ni;
+                col = nc;
+                push!(Tok::Str(s), l0, c0);
+            }
+            b'c' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                let (s, ni, nc) = lex_string(b, i + 1, line, col + 1)?;
+                i = ni;
+                col = nc;
+                push!(Tok::CStr(s), l0, c0);
+            }
+            b'#' => {
+                i += 1;
+                col += 1;
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let n: u64 = input[start..i].parse().map_err(|_| LexError {
+                    message: "bad attribute group number".into(),
+                    line: l0,
+                    col: c0,
+                })?;
+                push!(Tok::AttrRef(n), l0, c0);
+            }
+            b'!' => {
+                i += 1;
+                col += 1;
+                while i < b.len() && (is_ident_char(b[i]) || b[i] == b'\\') {
+                    i += 1;
+                    col += 1;
+                }
+                push!(Tok::Meta, l0, c0);
+            }
+            b'0' if i + 1 < b.len() && b[i + 1] == b'x' => {
+                i += 2;
+                col += 2;
+                if i < b.len() && matches!(b[i], b'K' | b'L' | b'M' | b'H' | b'R') {
+                    i += 1;
+                    col += 1;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    push!(Tok::WideHex, l0, c0);
+                } else {
+                    let start = i;
+                    while i < b.len() && b[i].is_ascii_hexdigit() {
+                        i += 1;
+                        col += 1;
+                    }
+                    match u64::from_str_radix(&input[start..i], 16) {
+                        Ok(v) => push!(Tok::HexBits(v), l0, c0),
+                        Err(_) => push!(Tok::BigInt, l0, c0),
+                    }
+                }
+            }
+            b'-' | b'+' if i + 1 < b.len() && b[i + 1].is_ascii_digit() => {
+                let (tok, ni, nc) = lex_number(input, i, col);
+                i = ni;
+                col = nc;
+                push!(tok, l0, c0);
+            }
+            _ if c.is_ascii_digit() => {
+                let (tok, ni, nc) = lex_number(input, i, col);
+                i = ni;
+                col = nc;
+                push!(tok, l0, c0);
+            }
+            b'.' if i + 2 < b.len() && b[i + 1] == b'.' && b[i + 2] == b'.' => {
+                i += 3;
+                col += 3;
+                push!(Tok::Ellipsis, l0, c0);
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_char(b[i]) {
+                    i += 1;
+                    col += 1;
+                }
+                push!(
+                    Tok::Word(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    l0,
+                    c0
+                );
+            }
+            _ => {
+                let tok = match c {
+                    b'(' => Tok::LParen,
+                    b')' => Tok::RParen,
+                    b'[' => Tok::LBracket,
+                    b']' => Tok::RBracket,
+                    b'{' => Tok::LBrace,
+                    b'}' => Tok::RBrace,
+                    b'<' => Tok::Lt,
+                    b'>' => Tok::Gt,
+                    b',' => Tok::Comma,
+                    b'=' => Tok::Eq,
+                    b'*' => Tok::Star,
+                    b':' => Tok::Colon,
+                    b'^' => {
+                        // Module summary entries: skip the line.
+                        while i < b.len() && b[i] != b'\n' {
+                            i += 1;
+                            col += 1;
+                        }
+                        continue;
+                    }
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character {:?}", other as char),
+                            line: l0,
+                            col: c0,
+                        })
+                    }
+                };
+                i += 1;
+                col += 1;
+                push!(tok, l0, c0);
+            }
+        }
+    }
+    if !matches!(toks.last().map(|s| &s.tok), Some(Tok::Newline) | None) {
+        push!(Tok::Newline, line, col);
+    }
+    push!(Tok::Eof, line, col);
+    Ok(toks)
+}
+
+/// Lexes a `"..."` string starting at the opening quote; returns the
+/// decoded bytes, the index past the closing quote, and the new column.
+fn lex_string(
+    b: &[u8],
+    start: usize,
+    line: u32,
+    col: u32,
+) -> Result<(Vec<u8>, usize, u32), LexError> {
+    let mut i = start + 1;
+    let mut c = col + 1;
+    let mut out = Vec::new();
+    while i < b.len() {
+        match b[i] {
+            b'"' => return Ok((out, i + 1, c + 1)),
+            b'\n' => break,
+            b'\\' => {
+                if i + 1 < b.len() && b[i + 1] == b'\\' {
+                    out.push(b'\\');
+                    i += 2;
+                    c += 2;
+                } else if i + 2 < b.len()
+                    && b[i + 1].is_ascii_hexdigit()
+                    && b[i + 2].is_ascii_hexdigit()
+                {
+                    let hex = std::str::from_utf8(&b[i + 1..i + 3]).unwrap();
+                    out.push(u8::from_str_radix(hex, 16).unwrap());
+                    i += 3;
+                    c += 3;
+                } else {
+                    return Err(LexError {
+                        message: "bad string escape".into(),
+                        line,
+                        col: c,
+                    });
+                }
+            }
+            other => {
+                out.push(other);
+                i += 1;
+                c += 1;
+            }
+        }
+    }
+    Err(LexError {
+        message: "unterminated string".into(),
+        line,
+        col,
+    })
+}
+
+/// Lexes a decimal integer or float starting at `i` (which may point at
+/// a sign). Returns the token, the index past the literal, and the new
+/// column.
+fn lex_number(input: &str, i: usize, col: u32) -> (Tok, usize, u32) {
+    let b = input.as_bytes();
+    let mut j = i;
+    if matches!(b[j], b'-' | b'+') {
+        j += 1;
+    }
+    while j < b.len() && b[j].is_ascii_digit() {
+        j += 1;
+    }
+    let mut is_float = false;
+    if j < b.len() && b[j] == b'.' {
+        is_float = true;
+        j += 1;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    if j < b.len() && matches!(b[j], b'e' | b'E') {
+        let mut k = j + 1;
+        if k < b.len() && matches!(b[k], b'-' | b'+') {
+            k += 1;
+        }
+        if k < b.len() && b[k].is_ascii_digit() {
+            is_float = true;
+            j = k;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    }
+    let text = &input[i..j];
+    let ncol = col + (j - i) as u32;
+    let tok = if is_float {
+        match text.parse::<f64>() {
+            Ok(v) => Tok::Float(v),
+            Err(_) => Tok::BigInt,
+        }
+    } else {
+        match text.parse::<i64>() {
+            Ok(v) => Tok::Int(v),
+            Err(_) => Tok::BigInt,
+        }
+    };
+    (tok, j, ncol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn lexes_core_tokens() {
+        let t = kinds("define i32 @f(i32 %x) {\n  %y = add nsw i32 %x, -1\n}\n");
+        assert!(t.contains(&Tok::Word("define".into())));
+        assert!(t.contains(&Tok::Global("f".into())));
+        assert!(t.contains(&Tok::Local("x".into())));
+        assert!(t.contains(&Tok::Int(-1)));
+        assert!(t.contains(&Tok::LBrace));
+    }
+
+    #[test]
+    fn lexes_floats_hex_strings() {
+        let t =
+            kinds("1.5 2.000000e+00 0x3FF0000000000000 0xK4000 c\"ab\\00\" \"q r\" #7 !dbg ...");
+        assert!(t.contains(&Tok::Float(1.5)));
+        assert!(t.contains(&Tok::Float(2.0)));
+        assert!(t.contains(&Tok::HexBits(0x3FF0000000000000)));
+        assert!(t.contains(&Tok::WideHex));
+        assert!(t.contains(&Tok::CStr(vec![b'a', b'b', 0])));
+        assert!(t.contains(&Tok::Str(b"q r".to_vec())));
+        assert!(t.contains(&Tok::AttrRef(7)));
+        assert!(t.contains(&Tok::Meta));
+        assert!(t.contains(&Tok::Ellipsis));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_collapse() {
+        let t = kinds("; c1\n\n\nadd ; tail\n");
+        assert_eq!(t, vec![Tok::Word("add".into()), Tok::Newline, Tok::Eof]);
+    }
+
+    #[test]
+    fn quoted_names_decode() {
+        let t = kinds("%\"a b\" @\"x\\22y\"");
+        assert!(t.contains(&Tok::Local("a b".into())));
+        assert!(t.contains(&Tok::Global("x\"y".into())));
+    }
+}

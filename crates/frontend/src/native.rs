@@ -1,0 +1,88 @@
+//! Native frontend: the project's own `.rir` textual format and the
+//! compact `.rlir` binary format, detected by magic bytes rather than
+//! file extension.
+
+use rolag_ir::serialization::MAGIC;
+use rolag_ir::{decode_module, parser};
+
+use crate::{Diagnostic, Frontend, FrontendResult};
+
+/// Frontend for native `.rir` text and `.rlir` binary modules.
+///
+/// Binary input is recognised by the leading `RLIR` magic; everything
+/// else is treated as text. Native input never produces per-function
+/// skips — the format is exactly our IR, so errors are module-fatal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeFrontend;
+
+impl Frontend for NativeFrontend {
+    fn name(&self) -> &'static str {
+        "rir"
+    }
+
+    fn parse(&self, source: &[u8], origin: &str) -> Result<FrontendResult, Diagnostic> {
+        if source.starts_with(&MAGIC) {
+            let module = decode_module(source).map_err(|e| Diagnostic {
+                origin: origin.to_string(),
+                line: 0,
+                col: 0,
+                message: format!("invalid binary module: {e:?}"),
+            })?;
+            return Ok(FrontendResult {
+                module,
+                skips: Vec::new(),
+            });
+        }
+        let text = std::str::from_utf8(source).map_err(|e| Diagnostic {
+            origin: origin.to_string(),
+            line: 0,
+            col: 0,
+            message: format!("input is not UTF-8 (and not RLIR binary): {e}"),
+        })?;
+        let module = parser::parse_module(text).map_err(|e| Diagnostic {
+            origin: origin.to_string(),
+            line: e.line,
+            col: e.col,
+            message: e.message,
+        })?;
+        Ok(FrontendResult {
+            module,
+            skips: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rolag_ir::encode_module;
+    use rolag_ir::printer::print_module;
+
+    const SAMPLE: &str = "module \"m\"\n\nfunc @f(i32 %p0) -> i32 {\nentry:\n  %1 = add i32 %p0, i32 1\n  ret %1\n}\n";
+
+    #[test]
+    fn text_and_binary_round_trip() {
+        let fe = NativeFrontend;
+        let r = fe.parse(SAMPLE.as_bytes(), "<stdin>").unwrap();
+        assert!(r.skips.is_empty());
+        let bytes = encode_module(&r.module);
+        let r2 = fe.parse(&bytes, "f.rlir").unwrap();
+        assert_eq!(print_module(&r.module), print_module(&r2.module));
+    }
+
+    #[test]
+    fn parse_error_carries_span() {
+        let fe = NativeFrontend;
+        let err = fe.parse(b"module \"m\"\nbogus\n", "x.rir").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("x.rir:2:"));
+    }
+
+    #[test]
+    fn truncated_binary_is_module_fatal() {
+        let fe = NativeFrontend;
+        let err = fe.parse(b"RLIR\x01\x00\x03", "x.rlir").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("invalid binary module"));
+    }
+}

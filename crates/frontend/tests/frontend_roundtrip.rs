@@ -1,0 +1,64 @@
+//! Acceptance check for the LLVM importer: every TSVC kernel, rendered
+//! to the LLVM subset and imported back, rolls to a byte-identical
+//! module compared with rolling the native text round-trip.
+//!
+//! Both sides go through a text round-trip (`print_module` → native
+//! parse vs `emit_llvm` → import) so metadata the formats cannot carry
+//! (definition effects) is lost symmetrically.
+
+use rolag::{roll_module, RolagOptions};
+use rolag_frontend::emit::emit_llvm;
+use rolag_frontend::llvm::LlvmFrontend;
+use rolag_frontend::Frontend;
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+
+#[test]
+fn tsvc_llvm_roundtrip_rolls_identically() {
+    let opts = RolagOptions::default();
+    let mut checked = 0;
+    for spec in all_kernels() {
+        let module = build_kernel_module(&spec);
+
+        let mut native = parse_module(&print_module(&module))
+            .unwrap_or_else(|e| panic!("{}: native reparse failed: {e:?}", spec.name));
+
+        let ll = emit_llvm(&module);
+        let imported = LlvmFrontend
+            .parse(ll.as_bytes(), &format!("{}.ll", spec.name))
+            .unwrap_or_else(|e| panic!("{}: import failed: {e}", spec.name));
+        assert!(
+            imported.skips.is_empty(),
+            "{}: importer skipped {:?}",
+            spec.name,
+            imported
+                .skips
+                .iter()
+                .map(|s| format!("{}: {} ({})", s.symbol, s.code.code(), s.detail))
+                .collect::<Vec<_>>()
+        );
+        let mut llvm_side = imported.module;
+
+        assert_eq!(
+            print_module(&native),
+            print_module(&llvm_side),
+            "{}: imported module differs before rolling",
+            spec.name
+        );
+
+        roll_module(&mut native, &opts);
+        roll_module(&mut llvm_side, &opts);
+        assert_eq!(
+            print_module(&native),
+            print_module(&llvm_side),
+            "{}: rolled modules differ",
+            spec.name
+        );
+        checked += 1;
+    }
+    assert!(
+        checked > 100,
+        "expected the full kernel suite, got {checked}"
+    );
+}

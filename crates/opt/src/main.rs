@@ -13,11 +13,25 @@
 //! `--help` is generated from the registry, so it cannot drift from the
 //! implementation.
 //!
+//! Input may be native `.rir` text, `.rlir` binary (recognised by its
+//! `RLIR` magic bytes, whatever the extension), or a supported subset of
+//! LLVM textual IR (`--frontend=llvm`, or auto-detected). LLVM functions
+//! outside the subset are skipped per function with a reason code, never
+//! a module-fatal error. `--corpus` switches to streaming-corpus mode:
+//! the input is a directory, concatenated corpus file, `RLCP` container,
+//! or NDJSON manifest, rolled in bounded batches under `--mem-budget`.
+//!
 //! Options:
 //!
 //! ```text
 //!   --passes <spec>            run a textual pipeline, e.g. "unroll<4>,cleanup,rolag"
 //!   --list-passes              print the registered passes and exit
+//!   --frontend <auto|rir|llvm> input format (default auto: magic bytes,
+//!                              extension, then content heuristics)
+//!   --emit <text|binary|llvm>  output format (default text)
+//!   -o <path>                  write output to <path> instead of stdout
+//!   --corpus <path>            roll a streaming corpus in bounded batches
+//!   --mem-budget <N[K|M|G]>    corpus-mode peak-memory budget (default 1G)
 //!   --target <x86-64|thumb2>   cost-model target for profitability
 //!   --measure                  print measured section sizes before/after
 //!   --stats                    print pass statistics (per-stage timings,
@@ -48,23 +62,37 @@
 //! Exit status: 0 on success, 1 on usage/parse/verify errors, 2 when
 //! `--check` detects a behaviour change (a miscompile).
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use rolag::RolagOptions;
 use rolag_analysis::cost::TargetKind;
+use rolag_frontend::corpus::{open_corpus, roll_corpus, ContainerWriter, CorpusOptions};
+use rolag_frontend::{emit::emit_llvm, FrontendKind, Skip};
 use rolag_ir::interp::{check_equivalence, IValue, Interpreter};
-use rolag_ir::parser::parse_module;
 use rolag_ir::printer::print_module;
 use rolag_ir::verify::verify_module;
-use rolag_ir::Module;
+use rolag_ir::{encode_module, Module};
 use rolag_lower::measure_module;
 use rolag_passes::{
     AnalysisManager, PassContext, PassManager, PassManagerOptions, PassOutcome, PassRegistry,
 };
 
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+enum EmitKind {
+    #[default]
+    Text,
+    Binary,
+    Llvm,
+}
+
 #[derive(Debug, Default)]
 struct Cli {
+    frontend: FrontendKind,
+    emit: EmitKind,
+    output: Option<String>,
+    corpus: Option<String>,
+    mem_budget: Option<u64>,
     /// Pipeline elements desugared from legacy `-name` flags, in order.
     legacy: Vec<String>,
     /// The `--passes` spec, verbatim.
@@ -92,12 +120,14 @@ fn usage() -> String {
         "usage: rolag-opt [PASS...] [OPTIONS] <input.rir | ->\n\
          passes (as -name flags applied in order, or one --passes spec):\n\
          {passes}\
-         options: --passes <spec> --list-passes --target <x86-64|thumb2> \
+         options: --passes <spec> --list-passes --frontend <auto|rir|llvm> \
+         --emit <text|binary|llvm> -o <path> --corpus <path> \
+         --mem-budget <N[K|M|G]> --target <x86-64|thumb2> \
          --jobs <N> --serve <socket> --serve-options <preset> \
          --validate-rewrites --measure --stats --time-passes \
          --print-changed --verify-each --interp <func> --check --quiet \
          --verify-only\n\
-         (run with a .rir file, or `-` to read IR text from stdin)",
+         (run with a .rir/.rlir/.ll file, or `-` to read from stdin)",
         passes = PassRegistry::builtin().help_passes()
     )
 }
@@ -114,6 +144,36 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                 }
             }
             "--list-passes" => cli.list_passes = true,
+            "--frontend" => {
+                let f = it.next().ok_or("--frontend needs a value")?;
+                cli.frontend = FrontendKind::from_flag(f)
+                    .ok_or_else(|| format!("unknown frontend {f} (auto, rir, llvm)"))?;
+            }
+            "--emit" => {
+                let e = it.next().ok_or("--emit needs a value")?;
+                cli.emit = match e.as_str() {
+                    "text" | "rir" => EmitKind::Text,
+                    "binary" | "rlir" => EmitKind::Binary,
+                    "llvm" | "ll" => EmitKind::Llvm,
+                    other => return Err(format!("unknown emit format {other}")),
+                };
+            }
+            "-o" | "--output" => {
+                let p = it.next().ok_or("-o needs a path")?;
+                if cli.output.replace(p.clone()).is_some() {
+                    return Err("more than one -o".into());
+                }
+            }
+            "--corpus" => {
+                let p = it.next().ok_or("--corpus needs a path")?;
+                if cli.corpus.replace(p.clone()).is_some() {
+                    return Err("more than one --corpus".into());
+                }
+            }
+            "--mem-budget" => {
+                let v = it.next().ok_or("--mem-budget needs a value")?;
+                cli.mem_budget = Some(parse_mem_budget(v)?);
+            }
             "--target" => {
                 let t = it.next().ok_or("--target needs a value")?;
                 cli.target = match t.as_str() {
@@ -192,21 +252,99 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
     if cli.serve_options.is_some() && cli.serve.is_none() {
         return Err("--serve-options needs --serve".into());
     }
-    if cli.input.is_none() && !cli.list_passes {
+    if cli.corpus.is_some() {
+        if cli.spec.is_some() || !cli.legacy.is_empty() {
+            return Err("--corpus rolls batches through the parallel driver; \
+                        it cannot be combined with a pass pipeline"
+                .into());
+        }
+        if cli.serve.is_some() {
+            return Err("--corpus cannot be combined with --serve".into());
+        }
+        if cli.input.is_some() {
+            return Err("--corpus replaces the positional input".into());
+        }
+    } else if cli.mem_budget.is_some() {
+        return Err("--mem-budget needs --corpus".into());
+    }
+    if cli.input.is_none() && !cli.list_passes && cli.corpus.is_none() {
         return Err(usage());
     }
     Ok(cli)
 }
 
-fn read_input(path: &str) -> Result<String, String> {
+/// Parses a byte count with an optional `K`/`M`/`G` suffix.
+fn parse_mem_budget(s: &str) -> Result<u64, String> {
+    let (digits, mult) = match s.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&s[..s.len() - 1], 1u64 << 10),
+        Some(b'M') | Some(b'm') => (&s[..s.len() - 1], 1 << 20),
+        Some(b'G') | Some(b'g') => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("bad memory budget {s}"))?;
+    n.checked_mul(mult)
+        .filter(|&b| b > 0)
+        .ok_or_else(|| format!("bad memory budget {s}"))
+}
+
+fn read_input(path: &str) -> Result<Vec<u8>, String> {
     if path == "-" {
-        let mut buf = String::new();
+        let mut buf = Vec::new();
         std::io::stdin()
-            .read_to_string(&mut buf)
+            .read_to_end(&mut buf)
             .map_err(|e| format!("reading stdin: {e}"))?;
         Ok(buf)
     } else {
-        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+        std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+/// Renders a frontend diagnostic with its source caret when the input is
+/// text.
+fn render_diag(d: &rolag_frontend::Diagnostic, bytes: &[u8]) -> String {
+    match std::str::from_utf8(bytes) {
+        Ok(text) => d.render(text),
+        Err(_) => d.to_string(),
+    }
+}
+
+/// One warning line per skipped function, with file:line:col spans.
+fn report_skips(origin: &str, skips: &[Skip]) {
+    for s in skips {
+        if s.line == 0 {
+            eprintln!(
+                "{origin}: warning: skipped @{} [{}]: {}",
+                s.symbol,
+                s.code.code(),
+                s.detail
+            );
+        } else {
+            eprintln!(
+                "{origin}:{}:{}: warning: skipped @{} [{}]: {}",
+                s.line,
+                s.col,
+                s.symbol,
+                s.code.code(),
+                s.detail
+            );
+        }
+    }
+}
+
+/// Serializes the module per `--emit` and writes it to `-o` (or stdout).
+fn write_module(module: &Module, emit: EmitKind, dest: Option<&str>) -> Result<(), String> {
+    let bytes = match emit {
+        EmitKind::Text => print_module(module).into_bytes(),
+        EmitKind::Binary => encode_module(module),
+        EmitKind::Llvm => emit_llvm(module).into_bytes(),
+    };
+    match dest {
+        None | Some("-") => std::io::stdout()
+            .write_all(&bytes)
+            .map_err(|e| format!("writing stdout: {e}")),
+        Some(path) => std::fs::write(path, bytes).map_err(|e| format!("writing {path}: {e}")),
     }
 }
 
@@ -352,6 +490,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(corpus_path) = cli.corpus.clone() {
+        return run_corpus(&cli, &corpus_path);
+    }
+
     // Resolve the pipeline before touching the input so spec errors are
     // reported even for a missing file.
     let spec_text = match &cli.spec {
@@ -371,7 +513,7 @@ fn main() -> ExitCode {
     };
 
     let input = cli.input.as_deref().expect("validated");
-    let text = match read_input(input) {
+    let bytes = match read_input(input) {
         Ok(t) => t,
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -379,13 +521,17 @@ fn main() -> ExitCode {
         }
     };
     let display_path = if input == "-" { "<stdin>" } else { input };
-    let mut module = match parse_module(&text) {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{display_path}:{}:{}: error: {}", e.line, e.col, e.message);
+    let frontend = cli.frontend.frontend_for(display_path, &bytes);
+    let parsed = match frontend.parse(&bytes, display_path) {
+        Ok(r) => r,
+        Err(d) => {
+            eprintln!("{}", render_diag(&d, &bytes));
             return ExitCode::from(1);
         }
     };
+    report_skips(display_path, &parsed.skips);
+    let skips = parsed.skips;
+    let mut module = parsed.module;
     if let Err(errors) = verify_module(&module) {
         for e in &errors {
             eprintln!("verify: {e}");
@@ -403,6 +549,8 @@ fn main() -> ExitCode {
 
     if let Some(socket) = &cli.serve {
         let preset = cli.serve_options.as_deref().unwrap_or("default");
+        // The daemon speaks native text; render whatever frontend parsed.
+        let text = print_module(&module);
         match serve_client(socket, &text, preset) {
             Ok((rolled, stats)) => {
                 if cli.stats {
@@ -457,6 +605,14 @@ fn main() -> ExitCode {
         eprintln!("analysis: {}", report.cache);
         for (counter, n) in report.cache.rows() {
             eprintln!("  analysis {counter:<17} {n:>10}");
+        }
+        eprintln!("  frontend skipped        {:>10}", skips.len());
+        let mut reasons: std::collections::BTreeMap<&str, u64> = Default::default();
+        for s in &skips {
+            *reasons.entry(s.code.code()).or_insert(0) += 1;
+        }
+        for (code, n) in reasons {
+            eprintln!("  skip {code:<21} {n:>10}");
         }
     }
     if cli.print_changed {
@@ -520,8 +676,133 @@ fn main() -> ExitCode {
         }
     }
 
-    if !cli.quiet {
-        print!("{}", print_module(&module));
+    if cli.output.is_some() || !cli.quiet {
+        if let Err(msg) = write_module(&module, cli.emit, cli.output.as_deref()) {
+            eprintln!("error: {msg}");
+            return ExitCode::from(1);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Streaming-corpus mode: roll every module under `--corpus` in bounded
+/// batches and print a whole-corpus summary.
+fn run_corpus(cli: &Cli, path: &str) -> ExitCode {
+    let opts = RolagOptions {
+        validate: cli.validate_rewrites,
+        target: cli.target,
+        ..Default::default()
+    };
+    let copts = CorpusOptions {
+        mem_budget: cli.mem_budget.unwrap_or(1 << 30),
+        jobs: cli.jobs.unwrap_or(0),
+        memoize: true,
+        frontend: cli.frontend,
+    };
+    let items = match open_corpus(std::path::Path::new(path)) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: opening corpus {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    enum Sink {
+        None,
+        Text(Box<dyn Write>, EmitKind),
+        Container(ContainerWriter<Box<dyn Write>>),
+    }
+    let mut sink = match &cli.output {
+        None => Sink::None,
+        Some(dest) => {
+            let w: Box<dyn Write> = if dest == "-" {
+                Box::new(std::io::stdout())
+            } else {
+                match std::fs::File::create(dest) {
+                    Ok(f) => Box::new(std::io::BufWriter::new(f)),
+                    Err(e) => {
+                        eprintln!("error: creating {dest}: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+            };
+            match cli.emit {
+                EmitKind::Binary => match ContainerWriter::new(w) {
+                    Ok(c) => Sink::Container(c),
+                    Err(e) => {
+                        eprintln!("error: writing container header: {e}");
+                        return ExitCode::from(1);
+                    }
+                },
+                kind => Sink::Text(w, kind),
+            }
+        }
+    };
+    let mut sink_err: Option<std::io::Error> = None;
+    let report = roll_corpus(items, &opts, &copts, |m, _dr| {
+        let res = match &mut sink {
+            Sink::None => Ok(()),
+            Sink::Text(w, kind) => {
+                let text = match kind {
+                    EmitKind::Llvm => emit_llvm(m),
+                    _ => print_module(m),
+                };
+                w.write_all(text.as_bytes())
+            }
+            Sink::Container(c) => c.append(&encode_module(m)),
+        };
+        if let (Err(e), None) = (res, sink_err.as_ref()) {
+            sink_err = Some(e);
+        }
+    });
+    if let Sink::Container(c) = sink {
+        if let (Err(e), None) = (c.finish().map(|_| ()), sink_err.as_ref()) {
+            sink_err = Some(e);
+        }
+    }
+    if let Some(e) = sink_err {
+        eprintln!("error: writing output: {e}");
+        return ExitCode::from(1);
+    }
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: reading corpus: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    for d in &report.diagnostics {
+        eprintln!("{d}");
+    }
+    eprintln!(
+        "corpus: {} modules ({} parse failures), {} functions ({} changed, {} skipped), {} batches",
+        report.items,
+        report.parse_failures,
+        report.functions,
+        report.changed,
+        report.skipped,
+        report.batches
+    );
+    eprintln!(
+        "corpus: {} bytes saved ({} -> {}), {:.1} funcs/s, peak RSS {:.1} MiB",
+        report.bytes_saved(),
+        report.stats.size_before,
+        report.stats.size_after,
+        report.funcs_per_sec(),
+        report.peak_rss_bytes as f64 / (1 << 20) as f64
+    );
+    if cli.stats {
+        eprintln!(
+            "corpus: rolled {} loops, attempted {}, tv rejected {}, cache hits {}, store hits {}",
+            report.stats.rolled,
+            report.stats.attempted,
+            report.stats.tv_rejected,
+            report.cache_hits,
+            report.store_hits
+        );
+        for (code, n) in &report.skip_reasons {
+            eprintln!("  skip {code:<21} {n:>10}");
+        }
     }
     ExitCode::SUCCESS
 }

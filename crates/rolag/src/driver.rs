@@ -100,6 +100,10 @@ pub struct DriverReport {
     pub unique: usize,
     /// Definitions served from the memoization cache.
     pub cache_hits: u64,
+    /// Definitions whose body the pass rewrote — including duplicates
+    /// that received a rewritten representative's body and store-replayed
+    /// definitions. Functions the pass left verbatim are not counted.
+    pub changed: usize,
     /// Definitions replayed from a cross-request [`MemoStore`] (always `0`
     /// without one).
     pub store_hits: u64,
@@ -421,7 +425,9 @@ pub fn roll_module_par_with(
         if let Some(entry) = &store_entries[gi] {
             report.stats += entry.stats;
             report.store_hits += 1;
-            entry.replay(module, fid);
+            if entry.replay(module, fid) {
+                report.changed += 1;
+            }
             continue;
         }
         if store.is_some() {
@@ -434,6 +440,7 @@ pub fn roll_module_par_with(
         let Some(rolled) = &roll.func else {
             continue;
         };
+        report.changed += 1;
         let type_map = &type_maps[roll.worker];
         let mut func = rolled.clone();
 

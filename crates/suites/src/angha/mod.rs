@@ -58,17 +58,52 @@ fn pick_kind(rng: &mut impl Rng) -> PatternKind {
     }
 }
 
-/// Generates the corpus.
-pub fn generate(config: &AnghaConfig) -> AnghaCorpus {
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-    let mut entries = Vec::with_capacity(config.functions);
-    for i in 0..config.functions {
-        let kind = pick_kind(&mut rng);
+/// Streaming corpus generator: yields `(name, kind, module)` one
+/// function at a time without materializing the whole corpus, so
+/// million-function corpora can be produced under a fixed memory
+/// budget. Identical sequence to [`generate`] for the same config.
+pub struct AnghaStream {
+    rng: ChaCha8Rng,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for AnghaStream {
+    type Item = (String, PatternKind, Module);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        let kind = pick_kind(&mut self.rng);
         let mut m = Module::new(format!("angha.{i}"));
-        let name = build_pattern(&mut m, &mut rng, kind, i);
-        entries.push((name, kind, m));
+        let name = build_pattern(&mut m, &mut self.rng, kind, i);
+        Some((name, kind, m))
     }
-    AnghaCorpus { entries }
+}
+
+impl ExactSizeIterator for AnghaStream {
+    fn len(&self) -> usize {
+        self.total - self.next
+    }
+}
+
+/// Streams the corpus lazily (see [`AnghaStream`]).
+pub fn stream(config: &AnghaConfig) -> AnghaStream {
+    AnghaStream {
+        rng: ChaCha8Rng::seed_from_u64(config.seed),
+        next: 0,
+        total: config.functions,
+    }
+}
+
+/// Generates the corpus eagerly.
+pub fn generate(config: &AnghaConfig) -> AnghaCorpus {
+    AnghaCorpus {
+        entries: stream(config).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +139,27 @@ mod tests {
         for (name, _, m) in &generate(&cfg).entries {
             verify_module(m).unwrap_or_else(|e| panic!("{name} failed: {e:?}"));
         }
+    }
+
+    #[test]
+    fn stream_matches_generate_and_is_lazy() {
+        let cfg = AnghaConfig {
+            seed: 7,
+            functions: 30,
+        };
+        let eager = generate(&cfg);
+        let mut s = stream(&cfg);
+        assert_eq!(s.len(), 30);
+        for (i, (name, kind, m)) in eager.entries.iter().enumerate() {
+            let (sn, sk, sm) = s.next().unwrap();
+            assert_eq!(&sn, name, "entry {i}");
+            assert_eq!(&sk, kind);
+            assert_eq!(
+                rolag_ir::printer::print_module(&sm),
+                rolag_ir::printer::print_module(m)
+            );
+        }
+        assert!(s.next().is_none());
     }
 
     #[test]

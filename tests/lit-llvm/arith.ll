@@ -1,0 +1,14 @@
+; Basic integer arithmetic, comparisons, and select import to the
+; matching native opcodes; wrapping flags are dropped.
+; CHECK: func @clamp_add(i32 %p0, i32 %p1) -> i32 {
+; CHECK: %2 = add i32 %p0, %p1
+; CHECK-NEXT: %3 = icmp sgt %2, i32 255
+; CHECK-NEXT: %4 = select i32 %3, i32 255, %2
+; CHECK-NEXT: ret %4
+define i32 @clamp_add(i32 %a, i32 %b) {
+entry:
+  %s = add nsw i32 %a, %b
+  %big = icmp sgt i32 %s, 255
+  %r = select i1 %big, i32 255, i32 %s
+  ret i32 %r
+}

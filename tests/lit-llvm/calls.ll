@@ -1,0 +1,19 @@
+; External declarations keep their effects; debug intrinsic calls are
+; dropped rather than skipped (only the metadata-typed declaration
+; itself is out of subset).
+; SKIP: @llvm.dbg.value unsupported-type
+; CHECK: declare @emit(i32 %p0) -> i32 readwrite
+; CHECK: func @twice(i32 %p0) -> i32 {
+; CHECK: %1 = call i32 @emit(%p0)
+; CHECK-NEXT: %2 = call i32 @emit(%1)
+; CHECK-NEXT: ret %2
+declare i32 @emit(i32) nounwind
+declare void @llvm.dbg.value(metadata, metadata, metadata)
+
+define i32 @twice(i32 %x) {
+entry:
+  call void @llvm.dbg.value(metadata i32 %x, metadata !1, metadata !2), !dbg !3
+  %a = tail call i32 @emit(i32 %x)
+  %b = call i32 @emit(i32 %a)
+  ret i32 %b
+}

@@ -1,0 +1,27 @@
+; Branches and phis: a counted loop imports with its phi incoming
+; edges intact.
+; CHECK: func @sum_to(i64 %p0) -> i64 {
+; CHECK: entry:
+; CHECK-NEXT: br loop
+; CHECK: loop:
+; CHECK-NEXT: %1 = phi i64 [ i64 0, entry ], [ %4, loop ]
+; CHECK-NEXT: %2 = phi i64 [ i64 0, entry ], [ %3, loop ]
+; CHECK-NEXT: %3 = add i64 %2, %1
+; CHECK-NEXT: %4 = add i64 %1, i64 1
+; CHECK-NEXT: %5 = icmp eq %4, %p0
+; CHECK-NEXT: condbr %5, exit, loop
+; CHECK: exit:
+; CHECK-NEXT: ret %3
+define i64 @sum_to(i64 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i64 [ 0, %entry ], [ %i.next, %loop ]
+  %acc = phi i64 [ 0, %entry ], [ %acc.next, %loop ]
+  %acc.next = add i64 %acc, %i
+  %i.next = add i64 %i, 1
+  %done = icmp eq i64 %i.next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i64 %acc.next
+}

@@ -1,0 +1,18 @@
+; Float arithmetic: fneg becomes a subtraction from negative zero and
+; fast-math flags are dropped.
+; CHECK: func @mix(double %p0, double %p1) -> double {
+; CHECK: %2 = fsub double double -0.0, %p0
+; CHECK-NEXT: %3 = fmul double %2, %p1
+; CHECK-NEXT: %4 = fadd double %3, double 1.5
+; CHECK-NEXT: %5 = fcmp olt %4, double 0.0
+; CHECK-NEXT: %6 = select double %5, double 0.0, %4
+; CHECK-NEXT: ret %6
+define double @mix(double %x, double %y) {
+entry:
+  %n = fneg double %x
+  %p = fmul fast double %n, %y
+  %s = fadd double %p, 1.5
+  %cold = fcmp olt double %s, 0.0
+  %r = select i1 %cold, double 0.0, double %s
+  ret double %r
+}

@@ -1,0 +1,17 @@
+; Global arrays import with their initializers; zeroinitializer maps
+; to a zero-filled global.
+; CHECK: const @table : [4 x i32] = ints i32 [1, 2, 3, 4]
+; CHECK-NEXT: global @scratch : [8 x i8] = zero
+; CHECK: func @first() -> i32 {
+; CHECK: %0 = gep [4 x i32], @table, i64 0, i64 0
+; CHECK-NEXT: %1 = load i32, %0
+; CHECK-NEXT: ret %1
+@table = internal constant [4 x i32] [i32 1, i32 2, i32 3, i32 4], align 4
+@scratch = global [8 x i8] zeroinitializer
+
+define i32 @first() {
+entry:
+  %p = getelementptr inbounds [4 x i32], ptr @table, i64 0, i64 0
+  %v = load i32, ptr %p
+  ret i32 %v
+}

@@ -1,0 +1,22 @@
+; Alloca, gep chains, and load/store round-trip through the importer;
+; alignment and inbounds annotations are dropped.
+; CHECK: func @swap(ptr %p0) -> void {
+; CHECK: %1 = alloca i32
+; CHECK-NEXT: %2 = gep i32, %p0, i64 1
+; CHECK-NEXT: %3 = load i32, %p0
+; CHECK-NEXT: %4 = load i32, %2
+; CHECK-NEXT: store %4, %p0
+; CHECK-NEXT: store %3, %2
+; CHECK-NEXT: store %3, %1
+; CHECK-NEXT: ret
+define void @swap(ptr %p) {
+entry:
+  %tmp = alloca i32, align 4
+  %q = getelementptr inbounds i32, ptr %p, i64 1
+  %a = load i32, ptr %p, align 4
+  %b = load i32, ptr %q, align 4
+  store i32 %b, ptr %p, align 4
+  store i32 %a, ptr %q, align 4
+  store i32 %a, ptr %tmp
+  ret void
+}

@@ -1,0 +1,33 @@
+; Out-of-subset functions are skipped one at a time with a reason
+; code; in-subset functions in the same module still import. A
+; skipped definition leaves a declaration behind when something in
+; the module may still reference it.
+; SKIP: @vec_add unsupported-type
+; SKIP: @spin atomics
+; SKIP: @printf_like varargs
+; CHECK: declare @spin(ptr %p0) -> void readwrite
+; CHECK: func @ok(i32 %p0) -> i32 {
+; CHECK: %1 = mul i32 %p0, i32 3
+; CHECK-NEXT: ret %1
+define <4 x i32> @vec_add(<4 x i32> %a, <4 x i32> %b) {
+entry:
+  %s = add <4 x i32> %a, %b
+  ret <4 x i32> %s
+}
+
+define void @spin(ptr %p) {
+entry:
+  %old = atomicrmw add ptr %p, i32 1 seq_cst
+  ret void
+}
+
+define i32 @printf_like(ptr %fmt, ...) {
+entry:
+  ret i32 0
+}
+
+define i32 @ok(i32 %x) {
+entry:
+  %d = mul i32 %x, 3
+  ret i32 %d
+}

@@ -1,0 +1,28 @@
+; The native IR has no switch: the importer lowers it to a compare
+; chain, retargeting phis in the destinations.
+; CHECK: entry:
+; CHECK-NEXT: %1 = icmp eq %p0, i32 0
+; CHECK-NEXT: condbr %1, zero, entry.sw0
+; CHECK: entry.sw0:
+; CHECK-NEXT: %2 = icmp eq %p0, i32 1
+; CHECK-NEXT: condbr %2, one, other
+; CHECK: join:
+; CHECK-NEXT: %3 = phi i32 [ i32 10, zero ], [ i32 11, one ], [ i32 12, other ]
+; CHECK-NEXT: ret %3
+; CHECK-COUNT-2: icmp eq
+define i32 @classify(i32 %x) {
+entry:
+  switch i32 %x, label %other [
+    i32 0, label %zero
+    i32 1, label %one
+  ]
+zero:
+  br label %join
+one:
+  br label %join
+other:
+  br label %join
+join:
+  %r = phi i32 [ 10, %zero ], [ 11, %one ], [ 12, %other ]
+  ret i32 %r
+}

@@ -1,0 +1,156 @@
+//! A lit-style golden-test suite over `tests/lit-llvm/*.ll`.
+//!
+//! Every file is an LLVM-subset module fed through the LLVM frontend.
+//! `; CHECK...` lines are FileCheck-style directives matched against
+//! the canonical native print of the imported module, and `; SKIP:
+//! @name code` lines assert that a function was skipped with exactly
+//! that reason code. Functions not named in a `; SKIP:` line must
+//! import without a skip.
+//!
+//! Like `tests/lit.rs`, the check script is derived from the golden
+//! line-for-line so failed directives render as caret diagnostics
+//! pointing at the original `.ll` file.
+
+use std::path::{Path, PathBuf};
+
+use rolag_frontend::llvm::LlvmFrontend;
+use rolag_frontend::Frontend;
+use rolag_ir::filecheck::filecheck;
+use rolag_ir::printer::print_module;
+
+fn lit_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("lit-llvm")
+}
+
+fn discover() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(lit_dir())
+        .expect("tests/lit-llvm exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ll"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// `; SKIP: @name code` expectations of a golden.
+fn skip_expectations(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("; SKIP:") else {
+            continue;
+        };
+        let mut parts = rest.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(name), Some(code), None) if name.starts_with('@') => {
+                out.push((name[1..].to_string(), code.to_string()));
+            }
+            _ => return Err(format!("malformed `; SKIP:` line: {line}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Derives the check script: `; CHECK...` lines keep their line number
+/// and column (the `;` becomes a space), everything else goes blank.
+fn check_script(text: &str) -> String {
+    text.lines()
+        .map(|l| {
+            if l.trim_start().starts_with("; CHECK") {
+                l.replacen(';', " ", 1)
+            } else {
+                String::new()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Runs one golden end to end. `Err` is the full diagnostic to report.
+fn run_golden(origin: &str, text: &str) -> Result<(), String> {
+    let expected = skip_expectations(text).map_err(|e| format!("{origin}: {e}"))?;
+    let res = LlvmFrontend
+        .parse(text.as_bytes(), origin)
+        .map_err(|d| d.render(text))?;
+
+    let mut actual: Vec<(String, String)> = res
+        .skips
+        .iter()
+        .map(|s| (s.symbol.clone(), s.code.code().to_string()))
+        .collect();
+    actual.sort();
+    let mut want = expected;
+    want.sort();
+    if actual != want {
+        return Err(format!(
+            "{origin}: skip mismatch\n  expected: {want:?}\n  actual:   {actual:?}"
+        ));
+    }
+
+    let printed = print_module(&res.module);
+    let script = check_script(text);
+    filecheck(&printed, &script).map_err(|e| {
+        format!(
+            "{}\n--- canonical import ---\n{printed}",
+            e.render(origin, &script)
+        )
+    })
+}
+
+#[test]
+fn llvm_lit_goldens_pass() {
+    let files = discover();
+    assert!(!files.is_empty(), "no goldens in {}", lit_dir().display());
+    let mut failures = Vec::new();
+    for path in &files {
+        let origin = format!(
+            "tests/lit-llvm/{}",
+            path.file_name().unwrap().to_string_lossy()
+        );
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        if let Err(diag) = run_golden(&origin, &text) {
+            failures.push(diag);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {} LLVM lit golden(s) failed:\n\n{}",
+        failures.len(),
+        files.len(),
+        failures.join("\n\n")
+    );
+}
+
+#[test]
+fn llvm_lit_suite_is_seeded() {
+    let files = discover();
+    assert!(
+        files.len() >= 8,
+        "the LLVM lit suite should hold at least 8 goldens, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn unexpected_skips_fail_the_golden() {
+    let text = "\
+define void @spin(ptr %p) {
+entry:
+  %old = atomicrmw add ptr %p, i32 1 seq_cst
+  ret void
+}
+";
+    let err = run_golden("u.ll", text).unwrap_err();
+    assert!(err.contains("skip mismatch"), "got: {err}");
+    assert!(err.contains("atomics"), "got: {err}");
+}
+
+#[test]
+fn module_fatal_inputs_render_caret_diagnostics() {
+    let text = "define i32 @f(\n";
+    let err = run_golden("m.ll", text).unwrap_err();
+    assert!(err.contains("m.ll:"), "got: {err}");
+    assert!(err.contains('^'), "caret diagnostic expected, got: {err}");
+}
