@@ -1,0 +1,241 @@
+//! Greedy-vs-beam search benchmark: the default greedy engine against the
+//! validator-gated beam (`beam:4`) on the unrolled TSVC kernels and an
+//! AnghaBench-style slice.
+//!
+//! Besides the usual min/median/mean table this bench writes
+//! `BENCH_search.json` at the repository root: per-strategy wall time,
+//! total measured text bytes per corpus and strategy, and the beam's
+//! search counters (explored/pruned/tv-rejected/adopted). CI re-reads the
+//! checked-in JSON with `--check-bench <path>` and fails when the beam's
+//! recorded tsvc24 total exceeds greedy's — the monotonicity the search
+//! engine promises by construction.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use rolag::{roll_module, RolagOptions, RolagStats, SearchConfig};
+use rolag_bench::harness::{BenchGroup, Measurement};
+use rolag_ir::Module;
+use rolag_lower::measure_module;
+use rolag_suites::angha::{generate, AnghaConfig};
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::{cleanup_module, cse_module, unroll_module};
+
+fn tsvc_inputs(n: usize) -> Vec<Module> {
+    all_kernels()
+        .iter()
+        .take(n)
+        .map(|spec| {
+            let mut m = build_kernel_module(spec);
+            unroll_module(&mut m, 8);
+            cse_module(&mut m);
+            cleanup_module(&mut m);
+            m
+        })
+        .collect()
+}
+
+fn angha_inputs(functions: usize) -> Vec<Module> {
+    generate(&AnghaConfig {
+        functions,
+        ..AnghaConfig::default()
+    })
+    .entries
+    .into_iter()
+    .map(|(_, _, m)| m)
+    .collect()
+}
+
+fn beam4() -> RolagOptions {
+    RolagOptions {
+        search: SearchConfig::Beam {
+            width: 4,
+            depth: SearchConfig::DEFAULT_DEPTH,
+        },
+        ..RolagOptions::default()
+    }
+}
+
+/// Rolls every module with `opts`; returns the summed post-roll text
+/// bytes and the accumulated statistics.
+fn roll_corpus(inputs: &[Module], opts: &RolagOptions) -> (u64, RolagStats) {
+    let mut text = 0u64;
+    let mut stats = RolagStats::default();
+    for m in inputs {
+        let mut m = m.clone();
+        stats += roll_module(&mut m, opts);
+        text += measure_module(&m).text;
+    }
+    (text, stats)
+}
+
+/// `"label": {...}` JSON object for one measurement.
+fn bench_json(m: &Measurement) -> String {
+    format!(
+        "{{\"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}",
+        m.min().as_nanos(),
+        m.median().as_nanos(),
+        m.mean().as_nanos()
+    )
+}
+
+/// Extracts the integer value of `"key": N` from hand-rolled JSON. The
+/// schema keeps every checked key globally unique, so plain text search
+/// is exact.
+fn json_u64(text: &str, key: &str) -> Result<u64, String> {
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .ok_or_else(|| format!("key \"{key}\" not found"))?;
+    let rest = text[at + needle.len()..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits
+        .parse()
+        .map_err(|_| format!("key \"{key}\" has no integer value"))
+}
+
+/// The workspace root, where `BENCH_search.json` lives.
+/// `CARGO_MANIFEST_DIR` is `crates/bench`.
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+}
+
+/// `--check-bench <path>`: re-reads a previously written
+/// `BENCH_search.json` and enforces the size gate — the beam:4 total on
+/// tsvc24 must not exceed greedy's. Exits non-zero on violation.
+/// Relative paths resolve against the workspace root (where the bench
+/// writes the JSON), since `cargo bench` runs with the package as cwd.
+fn check_bench(path: &Path) -> Result<(), String> {
+    let path = if path.is_relative() {
+        repo_root().join(path)
+    } else {
+        path.to_path_buf()
+    };
+    let path = path.as_path();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let greedy = json_u64(&text, "greedy_text_tsvc24")?;
+    let beam = json_u64(&text, "beam4_text_tsvc24")?;
+    if beam > greedy {
+        return Err(format!(
+            "beam:4 rolled tsvc24 to {beam} text bytes, more than greedy's {greedy}"
+        ));
+    }
+    println!("check-bench ok: tsvc24 beam:4 {beam} B <= greedy {greedy} B");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--check-bench") {
+        let path = args.get(i + 1).map(Path::new).unwrap_or_else(|| {
+            eprintln!("--check-bench needs a path");
+            std::process::exit(1);
+        });
+        if let Err(e) = check_bench(path) {
+            eprintln!("check-bench FAILED: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let greedy_opts = RolagOptions::default();
+    let beam_opts = beam4();
+    let tsvc = tsvc_inputs(24);
+    let angha = angha_inputs(64);
+
+    let mut group = BenchGroup::new("search", 5);
+    group.bench_batched(
+        "greedy_tsvc24",
+        || tsvc.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module(m, &greedy_opts);
+            }
+        },
+    );
+    group.bench_batched(
+        "beam4_tsvc24",
+        || tsvc.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module(m, &beam_opts);
+            }
+        },
+    );
+    group.bench_batched(
+        "greedy_angha64",
+        || angha.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module(m, &greedy_opts);
+            }
+        },
+    );
+    group.bench_batched(
+        "beam4_angha64",
+        || angha.clone(),
+        |mut modules| {
+            for m in &mut modules {
+                roll_module(m, &beam_opts);
+            }
+        },
+    );
+    let results = group.finish();
+
+    // One instrumented run per corpus and strategy for the size totals
+    // and the beam's search counters.
+    let (greedy_text_tsvc, _) = roll_corpus(&tsvc, &greedy_opts);
+    let (beam_text_tsvc, beam_stats_tsvc) = roll_corpus(&tsvc, &beam_opts);
+    let (greedy_text_angha, _) = roll_corpus(&angha, &greedy_opts);
+    let (beam_text_angha, beam_stats_angha) = roll_corpus(&angha, &beam_opts);
+
+    println!("tsvc24  text: greedy {greedy_text_tsvc} B, beam:4 {beam_text_tsvc} B");
+    println!("angha64 text: greedy {greedy_text_angha} B, beam:4 {beam_text_angha} B");
+    for (corpus, s) in [("tsvc24", &beam_stats_tsvc), ("angha64", &beam_stats_angha)] {
+        for (counter, n) in s.search.rows() {
+            println!("search {corpus} {counter:<14} {n:>8}");
+        }
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"search\",\n  \"samples\": 5,\n");
+    json.push_str("  \"benchmarks\": {\n");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    \"{}\": {}{sep}", m.label, bench_json(m));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"sizes\": {\n");
+    let _ = writeln!(
+        json,
+        "    \"greedy_text_tsvc24\": {greedy_text_tsvc},\n    \
+         \"beam4_text_tsvc24\": {beam_text_tsvc},\n    \
+         \"greedy_text_angha64\": {greedy_text_angha},\n    \
+         \"beam4_text_angha64\": {beam_text_angha}"
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"search_stats\": {\n");
+    for (i, (corpus, s)) in [("tsvc24", &beam_stats_tsvc), ("angha64", &beam_stats_angha)]
+        .iter()
+        .enumerate()
+    {
+        let rows = s.search.rows();
+        let _ = write!(json, "    \"{corpus}\": {{");
+        for (j, (counter, n)) in rows.iter().enumerate() {
+            let sep = if j + 1 < rows.len() { ", " } else { "" };
+            let _ = write!(json, "\"{counter}\": {n}{sep}");
+        }
+        let sep = if i == 0 { "," } else { "" };
+        let _ = writeln!(json, "}}{sep}");
+    }
+    json.push_str("  }\n}\n");
+
+    let path = repo_root().join("BENCH_search.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

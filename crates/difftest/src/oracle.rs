@@ -73,11 +73,17 @@ pub enum Pipeline {
     /// comparison against the original module cross-checks the static
     /// verdict against the interpreting oracle.
     RolagTv,
+    /// Validator-gated beam search (`rolag-search<4>`), cross-checked
+    /// against the greedy pass: the searched module must never measure
+    /// more text bytes than the greedy result (per-function monotonicity
+    /// summed over the module) — then the usual dynamic comparison
+    /// checks the searched module against the original.
+    RolagSearch,
 }
 
 impl Pipeline {
     /// Every pipeline, in the order `--pipelines all` runs them.
-    pub const ALL: [Pipeline; 11] = [
+    pub const ALL: [Pipeline; 12] = [
         Pipeline::RoundTrip,
         Pipeline::BinaryRoundTrip,
         Pipeline::Unroll,
@@ -89,6 +95,7 @@ impl Pipeline {
         Pipeline::RolagPar,
         Pipeline::RolagIncremental,
         Pipeline::RolagTv,
+        Pipeline::RolagSearch,
     ];
 
     /// Stable command-line name.
@@ -105,6 +112,7 @@ impl Pipeline {
             Pipeline::RolagPar => "rolag-par",
             Pipeline::RolagIncremental => "rolag-incremental",
             Pipeline::RolagTv => "rolag-tv",
+            Pipeline::RolagSearch => "rolag-search",
         }
     }
 
@@ -124,7 +132,8 @@ impl Pipeline {
             | Pipeline::BinaryRoundTrip
             | Pipeline::RolagPar
             | Pipeline::RolagIncremental
-            | Pipeline::RolagTv => None,
+            | Pipeline::RolagTv
+            | Pipeline::RolagSearch => None,
         }
     }
 
@@ -345,6 +354,25 @@ pub fn apply_pipeline_checked(
             }
             if print_module(&m) != print_module(&plain) {
                 return diverge("validated pass output differs from the unvalidated pass".into());
+            }
+            Ok(m)
+        }
+        Pipeline::RolagSearch => {
+            let (greedy, greedy_stats) = run_spec(module, "rolag", None, verify_each)?;
+            let (m, search_stats) = run_spec(module, "rolag-search<4>", None, verify_each)?;
+            let (greedy_stats, search_stats) = (
+                greedy_stats.unwrap_or_default(),
+                search_stats.unwrap_or_default(),
+            );
+            if greedy_stats.rescued + search_stats.rescued > 0 {
+                return diverge("engine panicked during the search run (rescued)".into());
+            }
+            let greedy_text = rolag_lower::measure_module(&greedy).text;
+            let search_text = rolag_lower::measure_module(&m).text;
+            if search_text > greedy_text {
+                return diverge(format!(
+                    "beam search measured more text bytes than greedy: {search_text} vs {greedy_text}"
+                ));
             }
             Ok(m)
         }

@@ -39,6 +39,9 @@
 //!                              counters, and analysis-cache hit rates)
 //!   --jobs <N>                 run rolag through the parallel memoizing
 //!                              driver with N workers (0 = all cores)
+//!   --search <strategy>        alignment search strategy for every rolag
+//!                              pass: greedy (default), beam:<k>, or
+//!                              beam:<k>:<d> (beam width k, rollout depth d)
 //!   --serve <socket>           client mode: submit the module to a running
 //!                              rolag-serve daemon instead of rolling
 //!                              locally, and print the returned module
@@ -65,7 +68,7 @@
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
-use rolag::RolagOptions;
+use rolag::{RolagOptions, SearchConfig};
 use rolag_analysis::cost::TargetKind;
 use rolag_frontend::corpus::{open_corpus, roll_corpus, ContainerWriter, CorpusOptions};
 use rolag_frontend::{emit::emit_llvm, FrontendKind, Skip};
@@ -100,6 +103,7 @@ struct Cli {
     input: Option<String>,
     target: TargetKind,
     jobs: Option<usize>,
+    search: Option<SearchConfig>,
     serve: Option<String>,
     serve_options: Option<String>,
     validate_rewrites: bool,
@@ -123,7 +127,8 @@ fn usage() -> String {
          options: --passes <spec> --list-passes --frontend <auto|rir|llvm> \
          --emit <text|binary|llvm> -o <path> --corpus <path> \
          --mem-budget <N[K|M|G]> --target <x86-64|thumb2> \
-         --jobs <N> --serve <socket> --serve-options <preset> \
+         --jobs <N> --search <greedy|beam:k[:d]> \
+         --serve <socket> --serve-options <preset> \
          --validate-rewrites --measure --stats --time-passes \
          --print-changed --verify-each --interp <func> --check --quiet \
          --verify-only\n\
@@ -185,6 +190,12 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
             "--jobs" => {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 cli.jobs = Some(v.parse().map_err(|_| format!("bad job count {v}"))?);
+            }
+            "--search" => {
+                let v = it
+                    .next()
+                    .ok_or("--search needs a strategy (greedy, beam:<k>, beam:<k>:<d>)")?;
+                cli.search = Some(SearchConfig::parse(v)?);
             }
             "--serve" => {
                 cli.serve = Some(it.next().ok_or("--serve needs a socket path")?.clone());
@@ -580,6 +591,7 @@ fn main() -> ExitCode {
     let mut cx = PassContext::new(cli.target);
     cx.jobs = cli.jobs;
     cx.validate_rewrites = cli.validate_rewrites;
+    cx.search = cli.search;
 
     let report = match pm.run(&mut module, &mut am, &mut cx) {
         Ok(report) => report,
@@ -691,6 +703,7 @@ fn run_corpus(cli: &Cli, path: &str) -> ExitCode {
     let opts = RolagOptions {
         validate: cli.validate_rewrites,
         target: cli.target,
+        search: cli.search.unwrap_or_default(),
         ..Default::default()
     };
     let copts = CorpusOptions {

@@ -40,6 +40,10 @@ pub struct PassContext {
     /// (the `rolag-opt --validate-rewrites` flag); `tv`-flavoured passes
     /// validate regardless.
     pub validate_rewrites: bool,
+    /// Override the search strategy of every rolag engine run (the
+    /// `rolag-opt --search` flag); `None` keeps each pass's configured
+    /// strategy.
+    pub search: Option<rolag::SearchConfig>,
     lines: Vec<String>,
     rolag: Option<RolagStats>,
     driver: Option<DriverReport>,
@@ -52,6 +56,7 @@ impl PassContext {
             target,
             jobs: None,
             validate_rewrites: false,
+            search: None,
             lines: Vec::new(),
             rolag: None,
             driver: None,

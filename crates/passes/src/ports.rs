@@ -315,7 +315,7 @@ pub enum RolagEngine {
 
 /// RoLAG loop rolling — the paper's technique.
 pub struct RolagPass {
-    name: &'static str,
+    name: String,
     options: RolagOptions,
     engine: RolagEngine,
 }
@@ -329,9 +329,9 @@ impl RolagPass {
     /// A named configuration. The stored options' target is overridden by
     /// the [`PassContext`] target at run time, exactly as the legacy
     /// driver did.
-    pub fn with(name: &'static str, options: RolagOptions, engine: RolagEngine) -> Self {
+    pub fn with(name: impl Into<String>, options: RolagOptions, engine: RolagEngine) -> Self {
         RolagPass {
-            name,
+            name: name.into(),
             options,
             engine,
         }
@@ -346,7 +346,7 @@ impl Default for RolagPass {
 
 impl ModulePass for RolagPass {
     fn name(&self) -> String {
-        self.name.into()
+        self.name.clone()
     }
 
     fn run(
@@ -358,6 +358,7 @@ impl ModulePass for RolagPass {
         let opts = RolagOptions {
             target: cx.target,
             validate: self.options.validate || cx.validate_rewrites,
+            search: cx.search.unwrap_or(self.options.search),
             ..self.options.clone()
         };
         let stats = match (self.engine, cx.jobs) {
@@ -398,6 +399,11 @@ impl ModulePass for RolagPass {
         }
         for (counter, n) in stats.cache.rows() {
             cx.note(format!("  cache {counter:<20} {n:>10}"));
+        }
+        if stats.search.explored > 0 {
+            for (counter, n) in stats.search.rows() {
+                cx.note(format!("  search {counter:<19} {n:>10}"));
+            }
         }
         let rolled = stats.rolled;
         cx.record_rolag(stats);

@@ -67,6 +67,24 @@ fn build_unroll(param: Option<&str>) -> Result<Box<dyn ModulePass>, String> {
     Ok(Box::new(UnrollPass { factor }))
 }
 
+fn build_search(param: Option<&str>) -> Result<Box<dyn ModulePass>, String> {
+    let width: usize = match param {
+        Some(text) => text
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad beam width `{text}`: expected an integer"))?,
+        None => 4,
+    };
+    if width == 0 {
+        return Err("beam width must be at least 1".to_string());
+    }
+    Ok(Box::new(RolagPass::with(
+        format!("rolag-search<{width}>"),
+        RolagOptions::searched(width),
+        RolagEngine::Incremental,
+    )))
+}
+
 macro_rules! simple {
     ($name:literal, $make:expr) => {
         |param| {
@@ -144,6 +162,13 @@ impl PassRegistry {
                         "tv",
                         RolagPass::with("tv", RolagOptions::validated(), RolagEngine::Incremental)
                     ),
+                },
+                PassInfo {
+                    name: "rolag-search",
+                    param: Some("k"),
+                    summary:
+                        "validator-gated beam search over rolling alignments (width k, default 4)",
+                    build: build_search,
                 },
                 PassInfo {
                     name: "reroll",
@@ -341,6 +366,20 @@ mod tests {
 
         let err = parse_err("cse<3>");
         assert!(err.message.contains("takes no parameter"));
+    }
+
+    #[test]
+    fn search_pass_defaults_and_diagnostics() {
+        let reg = PassRegistry::builtin();
+        let passes = reg.parse_pipeline("rolag-search").unwrap();
+        assert_eq!(passes[0].name(), "rolag-search<4>");
+        let passes = reg.parse_pipeline("rolag-search<2>").unwrap();
+        assert_eq!(passes[0].name(), "rolag-search<2>");
+
+        let err = parse_err("rolag-search<0>");
+        assert!(err.message.contains("at least 1"));
+        let err = parse_err("rolag-search<wide>");
+        assert!(err.message.contains("bad beam width `wide`"));
     }
 
     #[test]

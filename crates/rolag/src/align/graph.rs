@@ -75,6 +75,16 @@ pub enum NodeKind {
     },
 }
 
+/// Candidate-level annotations for [`AlignGraph::to_dot_with`].
+#[derive(Debug, Clone, Default)]
+pub struct DotInfo {
+    /// Measured code size (bytes) of the speculative rolled function.
+    pub score: Option<u64>,
+    /// Translation-validator verdict for the candidate (`proved`, or the
+    /// rejection's error text).
+    pub verdict: Option<String>,
+}
+
 /// One alignment-graph node: a classification, the per-lane values it
 /// represents, and its operand children.
 #[derive(Debug, Clone)]
@@ -193,8 +203,31 @@ impl AlignGraph {
     /// per node labelled with its kind and lane count, edges to operand
     /// children (recurrence back edges dashed).
     pub fn to_dot(&self) -> String {
+        self.to_dot_with(&DotInfo::default())
+    }
+
+    /// [`AlignGraph::to_dot`] with caller-supplied candidate annotations:
+    /// the beam search attaches its measured score and the translation
+    /// validator's verdict as a graph-level banner, so a rejected
+    /// candidate's dump says *why* it was rejected and what it would have
+    /// cost.
+    pub fn to_dot_with(&self, info: &DotInfo) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("digraph align {\n  rankdir=BT;\n");
+        let mut banner = Vec::new();
+        if let Some(score) = info.score {
+            banner.push(format!("score={score}B"));
+        }
+        if let Some(verdict) = &info.verdict {
+            banner.push(format!("tv={verdict}"));
+        }
+        if !banner.is_empty() {
+            let _ = writeln!(
+                out,
+                "  label=\"{}\";\n  labelloc=t;",
+                banner.join(" ").replace('"', "'")
+            );
+        }
         for id in self.node_ids() {
             let n = self.node(id);
             let label = match &n.kind {
@@ -358,6 +391,104 @@ mod tests {
         assert!(dot.contains("seq 0..,4"));
         assert!(dot.contains("n1 -> n0"));
         assert!(dot.contains("penwidth=2"));
+    }
+
+    /// Byte-exact golden over a graph holding every node kind: any change
+    /// to the dot rendering — a relabelled kind, a dropped edge style, a
+    /// reshuffled attribute — must be made consciously, here.
+    #[test]
+    fn dot_golden_covers_every_node_kind() {
+        let types = rolag_ir::TypeStore::new();
+        let i32t = types.i32();
+        let mut g = AlignGraph::new(4);
+        let seq = g.add_node(leaf(NodeKind::Sequence {
+            start: 2,
+            step: 3,
+            ty: i32t,
+        }));
+        let ident = g.add_node(leaf(NodeKind::Identical));
+        let mis = g.add_node(leaf(NodeKind::Mismatch));
+        let gep = g.add_node(AlignNode {
+            kind: NodeKind::GepNeutral { elem_ty: i32t },
+            lanes: Vec::new(),
+            children: vec![seq],
+        });
+        let neutral = g.add_node(AlignNode {
+            kind: NodeKind::BinOpNeutral {
+                opcode: Opcode::Add,
+                ty: i32t,
+            },
+            lanes: Vec::new(),
+            children: vec![ident],
+        });
+        let red = g.add_node(AlignNode {
+            kind: NodeKind::Reduction {
+                opcode: Opcode::Add,
+                internal: Vec::new(),
+                carry: None,
+                ty: i32t,
+            },
+            lanes: Vec::new(),
+            children: vec![mis],
+        });
+        let root_placeholder = NodeId(7);
+        let rec = g.add_node(AlignNode {
+            kind: NodeKind::Recurrence {
+                init: rolag_ir::ValueId::from_index(0),
+                target: root_placeholder,
+            },
+            lanes: Vec::new(),
+            children: vec![root_placeholder],
+        });
+        let root = g.add_node(AlignNode {
+            kind: NodeKind::Match {
+                opcode: Opcode::Store,
+            },
+            lanes: Vec::new(),
+            children: vec![gep, neutral, red, rec],
+        });
+        assert_eq!(root, root_placeholder);
+        g.roots.push(root);
+
+        let expected = "\
+digraph align {
+  rankdir=BT;
+  label=\"score=25B tv=loop body references an unclaimed value\";
+  labelloc=t;
+  n0 [label=\"seq 2..,3 x0\", shape=ellipse];
+  n1 [label=\"identical x0\", shape=ellipse];
+  n2 [label=\"mismatch x0\", shape=octagon];
+  n3 [label=\"gep+0 x0\", shape=ellipse];
+  n3 -> n0;
+  n4 [label=\"add+neutral x0\", shape=ellipse];
+  n4 -> n1;
+  n5 [label=\"reduce:add x0\", shape=ellipse];
+  n5 -> n2;
+  n6 [label=\"recurrence x0\", shape=ellipse];
+  n6 -> n7 [style=dashed];
+  n7 [label=\"match:store x0\", shape=box];
+  n7 -> n3;
+  n7 -> n4;
+  n7 -> n5;
+  n7 -> n6;
+  n7 [penwidth=2];
+}
+";
+        // The golden is the *annotated* rendering; the plain `to_dot` is
+        // the same text minus the two banner lines.
+        let info = DotInfo {
+            score: Some(25),
+            verdict: Some("loop body references an unclaimed value".into()),
+        };
+        assert_eq!(g.to_dot_with(&info), expected, "dot golden drifted");
+        assert_eq!(
+            g.to_dot(),
+            expected.replace(
+                "  label=\"score=25B tv=loop body references an unclaimed value\";\n  labelloc=t;\n",
+                ""
+            ),
+            "plain dot must be the annotated dot minus the banner"
+        );
     }
 
     #[test]

@@ -2,6 +2,84 @@
 
 use rolag_analysis::cost::TargetKind;
 
+/// Alignment-search strategy (ROADMAP item 5).
+///
+/// `Greedy` is the paper's behaviour: one seed grouping per region, first
+/// profitable candidate wins. `Beam` additionally enumerates alternative
+/// seed groupings (lane reorderings, sub-group splits, trimmed groups; see
+/// `seeds::candidate_variants`), speculates each on the journal, gates every
+/// survivor through the translation validator, and commits whichever
+/// validated candidate the cost model scores smallest.
+///
+/// The variant is part of `RolagOptions`' `Debug` output and therefore of
+/// the memo-store options fingerprint: greedy and beam results never share
+/// a cache slot, so `rolag-serve` / `roll_module_par` replay byte-identically
+/// per configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SearchConfig {
+    /// The paper's greedy engine (the default).
+    #[default]
+    Greedy,
+    /// Beam search over alignment choices.
+    Beam {
+        /// Number of speculated candidates kept alive per step. Width 1 is
+        /// defined to be byte- and stats-identical to `Greedy` (enforced by
+        /// `tests/search_conformance.rs`).
+        width: usize,
+        /// Greedy-rollout depth used to score shortlisted candidates
+        /// (commits simulated past the speculated candidate). `0` means
+        /// unbounded: roll out until the fixpoint dries up.
+        depth: usize,
+    },
+}
+
+impl SearchConfig {
+    /// Default rollout depth when a spec names only the width.
+    pub const DEFAULT_DEPTH: usize = 4;
+
+    /// Parse a `--search` spec: `greedy`, `beam:<width>`, or
+    /// `beam:<width>:<depth>`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec == "greedy" {
+            return Ok(SearchConfig::Greedy);
+        }
+        if let Some(rest) = spec.strip_prefix("beam:") {
+            let mut parts = rest.splitn(2, ':');
+            let width_s = parts.next().unwrap_or("");
+            let width: usize = width_s
+                .parse()
+                .map_err(|_| format!("invalid beam width {width_s:?} in --search {spec:?}"))?;
+            if width == 0 {
+                return Err(format!("beam width must be >= 1 in --search {spec:?}"));
+            }
+            let depth = match parts.next() {
+                Some(d) => d
+                    .parse()
+                    .map_err(|_| format!("invalid beam depth {d:?} in --search {spec:?}"))?,
+                None => Self::DEFAULT_DEPTH,
+            };
+            return Ok(SearchConfig::Beam { width, depth });
+        }
+        Err(format!(
+            "unknown search spec {spec:?} (expected greedy, beam:<width>, or beam:<width>:<depth>)"
+        ))
+    }
+
+    /// The canonical spec string `parse` accepts back.
+    pub fn spec(&self) -> String {
+        match self {
+            SearchConfig::Greedy => "greedy".to_string(),
+            SearchConfig::Beam { width, depth } => format!("beam:{width}:{depth}"),
+        }
+    }
+
+    /// True when this configuration actually runs the beam engine (width
+    /// >= 2); width-1 beams delegate to the greedy engine wholesale.
+    pub fn is_beam(&self) -> bool {
+        matches!(self, SearchConfig::Beam { width, .. } if *width >= 2)
+    }
+}
+
 /// Options controlling the RoLAG pass.
 ///
 /// The `enable_*` switches exist for the paper's ablation discussion
@@ -53,6 +131,10 @@ pub struct RolagOptions {
     /// price of re-lowering changed blocks; the incremental engine keeps a
     /// per-block regalloc sketch so unchanged blocks are never re-selected.
     pub measured_cost: bool,
+    /// Alignment-search strategy (greedy, or validator-gated beam search
+    /// over alternative seed groupings). Part of the options fingerprint:
+    /// memo/serve cache slots are keyed per search configuration.
+    pub search: SearchConfig,
 }
 
 impl Default for RolagOptions {
@@ -73,6 +155,7 @@ impl Default for RolagOptions {
             enable_value_chains: false,
             target: TargetKind::default(),
             measured_cost: false,
+            search: SearchConfig::Greedy,
         }
     }
 }
@@ -123,6 +206,18 @@ impl RolagOptions {
             ..RolagOptions::default()
         }
     }
+
+    /// The default configuration with a beam search of the given width
+    /// (default rollout depth).
+    pub fn searched(width: usize) -> Self {
+        RolagOptions {
+            search: SearchConfig::Beam {
+                width,
+                depth: SearchConfig::DEFAULT_DEPTH,
+            },
+            ..RolagOptions::default()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -142,5 +237,44 @@ mod tests {
         assert!(!o.enable_sequences && !o.enable_recurrences);
         assert!(o.cleanup);
         assert_eq!(o.min_lanes, 2);
+    }
+
+    #[test]
+    fn search_spec_round_trips() {
+        assert_eq!(SearchConfig::parse("greedy").unwrap(), SearchConfig::Greedy);
+        assert_eq!(
+            SearchConfig::parse("beam:4").unwrap(),
+            SearchConfig::Beam {
+                width: 4,
+                depth: SearchConfig::DEFAULT_DEPTH
+            }
+        );
+        assert_eq!(
+            SearchConfig::parse("beam:2:7").unwrap(),
+            SearchConfig::Beam { width: 2, depth: 7 }
+        );
+        for spec in ["greedy", "beam:4:4", "beam:2:7"] {
+            let cfg = SearchConfig::parse(spec).unwrap();
+            assert_eq!(SearchConfig::parse(&cfg.spec()).unwrap(), cfg);
+        }
+        assert!(SearchConfig::parse("beam:0").is_err());
+        assert!(SearchConfig::parse("beam:x").is_err());
+        assert!(SearchConfig::parse("dfs").is_err());
+    }
+
+    #[test]
+    fn beam_width_one_is_not_a_beam() {
+        assert!(!SearchConfig::Beam { width: 1, depth: 4 }.is_beam());
+        assert!(SearchConfig::Beam { width: 2, depth: 4 }.is_beam());
+        assert!(!SearchConfig::Greedy.is_beam());
+    }
+
+    #[test]
+    fn search_is_part_of_the_debug_fingerprint() {
+        // The memo/serve stores key entries on `format!("{opts:?}")`; two
+        // configurations differing only in search must never share a slot.
+        let greedy = RolagOptions::default();
+        let beam = RolagOptions::searched(4);
+        assert_ne!(format!("{greedy:?}"), format!("{beam:?}"));
     }
 }

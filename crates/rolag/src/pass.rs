@@ -30,7 +30,7 @@ use crate::seeds::{collect_block_candidates, collect_candidates, Candidate};
 use crate::stats::RolagStats;
 
 /// Runs `f`, adding its wall-clock to `slot`.
-fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
+pub(crate) fn timed<R>(slot: &mut u64, f: impl FnOnce() -> R) -> R {
     let start = Instant::now();
     let result = f();
     *slot += start.elapsed().as_nanos() as u64;
@@ -68,7 +68,7 @@ fn cached_function_size(
 
 /// The full-rescan reference engine's function size: always computed from
 /// scratch.
-fn fresh_function_size(module: &Module, work: &Function, opts: &RolagOptions) -> u64 {
+pub(crate) fn fresh_function_size(module: &Module, work: &Function, opts: &RolagOptions) -> u64 {
     if opts.measured_cost {
         rolag_lower::measure_function(module, work) as u64
     } else {
@@ -99,6 +99,12 @@ pub fn roll_function_with(
     opts: &RolagOptions,
     effects: &[Effects],
 ) -> RolagStats {
+    // Beam search (width >= 2) runs its own engine; width-1 beams fall
+    // through to the greedy body below, which makes `beam:1` byte- and
+    // stats-identical to greedy by construction (tests/search_conformance).
+    if opts.search.is_beam() {
+        return crate::search::search_function_with(module, id, opts, effects);
+    }
     let mut stats = RolagStats::default();
     if module.func(id).is_declaration {
         return stats;
@@ -380,7 +386,7 @@ enum IncrAttempt {
 /// Graph build stage, shared by both engines. Builds against the *shared*
 /// working function (cheap-reject: no clone yet); interning synthetic
 /// constants into it is inert (see [`build_candidate_graph`]).
-fn build_graph(
+pub(crate) fn build_graph(
     module: &Module,
     work: &mut Function,
     cand: &Candidate,
@@ -393,7 +399,7 @@ fn build_graph(
 }
 
 /// Scheduling stage, shared by both engines.
-fn analyze_schedule(
+pub(crate) fn analyze_schedule(
     module: &Module,
     work: &Function,
     block: BlockId,
@@ -416,7 +422,7 @@ enum GenReject {
 /// Builds the untrusted hint packet [`validate_rewrite`] needs: the lane
 /// count, the generated block ids, the first rewrite-created global, and
 /// the lane every claimed instruction was assigned to.
-fn rewrite_hints(
+pub(crate) fn rewrite_hints(
     graph: &AlignGraph,
     block: BlockId,
     outcome: &RollOutcome,
@@ -730,7 +736,7 @@ fn try_candidate_incremental(
     }
 }
 
-fn rollback_globals(module: &mut Module, keep: usize) {
+pub(crate) fn rollback_globals(module: &mut Module, keep: usize) {
     while module.num_globals() > keep {
         let last = rolag_ir::GlobalId::from_index(module.num_globals() - 1);
         module.pop_global(last);

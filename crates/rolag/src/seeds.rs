@@ -73,6 +73,94 @@ enum GroupKey {
     Call(rolag_ir::FuncId),
 }
 
+/// Alternative seed groupings of a base candidate for the beam-search
+/// engine (`rolag::search`): the greedy engine proposes exactly one grouping
+/// per region, but a group that fails as a whole may roll as a permutation
+/// or a subset. Each variant is a legal candidate in its own right — it goes
+/// through the same alignment, scheduling, codegen, and validation stages as
+/// a base candidate, so enumeration here can be aggressive.
+///
+/// Variants (single-group `Seeds` candidates only; joint and reduction
+/// candidates already encode their own structure):
+///
+/// - **Lane reorder**: lanes sorted by the seed stores' resolved constant
+///   pointer offsets. Shuffled stores to `a[3], a[0], a[2], a[1]` roll as a
+///   sequence once the lanes are in address order.
+/// - **Sub-group splits**: the first and second halves as independent
+///   groups, when both halves still clear `min_lanes`.
+/// - **Trimmed groups**: the group minus its first (resp. last) lane — one
+///   poisoned lane (a dependence cycle, a mismatched shape) otherwise sinks
+///   the whole group.
+///
+/// The result is deduplicated against the base grouping and bounded (at
+/// most five variants), deterministic, and in a fixed order.
+pub fn candidate_variants(
+    module: &Module,
+    func: &Function,
+    cand: &Candidate,
+    opts: &RolagOptions,
+) -> Vec<Candidate> {
+    let Candidate::Seeds { block, groups } = cand else {
+        return Vec::new();
+    };
+    let [lanes] = groups.as_slice() else {
+        return Vec::new();
+    };
+    let block = *block;
+    let n = lanes.len();
+    let mut out: Vec<Candidate> = Vec::new();
+    let push = |variant: Vec<ValueId>, out: &mut Vec<Candidate>| {
+        if variant.len() < opts.min_lanes || variant == *lanes {
+            return;
+        }
+        let c = Candidate::Seeds {
+            block,
+            groups: vec![variant],
+        };
+        if !out.contains(&c) {
+            out.push(c);
+        }
+    };
+
+    // Lane reorder by resolved constant store offset: only meaningful (and
+    // only well-defined) when every lane is a store whose address resolves
+    // to a constant offset from a common base.
+    let offsets: Option<Vec<i64>> = lanes
+        .iter()
+        .map(|&v| {
+            let ValueDef::Inst(i) = func.value(v) else {
+                return None;
+            };
+            let data = func.inst(*i);
+            if data.opcode != Opcode::Store {
+                return None;
+            }
+            resolve_pointer(module, func, data.operands[1]).offset
+        })
+        .collect();
+    if let Some(offsets) = offsets {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&k| (offsets[k], k));
+        push(order.iter().map(|&k| lanes[k]).collect(), &mut out);
+    }
+
+    // Sub-group splits: both halves must clear the lane gate on their own.
+    let half = n / 2;
+    if half >= opts.min_lanes && n - half >= opts.min_lanes {
+        push(lanes[..half].to_vec(), &mut out);
+        push(lanes[half..].to_vec(), &mut out);
+    }
+
+    // Trimmed groups: drop the first (resp. last) lane.
+    if n > opts.min_lanes {
+        push(lanes[1..].to_vec(), &mut out);
+        push(lanes[..n - 1].to_vec(), &mut out);
+    }
+
+    out.truncate(5);
+    out
+}
+
 /// Collects rolling candidates for every block of `func`.
 pub fn collect_candidates(module: &Module, func: &Function, opts: &RolagOptions) -> Vec<Candidate> {
     let mut out = Vec::new();
@@ -544,6 +632,130 @@ entry:
 "#,
         );
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn variants_enumerate_reorder_split_and_trims() {
+        // 4 stores to @a in shuffled address order: the lane-reorder
+        // variant must sort them; splits and trims must also appear.
+        let (m, c) = candidates(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a3 = gep i32, @a, i64 3
+  store i32 3, %a3
+  %a0 = gep i32, @a, i64 0
+  store i32 0, %a0
+  %a2 = gep i32, @a, i64 2
+  store i32 2, %a2
+  %a1 = gep i32, @a, i64 1
+  store i32 1, %a1
+  ret
+}
+"#,
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let opts = RolagOptions::default();
+        let base = c
+            .iter()
+            .find(|c| matches!(c, Candidate::Seeds { groups, .. } if groups.len() == 1))
+            .expect("one plain store group");
+        let variants = candidate_variants(&m, f, base, &opts);
+        assert!(!variants.is_empty());
+        assert!(variants.len() <= 5, "variant fan-out must stay bounded");
+        let Candidate::Seeds { groups, .. } = base else {
+            unreachable!()
+        };
+        let lanes = &groups[0];
+        let lane_sets: Vec<Vec<ValueId>> = variants
+            .iter()
+            .map(|v| match v {
+                Candidate::Seeds { groups, .. } => groups[0].clone(),
+                _ => unreachable!("variants are single-group seeds"),
+            })
+            .collect();
+        // Lane reorder: same 4 lanes, sorted by offset 0,1,2,3 — i.e. the
+        // block-order lanes at positions 1,3,2,0.
+        let reordered = vec![lanes[1], lanes[3], lanes[2], lanes[0]];
+        assert!(lane_sets.contains(&reordered), "offset-sorted reorder");
+        // Splits: both halves.
+        assert!(lane_sets.contains(&lanes[..2].to_vec()), "first half");
+        assert!(lane_sets.contains(&lanes[2..].to_vec()), "second half");
+        // Trims: drop-first and drop-last.
+        assert!(lane_sets.contains(&lanes[1..].to_vec()), "drop-first");
+        assert!(lane_sets.contains(&lanes[..3].to_vec()), "drop-last");
+        // No variant duplicates the base grouping, and none is too small.
+        for set in &lane_sets {
+            assert_ne!(set, lanes);
+            assert!(set.len() >= opts.min_lanes);
+        }
+    }
+
+    #[test]
+    fn variants_skip_joint_and_reduction_candidates() {
+        let (m, c) = candidates(
+            r#"
+module "t"
+func @f(i32 %p0, i32 %p1, i32 %p2, i32 %p3) -> i32 {
+entry:
+  %s0 = add i32 %p0, %p1
+  %s1 = add i32 %s0, %p2
+  %s2 = add i32 %s1, %p3
+  ret %s2
+}
+"#,
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let opts = RolagOptions::default();
+        let red = c
+            .iter()
+            .find(|c| matches!(c, Candidate::Reduction { .. }))
+            .expect("reduction tree");
+        assert!(candidate_variants(&m, f, red, &opts).is_empty());
+    }
+
+    #[test]
+    fn variants_of_in_order_stores_have_no_reorder() {
+        // Already in address order: the offset sort is the identity and
+        // must be deduplicated away; splits and trims remain.
+        let (m, c) = candidates(
+            r#"
+module "t"
+global @a : [8 x i32] = zero
+func @f() -> void {
+entry:
+  %a0 = gep i32, @a, i64 0
+  store i32 0, %a0
+  %a1 = gep i32, @a, i64 1
+  store i32 1, %a1
+  %a2 = gep i32, @a, i64 2
+  store i32 2, %a2
+  %a3 = gep i32, @a, i64 3
+  store i32 3, %a3
+  ret
+}
+"#,
+        );
+        let f = m.func(m.func_by_name("f").unwrap());
+        let opts = RolagOptions::default();
+        let base = c
+            .iter()
+            .find(|c| matches!(c, Candidate::Seeds { groups, .. } if groups.len() == 1))
+            .unwrap();
+        let Candidate::Seeds { groups, .. } = base else {
+            unreachable!()
+        };
+        let lanes = &groups[0];
+        let variants = candidate_variants(&m, f, base, &opts);
+        for v in &variants {
+            let Candidate::Seeds { groups, .. } = v else {
+                unreachable!()
+            };
+            assert!(groups[0].len() < lanes.len(), "identity reorder deduped");
+        }
+        assert_eq!(variants.len(), 4, "two splits + two trims");
     }
 
     #[test]

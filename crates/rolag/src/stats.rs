@@ -208,6 +208,49 @@ impl AddAssign for FixpointCacheStats {
     }
 }
 
+/// Counters of the beam-search engine (`rolag::search`).
+///
+/// Like [`StageTimings`] and [`FixpointCacheStats`], these are
+/// observability data, not results: the greedy engine never explores
+/// alternatives, and a width-1 beam delegates to greedy wholesale, so the
+/// counters are carried inside [`RolagStats`] but excluded from its
+/// [`PartialEq`] (beam:1 must be stats-identical to greedy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Candidates (base groupings plus variants) speculated on the journal.
+    pub explored: u64,
+    /// Profitable speculations dropped because the beam shortlist was full.
+    pub pruned: u64,
+    /// Speculations the translation validator refused during search; each
+    /// is rolled back and, in the audit configuration, cross-checked
+    /// dynamically (`tests/tv_false_rejects.rs`).
+    pub tv_rejected: u64,
+    /// Functions where the beam's end state measured strictly smaller than
+    /// the greedy trial's and was adopted in its place.
+    pub adopted: u64,
+}
+
+impl SearchStats {
+    /// `(counter, value)` rows for CSV/JSON dumps.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("explored", self.explored),
+            ("pruned", self.pruned),
+            ("tv_rejected", self.tv_rejected),
+            ("adopted", self.adopted),
+        ]
+    }
+}
+
+impl AddAssign for SearchStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.explored += rhs.explored;
+        self.pruned += rhs.pruned;
+        self.tv_rejected += rhs.tv_rejected;
+        self.adopted += rhs.adopted;
+    }
+}
+
 /// Aggregate statistics of one pass run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RolagStats {
@@ -241,6 +284,9 @@ pub struct RolagStats {
     pub timings: StageTimings,
     /// Incremental-engine cache counters (excluded from equality).
     pub cache: FixpointCacheStats,
+    /// Beam-search counters (excluded from equality; all-zero under the
+    /// greedy engine and under width-1 beams, which delegate to greedy).
+    pub search: SearchStats,
 }
 
 impl PartialEq for RolagStats {
@@ -288,6 +334,7 @@ impl AddAssign for RolagStats {
         self.rescued += rhs.rescued;
         self.timings += rhs.timings;
         self.cache += rhs.cache;
+        self.search += rhs.search;
     }
 }
 
@@ -397,6 +444,40 @@ mod tests {
         b.cache.memo_hits = 41;
         b.cache.cand_blocks_reused = 7;
         assert_eq!(a, b, "cache counters must not break equality");
+    }
+
+    #[test]
+    fn equality_ignores_search_counters() {
+        // beam:1 delegates to the greedy engine and must compare
+        // stats-equal to it, so search counters are observability only.
+        let a = RolagStats {
+            rolled: 2,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.search.explored = 12;
+        b.search.tv_rejected = 3;
+        b.search.adopted = 1;
+        assert_eq!(a, b, "search counters must not break equality");
+    }
+
+    #[test]
+    fn search_counters_accumulate_and_row() {
+        let mut a = SearchStats {
+            explored: 2,
+            pruned: 1,
+            ..Default::default()
+        };
+        a += SearchStats {
+            explored: 3,
+            tv_rejected: 4,
+            adopted: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.explored, 5);
+        assert_eq!(a.tv_rejected, 4);
+        assert_eq!(a.rows().len(), 4);
+        assert_eq!(a.rows()[0], ("explored", 5));
     }
 
     #[test]

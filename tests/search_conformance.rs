@@ -1,0 +1,208 @@
+//! Conformance suite for the validator-gated beam search
+//! (`rolag::search`). Two properties pin the search engine to the greedy
+//! baseline:
+//!
+//! * **beam:1 is greedy.** A width-1 beam never reaches the beam engine
+//!   (there is nothing to choose between), so `beam:1` must produce a
+//!   byte-identical module and equal outcome statistics to the greedy
+//!   pass on every corpus we have — TSVC kernels, the checked-in repro
+//!   modules, and a 256-module generator sweep.
+//! * **Wider beams never lose.** The beam engine runs the greedy trial
+//!   first and only adopts a searched result that *measures strictly
+//!   smaller*, so for every function the measured text bytes under
+//!   `beam:k` are at most the greedy result's — per-function
+//!   monotonicity, checked here for k = 2 and k = 4.
+
+use std::path::Path;
+
+use rolag::{roll_module, RolagOptions, SearchConfig};
+use rolag_difftest::generate_module;
+use rolag_ir::parser::parse_module;
+use rolag_ir::printer::print_module;
+use rolag_ir::Module;
+use rolag_lower::measure_function;
+use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+
+fn beam(width: usize) -> RolagOptions {
+    RolagOptions {
+        search: SearchConfig::Beam {
+            width,
+            depth: SearchConfig::DEFAULT_DEPTH,
+        },
+        ..RolagOptions::default()
+    }
+}
+
+/// Rolls `module` greedily and with `beam:1`; asserts byte- and
+/// stats-identical results. Returns the greedy roll count.
+fn assert_beam1_is_greedy(module: &Module, what: &str) -> u64 {
+    let mut greedy = module.clone();
+    let greedy_stats = roll_module(&mut greedy, &RolagOptions::default());
+
+    let mut searched = module.clone();
+    let searched_stats = roll_module(&mut searched, &beam(1));
+
+    assert_eq!(
+        print_module(&searched),
+        print_module(&greedy),
+        "{what}: beam:1 diverged from greedy"
+    );
+    assert_eq!(
+        searched_stats, greedy_stats,
+        "{what}: beam:1 stats diverged from greedy"
+    );
+    greedy_stats.rolled
+}
+
+/// Rolls `module` greedily and with `beam:width`; asserts the searched
+/// result never measures more text bytes than greedy, function by
+/// function. Returns `(greedy_rolls, searched_adopted)`.
+fn assert_beam_is_monotonic(module: &Module, width: usize, what: &str) -> (u64, u64) {
+    let mut greedy = module.clone();
+    let greedy_stats = roll_module(&mut greedy, &RolagOptions::default());
+
+    let mut searched = module.clone();
+    let searched_stats = roll_module(&mut searched, &beam(width));
+
+    for id in module.func_ids() {
+        let name = &module.func(id).name;
+        let g = greedy.func_by_name(name).expect("greedy keeps the func");
+        let s = searched.func_by_name(name).expect("search keeps the func");
+        let gb = measure_function(&greedy, greedy.func(g));
+        let sb = measure_function(&searched, searched.func(s));
+        assert!(
+            sb <= gb,
+            "{what}: beam:{width} grew @{name}: {sb} bytes vs greedy's {gb}"
+        );
+    }
+    (greedy_stats.rolled, searched_stats.search.adopted)
+}
+
+fn repro_modules() -> Vec<(String, Module)> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("repros");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/repros exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rir"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no repro modules in {}", dir.display());
+    files
+        .into_iter()
+        .map(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            let text = std::fs::read_to_string(&p).expect("readable repro");
+            let module =
+                parse_module(&text).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+            (name, module)
+        })
+        .collect()
+}
+
+#[test]
+fn beam1_matches_greedy_on_tsvc() {
+    let mut rolled = 0u64;
+    for spec in all_kernels() {
+        let module = build_kernel_module(&spec);
+        rolled += assert_beam1_is_greedy(&module, &format!("tsvc.{}", spec.name));
+    }
+    assert!(rolled >= 1, "no TSVC kernel rolled at all");
+}
+
+#[test]
+fn beam1_matches_greedy_on_repros() {
+    for (name, module) in repro_modules() {
+        assert_beam1_is_greedy(&module, &name);
+    }
+}
+
+#[test]
+fn beam1_matches_greedy_on_generated_corpus() {
+    let mut rolled = 0u64;
+    for i in 0..256 {
+        let module = generate_module(0, i);
+        rolled += assert_beam1_is_greedy(&module, &format!("module (0,{i})"));
+    }
+    assert!(
+        rolled >= 32,
+        "corpus too tame: only {rolled} rolls across 256 modules"
+    );
+}
+
+#[test]
+fn wider_beams_never_grow_a_function_on_tsvc() {
+    for width in [2, 4] {
+        let mut rolled = 0u64;
+        for spec in all_kernels() {
+            let module = build_kernel_module(&spec);
+            let (r, _) = assert_beam_is_monotonic(&module, width, &format!("tsvc.{}", spec.name));
+            rolled += r;
+        }
+        assert!(rolled >= 1, "no TSVC kernel rolled at all");
+    }
+}
+
+#[test]
+fn wider_beams_never_grow_a_function_on_generated_corpus() {
+    for width in [2, 4] {
+        for i in 0..64 {
+            let module = generate_module(3, i);
+            assert_beam_is_monotonic(&module, width, &format!("module (3,{i})"));
+        }
+    }
+}
+
+/// The beam engine must actually explore: across the generated corpus a
+/// width-4 beam must report explored candidates, and the poisoned-tail
+/// shape (a runtime store appended to a constant run) must be *won* —
+/// greedy misses the roll, the beam adopts one.
+#[test]
+fn beam_explores_and_wins_where_greedy_misses() {
+    let text = r#"
+module "tail"
+global @a : [16 x i32] = zero
+func @f(i32 %p0) -> void {
+entry:
+  %g0 = gep i32, @a, i64 0
+  store i32 0, %g0
+  %g1 = gep i32, @a, i64 1
+  store i32 7, %g1
+  %g2 = gep i32, @a, i64 2
+  store i32 14, %g2
+  %g3 = gep i32, @a, i64 3
+  store i32 21, %g3
+  %g4 = gep i32, @a, i64 4
+  store i32 28, %g4
+  %g5 = gep i32, @a, i64 5
+  store i32 35, %g5
+  %g6 = gep i32, @a, i64 6
+  store i32 42, %g6
+  %g7 = gep i32, @a, i64 7
+  store i32 49, %g7
+  %g8 = gep i32, @a, i64 8
+  store %p0, %g8
+  ret
+}
+"#;
+    let module = parse_module(text).unwrap();
+
+    let mut greedy = module.clone();
+    let greedy_stats = roll_module(&mut greedy, &RolagOptions::default());
+    assert_eq!(greedy_stats.rolled, 0, "fixture must defeat greedy");
+
+    let mut searched = module.clone();
+    let searched_stats = roll_module(&mut searched, &beam(4));
+    assert_eq!(searched_stats.rolled, 1, "beam:4 must roll the fixture");
+    assert_eq!(searched_stats.search.adopted, 1);
+    assert!(searched_stats.search.explored > 1);
+
+    let id = searched.func_by_name("f").unwrap();
+    let gid = greedy.func_by_name("f").unwrap();
+    assert!(
+        measure_function(&searched, searched.func(id))
+            < measure_function(&greedy, greedy.func(gid)),
+        "the adopted roll must measure strictly smaller"
+    );
+}

@@ -5,12 +5,17 @@
 //! on the paper's benchmark suites alike, and turning validation on
 //! must never change what the pass produces.
 
-use rolag::{roll_module, roll_module_full_rescan, RolagOptions};
-use rolag_difftest::generate_module;
+use rolag::{
+    roll_module, roll_module_full_rescan, search_function_audited, RejectedSpeculation,
+    RolagOptions, SearchAudit,
+};
+use rolag_difftest::{args_for, compare_behaviour, generate_module};
+use rolag_ir::parser::parse_module;
 use rolag_ir::printer::print_module;
 use rolag_ir::Module;
 use rolag_suites::angha::{generate, AnghaConfig};
 use rolag_suites::tsvc::{all_kernels, build_kernel_module};
+use rolag_transforms::effects_table;
 
 /// Rolls `module` twice — validation off and on — and asserts the
 /// validated run proves every accepted rewrite and commits exactly the
@@ -107,6 +112,90 @@ fn angha_slice_has_zero_static_false_rejects() {
         rolled += r;
     }
     assert!(rolled >= 8, "angha slice too tame: {rolled} rolls");
+}
+
+/// Dynamically cross-checks one TV-rejected beam candidate: the
+/// validator is one-sided, so a reject may be a conservative *false*
+/// reject — but the speculative module the engine built must still be
+/// behaviourally equivalent to its baseline, or the codegen (not the
+/// validator) has a bug. `Err` describes the first divergence.
+fn cross_check_reject(reject: &RejectedSpeculation) -> Result<(), String> {
+    let before = parse_module(&reject.before).map_err(|e| format!("before: {e}"))?;
+    let after = parse_module(&reject.after).map_err(|e| format!("after: {e}"))?;
+    for k in 0..4 {
+        let Some(args) = args_for(&before, &reject.func, k) else {
+            continue;
+        };
+        compare_behaviour(&before, &after, &reject.func, &args)
+            .map_err(|e| format!("@{}({args:?}): {e}", reject.func))?;
+    }
+    Ok(())
+}
+
+/// Runs the audited beam search over `module` and dynamically
+/// cross-checks every TV-rejected candidate the beam explored. Returns
+/// the number of rejects checked.
+fn audit_and_cross_check(module: &Module, what: &str) -> u64 {
+    let opts = RolagOptions::searched(4);
+    let mut m = module.clone();
+    let effects = effects_table(&m);
+    let mut audit = SearchAudit::default();
+    for id in m.func_ids().collect::<Vec<_>>() {
+        search_function_audited(&mut m, id, &opts, &effects, &mut audit);
+    }
+    for reject in &audit.rejects {
+        if let Err(e) = cross_check_reject(reject) {
+            panic!(
+                "{what}: TV-rejected candidate for @{} is a genuine miscompile: {e}",
+                reject.func
+            );
+        }
+    }
+    audit.rejects.len() as u64
+}
+
+/// Every TV reject the beam search encounters while exploring candidate
+/// variants must be a *static* false reject, never a dynamic miscompile:
+/// the speculative module is interpreted against its baseline before the
+/// rejection is allowed to stand. (Today the validator proves every
+/// candidate our corpora produce, so the sweep doubles as a pin on that:
+/// the companion test below proves the cross-check itself can catch a
+/// planted miscompile, so a future reject cannot slip through unchecked.)
+#[test]
+fn beam_explored_tv_rejects_are_dynamically_clean() {
+    for i in 0..128 {
+        let module = generate_module(0, i);
+        audit_and_cross_check(&module, &format!("module (0,{i})"));
+    }
+    for spec in all_kernels() {
+        let module = build_kernel_module(&spec);
+        audit_and_cross_check(&module, &format!("tsvc.{}", spec.name));
+    }
+}
+
+/// The cross-check harness must itself be able to catch a miscompile —
+/// otherwise `beam_explored_tv_rejects_are_dynamically_clean` would pass
+/// vacuously even if the audit captured garbage.
+#[test]
+fn reject_cross_check_catches_a_planted_miscompile() {
+    let before = "module \"t\"\nglobal @g : [2 x i32] = zero\nfunc @f() -> void {\nentry:\n  %p = gep i32, @g, i64 0\n  store i32 1, %p\n  ret\n}\n";
+    let after = "module \"t\"\nglobal @g : [2 x i32] = zero\nfunc @f() -> void {\nentry:\n  %p = gep i32, @g, i64 1\n  store i32 1, %p\n  ret\n}\n";
+    let planted = RejectedSpeculation {
+        func: "f".into(),
+        before: before.into(),
+        after: after.into(),
+        dot: String::new(),
+    };
+    let err = cross_check_reject(&planted).expect_err("must catch the retargeted store");
+    assert!(err.contains("@g"), "unexpected detail: {err}");
+
+    let clean = RejectedSpeculation {
+        func: "f".into(),
+        before: before.into(),
+        after: before.into(),
+        dot: String::new(),
+    };
+    cross_check_reject(&clean).expect("identical modules must pass");
 }
 
 /// The binary codec rebuilds a module's arenas from scratch
